@@ -1,0 +1,119 @@
+// Shared harness code for the figure/table benches: phase-split profiling
+// runs (the drcov + nudge workflow of paper §3.1), bounded OS driving, and
+// table formatting.
+#pragma once
+
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/coverage.hpp"
+#include "apps/libc.hpp"
+#include "os/os.hpp"
+#include "trace/trace.hpp"
+
+namespace dynacut::bench {
+
+/// Runs `vos` until `done` holds or the budget is spent. Returns done().
+template <typename Pred>
+bool run_until(os::Os& vos, Pred done, int rounds = 300,
+               uint64_t instr_per_round = 200'000) {
+  for (int i = 0; i < rounds && !done(); ++i) vos.run(instr_per_round);
+  return done();
+}
+
+/// Waits for a reply and drains it.
+inline std::string request(os::Os& vos, os::HostConn& conn,
+                           const std::string& line) {
+  conn.send(line);
+  run_until(vos, [&] { return conn.pending() > 0; });
+  return conn.recv_all();
+}
+
+/// Phase-split coverage of one server run: boot (init phase, dumped at the
+/// ready/nudge point), then serve `requests` (serving phase).
+struct ServerPhases {
+  std::shared_ptr<const melf::Binary> bin;
+  trace::TraceLog init_log;
+  trace::TraceLog serving_log;
+  size_t image_pages = 0;  ///< populated pages at the post-init point
+
+  analysis::CoverageGraph init_cov(const std::string& module) const {
+    return analysis::CoverageGraph::from_log(init_log).only_module(module);
+  }
+  analysis::CoverageGraph serving_cov(const std::string& module) const {
+    return analysis::CoverageGraph::from_log(serving_log).only_module(module);
+  }
+};
+
+/// Boots `bin` in a fresh OS under the tracer, nudges at listener-ready,
+/// replays `requests`, dumps the serving trace.
+inline ServerPhases profile_server(std::shared_ptr<const melf::Binary> bin,
+                                   uint16_t port,
+                                   const std::vector<std::string>& requests) {
+  ServerPhases out;
+  out.bin = bin;
+  os::Os vos;
+  trace::Tracer tracer(vos);
+  int pid = vos.spawn(bin, {apps::build_libc()});
+  run_until(vos, [&] { return vos.has_listener(port); });
+  out.image_pages = vos.process(pid)->mem.populated_pages().size();
+  out.init_log = tracer.dump_and_reset(pid);  // the nudge
+  auto conn = vos.connect(port);
+  for (const auto& r : requests) request(vos, conn, r);
+  // For multi-process servers the worker handles requests; merge worker
+  // coverage into the serving log of the app module by re-dumping every
+  // group member and keeping the busiest.
+  trace::TraceLog best = tracer.dump(pid);
+  for (int gp : vos.process_group(pid)) {
+    trace::TraceLog log = tracer.dump(gp);
+    if (log.blocks.size() > best.blocks.size()) best = std::move(log);
+  }
+  out.serving_log = std::move(best);
+  return out;
+}
+
+/// Phase-split coverage of one specgen benchmark (nudge syscall marks the
+/// init/serving boundary).
+inline ServerPhases profile_spec(std::shared_ptr<const melf::Binary> bin) {
+  ServerPhases out;
+  out.bin = bin;
+  os::Os vos;
+  trace::Tracer tracer(vos);
+  int pid = vos.spawn(bin, {apps::build_libc()});
+  // Dump-and-reset coverage at the exact nudge instant (the drcov nudge).
+  vos.set_nudge_hook([&](const os::Process& p, uint64_t) {
+    out.image_pages = p.mem.populated_pages().size();
+    out.init_log = tracer.dump_and_reset(p.pid);
+  });
+  run_until(vos, [&] { return vos.all_exited(); }, 5000);
+  out.serving_log = tracer.dump(pid);
+  return out;
+}
+
+inline double mb(uint64_t bytes) {
+  return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+inline double kb(uint64_t bytes) { return static_cast<double>(bytes) / 1024.0; }
+
+inline uint64_t text_bytes(const melf::Binary& bin) {
+  uint64_t sum = 0;
+  for (const auto& sec : bin.sections) {
+    if (sec.kind == melf::SectionKind::kText ||
+        sec.kind == melf::SectionKind::kPlt) {
+      sum += sec.size;
+    }
+  }
+  return sum;
+}
+
+inline void banner(const std::string& title) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", title.c_str());
+  std::printf("================================================================\n");
+}
+
+}  // namespace dynacut::bench

@@ -1,0 +1,99 @@
+// Figure 9 reproduction: per application — executed basic blocks, basic
+// blocks removed as initialization-only, total static blocks (the Angr
+// number), code size, and the size of removed init code.
+#include <cstdio>
+
+#include "analysis/cfg.hpp"
+#include "analysis/coverage.hpp"
+#include "apps/minihttpd.hpp"
+#include "apps/miniweb.hpp"
+#include "apps/specgen.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace dynacut;
+
+struct Row {
+  std::string label;
+  size_t total_blocks = 0;    // static CFG (Angr stand-in)
+  size_t executed_blocks = 0; // deduped traced blocks, app module
+  size_t removed_blocks = 0;  // init-only
+  double code_kb = 0;
+  double init_removed_kb = 0;
+  double paper_removed_pct = 0;  // paper's % of executed blocks removed
+};
+
+Row make_row(const std::string& label, const bench::ServerPhases& phases,
+             const std::string& module, double paper_removed_pct) {
+  analysis::CoverageGraph init = phases.init_cov(module);
+  analysis::CoverageGraph serving = phases.serving_cov(module);
+  analysis::CoverageGraph executed = init;
+  executed.merge(serving);
+  analysis::CoverageGraph init_only = init.diff(serving);
+
+  Row row;
+  row.label = label;
+  row.total_blocks = analysis::total_block_count(*phases.bin);
+  row.executed_blocks = executed.size();
+  row.removed_blocks = init_only.size();
+  row.code_kb = bench::kb(bench::text_bytes(*phases.bin));
+  row.init_removed_kb = bench::kb(init_only.total_bytes());
+  row.paper_removed_pct = paper_removed_pct;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner(
+      "Figure 9: executed basic blocks vs init-only blocks removed by\n"
+      "DynaCut (plus total-BB / code-size table)");
+
+  std::vector<Row> rows;
+  const std::vector<std::string> web_reqs = {
+      "GET /index\n", "HEAD /index\n", "GET /miss\n",  "HEAD /miss\n",
+      "PUT /f x\n",   "GET /f\n",      "DELETE /f\n",  "PATCH /x\n"};
+  rows.push_back(make_row(
+      "Lighttpd",
+      bench::profile_server(apps::build_minihttpd(), apps::kMinihttpdPort,
+                            web_reqs),
+      "minihttpd", 46.0));
+  rows.push_back(make_row(
+      "Nginx",
+      bench::profile_server(apps::build_miniweb(), apps::kMiniwebPort,
+                            web_reqs),
+      "miniweb", 56.0));
+  for (const auto& sb : apps::spec_suite()) {
+    rows.push_back(make_row(sb.name, bench::profile_spec(apps::build_spec(sb)),
+                            sb.name, sb.paper_init_removed_pct));
+  }
+
+  std::printf("\n%-18s %9s %9s %9s %10s %9s %12s %10s\n", "application",
+              "total_BB", "exec_BB", "rm_BB", "rm_pct", "code_KB",
+              "init_rm_KB", "paper_pct");
+  double pct_sum = 0;
+  int spec_count = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    double pct = r.executed_blocks == 0
+                     ? 0.0
+                     : 100.0 * static_cast<double>(r.removed_blocks) /
+                           static_cast<double>(r.executed_blocks);
+    if (i >= 2) {
+      pct_sum += pct;
+      ++spec_count;
+    }
+    std::printf("%-18s %9zu %9zu %9zu %9.1f%% %9.1f %12.2f %9.1f%%\n",
+                r.label.c_str(), r.total_blocks, r.executed_blocks,
+                r.removed_blocks, pct, r.code_kb, r.init_removed_kb,
+                r.paper_removed_pct);
+  }
+  std::printf(
+      "\nSPEC average removed-%%: %.1f%% (paper: 22.3%%, range 8.4-41.4%%)\n",
+      pct_sum / spec_count);
+  std::printf(
+      "Shape checks: web servers lose the largest share of executed blocks\n"
+      "(init-heavy); 600.perlbench_s leads SPEC; 605.mcf_s is smallest.\n");
+  return 0;
+}

@@ -1,0 +1,151 @@
+// Microbenchmarks (google-benchmark) of DynaCut's primitive operations on
+// realistically sized processes: checkpoint, restore, int3 patching, block
+// wiping, library injection, trace diffing, image serialization, and static
+// CFG recovery. These measure *host* wall-clock cost of the framework
+// itself (the simulator substrate), complementing the virtual-time figures.
+#include <benchmark/benchmark.h>
+
+#include "analysis/cfg.hpp"
+#include "analysis/coverage.hpp"
+#include "apps/libc.hpp"
+#include "apps/minikv.hpp"
+#include "bench_common.hpp"
+#include "core/handler_lib.hpp"
+#include "image/checkpoint.hpp"
+#include "rewriter/rewriter.hpp"
+#include "trace/trace.hpp"
+
+namespace {
+
+using namespace dynacut;
+
+/// A booted minikv instance reused across iterations.
+struct KvFixture {
+  os::Os vos;
+  int pid;
+
+  KvFixture() {
+    pid = vos.spawn(apps::build_minikv(), {apps::build_libc()});
+    bench::run_until(vos,
+                     [&] { return vos.has_listener(apps::kMinikvPort); });
+  }
+};
+
+KvFixture& fixture() {
+  static KvFixture fx;
+  return fx;
+}
+
+void BM_Checkpoint(benchmark::State& state) {
+  KvFixture& fx = fixture();
+  for (auto _ : state) {
+    image::ProcessImage img = image::checkpoint(fx.vos, fx.pid);
+    benchmark::DoNotOptimize(img.pages.size());
+    fx.vos.thaw(fx.pid);
+  }
+  state.SetLabel("minikv, ~4MB image");
+}
+BENCHMARK(BM_Checkpoint);
+
+void BM_CheckpointRestore(benchmark::State& state) {
+  KvFixture& fx = fixture();
+  for (auto _ : state) {
+    image::ProcessImage img = image::checkpoint(fx.vos, fx.pid);
+    image::restore(fx.vos, fx.pid, img);
+  }
+}
+BENCHMARK(BM_CheckpointRestore);
+
+void BM_Int3PatchBlock(benchmark::State& state) {
+  KvFixture& fx = fixture();
+  image::ProcessImage img = image::checkpoint(fx.vos, fx.pid);
+  fx.vos.thaw(fx.pid);
+  rw::ImageRewriter rewriter(img);
+  uint64_t addr = rewriter.symbol_addr("minikv", "cmd_set");
+  for (auto _ : state) {
+    rw::PatchRecord rec = rewriter.block_first_byte(addr);
+    rewriter.undo(rec);
+  }
+}
+BENCHMARK(BM_Int3PatchBlock);
+
+void BM_WipeBlock64(benchmark::State& state) {
+  KvFixture& fx = fixture();
+  image::ProcessImage img = image::checkpoint(fx.vos, fx.pid);
+  fx.vos.thaw(fx.pid);
+  rw::ImageRewriter rewriter(img);
+  uint64_t addr = rewriter.symbol_addr("minikv", "cmd_set");
+  for (auto _ : state) {
+    rw::PatchRecord rec = rewriter.wipe(addr, 64);
+    rewriter.undo(rec);
+  }
+}
+BENCHMARK(BM_WipeBlock64);
+
+void BM_InjectHandlerLibrary(benchmark::State& state) {
+  KvFixture& fx = fixture();
+  auto lib = core::build_redirect_lib(256);
+  for (auto _ : state) {
+    state.PauseTiming();
+    image::ProcessImage img = image::checkpoint(fx.vos, fx.pid);
+    fx.vos.thaw(fx.pid);
+    rw::ImageRewriter rewriter(img);
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(rewriter.inject_library(lib));
+  }
+}
+BENCHMARK(BM_InjectHandlerLibrary);
+
+void BM_ImageEncodeDecode(benchmark::State& state) {
+  KvFixture& fx = fixture();
+  image::ProcessImage img = image::checkpoint(fx.vos, fx.pid);
+  fx.vos.thaw(fx.pid);
+  for (auto _ : state) {
+    auto bytes = img.encode();
+    image::ProcessImage back = image::ProcessImage::decode(bytes);
+    benchmark::DoNotOptimize(back.pages.size());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(img.encode().size()));
+}
+BENCHMARK(BM_ImageEncodeDecode);
+
+void BM_TraceDiff(benchmark::State& state) {
+  auto kv = apps::build_minikv();
+  bench::ServerPhases undesired = bench::profile_server(
+      kv, apps::kMinikvPort, {"SET k v\n", "GET k\n", "PING\n"});
+  bench::ServerPhases wanted = bench::profile_server(
+      kv, apps::kMinikvPort,
+      {"SETRANGE k 0 h\n", "GET k\n", "PING\n", "DEL k\n"});
+  for (auto _ : state) {
+    analysis::CoverageGraph diff = analysis::feature_diff(
+        {undesired.serving_log}, {wanted.serving_log}, "minikv");
+    benchmark::DoNotOptimize(diff.size());
+  }
+}
+BENCHMARK(BM_TraceDiff);
+
+void BM_StaticCfgRecovery(benchmark::State& state) {
+  auto kv = apps::build_minikv();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(analysis::total_block_count(*kv));
+  }
+  state.SetLabel("minikv .text");
+}
+BENCHMARK(BM_StaticCfgRecovery);
+
+void BM_GuestExecution(benchmark::State& state) {
+  KvFixture& fx = fixture();
+  auto conn = fx.vos.connect(apps::kMinikvPort);
+  for (auto _ : state) {
+    conn.send("PING\n");
+    bench::run_until(fx.vos, [&] { return conn.pending() > 0; });
+    benchmark::DoNotOptimize(conn.recv_all());
+  }
+  state.SetLabel("one PING round-trip");
+}
+BENCHMARK(BM_GuestExecution);
+
+}  // namespace
+
+BENCHMARK_MAIN();

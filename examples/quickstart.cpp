@@ -1,0 +1,118 @@
+// Quickstart: the whole DynaCut workflow in ~100 lines.
+//
+//   1. build a tiny guest server (assembler DSL) and boot it in osim
+//   2. trace two profiling runs and tracediff them to find the blocks of
+//      an unwanted feature
+//   3. checkpoint -> rewrite (int3 + injected fault handler) -> restore,
+//      all while the server keeps its connection
+//   4. watch the disabled feature answer through the error path, then
+//      re-enable it
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "analysis/coverage.hpp"
+#include "apps/libc.hpp"
+#include "common/log.hpp"
+#include "core/dynacut.hpp"
+#include "melf/builder.hpp"
+#include "os/os.hpp"
+#include "trace/trace.hpp"
+
+using namespace dynacut;
+
+// A miniature server: "A" -> "alpha", "B" -> "beta", other -> "err".
+std::shared_ptr<const melf::Binary> build_demo_server() {
+  namespace sys = os::sys;
+  melf::ProgramBuilder b("demo");
+  b.rodata_str("alpha", "alpha\n");
+  b.rodata_str("beta", "beta\n");
+  b.rodata_str("err", "err\n");
+  b.bss("buf", 64);
+
+  auto& d = b.func("dispatch");
+  d.mov_sym(6, "buf").loadb(7, 6, 0);
+  d.cmp_ri(7, 'A').je("a").cmp_ri(7, 'B').je("b").jmp("e");
+  d.label("a").mov_sym(2, "alpha").jmp("send");
+  d.label("b").mov_sym(2, "beta").jmp("send");
+  d.label("e").mark("error_path").mov_sym(2, "err");
+  d.label("send").mov_rr(1, 13).call_import("write_str").ret();
+
+  auto& m = b.func("main");
+  m.sys(sys::kSocket).mov_rr(12, 0);
+  m.mov_rr(1, 12).mov_ri(2, 7777).sys(sys::kBind);
+  m.mov_rr(1, 12).sys(sys::kListen);
+  m.mov_rr(1, 12).sys(sys::kAccept).mov_rr(13, 0);
+  m.label("loop")
+      .mov_rr(1, 13)
+      .mov_sym(2, "buf")
+      .mov_ri(3, 64)
+      .call_import("recv_line")
+      .cmp_ri(0, 0)
+      .je("done")
+      .call("dispatch")
+      .jmp("loop");
+  m.label("done").mov_ri(1, 0).sys(sys::kExit);
+  b.set_entry("main");
+  return std::make_shared<melf::Binary>(b.link());
+}
+
+trace::TraceLog profile(std::shared_ptr<const melf::Binary> bin,
+                        const char* requests) {
+  os::Os vos;
+  trace::Tracer tracer(vos);
+  int pid = vos.spawn(bin, {apps::build_libc()});
+  vos.run();
+  auto conn = vos.connect(7777);
+  conn.send(requests);
+  vos.run();
+  return tracer.dump(pid);
+}
+
+int main() {
+  set_log_level(LogLevel::kInfo);
+  auto bin = build_demo_server();
+
+  // --- step 1+2: profiling and tracediff ---------------------------------
+  trace::TraceLog with_b = profile(bin, "A\nB\n");
+  trace::TraceLog without_b = profile(bin, "A\nA\n");
+  core::FeatureSpec feature_b;
+  feature_b.name = "B";
+  feature_b.blocks =
+      analysis::feature_diff({with_b}, {without_b}, "demo").blocks();
+  feature_b.redirect_module = "demo";
+  feature_b.redirect_offset = bin->find_symbol("error_path")->value;
+  std::printf("tracediff found %zu blocks unique to feature B\n",
+              feature_b.blocks.size());
+
+  // --- step 3: boot the production instance and customize it live --------
+  os::Os vos;
+  int pid = vos.spawn(bin, {apps::build_libc()});
+  vos.run();
+  auto conn = vos.connect(7777);
+  auto ask = [&](const char* line) {
+    conn.send(line);
+    vos.run();
+    return conn.recv_all();
+  };
+
+  std::printf("before:   B -> %s", ask("B\n").c_str());
+
+  core::DynaCut dc(vos, pid);
+  core::CustomizeReport rep = dc.disable_feature(
+      feature_b, core::RemovalPolicy::kBlockFirstByte,
+      core::TrapPolicy::kRedirect);
+  std::printf("disabled feature B in %.3f virtual seconds (%zu blocks)\n",
+              rep.timing.total_seconds(), rep.blocks_patched);
+
+  // --- step 4: observe, then re-enable ------------------------------------
+  std::printf("disabled: B -> %s", ask("B\n").c_str());  // "err"
+  std::printf("          A -> %s", ask("A\n").c_str());  // unaffected
+
+  dc.restore_feature("B");
+  std::printf("restored: B -> %s", ask("B\n").c_str());  // "beta" again
+
+  std::printf("\nquickstart complete: dynamic disable + re-enable without\n"
+              "restarting the process or dropping the connection.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+#include "analysis/cfg.hpp"
+
+#include <deque>
+#include <set>
+
+#include "isa/isa.hpp"
+
+namespace dynacut::analysis {
+
+namespace {
+
+/// Reads the instruction at module-relative `off` from whichever executable
+/// section covers it. Returns false outside code or on invalid encodings.
+bool decode_at(const melf::Binary& bin, uint64_t off, isa::Instr& out) {
+  for (const auto& sec : bin.sections) {
+    if (sec.kind != melf::SectionKind::kText &&
+        sec.kind != melf::SectionKind::kPlt) {
+      continue;
+    }
+    if (off < sec.offset || off >= sec.offset + sec.bytes.size()) continue;
+    uint64_t rel = off - sec.offset;
+    auto ins = isa::try_decode(
+        std::span(sec.bytes).subspan(rel));
+    if (!ins) return false;
+    out = *ins;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+StaticCfg recover_cfg(const melf::Binary& bin) {
+  // Pass 1: instruction-level reachability from all function entries.
+  std::set<uint64_t> leaders;
+  std::deque<uint64_t> work;
+  for (const auto& sym : bin.symbols) {
+    if (sym.is_function) {
+      work.push_back(sym.value);
+      leaders.insert(sym.value);
+    }
+  }
+
+  std::map<uint64_t, isa::Instr> instrs;  // reachable instruction starts
+  while (!work.empty()) {
+    uint64_t off = work.front();
+    work.pop_front();
+    if (instrs.count(off)) continue;
+    isa::Instr ins;
+    if (!decode_at(bin, off, ins)) continue;
+    instrs[off] = ins;
+
+    uint64_t next = off + ins.length;
+    if (isa::is_direct_transfer(ins.op)) {
+      uint64_t target = ins.target(off);
+      leaders.insert(target);
+      work.push_back(target);
+      if (isa::is_cond_branch(ins.op) || ins.op == isa::Op::kCall) {
+        leaders.insert(next);
+        work.push_back(next);
+      }
+    } else if (!isa::is_terminator(ins.op)) {
+      work.push_back(next);
+    } else if (ins.op == isa::Op::kSyscall) {
+      // Syscalls fall through (except exit, which we can't know statically).
+      leaders.insert(next);
+      work.push_back(next);
+    }
+    // ret / indirect jumps end the path.
+  }
+
+  // Pass 2: form blocks between leaders.
+  StaticCfg cfg;
+  for (uint64_t leader : leaders) {
+    auto it = instrs.find(leader);
+    if (it == instrs.end()) continue;
+    CfgBlock blk;
+    blk.offset = leader;
+    uint64_t cur = leader;
+    while (true) {
+      auto iit = instrs.find(cur);
+      if (iit == instrs.end()) break;
+      const isa::Instr& ins = iit->second;
+      blk.size = static_cast<uint32_t>(cur + ins.length - leader);
+      blk.instr_count += 1;
+      uint64_t next = cur + ins.length;
+      if (isa::is_terminator(ins.op)) {
+        if (isa::is_direct_transfer(ins.op)) {
+          blk.succs.push_back(ins.target(cur));
+        }
+        if (isa::is_cond_branch(ins.op) || ins.op == isa::Op::kCall ||
+            ins.op == isa::Op::kSyscall) {
+          blk.succs.push_back(next);
+        }
+        break;
+      }
+      if (leaders.count(next)) {  // a leader splits the straight line
+        blk.succs.push_back(next);
+        break;
+      }
+      cur = next;
+    }
+    if (blk.size > 0) cfg.blocks[leader] = blk;
+  }
+  return cfg;
+}
+
+size_t total_block_count(const melf::Binary& bin) {
+  return recover_cfg(bin).block_count();
+}
+
+}  // namespace dynacut::analysis

@@ -1,0 +1,42 @@
+// Static CFG recovery over MELF binaries — the Angr stand-in the paper uses
+// to count each binary's total basic blocks (Fig. 9's "total BB #" row).
+//
+// Recursive traversal from every function symbol: instruction-level
+// reachability first, then leaders (function entries, branch targets,
+// post-terminator fallthroughs) delimit basic blocks. Indirect transfer
+// targets are not resolved (same limitation as any static recovery).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "melf/binary.hpp"
+
+namespace dynacut::analysis {
+
+struct CfgBlock {
+  uint64_t offset = 0;  ///< module-relative start
+  uint32_t size = 0;
+  uint32_t instr_count = 0;
+  std::vector<uint64_t> succs;  ///< static successors (module-relative)
+};
+
+struct StaticCfg {
+  std::map<uint64_t, CfgBlock> blocks;  ///< keyed by start offset
+
+  size_t block_count() const { return blocks.size(); }
+  uint64_t code_bytes() const {
+    uint64_t sum = 0;
+    for (const auto& [off, b] : blocks) sum += b.size;
+    return sum;
+  }
+};
+
+/// Recovers the CFG of `bin`'s .text (+ .plt) from its function symbols.
+StaticCfg recover_cfg(const melf::Binary& bin);
+
+/// Total static basic-block count (the paper's Angr number).
+size_t total_block_count(const melf::Binary& bin);
+
+}  // namespace dynacut::analysis

@@ -1,0 +1,103 @@
+#include "analysis/coverage.hpp"
+
+namespace dynacut::analysis {
+
+CoverageGraph CoverageGraph::from_log(const trace::TraceLog& log) {
+  CoverageGraph g;
+  for (const auto& b : log.blocks) {
+    const auto& m = log.modules[b.module_id];
+    g.insert(CovBlock{m.name, b.offset, b.size});
+  }
+  return g;
+}
+
+CoverageGraph CoverageGraph::from_logs(
+    const std::vector<trace::TraceLog>& logs) {
+  CoverageGraph g;
+  for (const auto& log : logs) g.merge(from_log(log));
+  return g;
+}
+
+void CoverageGraph::insert(CovBlock block) {
+  blocks_[{std::move(block.module), block.offset}] = block.size;
+}
+
+void CoverageGraph::merge(const CoverageGraph& other) {
+  for (const auto& [key, size] : other.blocks_) blocks_[key] = size;
+}
+
+CoverageGraph CoverageGraph::diff(const CoverageGraph& other) const {
+  CoverageGraph out;
+  for (const auto& [key, size] : blocks_) {
+    if (other.blocks_.find(key) == other.blocks_.end()) {
+      out.blocks_[key] = size;
+    }
+  }
+  return out;
+}
+
+CoverageGraph CoverageGraph::intersect(const CoverageGraph& other) const {
+  CoverageGraph out;
+  for (const auto& [key, size] : blocks_) {
+    if (other.blocks_.find(key) != other.blocks_.end()) {
+      out.blocks_[key] = size;
+    }
+  }
+  return out;
+}
+
+CoverageGraph CoverageGraph::only_module(const std::string& module) const {
+  CoverageGraph out;
+  for (const auto& [key, size] : blocks_) {
+    if (key.first == module) out.blocks_[key] = size;
+  }
+  return out;
+}
+
+CoverageGraph CoverageGraph::without_module(const std::string& module) const {
+  CoverageGraph out;
+  for (const auto& [key, size] : blocks_) {
+    if (key.first != module) out.blocks_[key] = size;
+  }
+  return out;
+}
+
+bool CoverageGraph::contains(const std::string& module,
+                             uint64_t offset) const {
+  return blocks_.find({module, offset}) != blocks_.end();
+}
+
+std::vector<CovBlock> CoverageGraph::blocks() const {
+  std::vector<CovBlock> out;
+  out.reserve(blocks_.size());
+  for (const auto& [key, size] : blocks_) {
+    out.push_back(CovBlock{key.first, key.second, size});
+  }
+  return out;
+}
+
+uint64_t CoverageGraph::total_bytes() const {
+  uint64_t sum = 0;
+  for (const auto& [key, size] : blocks_) sum += size;
+  return sum;
+}
+
+CoverageGraph feature_diff(const std::vector<trace::TraceLog>& undesired,
+                           const std::vector<trace::TraceLog>& wanted,
+                           const std::string& main_module) {
+  CoverageGraph u = CoverageGraph::from_logs(undesired).only_module(main_module);
+  CoverageGraph w = CoverageGraph::from_logs(wanted).only_module(main_module);
+  return u.diff(w);
+}
+
+CoverageGraph init_only(const trace::TraceLog& init_phase,
+                        const trace::TraceLog& serving_phase,
+                        const std::string& main_module) {
+  CoverageGraph i =
+      CoverageGraph::from_log(init_phase).only_module(main_module);
+  CoverageGraph s =
+      CoverageGraph::from_log(serving_phase).only_module(main_module);
+  return i.diff(s);
+}
+
+}  // namespace dynacut::analysis

@@ -1,0 +1,80 @@
+// Coverage graphs and the differential analyses of paper §3.1:
+//   * tracediff feature discovery:  blk ∈ CovG_undesired ∧ blk ∉ CovG_wanted
+//   * init-phase identification:    blk ∈ CovG_init      ∧ blk ∉ CovG_serving
+// with library-block filtering ("narrow down by filtering out basic blocks
+// that appear in program libraries").
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "trace/trace.hpp"
+
+namespace dynacut::analysis {
+
+/// A basic block identified by module name + module-relative offset.
+struct CovBlock {
+  std::string module;
+  uint64_t offset = 0;
+  uint32_t size = 0;
+
+  friend auto operator<=>(const CovBlock& a, const CovBlock& b) {
+    if (auto c = a.module <=> b.module; c != 0) return c;
+    return a.offset <=> b.offset;
+  }
+  friend bool operator==(const CovBlock& a, const CovBlock& b) {
+    return a.module == b.module && a.offset == b.offset;
+  }
+};
+
+/// A set of covered basic blocks with set-algebra operations. Block identity
+/// is (module, offset); sizes are carried along.
+class CoverageGraph {
+ public:
+  CoverageGraph() = default;
+
+  static CoverageGraph from_log(const trace::TraceLog& log);
+  static CoverageGraph from_logs(const std::vector<trace::TraceLog>& logs);
+
+  void insert(CovBlock block);
+  /// Union with another graph (trace-log merging).
+  void merge(const CoverageGraph& other);
+
+  /// Blocks present here but absent from `other`.
+  CoverageGraph diff(const CoverageGraph& other) const;
+  /// Blocks present in both.
+  CoverageGraph intersect(const CoverageGraph& other) const;
+
+  /// Keeps only blocks of `module` (e.g. the main executable).
+  CoverageGraph only_module(const std::string& module) const;
+  /// Drops blocks of `module` (library filtering).
+  CoverageGraph without_module(const std::string& module) const;
+
+  bool contains(const std::string& module, uint64_t offset) const;
+  size_t size() const { return blocks_.size(); }
+  bool empty() const { return blocks_.empty(); }
+
+  /// Sorted view of the blocks.
+  std::vector<CovBlock> blocks() const;
+
+  /// Total byte size of all blocks (code-size accounting for Fig. 9).
+  uint64_t total_bytes() const;
+
+ private:
+  std::map<std::pair<std::string, uint64_t>, uint32_t> blocks_;
+};
+
+/// tracediff.py: blocks unique to the undesired feature's traces, restricted
+/// to `main_module` (library blocks are shared and filtered out).
+CoverageGraph feature_diff(const std::vector<trace::TraceLog>& undesired,
+                           const std::vector<trace::TraceLog>& wanted,
+                           const std::string& main_module);
+
+/// Init-phase analysis: blocks executed only before the nudge.
+CoverageGraph init_only(const trace::TraceLog& init_phase,
+                        const trace::TraceLog& serving_phase,
+                        const std::string& main_module);
+
+}  // namespace dynacut::analysis

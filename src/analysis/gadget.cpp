@@ -1,0 +1,44 @@
+#include "analysis/gadget.hpp"
+
+#include "isa/isa.hpp"
+
+namespace dynacut::analysis {
+
+namespace {
+
+bool gadget_at(const vm::AddressSpace& mem, uint64_t addr, int max_instrs) {
+  uint64_t cur = addr;
+  for (int i = 0; i < max_instrs; ++i) {
+    uint8_t buf[16];
+    if (!mem.read(cur, buf, 1, kProtExec).ok) return false;
+    uint8_t len = isa::instr_length(buf[0]);
+    if (len == 0) return false;
+    if (len > 1 && !mem.read(cur + 1, buf + 1, len - 1, kProtExec).ok) {
+      return false;
+    }
+    auto ins = isa::try_decode({buf, len});
+    if (!ins) return false;
+    if (ins->op == isa::Op::kRet) return true;
+    if (ins->op == isa::Op::kTrap) return false;  // wiped / blocked code
+    // Any other terminator diverts control away from the sequence.
+    if (isa::is_terminator(ins->op)) return false;
+    cur += len;
+  }
+  return false;
+}
+
+}  // namespace
+
+GadgetStats scan_gadgets(const vm::AddressSpace& mem, int max_instrs) {
+  GadgetStats stats;
+  for (const auto& [start, vma] : mem.vmas()) {
+    if ((vma.prot & kProtExec) == 0) continue;
+    stats.executable_bytes += vma.size();
+    for (uint64_t addr = vma.start; addr < vma.end; ++addr) {
+      if (gadget_at(mem, addr, max_instrs)) ++stats.gadget_starts;
+    }
+  }
+  return stats;
+}
+
+}  // namespace dynacut::analysis

@@ -1,0 +1,24 @@
+// Code-reuse gadget scanner for the BROP/ROP case study (paper §4.2):
+// counts ret-terminated instruction sequences reachable at any byte offset
+// of the executable VMAs — the attacker's raw material. Wiping blocks with
+// TRAP bytes and unmapping pages removes gadgets, which this scanner makes
+// measurable.
+#pragma once
+
+#include <cstdint>
+
+#include "vm/addrspace.hpp"
+
+namespace dynacut::analysis {
+
+struct GadgetStats {
+  uint64_t gadget_starts = 0;    ///< distinct addresses beginning a gadget
+  uint64_t executable_bytes = 0; ///< total bytes in executable VMAs
+};
+
+/// Scans every executable VMA: an address starts a gadget if decoding at
+/// most `max_instrs` instructions from it reaches a RET without hitting an
+/// invalid byte, a TRAP, or a non-executable boundary.
+GadgetStats scan_gadgets(const vm::AddressSpace& mem, int max_instrs = 5);
+
+}  // namespace dynacut::analysis

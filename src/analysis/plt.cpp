@@ -1,0 +1,39 @@
+#include "analysis/plt.hpp"
+
+namespace dynacut::analysis {
+
+PltUsage analyze_plt(const melf::Binary& app, const std::string& module_name,
+                     const CoverageGraph& init_cov,
+                     const CoverageGraph& serving_cov) {
+  PltUsage out;
+  out.total_entries = app.imports.size();
+  for (const auto& import : app.imports) {
+    auto stub = app.plt_stub_offset(import);
+    if (!stub) continue;
+    bool in_init = init_cov.contains(module_name, *stub);
+    bool in_serving = serving_cov.contains(module_name, *stub);
+    if (in_init || in_serving) out.executed.push_back(import);
+    if (in_serving) {
+      out.serving.push_back(import);
+    } else if (in_init) {
+      out.init_only.push_back(import);
+    }
+  }
+  return out;
+}
+
+std::vector<CovBlock> plt_blocks(const melf::Binary& app,
+                                 const std::string& module_name,
+                                 const std::vector<std::string>& entries) {
+  std::vector<CovBlock> out;
+  for (const auto& entry : entries) {
+    auto stub = app.plt_stub_offset(entry);
+    if (!stub) continue;
+    out.push_back(CovBlock{
+        module_name, *stub,
+        static_cast<uint32_t>(melf::Binary::kPltStubSize)});
+  }
+  return out;
+}
+
+}  // namespace dynacut::analysis

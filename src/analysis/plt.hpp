@@ -1,0 +1,34 @@
+// Executed-PLT-entry analysis (paper §4.2, "Attack surface reduction"):
+// which import trampolines run at all, which run only during
+// initialization (and can thus be wiped post-init, defeating ret2plt /
+// narrowing BROP), and which remain live while serving.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/coverage.hpp"
+#include "melf/binary.hpp"
+
+namespace dynacut::analysis {
+
+struct PltUsage {
+  std::vector<std::string> executed;        ///< entries seen in any trace
+  std::vector<std::string> init_only;       ///< executed but never serving
+  std::vector<std::string> serving;         ///< executed while serving
+  size_t total_entries = 0;                 ///< all PLT stubs in the binary
+};
+
+/// Classifies `app`'s PLT stubs against init-phase and serving-phase
+/// coverage of module `module_name`.
+PltUsage analyze_plt(const melf::Binary& app, const std::string& module_name,
+                     const CoverageGraph& init_cov,
+                     const CoverageGraph& serving_cov);
+
+/// The removable PLT stubs as coverage blocks (feed to
+/// DynaCut::remove_init_code / disable_feature).
+std::vector<CovBlock> plt_blocks(const melf::Binary& app,
+                                 const std::string& module_name,
+                                 const std::vector<std::string>& entries);
+
+}  // namespace dynacut::analysis

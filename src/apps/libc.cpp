@@ -1,0 +1,273 @@
+#include "apps/libc.hpp"
+
+#include "melf/builder.hpp"
+#include "os/syscall.hpp"
+
+namespace dynacut::apps {
+
+using melf::FunctionBuilder;
+using melf::ProgramBuilder;
+
+namespace {
+
+void emit_strlen(ProgramBuilder& b) {
+  auto& f = b.func("strlen");
+  f.mov_ri(0, 0)
+      .label("loop")
+      .mov_rr(6, 1)
+      .add_rr(6, 0)
+      .loadb(7, 6, 0)
+      .cmp_ri(7, 0)
+      .je("done")
+      .add_ri(0, 1)
+      .jmp("loop")
+      .label("done")
+      .ret();
+}
+
+void emit_strcmp(ProgramBuilder& b) {
+  auto& f = b.func("strcmp");
+  f.label("loop")
+      .loadb(6, 1, 0)
+      .loadb(7, 2, 0)
+      .cmp_rr(6, 7)
+      .jne("diff")
+      .cmp_ri(6, 0)
+      .je("equal")
+      .add_ri(1, 1)
+      .add_ri(2, 1)
+      .jmp("loop")
+      .label("diff")
+      .mov_ri(0, 1)
+      .ret()
+      .label("equal")
+      .mov_ri(0, 0)
+      .ret();
+}
+
+void emit_strncmp(ProgramBuilder& b) {
+  auto& f = b.func("strncmp");
+  f.label("loop")
+      .cmp_ri(3, 0)
+      .je("equal")
+      .loadb(6, 1, 0)
+      .loadb(7, 2, 0)
+      .cmp_rr(6, 7)
+      .jne("diff")
+      .cmp_ri(6, 0)
+      .je("equal")
+      .add_ri(1, 1)
+      .add_ri(2, 1)
+      .sub_ri(3, 1)
+      .jmp("loop")
+      .label("diff")
+      .mov_ri(0, 1)
+      .ret()
+      .label("equal")
+      .mov_ri(0, 0)
+      .ret();
+}
+
+void emit_strcpy(ProgramBuilder& b) {
+  auto& f = b.func("strcpy");
+  f.mov_rr(0, 1)
+      .label("loop")
+      .loadb(6, 2, 0)
+      .storeb(1, 0, 6)
+      .cmp_ri(6, 0)
+      .je("done")
+      .add_ri(1, 1)
+      .add_ri(2, 1)
+      .jmp("loop")
+      .label("done")
+      .ret();
+}
+
+void emit_memset(ProgramBuilder& b) {
+  auto& f = b.func("memset");
+  f.label("loop")
+      .cmp_ri(3, 0)
+      .je("done")
+      .storeb(1, 0, 2)
+      .add_ri(1, 1)
+      .sub_ri(3, 1)
+      .jmp("loop")
+      .label("done")
+      .ret();
+}
+
+void emit_memcpy(ProgramBuilder& b) {
+  auto& f = b.func("memcpy");
+  f.mov_rr(0, 1)
+      .label("loop")
+      .cmp_ri(3, 0)
+      .je("done")
+      .loadb(6, 2, 0)
+      .storeb(1, 0, 6)
+      .add_ri(1, 1)
+      .add_ri(2, 1)
+      .sub_ri(3, 1)
+      .jmp("loop")
+      .label("done")
+      .ret();
+}
+
+void emit_atoi(ProgramBuilder& b) {
+  auto& f = b.func("atoi");
+  f.mov_ri(0, 0)
+      .mov_ri(7, 10)
+      .label("loop")
+      .loadb(6, 1, 0)
+      .cmp_ri(6, '0')
+      .jlt("done")
+      .cmp_ri(6, '9')
+      .jgt("done")
+      .mul_rr(0, 7)
+      .sub_ri(6, '0')
+      .add_rr(0, 6)
+      .add_ri(1, 1)
+      .jmp("loop")
+      .label("done")
+      .ret();
+}
+
+void emit_utoa(ProgramBuilder& b) {
+  auto& f = b.func("utoa");
+  f.cmp_ri(1, 0)
+      .jne("nonzero")
+      .mov_ri(6, '0')
+      .storeb(2, 0, 6)
+      .mov_ri(6, 0)
+      .storeb(2, 1, 6)
+      .mov_ri(0, 1)
+      .ret();
+  // Count digits of r1 into r7, then fill the buffer from the back.
+  f.label("nonzero")
+      .mov_ri(7, 0)
+      .mov_rr(8, 1)
+      .mov_ri(9, 10)
+      .label("count")
+      .cmp_ri(8, 0)
+      .je("fill")
+      .div_rr(8, 9)
+      .add_ri(7, 1)
+      .jmp("count")
+      .label("fill")
+      .mov_rr(0, 7)   // return value: digit count
+      .mov_rr(6, 2)
+      .add_rr(6, 7)   // r6 = one past last digit
+      .mov_ri(10, 0)
+      .storeb(6, 0, 10)  // NUL terminator
+      .label("fill_loop")
+      .cmp_ri(1, 0)
+      .je("done")
+      .mov_rr(8, 1)
+      .div_rr(8, 9)   // r8 = q = value / 10
+      .mov_rr(10, 8)
+      .mul_rr(10, 9)  // r10 = q * 10
+      .mov_rr(4, 1)
+      .sub_rr(4, 10)  // digit = value - q*10
+      .add_ri(4, '0')
+      .sub_ri(6, 1)
+      .storeb(6, 0, 4)
+      .mov_rr(1, 8)
+      .jmp("fill_loop")
+      .label("done")
+      .ret();
+}
+
+void emit_write_str(ProgramBuilder& b) {
+  auto& f = b.func("write_str");
+  f.push(1)
+      .push(2)
+      .mov_rr(1, 2)
+      .call("strlen")
+      .mov_rr(3, 0)
+      .pop(2)
+      .pop(1)
+      .sys(os::sys::kWrite)
+      .ret();
+}
+
+void emit_recv_line(ProgramBuilder& b) {
+  auto& f = b.func("recv_line");
+  f.mov_ri(8, 0)  // r8 = bytes received
+      .label("loop")
+      .mov_rr(6, 3)
+      .sub_ri(6, 1)
+      .cmp_rr(8, 6)
+      .jae("done")  // buffer full (leave room for NUL)
+      .mov_rr(10, 2)  // save base
+      .mov_rr(9, 3)   // save max
+      .add_rr(2, 8)   // recv into base+count
+      .mov_ri(3, 1)   // one byte at a time
+      .sys(os::sys::kRecv)
+      .mov_rr(3, 9)
+      .mov_rr(2, 10)
+      .cmp_ri(0, 0)
+      .je("eof")
+      .cmp_ri(0, -1)
+      .je("eof")
+      .mov_rr(6, 2)
+      .add_rr(6, 8)
+      .loadb(7, 6, 0)
+      .add_ri(8, 1)
+      .cmp_ri(7, '\n')
+      .je("done")
+      .jmp("loop")
+      .label("eof")
+      .cmp_ri(8, 0)
+      .jne("done")
+      .mov_ri(0, 0)
+      .ret()
+      .label("done")
+      .mov_rr(6, 2)
+      .add_rr(6, 8)
+      .mov_ri(7, 0)
+      .storeb(6, 0, 7)  // NUL-terminate
+      .mov_rr(0, 8)
+      .ret();
+}
+
+// Thin syscall wrappers. Applications call these through the PLT so that
+// executed-PLT-entry analysis (ret2plt / BROP case study, paper §4.2) sees
+// the same structure as glibc: fork/socket/... become PLT entries that may
+// be used only during particular phases.
+void emit_syscall_wrappers(ProgramBuilder& b) {
+  auto wrap = [&](const char* name, uint64_t num) {
+    b.func(name).sys(num).ret();
+  };
+  wrap("fork", os::sys::kFork);
+  wrap("socket", os::sys::kSocket);
+  wrap("bind", os::sys::kBind);
+  wrap("listen", os::sys::kListen);
+  wrap("accept", os::sys::kAccept);
+  wrap("connect", os::sys::kConnect);
+  wrap("close", os::sys::kClose);
+  wrap("nanosleep", os::sys::kNanosleep);
+  wrap("getpid", os::sys::kGetpid);
+  wrap("mmap", os::sys::kMmap);
+  wrap("munmap", os::sys::kMunmap);
+  // exit never returns; no ret needed but harmless to omit entirely.
+  b.func("exit").sys(os::sys::kExit);
+}
+
+}  // namespace
+
+std::shared_ptr<const melf::Binary> build_libc() {
+  ProgramBuilder b("libc.so");
+  emit_strlen(b);
+  emit_strcmp(b);
+  emit_strncmp(b);
+  emit_strcpy(b);
+  emit_memset(b);
+  emit_memcpy(b);
+  emit_atoi(b);
+  emit_utoa(b);
+  emit_write_str(b);
+  emit_recv_line(b);
+  emit_syscall_wrappers(b);
+  return std::make_shared<melf::Binary>(b.link());
+}
+
+}  // namespace dynacut::apps

@@ -1,0 +1,29 @@
+// The guest C library ("libc.so"): string/memory routines and I/O helpers
+// written in VX64 assembly, exported to applications through PLT/GOT
+// linkage. Its presence gives the reproduction the same structure the paper
+// exploits: traces contain library blocks that tracediff filters out, and
+// injected handler libraries resolve their imports against these exports.
+#pragma once
+
+#include <memory>
+
+#include "melf/binary.hpp"
+
+namespace dynacut::apps {
+
+/// Builds libc.so. Exported functions (args r1..; result r0; r12-r14
+/// preserved; all other registers clobbered):
+///   strlen(s)                 -> length
+///   strcmp(a, b)              -> 0 if equal else 1
+///   strncmp(a, b, n)          -> 0 if first n bytes equal else 1
+///   strcpy(dst, src)          -> dst
+///   memset(dst, byte, len)
+///   memcpy(dst, src, len)     -> dst
+///   atoi(s)                   -> unsigned decimal value
+///   utoa(value, buf)          -> digits written (NUL-terminated)
+///   write_str(fd, s)          -> bytes written
+///   recv_line(fd, buf, max)   -> line length incl. '\n' (NUL-terminated),
+///                                0 on EOF; blocks until a full line
+std::shared_ptr<const melf::Binary> build_libc();
+
+}  // namespace dynacut::apps

@@ -1,0 +1,206 @@
+#include "apps/minihttpd.hpp"
+
+#include "apps/synth.hpp"
+#include "apps/webcommon.hpp"
+#include "melf/builder.hpp"
+#include "os/syscall.hpp"
+
+namespace dynacut::apps {
+
+namespace {
+namespace sys = os::sys;
+using melf::ProgramBuilder;
+}  // namespace
+
+std::shared_ptr<const melf::Binary> build_minihttpd() {
+  ProgramBuilder b("minihttpd");
+  emit_web_runtime(b);
+
+  b.rodata_str("conf_text", "8081 16 128 2");
+  b.rodata_str("s_ready", "minihttpd: ready\n");
+  b.bss("conf_values", 8 * 8);
+  b.bss("heapmem", 2000 * 1024);
+
+  // Config parse (atoi via PLT; init-only blocks).
+  auto& ic = b.func("config_read");
+  ic.push(12).push(14);
+  ic.mov_sym(12, "conf_text").mov_ri(14, 0);
+  ic.label("next")
+      .mov_rr(1, 12)
+      .call_import("atoi")
+      .mov_sym(6, "conf_values")
+      .mov_rr(7, 14)
+      .shl_ri(7, 3)
+      .add_rr(6, 7)
+      .store(6, 0, 0)
+      .add_ri(14, 1)
+      .cmp_ri(14, 4)
+      .jae("done")
+      .label("skip")
+      .loadb(7, 12, 0)
+      .cmp_ri(7, ' ')
+      .je("adv")
+      .cmp_ri(7, 0)
+      .je("done")
+      .add_ri(12, 1)
+      .jmp("skip")
+      .label("adv")
+      .add_ri(12, 1)
+      .jmp("next")
+      .label("done")
+      .pop(14)
+      .pop(12)
+      .ret();
+
+  SynthSpec mods{"plugin_init", 25, 3, 8, 2, 0x11d1};
+  auto init_names = emit_synth_funcs(b, mods);
+  emit_call_chain(b, "plugins_load", init_names);
+  SynthSpec unused{"plugin_unused", 30, 3, 9, 0, 0x11d2};
+  emit_synth_funcs(b, unused);
+  emit_memory_toucher(b, "init_heap", "heapmem", 2000 * 1024);
+
+  // Per-request plugin filter chain (Lighttpd drives every request through
+  // its module hooks) — keeps these blocks live during serving.
+  SynthSpec filters{"plugin_filter", 15, 3, 8, 1, 0x11d3};
+  auto filter_names = emit_synth_funcs(b, filters);
+  emit_call_chain(b, "run_filters", filter_names);
+
+  // Dispatcher with the same-function 403 exit.
+  auto& d = b.func("http_dispatch");
+  auto arm = [&](const char* method_sym, const char* arm_label) {
+    d.mov_sym(6, "toks")
+        .load(1, 6, 0)
+        .mov_sym(2, method_sym)
+        .call_import("strcmp")
+        .cmp_ri(0, 0)
+        .je(arm_label);
+  };
+  d.mov_sym(6, "toks").load(1, 6, 0).cmp_ri(1, 0).je("forbidden");
+  arm("m_get", "arm_get");
+  arm("m_head", "arm_head");
+  arm("m_put", "arm_put");
+  arm("m_delete", "arm_delete");
+  d.jmp("forbidden");
+  d.label("arm_get").call("serve_get").ret();
+  d.label("arm_head").call("serve_head").ret();
+  d.label("arm_put").call("serve_put").ret();
+  d.label("arm_delete").call("serve_delete").ret();
+  d.label("forbidden").mark("http_403");
+  d.mov_sym(2, "r_403").call("reply").ret();
+
+  auto& get = b.func("serve_get");
+  get.mov_sym(6, "toks")
+      .load(1, 6, 8)
+      .cmp_ri(1, 0)
+      .je("missing")
+      .call("fs_find")
+      .cmp_ri(0, 0)
+      .je("missing")
+      .push(14)
+      .mov_rr(14, 0)
+      .mov_sym(2, "r_200")
+      .call("reply")
+      .mov_rr(2, 14)
+      .add_ri(2, kFsContentOff)
+      .call("reply")
+      .mov_sym(2, "s_nl")
+      .call("reply")
+      .pop(14)
+      .ret()
+      .label("missing")
+      .mov_sym(2, "r_404")
+      .call("reply")
+      .ret();
+
+  auto& head = b.func("serve_head");
+  head.mov_sym(6, "toks")
+      .load(1, 6, 8)
+      .cmp_ri(1, 0)
+      .je("missing")
+      .call("fs_find")
+      .cmp_ri(0, 0)
+      .je("missing")
+      .mov_sym(2, "r_200nl")
+      .call("reply")
+      .ret()
+      .label("missing")
+      .mov_sym(2, "r_404")
+      .call("reply")
+      .ret();
+
+  auto& put = b.func("serve_put");
+  put.mov_sym(6, "toks")
+      .load(1, 6, 8)
+      .cmp_ri(1, 0)
+      .je("bad")
+      .load(2, 6, 16)
+      .cmp_ri(2, 0)
+      .jne("have")
+      .mov_sym(2, "s_empty")
+      .label("have")
+      .call("fs_put")
+      .cmp_ri(0, 0)
+      .je("bad")
+      .mov_sym(2, "r_201")
+      .call("reply")
+      .ret()
+      .label("bad")
+      .mov_sym(2, "r_403")
+      .call("reply")
+      .ret();
+
+  auto& del = b.func("serve_delete");
+  del.mov_sym(6, "toks")
+      .load(1, 6, 8)
+      .cmp_ri(1, 0)
+      .je("missing")
+      .call("fs_del")
+      .cmp_ri(0, 0)
+      .je("missing")
+      .mov_sym(2, "r_204")
+      .call("reply")
+      .ret()
+      .label("missing")
+      .mov_sym(2, "r_404")
+      .call("reply")
+      .ret();
+
+  auto& conn = b.func("connection_handle");
+  conn.label("loop")
+      .mov_rr(1, 13)
+      .mov_sym(2, "linebuf")
+      .mov_ri(3, 256)
+      .call_import("recv_line")
+      .cmp_ri(0, 0)
+      .je("done")
+      .call("tokenize")
+      .call("run_filters")
+      .call("http_dispatch")
+      .jmp("loop")
+      .label("done")
+      .mov_rr(1, 13)
+      .call_import("close")
+      .ret();
+
+  // The init/serving boundary function, named after Lighttpd's own.
+  auto& loop = b.func("server_main_loop");
+  loop.label("accept_loop")
+      .mov_rr(1, 12)
+      .call_import("accept")
+      .mov_rr(13, 0)
+      .call("connection_handle")
+      .jmp("accept_loop");
+
+  auto& m = b.func("main");
+  m.call("config_read").call("plugins_load").call("init_fs").call(
+      "init_heap");
+  m.call_import("socket").mov_rr(12, 0);
+  m.mov_rr(1, 12).mov_ri(2, kMinihttpdPort).call_import("bind");
+  m.mov_rr(1, 12).call_import("listen");
+  m.mov_ri(1, 1).mov_sym(2, "s_ready").call_import("write_str");
+  m.call("server_main_loop");
+  b.set_entry("main");
+  return std::make_shared<melf::Binary>(b.link());
+}
+
+}  // namespace dynacut::apps

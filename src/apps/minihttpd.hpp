@@ -1,0 +1,28 @@
+// minihttpd: the Lighttpd stand-in — a single-process, event-driven web
+// server with a module-heavy initialization phase.
+//
+// Protocol (port 8081), one request per line: "METHOD /path [content]".
+//   GET / HEAD / PUT / DELETE behave like miniweb; anything else gets
+//   "403 Forbidden\n" through the shared error exit (mark "http_403" in
+//   function "http_dispatch").
+//
+// Structure: 25 generated module initializers (mod_indexfile-style) run
+// once from server_init, ~2.0 MB of heap is touched to size the image like
+// the paper's 2.3 MB Lighttpd, then server_main_loop accepts and serves —
+// the function Ghavamnia et al. use as Lighttpd's init/serving transition
+// point, reproduced here by name. 30 "plugin_unused_*" functions are never
+// called.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "melf/binary.hpp"
+
+namespace dynacut::apps {
+
+inline constexpr uint16_t kMinihttpdPort = 8081;
+
+std::shared_ptr<const melf::Binary> build_minihttpd();
+
+}  // namespace dynacut::apps

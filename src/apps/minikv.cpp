@@ -1,0 +1,573 @@
+#include "apps/minikv.hpp"
+
+#include "apps/synth.hpp"
+#include "melf/builder.hpp"
+#include "os/syscall.hpp"
+
+namespace dynacut::apps {
+
+namespace {
+
+namespace sys = os::sys;
+using melf::FunctionBuilder;
+using melf::ProgramBuilder;
+
+// Slot layout: used(8) | key(32) | value(64) = 104 bytes, 64 slots.
+constexpr int kSlotSize = 104;
+constexpr int kSlots = 64;
+constexpr int kTableBytes = kSlotSize * kSlots;
+constexpr int kValueOff = 40;  // 8 + 32
+
+// Register conventions inside minikv: r12 = listen fd, r13 = connection fd
+// (both callee-saved and kept live across the serve loop).
+
+void emit_data(ProgramBuilder& b) {
+  b.rodata_str("s_pong", "+PONG\n");
+  b.rodata_str("s_ok", "+OK\n");
+  b.rodata_str("s_nil", "$-1\n");
+  b.rodata_str("s_err", "-ERR unknown or disabled command\n");
+  b.rodata_str("s_errargs", "-ERR wrong number of arguments\n");
+  b.rodata_str("s_oom", "-ERR out of memory\n");
+  b.rodata_str("s_colon", ":");
+  b.rodata_str("s_dollar", "$");
+  b.rodata_str("s_nl", "\n");
+  b.rodata_str("s_empty", "");
+  b.rodata_str("c_ping", "PING");
+  b.rodata_str("c_get", "GET");
+  b.rodata_str("c_set", "SET");
+  b.rodata_str("c_del", "DEL");
+  b.rodata_str("c_setrange", "SETRANGE");
+  b.rodata_str("c_stralgo", "STRALGO");
+  b.rodata_str("c_config", "CONFIG");
+  b.rodata_str("c_shutdown", "SHUTDOWN");
+  b.rodata_str("s_loading", "loading config\n");
+  b.rodata_str("s_ready", "ready\n");
+  b.rodata_str("config_text", "100 2 6379 512 8");
+
+  b.bss("table", kTableBytes);
+  b.bss("toks", 4 * 8);
+  b.bss("linebuf", 256);
+  b.bss("numbuf", 32);
+  // Overflow targets: "secret" directly follows "lcs_buf", "admin_mode"
+  // directly follows "config_buf" (bss symbols are laid out in definition
+  // order, 8-byte aligned).
+  b.bss("lcs_buf", 64);
+  b.bss("secret", 64);
+  b.bss("config_buf", 16);
+  b.bss("admin_mode", 8);
+  b.bss("cfg_values", 8 * 8);
+  // Redis pre-allocates sizeable heap structures during startup; touching
+  // this region sizes the process image like the paper's 4.1 MB dump.
+  b.bss("heapmem", 4000 * 1024);
+}
+
+// --- initialization phase ---------------------------------------------------
+
+void emit_init(ProgramBuilder& b) {
+  // init_config: tokenizes the embedded config text with atoi in a loop,
+  // storing parsed values — the config-file parsing servers burn init
+  // cycles on.
+  auto& ic = b.func("init_config");
+  ic.push(12).push(14);
+  ic.mov_sym(12, "config_text");  // r12 = cursor
+  ic.mov_ri(14, 0);               // r14 = value index
+  ic.label("next")
+      .mov_rr(1, 12)
+      .call_import("atoi")
+      .mov_sym(6, "cfg_values")
+      .mov_rr(7, 14)
+      .shl_ri(7, 3)
+      .add_rr(6, 7)
+      .store(6, 0, 0)
+      .add_ri(14, 1)
+      .cmp_ri(14, 5)
+      .jae("done")
+      // advance cursor past the number and the following space
+      .label("skip")
+      .loadb(7, 12, 0)
+      .cmp_ri(7, ' ')
+      .je("adv")
+      .cmp_ri(7, 0)
+      .je("done")
+      .add_ri(12, 1)
+      .jmp("skip")
+      .label("adv")
+      .add_ri(12, 1)
+      .jmp("next")
+      .label("done")
+      .pop(14)
+      .pop(12)
+      .ret();
+
+  // init_table: zero the slot table and pattern-fill the secret buffer.
+  auto& it = b.func("init_table");
+  it.mov_sym(1, "table")
+      .mov_ri(2, 0)
+      .mov_ri(3, kTableBytes)
+      .call_import("memset")
+      .mov_sym(1, "secret")
+      .mov_ri(2, 0x5a)
+      .mov_ri(3, 64)
+      .call_import("memset")
+      .mov_sym(1, "lcs_buf")
+      .mov_ri(2, 0)
+      .mov_ri(3, 64)
+      .call_import("memset")
+      .ret();
+
+  // init_log: banner output (write_str is shared with serving; the block
+  // sequence here is init-only).
+  auto& il = b.func("init_log");
+  il.mov_ri(1, 1)
+      .mov_sym(2, "s_loading")
+      .call_import("write_str")
+      .mov_ri(1, 1)
+      .mov_sym(2, "s_ready")
+      .call_import("write_str")
+      .ret();
+}
+
+// --- request plumbing -------------------------------------------------------
+
+void emit_tokenize(ProgramBuilder& b) {
+  // Splits linebuf in place on ' ' / '\n' into up to 4 NUL-terminated
+  // tokens whose start pointers land in toks[0..3] (0 = absent).
+  auto& f = b.func("tokenize");
+  f.mov_sym(6, "linebuf")
+      .mov_sym(7, "toks")
+      .mov_ri(9, 0)
+      .store(7, 0, 9)
+      .store(7, 8, 9)
+      .store(7, 16, 9)
+      .store(7, 24, 9)
+      .mov_ri(8, 0);  // token index
+  f.label("next_token").cmp_ri(8, 4).jae("done");
+  f.label("skip_spaces")
+      .loadb(9, 6, 0)
+      .cmp_ri(9, ' ')
+      .jne("check_end")
+      .add_ri(6, 1)
+      .jmp("skip_spaces");
+  f.label("check_end")
+      .cmp_ri(9, 0)
+      .je("done")
+      .cmp_ri(9, '\n')
+      .je("terminate_here");
+  // record token start: toks[r8] = r6
+  f.mov_rr(10, 8)
+      .shl_ri(10, 3)
+      .add_rr(10, 7)
+      .store(10, 0, 6)
+      .add_ri(8, 1);
+  f.label("scan")
+      .loadb(9, 6, 0)
+      .cmp_ri(9, 0)
+      .je("done")
+      .cmp_ri(9, '\n')
+      .je("terminate_here")
+      .cmp_ri(9, ' ')
+      .je("terminate_space")
+      .add_ri(6, 1)
+      .jmp("scan");
+  f.label("terminate_here")
+      .mov_ri(9, 0)
+      .storeb(6, 0, 9)
+      .jmp("done");
+  f.label("terminate_space")
+      .mov_ri(9, 0)
+      .storeb(6, 0, 9)
+      .add_ri(6, 1)
+      .jmp("next_token");
+  f.label("done").ret();
+}
+
+/// reply_num: writes ":" <decimal r1> "\n" to the connection (r13).
+void emit_reply_num(ProgramBuilder& b) {
+  auto& f = b.func("reply_num");
+  f.push(14)
+      .mov_rr(14, 1)
+      .mov_rr(1, 13)
+      .mov_sym(2, "s_colon")
+      .call_import("write_str")
+      .mov_rr(1, 14)
+      .mov_sym(2, "numbuf")
+      .call_import("utoa")
+      .mov_rr(1, 13)
+      .mov_sym(2, "numbuf")
+      .call_import("write_str")
+      .mov_rr(1, 13)
+      .mov_sym(2, "s_nl")
+      .call_import("write_str")
+      .pop(14)
+      .ret();
+}
+
+/// reply_str: writes the NUL-terminated string at symbol held in r2.
+void emit_reply_helpers(ProgramBuilder& b) {
+  auto& f = b.func("reply");
+  f.mov_rr(1, 13).call_import("write_str").ret();
+}
+
+// --- slot management ---------------------------------------------------------
+
+void emit_slots(ProgramBuilder& b) {
+  // find_slot(r1 = key) -> r0 = slot address or 0.
+  auto& f = b.func("find_slot");
+  f.push(12).push(14).mov_rr(14, 1).mov_sym(12, "table");
+  f.label("loop")
+      .mov_sym(6, "table")
+      .add_ri(6, kTableBytes)
+      .cmp_rr(12, 6)
+      .jae("notfound")
+      .load(7, 12, 0)
+      .cmp_ri(7, 0)
+      .je("next")
+      .mov_rr(1, 14)
+      .mov_rr(2, 12)
+      .add_ri(2, 8)
+      .call_import("strcmp")
+      .cmp_ri(0, 0)
+      .je("found");
+  f.label("next").add_ri(12, kSlotSize).jmp("loop");
+  f.label("found").mov_rr(0, 12).pop(14).pop(12).ret();
+  f.label("notfound").mov_ri(0, 0).pop(14).pop(12).ret();
+
+  // alloc_slot(r1 = key) -> r0 = fresh slot address or 0 when full.
+  auto& a = b.func("alloc_slot");
+  a.push(12).push(14).mov_rr(14, 1).mov_sym(12, "table");
+  a.label("loop")
+      .mov_sym(6, "table")
+      .add_ri(6, kTableBytes)
+      .cmp_rr(12, 6)
+      .jae("full")
+      .load(7, 12, 0)
+      .cmp_ri(7, 0)
+      .je("take")
+      .add_ri(12, kSlotSize)
+      .jmp("loop");
+  a.label("take")
+      .mov_ri(7, 1)
+      .store(12, 0, 7)
+      .mov_rr(1, 12)
+      .add_ri(1, 8)
+      .mov_rr(2, 14)
+      .call_import("strcpy")
+      .mov_rr(0, 12)
+      .pop(14)
+      .pop(12)
+      .ret();
+  a.label("full").mov_ri(0, 0).pop(14).pop(12).ret();
+}
+
+// --- command handlers ---------------------------------------------------------
+
+void emit_cmd_ping(ProgramBuilder& b) {
+  b.func("cmd_ping").mov_sym(2, "s_pong").call("reply").ret();
+}
+
+void emit_cmd_get(ProgramBuilder& b) {
+  auto& f = b.func("cmd_get");
+  f.mov_sym(6, "toks")
+      .load(1, 6, 8)
+      .cmp_ri(1, 0)
+      .je("nil")
+      .call("find_slot")
+      .cmp_ri(0, 0)
+      .je("nil")
+      .push(14)
+      .mov_rr(14, 0)
+      .mov_sym(2, "s_dollar")
+      .call("reply")
+      .mov_rr(2, 14)
+      .add_ri(2, kValueOff)
+      .call("reply")
+      .mov_sym(2, "s_nl")
+      .call("reply")
+      .pop(14)
+      .ret()
+      .label("nil")
+      .mov_sym(2, "s_nil")
+      .call("reply")
+      .ret();
+}
+
+void emit_cmd_set(ProgramBuilder& b) {
+  auto& f = b.func("cmd_set");
+  f.mov_sym(6, "toks")
+      .load(1, 6, 8)
+      .cmp_ri(1, 0)
+      .je("badargs")
+      .load(7, 6, 16)
+      .cmp_ri(7, 0)
+      .je("badargs")
+      .call("find_slot")
+      .cmp_ri(0, 0)
+      .jne("have_slot")
+      .mov_sym(6, "toks")
+      .load(1, 6, 8)
+      .call("alloc_slot")
+      .cmp_ri(0, 0)
+      .je("oom");
+  f.label("have_slot")
+      .push(14)
+      .mov_rr(14, 0)
+      .mov_rr(1, 14)
+      .add_ri(1, kValueOff)
+      .mov_sym(6, "toks")
+      .load(2, 6, 16)
+      .call_import("strcpy")
+      .pop(14)
+      .mov_sym(2, "s_ok")
+      .call("reply")
+      .ret();
+  f.label("badargs").mov_sym(2, "s_errargs").call("reply").ret();
+  f.label("oom").mov_sym(2, "s_oom").call("reply").ret();
+}
+
+void emit_cmd_del(ProgramBuilder& b) {
+  auto& f = b.func("cmd_del");
+  f.mov_sym(6, "toks")
+      .load(1, 6, 8)
+      .cmp_ri(1, 0)
+      .je("zero")
+      .call("find_slot")
+      .cmp_ri(0, 0)
+      .je("zero")
+      .mov_ri(7, 0)
+      .store(0, 0, 7)  // used = 0
+      .mov_ri(1, 1)
+      .call("reply_num")
+      .ret()
+      .label("zero")
+      .mov_ri(1, 0)
+      .call("reply_num")
+      .ret();
+}
+
+void emit_cmd_setrange(ProgramBuilder& b) {
+  // SETRANGE key offset value. BUG: `offset` is never validated against the
+  // 64-byte value field, so offsets >= 64 write into the next slot (heap
+  // overflow analogue) and far offsets fault.
+  auto& f = b.func("cmd_setrange");
+  f.mov_sym(6, "toks")
+      .load(1, 6, 8)
+      .cmp_ri(1, 0)
+      .je("badargs")
+      .load(7, 6, 24)
+      .cmp_ri(7, 0)
+      .je("badargs")
+      .call("find_slot")
+      .cmp_ri(0, 0)
+      .jne("have_slot")
+      .mov_sym(6, "toks")
+      .load(1, 6, 8)
+      .call("alloc_slot")
+      .cmp_ri(0, 0)
+      .je("oom");
+  f.label("have_slot")
+      .push(14)
+      .mov_rr(14, 0)
+      .mov_sym(6, "toks")
+      .load(1, 6, 16)
+      .call_import("atoi")  // r0 = offset, unchecked
+      .mov_rr(1, 14)
+      .add_ri(1, kValueOff)
+      .add_rr(1, 0)
+      .mov_sym(6, "toks")
+      .load(2, 6, 24)
+      .call_import("strcpy")
+      .mov_rr(1, 14)
+      .add_ri(1, kValueOff)
+      .call_import("strlen")
+      .mov_rr(1, 0)
+      .call("reply_num")
+      .pop(14)
+      .ret();
+  f.label("badargs").mov_sym(2, "s_errargs").call("reply").ret();
+  f.label("oom").mov_sym(2, "s_oom").call("reply").ret();
+}
+
+void emit_cmd_stralgo(ProgramBuilder& b) {
+  // STRALGO LCS a b. The workspace is 64 bytes; the code checks each input
+  // individually (< 64) but not their sum — the missing-combined-check bug
+  // standing in for the STRALGO integer overflows. Overflow clobbers
+  // "secret", which directly follows "lcs_buf".
+  auto& f = b.func("cmd_stralgo");
+  f.mov_sym(6, "toks")
+      .load(1, 6, 16)  // a
+      .cmp_ri(1, 0)
+      .je("badargs")
+      .load(7, 6, 24)  // b
+      .cmp_ri(7, 0)
+      .je("badargs");
+  f.push(14);
+  // r14 = len_a
+  f.mov_sym(6, "toks").load(1, 6, 16).call_import("strlen").mov_rr(14, 0);
+  f.cmp_ri(0, 64).jae("toolong");
+  // r0 = len_b (checked individually — the flawed validation)
+  f.mov_sym(6, "toks").load(1, 6, 24).call_import("strlen");
+  f.cmp_ri(0, 64).jae("toolong");
+  // memcpy(lcs_buf, a, len_a)
+  f.mov_sym(1, "lcs_buf")
+      .mov_sym(6, "toks")
+      .load(2, 6, 16)
+      .mov_rr(3, 14)
+      .call_import("memcpy");
+  // memcpy(lcs_buf + len_a, b, len_b + 1)  -- may run past the buffer
+  f.mov_sym(6, "toks").load(1, 6, 24).call_import("strlen");
+  f.mov_rr(3, 0)
+      .add_ri(3, 1)
+      .mov_sym(1, "lcs_buf")
+      .add_rr(1, 14)
+      .mov_sym(6, "toks")
+      .load(2, 6, 24)
+      .call_import("memcpy");
+  // reply with the combined length
+  f.mov_sym(1, "lcs_buf").call_import("strlen").mov_rr(1, 0).call(
+      "reply_num");
+  f.pop(14).ret();
+  f.label("toolong").pop(14).mov_sym(2, "s_errargs").call("reply").ret();
+  f.label("badargs").mov_sym(2, "s_errargs").call("reply").ret();
+}
+
+void emit_cmd_config(ProgramBuilder& b) {
+  // CONFIG SET name value. BUG: `value` is strcpy'd into the 16-byte
+  // config_buf; long values run into "admin_mode" (stack/heap overflow
+  // analogue of CVE-2016-8339).
+  auto& f = b.func("cmd_config");
+  f.mov_sym(6, "toks")
+      .load(1, 6, 24)  // value
+      .cmp_ri(1, 0)
+      .je("badargs")
+      .mov_rr(2, 1)
+      .mov_sym(1, "config_buf")
+      .call_import("strcpy")
+      .mov_sym(2, "s_ok")
+      .call("reply")
+      .ret();
+  f.label("badargs").mov_sym(2, "s_errargs").call("reply").ret();
+}
+
+// --- dispatcher + serve loop ---------------------------------------------------
+
+void emit_dispatch(ProgramBuilder& b) {
+  auto& d = b.func("dispatch_command");
+  auto arm = [&](const char* cmd_sym, const char* arm_label) {
+    d.mov_sym(6, "toks")
+        .load(1, 6, 0)
+        .mov_sym(2, cmd_sym)
+        .call_import("strcmp")
+        .cmp_ri(0, 0)
+        .je(arm_label);
+  };
+  d.mov_sym(6, "toks").load(1, 6, 0).cmp_ri(1, 0).je("err");
+  arm("c_ping", "arm_ping");
+  arm("c_get", "arm_get");
+  arm("c_set", "arm_set");
+  arm("c_del", "arm_del");
+  arm("c_setrange", "arm_setrange");
+  arm("c_stralgo", "arm_stralgo");
+  arm("c_config", "arm_config");
+  arm("c_shutdown", "arm_shutdown");
+  d.jmp("err");
+  d.label("arm_ping").call("cmd_ping").mov_ri(0, 0).ret();
+  d.label("arm_get").call("cmd_get").mov_ri(0, 0).ret();
+  d.label("arm_set").call("cmd_set").mov_ri(0, 0).ret();
+  d.label("arm_del").call("cmd_del").mov_ri(0, 0).ret();
+  d.label("arm_setrange").call("cmd_setrange").mov_ri(0, 0).ret();
+  d.label("arm_stralgo").call("cmd_stralgo").mov_ri(0, 0).ret();
+  d.label("arm_config").call("cmd_config").mov_ri(0, 0).ret();
+  d.label("arm_shutdown").mov_ri(0, 99).ret();
+  // The default error handler — the redirect target for disabled commands.
+  d.label("err").mark("dispatch_err");
+  d.mov_sym(2, "s_err").call("reply").mov_ri(0, 0).ret();
+}
+
+void emit_serve(ProgramBuilder& b) {
+  auto& h = b.func("handle_conn");
+  h.label("loop")
+      .mov_rr(1, 13)
+      .mov_sym(2, "linebuf")
+      .mov_ri(3, 256)
+      .call_import("recv_line")
+      .cmp_ri(0, 0)
+      .je("done")
+      .call("tokenize")
+      .call("dispatch_command")
+      .cmp_ri(0, 99)
+      .je("shutdown")
+      .jmp("loop");
+  h.label("done").mov_rr(1, 13).call_import("close").ret();
+  h.label("shutdown").mov_ri(1, 0).call_import("exit");
+
+  auto& m = b.func("main");
+  m.call("init_config").call("init_table").call("init_heap").call(
+      "init_log");
+  m.call_import("socket").mov_rr(12, 0);
+  m.mov_rr(1, 12).mov_ri(2, kMinikvPort).call_import("bind");
+  m.mov_rr(1, 12).call_import("listen");
+  m.label("accept_loop")
+      .mov_rr(1, 12)
+      .call_import("accept")
+      .mov_rr(13, 0)
+      .call("handle_conn")
+      .jmp("accept_loop");
+  b.set_entry("main");
+}
+
+}  // namespace
+
+std::shared_ptr<const melf::Binary> build_minikv() {
+  ProgramBuilder b("minikv");
+  emit_data(b);
+  emit_init(b);
+  emit_memory_toucher(b, "init_heap", "heapmem", 4000 * 1024);
+  emit_tokenize(b);
+  emit_reply_helpers(b);
+  emit_reply_num(b);
+  emit_slots(b);
+  emit_cmd_ping(b);
+  emit_cmd_get(b);
+  emit_cmd_set(b);
+  emit_cmd_del(b);
+  emit_cmd_setrange(b);
+  emit_cmd_stralgo(b);
+  emit_cmd_config(b);
+  emit_dispatch(b);
+  emit_serve(b);
+  return std::make_shared<melf::Binary>(b.link());
+}
+
+std::shared_ptr<const melf::Binary> build_kvbench() {
+  ProgramBuilder b("kvbench");
+  b.rodata_str("s_set", "SET bench hello\n");
+  b.rodata_str("s_get", "GET bench\n");
+  b.bss("buf", 128);
+  b.bss("ops", 8);
+
+  auto& m = b.func("main");
+  m.sys(sys::kSocket).mov_rr(12, 0);
+  m.mov_rr(1, 12).mov_ri(2, kMinikvPort).sys(sys::kConnect);
+  m.mov_rr(1, 12).mov_sym(2, "s_set").call_import("write_str");
+  m.mov_rr(1, 12).mov_sym(2, "buf").mov_ri(3, 128).call_import("recv_line");
+  m.label("loop")
+      .mov_rr(1, 12)
+      .mov_sym(2, "s_get")
+      .call_import("write_str")
+      .mov_rr(1, 12)
+      .mov_sym(2, "buf")
+      .mov_ri(3, 128)
+      .call_import("recv_line")
+      .cmp_ri(0, 0)
+      .je("done")
+      .mov_sym(6, "ops")
+      .load(7, 6, 0)
+      .add_ri(7, 1)
+      .store(6, 0, 7)
+      .jmp("loop");
+  m.label("done").mov_ri(1, 0).sys(sys::kExit);
+  b.set_entry("main");
+  return std::make_shared<melf::Binary>(b.link());
+}
+
+}  // namespace dynacut::apps

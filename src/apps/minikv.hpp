@@ -1,0 +1,48 @@
+// minikv: the Redis stand-in — an in-memory key-value server with a
+// well-defined command set, a distinct initialization phase, and three
+// deliberately planted vulnerabilities mirroring the Redis CVEs of paper
+// Table 1. Used by the feature-removal, live-toggle (Fig. 8) and security
+// (Table 1) experiments.
+//
+// Protocol: one command per '\n'-terminated line on port 6379.
+//   PING                        -> "+PONG\n"
+//   SET key value               -> "+OK\n"
+//   GET key                     -> "$<value>\n" or "$-1\n"
+//   DEL key                     -> ":1\n" / ":0\n"
+//   SETRANGE key offset value   -> ":<len>\n"   [BUG: offset unchecked —
+//                                  CVE-2019-10192/10193 analogue]
+//   STRALGO LCS a b             -> ":<len>\n"   [BUG: missing combined
+//                                  length check — CVE-2021-32625/29477
+//                                  analogue; clobbers the "secret" buffer]
+//   CONFIG SET name value       -> "+OK\n"      [BUG: value copied into a
+//                                  16-byte buffer — CVE-2016-8339 analogue;
+//                                  clobbers "admin_mode"]
+//   SHUTDOWN                    -> server exits
+//   anything else               -> "-ERR unknown or disabled command\n"
+//                                  (error path exported as "dispatch_err"
+//                                  inside function "dispatch_command")
+//
+// Init-phase functions (traced as init-only): init_config, init_table,
+// init_log. Observable guest state for the security experiments: bss
+// symbols "secret" (64 B, initialized by init to 0x5a bytes via memset) and
+// "admin_mode" (u64, 0 unless the CONFIG overflow fires).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "melf/binary.hpp"
+
+namespace dynacut::apps {
+
+inline constexpr uint16_t kMinikvPort = 6379;
+
+std::shared_ptr<const melf::Binary> build_minikv();
+
+/// Guest benchmark client (the redis-benchmark analogue): connects to
+/// minikv, issues one "SET bench hello", then loops "GET bench" forever,
+/// incrementing the bss u64 counter "ops" after each reply — sampled by the
+/// host to compute throughput (Fig. 8).
+std::shared_ptr<const melf::Binary> build_kvbench();
+
+}  // namespace dynacut::apps

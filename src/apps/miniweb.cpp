@@ -1,0 +1,245 @@
+#include "apps/miniweb.hpp"
+
+#include "apps/synth.hpp"
+#include "apps/webcommon.hpp"
+#include "melf/builder.hpp"
+#include "os/syscall.hpp"
+
+namespace dynacut::apps {
+
+namespace {
+namespace sys = os::sys;
+using melf::ProgramBuilder;
+
+// r12 = listen fd, r13 = connection fd throughout the server.
+
+void emit_init(ProgramBuilder& b) {
+  b.rodata_str("conf_text", "8080 4 64 30 1");
+  b.rodata_str("s_booting", "miniweb: loading modules\n");
+  b.rodata_str("s_ready", "miniweb: ready\n");
+  b.bss("conf_values", 8 * 8);
+  b.bss("heapmem", 2400 * 1024);
+
+  // init_config: parse the numeric config string (atoi via PLT, init-only).
+  auto& ic = b.func("init_config");
+  ic.push(12).push(14);
+  ic.mov_sym(12, "conf_text").mov_ri(14, 0);
+  ic.label("next")
+      .mov_rr(1, 12)
+      .call_import("atoi")
+      .mov_sym(6, "conf_values")
+      .mov_rr(7, 14)
+      .shl_ri(7, 3)
+      .add_rr(6, 7)
+      .store(6, 0, 0)
+      .add_ri(14, 1)
+      .cmp_ri(14, 5)
+      .jae("done")
+      .label("skip")
+      .loadb(7, 12, 0)
+      .cmp_ri(7, ' ')
+      .je("adv")
+      .cmp_ri(7, 0)
+      .je("done")
+      .add_ri(12, 1)
+      .jmp("skip")
+      .label("adv")
+      .add_ri(12, 1)
+      .jmp("next")
+      .label("done")
+      .pop(14)
+      .pop(12)
+      .ret();
+}
+
+}  // namespace
+
+std::shared_ptr<const melf::Binary> build_miniweb() {
+  ProgramBuilder b("miniweb");
+  emit_web_runtime(b);
+  emit_init(b);
+
+  // Module-init chain + unused feature handlers (never called).
+  SynthSpec mods{"mod_init", 30, 3, 9, 2, 0xeb1};
+  auto init_names = emit_synth_funcs(b, mods);
+  emit_call_chain(b, "init_modules", init_names);
+  SynthSpec unused{"mod_unused", 40, 3, 10, 0, 0xeb2};
+  emit_synth_funcs(b, unused);
+  emit_memory_toucher(b, "init_heap", "heapmem", 2400 * 1024);
+
+  // Per-request filter chain (header parsing, access control, logging in a
+  // real Nginx): runs on every request, so these blocks stay live while
+  // serving.
+  SynthSpec filters{"filter", 18, 3, 8, 1, 0xeb3};
+  auto filter_names = emit_synth_funcs(b, filters);
+  emit_call_chain(b, "run_filters", filter_names);
+
+  // dav_handler: the Listing-1 style dispatcher with a same-function 403.
+  auto& d = b.func("dav_handler");
+  auto arm = [&](const char* method_sym, const char* arm_label) {
+    d.mov_sym(6, "toks")
+        .load(1, 6, 0)
+        .mov_sym(2, method_sym)
+        .call_import("strcmp")
+        .cmp_ri(0, 0)
+        .je(arm_label);
+  };
+  d.mov_sym(6, "toks").load(1, 6, 0).cmp_ri(1, 0).je("forbidden");
+  arm("m_get", "arm_get");
+  arm("m_head", "arm_head");
+  arm("m_put", "arm_put");
+  arm("m_delete", "arm_delete");
+  arm("m_mkcol", "arm_mkcol");
+  d.jmp("forbidden");
+
+  d.label("arm_get").call("do_get").ret();
+  d.label("arm_head").call("do_head").ret();
+  d.label("arm_put").call("do_put").ret();
+  d.label("arm_delete").call("do_delete").ret();
+  d.label("arm_mkcol").call("do_mkcol").ret();
+  d.label("forbidden").mark("dav_403");
+  d.mov_sym(2, "r_403").call("reply").ret();
+
+  auto& get = b.func("do_get");
+  get.mov_sym(6, "toks")
+      .load(1, 6, 8)
+      .cmp_ri(1, 0)
+      .je("missing")
+      .call("fs_find")
+      .cmp_ri(0, 0)
+      .je("missing")
+      .push(14)
+      .mov_rr(14, 0)
+      .mov_sym(2, "r_200")
+      .call("reply")
+      .mov_rr(2, 14)
+      .add_ri(2, kFsContentOff)
+      .call("reply")
+      .mov_sym(2, "s_nl")
+      .call("reply")
+      .pop(14)
+      .ret()
+      .label("missing")
+      .mov_sym(2, "r_404")
+      .call("reply")
+      .ret();
+
+  auto& head = b.func("do_head");
+  head.mov_sym(6, "toks")
+      .load(1, 6, 8)
+      .cmp_ri(1, 0)
+      .je("missing")
+      .call("fs_find")
+      .cmp_ri(0, 0)
+      .je("missing")
+      .mov_sym(2, "r_200nl")
+      .call("reply")
+      .ret()
+      .label("missing")
+      .mov_sym(2, "r_404")
+      .call("reply")
+      .ret();
+
+  auto& put = b.func("do_put");
+  put.mov_sym(6, "toks")
+      .load(1, 6, 8)
+      .cmp_ri(1, 0)
+      .je("forbidden")
+      .load(2, 6, 16)
+      .cmp_ri(2, 0)
+      .jne("have_content")
+      .mov_sym(2, "s_empty")
+      .label("have_content")
+      .call("fs_put")
+      .cmp_ri(0, 0)
+      .je("forbidden")
+      .mov_sym(2, "r_201")
+      .call("reply")
+      .ret()
+      .label("forbidden")
+      .mov_sym(2, "r_403")
+      .call("reply")
+      .ret();
+
+  auto& del = b.func("do_delete");
+  del.mov_sym(6, "toks")
+      .load(1, 6, 8)
+      .cmp_ri(1, 0)
+      .je("missing")
+      .call("fs_del")
+      .cmp_ri(0, 0)
+      .je("missing")
+      .mov_sym(2, "r_204")
+      .call("reply")
+      .ret()
+      .label("missing")
+      .mov_sym(2, "r_404")
+      .call("reply")
+      .ret();
+
+  auto& mkcol = b.func("do_mkcol");
+  mkcol.mov_sym(6, "toks")
+      .load(1, 6, 8)
+      .cmp_ri(1, 0)
+      .je("bad")
+      .mov_sym(2, "s_empty")
+      .call("fs_put")
+      .mov_sym(2, "r_201")
+      .call("reply")
+      .ret()
+      .label("bad")
+      .mov_sym(2, "r_403")
+      .call("reply")
+      .ret();
+
+  // Worker: accept/serve loop.
+  auto& conn = b.func("handle_conn");
+  conn.label("loop")
+      .mov_rr(1, 13)
+      .mov_sym(2, "linebuf")
+      .mov_ri(3, 256)
+      .call_import("recv_line")
+      .cmp_ri(0, 0)
+      .je("done")
+      .call("tokenize")
+      .call("run_filters")
+      .call("dav_handler")
+      .jmp("loop")
+      .label("done")
+      .mov_rr(1, 13)
+      .call_import("close")
+      .ret();
+
+  auto& worker = b.func("worker_loop");
+  worker.label("accept_loop")
+      .mov_rr(1, 12)
+      .call_import("accept")
+      .mov_rr(13, 0)
+      .call("handle_conn")
+      .jmp("accept_loop");
+
+  // Master: monitor loop (sleeps; the paper configures 1 worker).
+  auto& master = b.func("master_loop");
+  master.label("idle")
+      .mov_ri(1, 100000)
+      .call_import("nanosleep")
+      .jmp("idle");
+
+  auto& m = b.func("main");
+  m.mov_ri(1, 1).mov_sym(2, "s_booting").call_import("write_str");
+  m.call("init_config").call("init_modules").call("init_fs").call(
+      "init_heap");
+  m.call_import("socket").mov_rr(12, 0);
+  m.mov_rr(1, 12).mov_ri(2, kMiniwebPort).call_import("bind");
+  m.mov_rr(1, 12).call_import("listen");
+  m.mov_ri(1, 1).mov_sym(2, "s_ready").call_import("write_str");
+  m.call_import("fork");
+  m.cmp_ri(0, 0).je("is_worker");
+  m.call("master_loop");
+  m.label("is_worker").call("worker_loop");
+  b.set_entry("main");
+
+  return std::make_shared<melf::Binary>(b.link());
+}
+
+}  // namespace dynacut::apps

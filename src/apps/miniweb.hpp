@@ -1,0 +1,32 @@
+// miniweb: the Nginx stand-in — a master/worker web server with the WebDAV
+// method set and the request-dispatcher structure the paper's Listing 1
+// shows (a switch over methods with a shared 403 exit in the same
+// function).
+//
+// Protocol: one request per line on port 8080: "METHOD /path [content]".
+//   GET /p      -> "200 <content>\n" | "404\n"
+//   HEAD /p     -> "200\n" | "404\n"
+//   PUT /p c    -> "201 created\n"        (WebDAV write — removable feature)
+//   DELETE /p   -> "204 deleted\n"        (WebDAV write — removable feature)
+//   MKCOL /p    -> "201 created\n"        (WebDAV)
+//   else        -> "403 Forbidden\n"      (mark "dav_403" in "dav_handler")
+//
+// Structure: the master runs init (config parse, 30 generated module-init
+// functions, ~2.4 MB of heap touched — sizing the image like the paper's
+// 2.7 MB Nginx master), forks one worker through the libc fork PLT entry,
+// then idles in a monitor loop; the worker accepts connections and serves.
+// 40 generated "mod_unused_*" handlers are never called (static bloat).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "melf/binary.hpp"
+
+namespace dynacut::apps {
+
+inline constexpr uint16_t kMiniwebPort = 8080;
+
+std::shared_ptr<const melf::Binary> build_miniweb();
+
+}  // namespace dynacut::apps

@@ -1,0 +1,72 @@
+#include "apps/specgen.hpp"
+
+#include "apps/synth.hpp"
+#include "melf/builder.hpp"
+#include "os/syscall.hpp"
+
+namespace dynacut::apps {
+
+std::vector<SpecBench> spec_suite() {
+  // total/init/serving function counts are chosen so that, at the synth
+  // generator's average blocks-per-function, total-BB counts track the
+  // paper's Figure 9 at ~1:10 and init-only fractions of executed blocks
+  // match the per-benchmark removal percentages.
+  return {
+      {"600.perlbench_s", 1300, 104, 146, 3, 1840 * 1024, 600, 1960, 184,
+       41.4},
+      {"605.mcf_s", 12, 1, 7, 3, 280 * 1024, 605, 18.36, 28, 12.5},
+      {"620.omnetpp_s", 1050, 52, 158, 3, 2140 * 1024, 620, 1560, 214, 24.8},
+      {"623.xalancbmk_s", 2800, 60, 230, 3, 1910 * 1024, 623, 4600, 191,
+       20.7},
+      {"625.x264_s", 210, 14, 60, 3, 1560 * 1024, 625, 570, 156, 19.0},
+      {"631.deepsjeng_s", 48, 4, 20, 3, 200 * 1024, 631, 81, 2.0, 16.7},
+      {"641.leela_s", 100, 4, 36, 3, 97 * 1024, 641, 189, 9.7, 10.0},
+  };
+}
+
+std::shared_ptr<const melf::Binary> build_spec(const SpecBench& bench) {
+  melf::ProgramBuilder b(bench.name);
+  b.bss("heap", bench.heap_bytes);
+
+  SynthSpec init_spec{"init_fn", bench.init_funcs, 3, 8, 1,
+                      bench.seed * 7 + 1};
+  auto init_names = emit_synth_funcs(b, init_spec);
+  emit_memory_toucher(b, "init_heap", "heap", bench.heap_bytes);
+  init_names.push_back("init_heap");
+  emit_call_chain(b, "run_init", init_names);
+
+  SynthSpec serve_spec{"work_fn", bench.serving_funcs, 3, 8, 2,
+                       bench.seed * 7 + 2};
+  auto work_names = emit_synth_funcs(b, serve_spec);
+  emit_call_chain(b, "run_workload", work_names);
+
+  int unused =
+      bench.total_funcs - bench.init_funcs - bench.serving_funcs;
+  if (unused > 0) {
+    SynthSpec unused_spec{"cold_fn", unused, 3, 8, 0, bench.seed * 7 + 3};
+    emit_synth_funcs(b, unused_spec);
+  }
+
+  auto& m = b.func("main");
+  m.call("run_init");
+  // The nudge point: CPU benchmarks have no natural ready message, so the
+  // generator emits a kNudge marker at the init/serving boundary — the
+  // paper similarly picks "the point where the application has fully
+  // started".
+  m.mov_ri(1, 1).sys(os::sys::kNudge);
+  m.push(12).mov_ri(12, static_cast<uint64_t>(bench.loop_iters));
+  m.label("loop")
+      .cmp_ri(12, 0)
+      .je("done")
+      .call("run_workload")
+      .sub_ri(12, 1)
+      .jmp("loop")
+      .label("done")
+      .pop(12)
+      .mov_ri(1, 0)
+      .sys(os::sys::kExit);
+  b.set_entry("main");
+  return std::make_shared<melf::Binary>(b.link());
+}
+
+}  // namespace dynacut::apps

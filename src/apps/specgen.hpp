@@ -1,0 +1,49 @@
+// specgen: the SPECint2017_speed stand-in.
+//
+// Each benchmark is a seeded synthetic VX64 program whose *structure*
+// follows the published per-benchmark numbers of the paper's Figure 7/9
+// (total basic blocks, code size, image size, fraction of executed blocks
+// that are initialization-only), scaled down for simulation:
+//   code/basic-block counts  ~1:10
+//   heap/image size          ~1:100
+// The scale factors are constant across benchmarks, so every ratio the
+// figures report (who has the most init code, image-size ordering, removal
+// percentages) is preserved. See EXPERIMENTS.md.
+//
+// Program shape: main -> init chain (init-only functions + heap toucher)
+// -> bounded main loop over serving functions -> exit(0). A configurable
+// majority of functions is never called (static bloat, the gray blocks of
+// Figure 2).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "melf/binary.hpp"
+
+namespace dynacut::apps {
+
+struct SpecBench {
+  std::string name;       ///< e.g. "600.perlbench_s"
+  int total_funcs = 0;    ///< all functions incl. never-called ones
+  int init_funcs = 0;     ///< executed during init only
+  int serving_funcs = 0;  ///< executed in the main loop
+  int loop_iters = 3;     ///< main-loop repetitions
+  uint64_t heap_bytes = 0;  ///< memory touched during init (image size)
+  uint64_t seed = 0;
+
+  // Paper values for the corresponding real benchmark (for report tables).
+  double paper_code_size_kb = 0;
+  double paper_image_size_mb = 0;
+  double paper_init_removed_pct = 0;  ///< % of executed BBs removed
+};
+
+/// The seven C/C++ INTSpeed benchmarks the paper evaluates.
+std::vector<SpecBench> spec_suite();
+
+/// Builds one synthetic benchmark (imports libc for memset).
+std::shared_ptr<const melf::Binary> build_spec(const SpecBench& bench);
+
+}  // namespace dynacut::apps

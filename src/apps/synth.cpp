@@ -1,0 +1,98 @@
+#include "apps/synth.hpp"
+
+#include "common/rng.hpp"
+
+namespace dynacut::apps {
+
+using melf::FunctionBuilder;
+using melf::ProgramBuilder;
+
+std::vector<std::string> emit_synth_funcs(ProgramBuilder& b,
+                                          const SynthSpec& spec) {
+  Rng rng(spec.seed);
+  std::vector<std::string> names;
+  names.reserve(static_cast<size_t>(spec.func_count));
+
+  for (int i = 0; i < spec.func_count; ++i) {
+    std::string name = spec.prefix + "_" + std::to_string(i);
+    names.push_back(name);
+    auto& f = b.func(name);
+
+    if (spec.loop_iters > 0) {
+      f.mov_ri(9, static_cast<uint64_t>(spec.loop_iters));
+      f.label("top");
+    }
+
+    int blocks = static_cast<int>(
+        rng.range(static_cast<uint64_t>(spec.min_blocks),
+                  static_cast<uint64_t>(spec.max_blocks)));
+    f.mov_ri(6, rng.below(1 << 20));
+    f.mov_ri(7, rng.below(1 << 20) | 1);
+    for (int blk = 0; blk < blocks; ++blk) {
+      // A short run of arithmetic, then a forward conditional branch —
+      // two basic blocks per iteration, data-dependent but terminating.
+      std::string skip = "skip_" + std::to_string(blk);
+      switch (rng.below(4)) {
+        case 0:
+          f.add_rr(6, 7).xor_rr(7, 6);
+          break;
+        case 1:
+          f.mul_rr(6, 7).add_ri(7, 13);
+          break;
+        case 2:
+          f.shl_ri(6, 1).or_rr(6, 7);
+          break;
+        default:
+          f.sub_rr(7, 6).and_rr(6, 7).add_ri(6, 7);
+          break;
+      }
+      f.cmp_ri(6, static_cast<int32_t>(rng.below(1 << 16)));
+      if (rng.chance(1, 2)) {
+        f.jle(skip);
+      } else {
+        f.jne(skip);
+      }
+      f.add_ri(7, 1);
+      f.label(skip);
+    }
+
+    if (spec.loop_iters > 0) {
+      f.sub_ri(9, 1).cmp_ri(9, 0).jne("top");
+    }
+    f.mov_rr(0, 6);
+    f.ret();
+  }
+  return names;
+}
+
+void emit_call_chain(ProgramBuilder& b, const std::string& name,
+                     const std::vector<std::string>& callees) {
+  auto& f = b.func(name);
+  for (const auto& callee : callees) f.call(callee);
+  f.ret();
+}
+
+void emit_memory_toucher(ProgramBuilder& b, const std::string& name,
+                         const std::string& bss_name, uint64_t bytes,
+                         uint64_t chunk) {
+  auto& f = b.func(name);
+  // for (off = 0; off < bytes; off += chunk) memset(bss + off, 0xA5, 64);
+  // Touching 64 bytes per page is enough to populate it.
+  f.push(12);
+  f.mov_ri(12, 0);
+  f.label("loop")
+      .cmp_ri(12, static_cast<int32_t>(bytes))
+      .jae("done")
+      .mov_sym(1, bss_name)
+      .add_rr(1, 12)
+      .mov_ri(2, 0xA5)
+      .mov_ri(3, 64)
+      .call_import("memset")
+      .add_ri(12, static_cast<int32_t>(chunk))
+      .jmp("loop")
+      .label("done")
+      .pop(12)
+      .ret();
+}
+
+}  // namespace dynacut::apps

@@ -1,0 +1,46 @@
+// Synthetic guest-code generation: deterministic, seeded VX64 functions
+// with realistic basic-block structure (branches, short loops, arithmetic).
+//
+// Used for two purposes:
+//   * padding the mini servers with module-init chains and never-called
+//     feature handlers so their block populations resemble real servers
+//     (Fig. 2's gray/red/blue map needs all three classes), and
+//   * specgen (src/apps/specgen.*), the SPECint2017 stand-in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "melf/builder.hpp"
+
+namespace dynacut::apps {
+
+struct SynthSpec {
+  std::string prefix;        ///< functions are named "<prefix>_<i>"
+  int func_count = 10;
+  int min_blocks = 2;        ///< rough basic blocks per function
+  int max_blocks = 8;
+  int loop_iters = 0;        ///< >0 wraps each body in a counted loop
+  uint64_t seed = 1;
+};
+
+/// Emits `spec.func_count` functions into `b`; returns their names. Every
+/// generated function only clobbers caller-saved registers and always
+/// terminates.
+std::vector<std::string> emit_synth_funcs(melf::ProgramBuilder& b,
+                                          const SynthSpec& spec);
+
+/// Emits a driver function `name` that calls each listed function once, in
+/// order, then returns.
+void emit_call_chain(melf::ProgramBuilder& b, const std::string& name,
+                     const std::vector<std::string>& callees);
+
+/// Emits a driver `name` that memsets `bytes` bytes of the bss symbol
+/// `bss_name` (in `chunk`-sized strides) — populates pages so process
+/// images reach a target size, the way real init phases fault in heap.
+void emit_memory_toucher(melf::ProgramBuilder& b, const std::string& name,
+                         const std::string& bss_name, uint64_t bytes,
+                         uint64_t chunk = 4096);
+
+}  // namespace dynacut::apps

@@ -1,0 +1,156 @@
+#include "apps/webcommon.hpp"
+
+namespace dynacut::apps {
+
+using melf::ProgramBuilder;
+
+namespace {
+constexpr int kFsBytes = kFsSlotSize * kFsSlots;
+}
+
+void emit_web_runtime(ProgramBuilder& b) {
+  b.rodata_str("r_200", "200 ");
+  b.rodata_str("r_200nl", "200\n");
+  b.rodata_str("r_201", "201 created\n");
+  b.rodata_str("r_204", "204 deleted\n");
+  b.rodata_str("r_403", "403 Forbidden\n");
+  b.rodata_str("r_404", "404\n");
+  b.rodata_str("s_nl", "\n");
+  b.rodata_str("s_empty", "");
+  b.rodata_str("m_get", "GET");
+  b.rodata_str("m_head", "HEAD");
+  b.rodata_str("m_put", "PUT");
+  b.rodata_str("m_delete", "DELETE");
+  b.rodata_str("m_mkcol", "MKCOL");
+  b.rodata_str("p_index", "/index");
+  b.rodata_str("c_welcome", "welcome");
+
+  b.bss("fstable", kFsBytes);
+  b.bss("toks", 4 * 8);
+  b.bss("linebuf", 256);
+  b.bss("numbuf", 32);
+
+  // tokenize: split linebuf into toks[0..3] (same scheme as minikv).
+  auto& t = b.func("tokenize");
+  t.mov_sym(6, "linebuf")
+      .mov_sym(7, "toks")
+      .mov_ri(9, 0)
+      .store(7, 0, 9)
+      .store(7, 8, 9)
+      .store(7, 16, 9)
+      .store(7, 24, 9)
+      .mov_ri(8, 0);
+  t.label("next_token").cmp_ri(8, 4).jae("done");
+  t.label("skip_spaces")
+      .loadb(9, 6, 0)
+      .cmp_ri(9, ' ')
+      .jne("check_end")
+      .add_ri(6, 1)
+      .jmp("skip_spaces");
+  t.label("check_end")
+      .cmp_ri(9, 0)
+      .je("done")
+      .cmp_ri(9, '\n')
+      .je("terminate_here");
+  t.mov_rr(10, 8).shl_ri(10, 3).add_rr(10, 7).store(10, 0, 6).add_ri(8, 1);
+  t.label("scan")
+      .loadb(9, 6, 0)
+      .cmp_ri(9, 0)
+      .je("done")
+      .cmp_ri(9, '\n')
+      .je("terminate_here")
+      .cmp_ri(9, ' ')
+      .je("terminate_space")
+      .add_ri(6, 1)
+      .jmp("scan");
+  t.label("terminate_here").mov_ri(9, 0).storeb(6, 0, 9).jmp("done");
+  t.label("terminate_space")
+      .mov_ri(9, 0)
+      .storeb(6, 0, 9)
+      .add_ri(6, 1)
+      .jmp("next_token");
+  t.label("done").ret();
+
+  // reply: write NUL-terminated string (r2) to the connection fd (r13).
+  b.func("reply").mov_rr(1, 13).call_import("write_str").ret();
+
+  // fs_find(r1 = path) -> r0 = slot | 0.
+  auto& f = b.func("fs_find");
+  f.push(12).push(14).mov_rr(14, 1).mov_sym(12, "fstable");
+  f.label("loop")
+      .mov_sym(6, "fstable")
+      .add_ri(6, kFsBytes)
+      .cmp_rr(12, 6)
+      .jae("notfound")
+      .load(7, 12, 0)
+      .cmp_ri(7, 0)
+      .je("next")
+      .mov_rr(1, 14)
+      .mov_rr(2, 12)
+      .add_ri(2, 8)
+      .call_import("strcmp")
+      .cmp_ri(0, 0)
+      .je("found");
+  f.label("next").add_ri(12, kFsSlotSize).jmp("loop");
+  f.label("found").mov_rr(0, 12).pop(14).pop(12).ret();
+  f.label("notfound").mov_ri(0, 0).pop(14).pop(12).ret();
+
+  // fs_put(r1 = path, r2 = content) -> r0 = slot | 0 (creates on demand).
+  auto& p = b.func("fs_put");
+  p.push(12).push(14);
+  p.mov_rr(14, 2);  // content
+  p.push(1).call("fs_find").pop(1).cmp_ri(0, 0).jne("have");
+  // allocate: scan for a free slot
+  p.mov_sym(12, "fstable");
+  p.label("alloc")
+      .mov_sym(6, "fstable")
+      .add_ri(6, kFsBytes)
+      .cmp_rr(12, 6)
+      .jae("full")
+      .load(7, 12, 0)
+      .cmp_ri(7, 0)
+      .je("take")
+      .add_ri(12, kFsSlotSize)
+      .jmp("alloc");
+  p.label("take")
+      .mov_ri(7, 1)
+      .store(12, 0, 7)
+      .mov_rr(2, 1)     // path
+      .mov_rr(1, 12)
+      .add_ri(1, 8)
+      .call_import("strcpy")
+      .mov_rr(0, 12);
+  p.label("have")
+      .push(0)
+      .mov_rr(1, 0)
+      .add_ri(1, kFsContentOff)
+      .mov_rr(2, 14)
+      .call_import("strcpy")
+      .pop(0)
+      .pop(14)
+      .pop(12)
+      .ret();
+  p.label("full").mov_ri(0, 0).pop(14).pop(12).ret();
+
+  // fs_del(r1 = path) -> r0 = 1 | 0.
+  auto& d = b.func("fs_del");
+  d.call("fs_find")
+      .cmp_ri(0, 0)
+      .je("miss")
+      .mov_ri(7, 0)
+      .store(0, 0, 7)
+      .mov_ri(0, 1)
+      .ret()
+      .label("miss")
+      .mov_ri(0, 0)
+      .ret();
+
+  // init_fs: preload "/index".
+  b.func("init_fs")
+      .mov_sym(1, "p_index")
+      .mov_sym(2, "c_welcome")
+      .call("fs_put")
+      .ret();
+}
+
+}  // namespace dynacut::apps

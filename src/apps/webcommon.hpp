@@ -1,0 +1,27 @@
+// Shared guest runtime for the two web servers (miniweb, minihttpd):
+// request tokenizer, in-memory file table, reply helper and the common
+// HTTP response strings.
+//
+// Defines (in the target builder):
+//   bss:  fstable (32 slots of used|path[32]|content[64]), toks (4 ptrs),
+//         linebuf (256), numbuf (32)
+//   rodata: r_200 "200 ", r_200nl "200\n", r_201 "201 created\n",
+//           r_204 "204 deleted\n", r_403 "403 Forbidden\n", r_404 "404\n",
+//           s_nl "\n", m_get/m_head/m_put/m_delete/m_mkcol method names
+//   funcs: tokenize, reply (r2 = string; writes to conn fd r13),
+//          fs_find (r1 path -> r0 slot|0), fs_put (r1 path, r2 content ->
+//          r0 slot|0), fs_del (r1 path -> r0 1|0), init_fs (preloads
+//          "/index" -> "welcome")
+#pragma once
+
+#include "melf/builder.hpp"
+
+namespace dynacut::apps {
+
+inline constexpr int kFsSlotSize = 104;
+inline constexpr int kFsSlots = 32;
+inline constexpr int kFsContentOff = 40;
+
+void emit_web_runtime(melf::ProgramBuilder& b);
+
+}  // namespace dynacut::apps

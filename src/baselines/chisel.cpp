@@ -1,0 +1,63 @@
+#include "baselines/chisel.hpp"
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dynacut::baselines {
+
+using analysis::CoverageGraph;
+using analysis::CovBlock;
+
+ChiselResult chisel_debloat(const melf::Binary& bin,
+                            const std::string& module,
+                            const CoverageGraph& seed_kept,
+                            const Oracle& oracle, int max_rounds) {
+  analysis::StaticCfg cfg = analysis::recover_cfg(bin);
+
+  ChiselResult out;
+  out.total_blocks = cfg.block_count();
+
+  CoverageGraph kept = seed_kept.only_module(module);
+  ++out.oracle_calls;
+  if (!oracle(kept)) {
+    throw StateError("chisel: the seed kept-set already fails the oracle");
+  }
+
+  // ddmin over the kept set: split candidates into `chunks` groups, try
+  // dropping each group; finer granularity every round.
+  int chunks = 4;
+  for (int round = 0; round < max_rounds; ++round) {
+    std::vector<CovBlock> blocks = kept.blocks();
+    if (blocks.empty()) break;
+    size_t per = std::max<size_t>(1, blocks.size() / static_cast<size_t>(chunks));
+    bool any_removed = false;
+
+    for (size_t start = 0; start < blocks.size(); start += per) {
+      CoverageGraph candidate;
+      for (size_t i = 0; i < blocks.size(); ++i) {
+        if (i >= start && i < start + per) continue;  // drop this chunk
+        candidate.insert(blocks[i]);
+      }
+      ++out.oracle_calls;
+      if (oracle(candidate)) {
+        kept = candidate;
+        blocks = kept.blocks();
+        any_removed = true;
+        if (blocks.empty()) break;
+      }
+    }
+    if (!any_removed && per == 1) break;  // converged at single-block level
+    chunks *= 2;
+  }
+
+  out.kept = kept;
+  for (const auto& [off, blk] : cfg.blocks) {
+    if (!kept.contains(module, off)) {
+      out.removed.insert(CovBlock{module, off, blk.size});
+    }
+  }
+  return out;
+}
+
+}  // namespace dynacut::baselines

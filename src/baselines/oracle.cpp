@@ -1,0 +1,57 @@
+#include "baselines/oracle.hpp"
+
+#include "analysis/cfg.hpp"
+#include "os/os.hpp"
+
+namespace dynacut::baselines {
+
+Oracle make_server_oracle(
+    std::shared_ptr<const melf::Binary> app,
+    std::vector<std::shared_ptr<const melf::Binary>> libs, uint16_t port,
+    std::string module, std::vector<ServerTestCase> cases) {
+  // The static CFG is computed once and captured; the oracle is called many
+  // times during minimization.
+  auto cfg = std::make_shared<analysis::StaticCfg>(analysis::recover_cfg(*app));
+
+  return [app, libs, port, module, cases,
+          cfg](const analysis::CoverageGraph& kept) -> bool {
+    os::Os vos;
+    int pid = vos.spawn(app, libs);
+    os::Process* p = vos.process(pid);
+    const os::LoadedModule* m = p->module_named(module);
+    if (m == nullptr) return false;
+
+    // Remove everything not kept (first-byte traps, applied pre-boot).
+    const uint8_t trap = 0xCC;
+    for (const auto& [off, blk] : cfg->blocks) {
+      if (!kept.contains(module, off)) {
+        p->mem.poke(m->base + off, &trap, 1);
+      }
+    }
+
+    auto run_until = [&](auto cond) {
+      for (int i = 0; i < 100 && !cond(); ++i) vos.run(100'000);
+      return cond();
+    };
+
+    if (!run_until([&] { return vos.has_listener(port); })) return false;
+    os::HostConn conn = vos.connect(port);
+    for (const auto& tc : cases) {
+      conn.send(tc.request);
+      if (!run_until([&] {
+            return conn.pending() >= tc.expected.size() ||
+                   vos.process(pid)->state == os::Process::State::kExited;
+          })) {
+        return false;
+      }
+      if (conn.recv_all() != tc.expected) return false;
+    }
+    // Every process of the group must have survived.
+    for (int gp : vos.process_group(pid)) {
+      if (vos.process(gp)->term_signal != 0) return false;
+    }
+    return true;
+  };
+}
+
+}  // namespace dynacut::baselines

@@ -1,0 +1,29 @@
+// Test oracles for baseline debloaters: boot a candidate-debloated server
+// in a fresh OS instance and check that it still answers the required
+// requests. Blocks outside the kept-set are blocked with TRAP before the
+// process runs, so any dependence on removed code fails the oracle.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/chisel.hpp"
+#include "melf/binary.hpp"
+
+namespace dynacut::baselines {
+
+struct ServerTestCase {
+  std::string request;   ///< one '\n'-terminated line
+  std::string expected;  ///< exact reply
+};
+
+/// Builds an Oracle that spawns `app` (+`libs`), traps every static block
+/// of `module` absent from the kept-set, then replays `cases` against
+/// `port`. Returns false on boot failure, crash, timeout or wrong reply.
+Oracle make_server_oracle(std::shared_ptr<const melf::Binary> app,
+                          std::vector<std::shared_ptr<const melf::Binary>> libs,
+                          uint16_t port, std::string module,
+                          std::vector<ServerTestCase> cases);
+
+}  // namespace dynacut::baselines

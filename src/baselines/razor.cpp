@@ -1,0 +1,75 @@
+#include "baselines/razor.hpp"
+
+#include <set>
+
+namespace dynacut::baselines {
+
+using analysis::CoverageGraph;
+using analysis::CovBlock;
+
+RazorResult razor_debloat(const melf::Binary& bin, const std::string& module,
+                          const std::vector<trace::TraceLog>& training,
+                          int heuristic_hops) {
+  analysis::StaticCfg cfg = analysis::recover_cfg(bin);
+
+  // Map traced offsets onto static blocks (a traced block may start inside
+  // a static one when dynamic splitting differs; attribute it to the
+  // covering static block).
+  auto covering_block = [&](uint64_t offset) -> const analysis::CfgBlock* {
+    auto it = cfg.blocks.upper_bound(offset);
+    if (it == cfg.blocks.begin()) return nullptr;
+    --it;
+    const analysis::CfgBlock& blk = it->second;
+    return offset < blk.offset + blk.size ? &blk : nullptr;
+  };
+
+  std::set<uint64_t> kept_offsets;
+  CoverageGraph traced =
+      CoverageGraph::from_logs(training).only_module(module);
+  for (const auto& b : traced.blocks()) {
+    // A traced (dynamic) block may span several static blocks when static
+    // leaders split it; keep every static block it overlaps.
+    const uint64_t end = b.offset + std::max<uint32_t>(b.size, 1);
+    const analysis::CfgBlock* blk = covering_block(b.offset);
+    uint64_t cursor = b.offset;
+    while (blk != nullptr && blk->offset < end) {
+      kept_offsets.insert(blk->offset);
+      cursor = blk->offset + blk->size;
+      if (cursor >= end) break;
+      blk = covering_block(cursor);
+    }
+  }
+
+  // zCode-style expansion: pull in static successors of kept blocks.
+  std::set<uint64_t> frontier = kept_offsets;
+  for (int hop = 0; hop < heuristic_hops; ++hop) {
+    std::set<uint64_t> next;
+    for (uint64_t off : frontier) {
+      auto it = cfg.blocks.find(off);
+      if (it == cfg.blocks.end()) continue;
+      for (uint64_t succ : it->second.succs) {
+        if (const analysis::CfgBlock* blk = covering_block(succ)) {
+          if (kept_offsets.insert(blk->offset).second) {
+            next.insert(blk->offset);
+          }
+        }
+      }
+    }
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+  }
+
+  RazorResult out;
+  out.total_blocks = cfg.block_count();
+  for (const auto& [off, blk] : cfg.blocks) {
+    CovBlock cov{module, off, blk.size};
+    if (kept_offsets.count(off)) {
+      out.kept.insert(cov);
+    } else {
+      out.removed.insert(cov);
+    }
+  }
+  return out;
+}
+
+}  // namespace dynacut::baselines

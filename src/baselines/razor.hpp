@@ -1,0 +1,42 @@
+// razor_sim: a faithful-in-spirit reimplementation of RAZOR's debloating
+// strategy (Qian et al., USENIX Security '19) used as the static baseline
+// in Figure 10.
+//
+// RAZOR keeps the basic blocks covered by training traces and then expands
+// the kept set with control-flow heuristics ("zCode") so related-but-
+// untraced code (error paths, the other arms of covered branches) survives;
+// everything else is removed once, permanently. razor_sim reproduces that
+// pipeline on MELF binaries: traced blocks -> N rounds of static-successor
+// expansion over the recovered CFG -> keep/remove partition.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.hpp"
+#include "analysis/coverage.hpp"
+#include "trace/trace.hpp"
+
+namespace dynacut::baselines {
+
+struct RazorResult {
+  analysis::CoverageGraph kept;
+  analysis::CoverageGraph removed;
+  size_t total_blocks = 0;
+
+  double kept_fraction() const {
+    return total_blocks == 0
+               ? 0.0
+               : static_cast<double>(kept.size()) /
+                     static_cast<double>(total_blocks);
+  }
+};
+
+/// Debloats `module` of `bin` given training traces. `heuristic_hops` is
+/// the zCode expansion depth (0 = keep exactly the traced blocks; RAZOR's
+/// strongest published heuristic corresponds to ~2-3 hops).
+RazorResult razor_debloat(const melf::Binary& bin, const std::string& module,
+                          const std::vector<trace::TraceLog>& training,
+                          int heuristic_hops = 2);
+
+}  // namespace dynacut::baselines

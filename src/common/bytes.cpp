@@ -1,0 +1,4 @@
+#include "common/bytes.hpp"
+
+// Header-only today; the TU exists so the target has a concrete archive
+// member and a home for future out-of-line helpers.

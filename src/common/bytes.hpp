@@ -1,0 +1,117 @@
+// Little-endian byte-buffer reader/writer used by every serializer in the
+// repo (MELF binaries, trace files, process images).
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace dynacut {
+
+/// Appends little-endian primitives to a growable byte vector.
+class ByteWriter {
+ public:
+  void u8(uint8_t v) { buf_.push_back(v); }
+  void u16(uint16_t v) { raw(&v, sizeof v); }
+  void u32(uint32_t v) { raw(&v, sizeof v); }
+  void u64(uint64_t v) { raw(&v, sizeof v); }
+  void i32(int32_t v) { raw(&v, sizeof v); }
+  void i64(int64_t v) { raw(&v, sizeof v); }
+
+  /// Length-prefixed (u32) string.
+  void str(std::string_view s) {
+    u32(static_cast<uint32_t>(s.size()));
+    raw(s.data(), s.size());
+  }
+
+  /// Length-prefixed (u64) blob.
+  void blob(std::span<const uint8_t> b) {
+    u64(b.size());
+    raw(b.data(), b.size());
+  }
+
+  void raw(const void* p, size_t n) {
+    const auto* c = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), c, c + n);
+  }
+
+  /// Overwrites a previously written u32 at `offset` (for back-patching
+  /// lengths/offsets).
+  void patch_u32(size_t offset, uint32_t v) {
+    DYNACUT_ASSERT(offset + sizeof v <= buf_.size());
+    std::memcpy(buf_.data() + offset, &v, sizeof v);
+  }
+
+  size_t size() const { return buf_.size(); }
+  const std::vector<uint8_t>& bytes() const { return buf_; }
+  std::vector<uint8_t> take() { return std::move(buf_); }
+
+ private:
+  std::vector<uint8_t> buf_;
+};
+
+/// Bounds-checked little-endian reader over a borrowed byte span. Throws
+/// DecodeError on truncation.
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const uint8_t> data) : data_(data) {}
+
+  uint8_t u8() { return take<uint8_t>(); }
+  uint16_t u16() { return take<uint16_t>(); }
+  uint32_t u32() { return take<uint32_t>(); }
+  uint64_t u64() { return take<uint64_t>(); }
+  int32_t i32() { return take<int32_t>(); }
+  int64_t i64() { return take<int64_t>(); }
+
+  std::string str() {
+    uint32_t n = u32();
+    need(n);
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::vector<uint8_t> blob() {
+    uint64_t n = u64();
+    need(n);
+    std::vector<uint8_t> b(data_.begin() + static_cast<ptrdiff_t>(pos_),
+                           data_.begin() + static_cast<ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return b;
+  }
+
+  void raw(void* out, size_t n) {
+    need(n);
+    std::memcpy(out, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  size_t pos() const { return pos_; }
+  size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return pos_ == data_.size(); }
+
+ private:
+  template <typename T>
+  T take() {
+    T v;
+    raw(&v, sizeof v);
+    return v;
+  }
+
+  void need(size_t n) {
+    if (data_.size() - pos_ < n) {
+      throw DecodeError("truncated input: need " + std::to_string(n) +
+                        " bytes at offset " + std::to_string(pos_));
+    }
+  }
+
+  std::span<const uint8_t> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace dynacut

@@ -1,0 +1,31 @@
+// Machine-wide constants shared between the binary format, the VM and the
+// OS simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace dynacut {
+
+inline constexpr uint64_t kPageSize = 4096;
+
+/// Memory protection bits (VMA permissions).
+inline constexpr uint32_t kProtRead = 1;
+inline constexpr uint32_t kProtWrite = 2;
+inline constexpr uint32_t kProtExec = 4;
+
+inline constexpr uint64_t page_floor(uint64_t addr) {
+  return addr & ~(kPageSize - 1);
+}
+inline constexpr uint64_t page_ceil(uint64_t addr) {
+  return (addr + kPageSize - 1) & ~(kPageSize - 1);
+}
+
+/// Canonical load addresses used by the guest loader (documented so traces
+/// and disassembly are stable across runs).
+inline constexpr uint64_t kAppBase = 0x400000;
+inline constexpr uint64_t kLibcBase = 0x10000000;
+inline constexpr uint64_t kStackTop = 0x7ff0000000;
+inline constexpr uint64_t kStackSize = 64 * 1024;
+inline constexpr uint64_t kHeapBase = 0x20000000;
+
+}  // namespace dynacut

@@ -1,0 +1,53 @@
+// Error types shared by every DynaCut module.
+//
+// Errors that indicate misuse of an API or a corrupted input are reported
+// with exceptions (per C++ Core Guidelines E.2); programming invariants are
+// checked with DYNACUT_ASSERT which terminates.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <string>
+
+namespace dynacut {
+
+/// Base class for all DynaCut errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A malformed or truncated serialized artifact (trace file, process image,
+/// MELF binary, ...).
+class DecodeError : public Error {
+ public:
+  explicit DecodeError(const std::string& what) : Error("decode: " + what) {}
+};
+
+/// An operation was attempted on an object in the wrong state (e.g. patching
+/// an address outside every VMA, restoring a feature that was never removed).
+class StateError : public Error {
+ public:
+  explicit StateError(const std::string& what) : Error("state: " + what) {}
+};
+
+/// Guest program misbehaviour surfaced to the host as an error (e.g. a guest
+/// that cannot be linked or loaded).
+class GuestError : public Error {
+ public:
+  explicit GuestError(const std::string& what) : Error("guest: " + what) {}
+};
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "dynacut assertion failed: %s at %s:%d\n", expr, file,
+               line);
+  std::abort();
+}
+
+}  // namespace dynacut
+
+/// Invariant check: aborts on violation. Use for programmer errors only.
+#define DYNACUT_ASSERT(expr) \
+  ((expr) ? (void)0 : ::dynacut::assert_fail(#expr, __FILE__, __LINE__))

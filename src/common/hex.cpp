@@ -1,0 +1,54 @@
+#include "common/hex.hpp"
+
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace dynacut {
+
+std::string hex_addr(uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "0x%llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+std::string hex_bytes(std::span<const uint8_t> data) {
+  std::string out;
+  out.reserve(data.size() * 3);
+  char buf[4];
+  for (size_t i = 0; i < data.size(); ++i) {
+    std::snprintf(buf, sizeof buf, "%02x", data[i]);
+    if (i) out.push_back(' ');
+    out += buf;
+  }
+  return out;
+}
+
+std::string hexdump(std::span<const uint8_t> data, uint64_t base_addr) {
+  std::string out;
+  char buf[32];
+  for (size_t line = 0; line < data.size(); line += 16) {
+    std::snprintf(buf, sizeof buf, "%016llx  ",
+                  static_cast<unsigned long long>(base_addr + line));
+    out += buf;
+    for (size_t i = line; i < line + 16 && i < data.size(); ++i) {
+      std::snprintf(buf, sizeof buf, "%02x ", data[i]);
+      out += buf;
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+uint64_t parse_u64(const std::string& s) {
+  if (s.empty()) throw DecodeError("empty integer literal");
+  char* end = nullptr;
+  errno = 0;
+  uint64_t v = std::strtoull(s.c_str(), &end, 0);
+  if (errno != 0 || end == s.c_str() || *end != '\0') {
+    throw DecodeError("bad integer literal: " + s);
+  }
+  return v;
+}
+
+}  // namespace dynacut

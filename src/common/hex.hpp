@@ -1,0 +1,22 @@
+// Hex formatting helpers for diagnostics and the CRIT-style text codec.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace dynacut {
+
+/// "0x1234abcd" formatting of an address.
+std::string hex_addr(uint64_t v);
+
+/// "cc 90 48 ..." formatting of raw bytes.
+std::string hex_bytes(std::span<const uint8_t> data);
+
+/// Classic 16-bytes-per-line hexdump with an address column.
+std::string hexdump(std::span<const uint8_t> data, uint64_t base_addr = 0);
+
+/// Parses "0x..."/decimal; throws DecodeError on garbage.
+uint64_t parse_u64(const std::string& s);
+
+}  // namespace dynacut

@@ -1,0 +1,32 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace dynacut {
+namespace {
+LogLevel g_level = LogLevel::kOff;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+void log_message(LogLevel level, const std::string& msg) {
+  if (level < g_level || g_level == LogLevel::kOff) return;
+  std::fprintf(stderr, "[dynacut %s] %s\n", level_name(level), msg.c_str());
+}
+
+}  // namespace dynacut

@@ -1,0 +1,27 @@
+// Minimal leveled logger. Off by default so tests and benches stay quiet;
+// examples turn it on to narrate what the framework is doing.
+#pragma once
+
+#include <string>
+
+namespace dynacut {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kOff = 3 };
+
+/// Sets the global threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+void log_message(LogLevel level, const std::string& msg);
+
+inline void log_debug(const std::string& msg) {
+  log_message(LogLevel::kDebug, msg);
+}
+inline void log_info(const std::string& msg) {
+  log_message(LogLevel::kInfo, msg);
+}
+inline void log_warn(const std::string& msg) {
+  log_message(LogLevel::kWarn, msg);
+}
+
+}  // namespace dynacut

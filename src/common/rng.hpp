@@ -1,0 +1,34 @@
+// Deterministic, seedable RNG (splitmix64) used by the synthetic workload
+// generators. std::mt19937 is avoided so generated guest programs are
+// bit-identical across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace dynacut {
+
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n). n must be > 0.
+  uint64_t below(uint64_t n) { return next() % n; }
+
+  /// Uniform in [lo, hi] inclusive.
+  uint64_t range(uint64_t lo, uint64_t hi) { return lo + below(hi - lo + 1); }
+
+  /// Bernoulli with probability num/den.
+  bool chance(uint64_t num, uint64_t den) { return below(den) < num; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace dynacut

@@ -1,0 +1,70 @@
+// Virtual-time cost model for DynaCut operations.
+//
+// The paper measures wall-clock seconds on an i5-10210U (CRIU + a Python
+// CRIT extension). Our substrate executes in a simulator with a virtual
+// clock (1 tick = 1 ns), so the rewrite window is *charged* to the clock
+// using this model. Every term is proportional to real work the rewriter
+// performed (pages dumped/restored, blocks patched, relocations applied);
+// the coefficients below were calibrated once against the paper's Figure 6
+// and Figure 7 and are documented in EXPERIMENTS.md. Nothing else is tuned
+// per experiment.
+#pragma once
+
+#include <cstdint>
+
+namespace dynacut::core {
+
+struct CostModel {
+  // checkpoint = base + per_page * pages_dumped
+  uint64_t checkpoint_base_ns = 30'000'000;  ///< 30 ms CRIU setup
+  uint64_t checkpoint_per_page_ns = 75'000;  ///< 75 µs/page dumped
+
+  // restore = base + per_page * pages_restored
+  uint64_t restore_base_ns = 30'000'000;
+  uint64_t restore_per_page_ns = 70'000;
+
+  // code update = per_block * blocks patched (+ per_page for unmaps)
+  uint64_t patch_per_block_ns = 1'000'000;  ///< 1 ms/block (CRIT is Python)
+  uint64_t unmap_per_page_ns = 50'000;
+
+  // library injection = base + per_reloc
+  uint64_t inject_base_ns = 25'000'000;  ///< parse ELF + build pages
+  uint64_t inject_per_reloc_ns = 100'000;
+
+  uint64_t checkpoint_cost(uint64_t pages) const {
+    return checkpoint_base_ns + checkpoint_per_page_ns * pages;
+  }
+  uint64_t restore_cost(uint64_t pages) const {
+    return restore_base_ns + restore_per_page_ns * pages;
+  }
+  uint64_t patch_cost(uint64_t blocks, uint64_t unmapped_pages) const {
+    return patch_per_block_ns * blocks + unmap_per_page_ns * unmapped_pages;
+  }
+  uint64_t inject_cost(uint64_t relocs) const {
+    return inject_base_ns + inject_per_reloc_ns * relocs;
+  }
+};
+
+/// Timing breakdown of one customization, in virtual ns (the categories of
+/// paper Figure 6 / Figure 7).
+struct TimingBreakdown {
+  uint64_t checkpoint_ns = 0;
+  uint64_t code_update_ns = 0;
+  uint64_t inject_ns = 0;
+  uint64_t restore_ns = 0;
+
+  uint64_t total_ns() const {
+    return checkpoint_ns + code_update_ns + inject_ns + restore_ns;
+  }
+  double total_seconds() const { return static_cast<double>(total_ns()) / 1e9; }
+
+  TimingBreakdown& operator+=(const TimingBreakdown& o) {
+    checkpoint_ns += o.checkpoint_ns;
+    code_update_ns += o.code_update_ns;
+    inject_ns += o.inject_ns;
+    restore_ns += o.restore_ns;
+    return *this;
+  }
+};
+
+}  // namespace dynacut::core

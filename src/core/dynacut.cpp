@@ -1,0 +1,345 @@
+#include "core/dynacut.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/hex.hpp"
+#include "common/log.hpp"
+#include "core/handler_lib.hpp"
+
+namespace dynacut::core {
+
+DynaCut::DynaCut(os::Os& os, int root_pid, CostModel model)
+    : os_(os), root_pid_(root_pid), model_(model) {
+  if (os_.process(root_pid) == nullptr) {
+    throw StateError("DynaCut: no process " + std::to_string(root_pid));
+  }
+}
+
+CustomizeReport DynaCut::disable_feature(const FeatureSpec& spec,
+                                         RemovalPolicy removal,
+                                         TrapPolicy trap_policy) {
+  if (applied_.count(spec.name) != 0) {
+    throw StateError("feature already disabled: " + spec.name);
+  }
+  if (trap_policy == TrapPolicy::kVerify &&
+      removal != RemovalPolicy::kBlockFirstByte) {
+    throw StateError("verify mode requires the first-byte removal policy");
+  }
+  return apply(spec.name, spec.blocks, removal, trap_policy,
+               spec.redirect_module, spec.redirect_offset);
+}
+
+CustomizeReport DynaCut::remove_init_code(
+    const analysis::CoverageGraph& init_blocks, RemovalPolicy removal) {
+  return apply("__init__", init_blocks.blocks(), removal,
+               TrapPolicy::kTerminate, "", 0);
+}
+
+bool DynaCut::feature_disabled(const std::string& name) const {
+  return applied_.count(name) != 0;
+}
+
+CustomizeReport DynaCut::apply(const std::string& feature_name,
+                               const std::vector<analysis::CovBlock>& blocks,
+                               RemovalPolicy removal, TrapPolicy trap_policy,
+                               const std::string& redirect_module,
+                               uint64_t redirect_offset) {
+  CustomizeReport report;
+  PerPidEdits per_pid;
+
+  for (int pid : os_.process_group(root_pid_)) {
+    const os::Process* proc = os_.process(pid);
+    if (proc == nullptr || proc->state == os::Process::State::kExited) {
+      continue;
+    }
+
+    image::ProcessImage img = image::checkpoint(os_, pid);
+    report.timing.checkpoint_ns += model_.checkpoint_cost(img.pages.size());
+    report.image_pages += img.pages.size();
+
+    rw::ImageRewriter rewriter(img);
+    std::vector<AppliedEdit> edits;
+    std::vector<std::pair<uint64_t, uint8_t>> originals;
+    size_t patched_before = report.blocks_patched;
+    size_t unmapped_before = report.pages_unmapped;
+    remove_blocks(rewriter, img, blocks, removal, edits, originals, report);
+
+    if (!edits.empty()) {
+      if (trap_policy == TrapPolicy::kRedirect) {
+        install_redirects(rewriter, img, blocks, redirect_module,
+                          redirect_offset, report);
+      } else if (trap_policy == TrapPolicy::kVerify) {
+        install_verifier(rewriter, img, originals, report);
+      }
+    }
+    report.timing.code_update_ns +=
+        model_.patch_cost(report.blocks_patched - patched_before,
+                          report.pages_unmapped - unmapped_before);
+
+    // Persist the rewritten image (tmpfs) and restore from it.
+    store_.put(img.core.proc_name + "." + std::to_string(pid), img);
+    image::restore(os_, pid, img);
+    report.timing.restore_ns += model_.restore_cost(img.pages.size());
+
+    per_pid[pid] = std::move(edits);
+    ++report.processes;
+  }
+
+  applied_[feature_name] = std::move(per_pid);
+  os_.advance_clock(report.timing.total_ns());
+  log_info("disabled '" + feature_name + "': " +
+           std::to_string(report.blocks_patched) + " blocks patched, " +
+           std::to_string(report.pages_unmapped) + " pages unmapped across " +
+           std::to_string(report.processes) + " processes");
+  return report;
+}
+
+void DynaCut::remove_blocks(
+    rw::ImageRewriter& rewriter, const image::ProcessImage& img,
+    const std::vector<analysis::CovBlock>& blocks, RemovalPolicy removal,
+    std::vector<AppliedEdit>& edits,
+    std::vector<std::pair<uint64_t, uint8_t>>& originals,
+    CustomizeReport& report) {
+  // Resolve blocks to absolute ranges; skip modules absent from this image.
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;  // (addr, size)
+  for (const auto& b : blocks) {
+    const image::ModuleImage* m = img.module_named(b.module);
+    if (m == nullptr) continue;
+    uint64_t size = b.size == 0 ? 1 : b.size;
+    ranges.emplace_back(m->base + b.offset, size);
+  }
+
+  switch (removal) {
+    case RemovalPolicy::kBlockFirstByte:
+      for (const auto& [addr, size] : ranges) {
+        AppliedEdit e;
+        e.patch = rewriter.block_first_byte(addr);
+        originals.emplace_back(addr, e.patch.original[0]);
+        edits.push_back(std::move(e));
+        ++report.blocks_patched;
+      }
+      return;
+
+    case RemovalPolicy::kWipeBlocks:
+      for (const auto& [addr, size] : ranges) {
+        AppliedEdit e;
+        e.patch = rewriter.wipe(addr, size);
+        originals.emplace_back(addr, e.patch.original[0]);
+        edits.push_back(std::move(e));
+        ++report.blocks_patched;
+      }
+      return;
+
+    case RemovalPolicy::kUnmapPages: {
+      // Pages entirely covered by removed blocks can be dropped wholesale;
+      // partially covered pages get their covered bytes wiped instead.
+      std::map<uint64_t, uint64_t> covered;  // page -> covered bytes
+      for (const auto& [addr, size] : ranges) {
+        uint64_t cur = addr;
+        uint64_t end = addr + size;
+        while (cur < end) {
+          uint64_t page = page_floor(cur);
+          uint64_t chunk = std::min(end, page + kPageSize) - cur;
+          covered[page] += chunk;
+          cur += chunk;
+        }
+      }
+      auto page_full = [&](uint64_t page) {
+        auto it = covered.find(page);
+        return it != covered.end() && it->second >= kPageSize;
+      };
+
+      // Wipe the partial-page fragments of every block.
+      for (const auto& [addr, size] : ranges) {
+        uint64_t cur = addr;
+        uint64_t end = addr + size;
+        bool patched = false;
+        while (cur < end) {
+          uint64_t page = page_floor(cur);
+          uint64_t chunk = std::min(end, page + kPageSize) - cur;
+          if (!page_full(page)) {
+            AppliedEdit e;
+            e.patch = rewriter.wipe(cur, chunk);
+            edits.push_back(std::move(e));
+            patched = true;
+          }
+          cur += chunk;
+        }
+        if (patched) ++report.blocks_patched;
+        originals.emplace_back(addr, 0);  // unmap mode has no byte heal
+      }
+
+      // Drop the fully covered pages (content saved for re-enable).
+      for (const auto& [page, bytes] : covered) {
+        if (bytes < kPageSize) continue;
+        const image::VmaImage* vma = img.vma_at(page);
+        if (vma == nullptr) continue;
+        AppliedEdit e;
+        e.unmapped = true;
+        e.vma_prot = vma->prot;
+        e.vma_name = vma->name;
+        e.patch.vaddr = page;
+        e.patch.original = img.read_bytes(page, kPageSize);
+        rewriter.unmap_pages(page, kPageSize);
+        edits.push_back(std::move(e));
+        ++report.pages_unmapped;
+      }
+      return;
+    }
+  }
+}
+
+void DynaCut::install_redirects(rw::ImageRewriter& rewriter,
+                                image::ProcessImage& img,
+                                const std::vector<analysis::CovBlock>& blocks,
+                                const std::string& redirect_module,
+                                uint64_t redirect_offset,
+                                CustomizeReport& report) {
+  const image::ModuleImage* m = img.module_named(redirect_module);
+  if (m == nullptr) {
+    throw StateError("redirect: module not loaded: " + redirect_module);
+  }
+  const melf::Symbol* target_fn =
+      m->binary->symbol_containing(redirect_offset);
+  if (target_fn == nullptr) {
+    throw StateError("redirect: target offset " + hex_addr(redirect_offset) +
+                     " is not inside any function of " + redirect_module);
+  }
+
+  // Same-function restriction (paper §3.2.2): only trap sites in the error
+  // handler's own function may be redirected; others terminate.
+  std::vector<std::pair<uint64_t, uint64_t>> entries;  // trap -> target
+  for (const auto& b : blocks) {
+    if (b.module != redirect_module) continue;
+    if (m->binary->symbol_containing(b.offset) == target_fn) {
+      entries.emplace_back(m->base + b.offset, m->base + redirect_offset);
+    }
+  }
+  if (entries.empty()) {
+    throw StateError(
+        "redirect: no removed block shares a function with the error "
+        "handler (offset " +
+        hex_addr(redirect_offset) + " in " + target_fn->name + ")");
+  }
+
+  if (img.module_named(kSigLibName) == nullptr) {
+    size_t relocs_before = rewriter.relocs_applied();
+    rewriter.inject_library(build_redirect_lib(/*capacity=*/256));
+    report.timing.inject_ns +=
+        model_.inject_cost(rewriter.relocs_applied() - relocs_before);
+  }
+  uint64_t count_addr = rewriter.symbol_addr(kSigLibName, "redirect_count");
+  uint64_t table_addr = rewriter.symbol_addr(kSigLibName, "redirect_table");
+  const melf::Symbol* table_sym =
+      img.module_named(kSigLibName)->binary->find_symbol("redirect_table");
+  uint64_t capacity = table_sym->size / 16;
+
+  uint64_t n = img.read_u64(count_addr);
+  if (n + entries.size() > capacity) {
+    throw StateError("redirect table overflow");
+  }
+  for (const auto& [trap, target] : entries) {
+    img.write_u64(table_addr + n * 16, trap);
+    img.write_u64(table_addr + n * 16 + 8, target);
+    ++n;
+  }
+  img.write_u64(count_addr, n);
+
+  rewriter.set_sigaction(os::sig::kSigTrap,
+                         rewriter.symbol_addr(kSigLibName, "dynacut_handler"),
+                         rewriter.symbol_addr(kSigLibName,
+                                              "dynacut_restorer"));
+}
+
+void DynaCut::install_verifier(
+    rw::ImageRewriter& rewriter, image::ProcessImage& img,
+    const std::vector<std::pair<uint64_t, uint8_t>>& originals,
+    CustomizeReport& report) {
+  size_t relocs_before = rewriter.relocs_applied();
+  rewriter.inject_library(
+      build_verifier_lib(originals.size(), /*log_capacity=*/1024));
+  report.timing.inject_ns +=
+      model_.inject_cost(rewriter.relocs_applied() - relocs_before);
+
+  uint64_t count_addr = rewriter.symbol_addr(kVerifyLibName, "orig_count");
+  uint64_t table_addr = rewriter.symbol_addr(kVerifyLibName, "orig_table");
+  uint64_t n = 0;
+  for (const auto& [addr, byte] : originals) {
+    img.write_u64(table_addr + n * 16, addr);
+    img.write_u64(table_addr + n * 16 + 8, byte);
+    ++n;
+  }
+  img.write_u64(count_addr, n);
+
+  // The handler heals code in place, so code pages of modules containing
+  // patched blocks must become writable-on-demand via mprotect; mprotect
+  // only changes prot, the pages must stay mapped — nothing else to do here.
+  rewriter.set_sigaction(
+      os::sig::kSigTrap,
+      rewriter.symbol_addr(kVerifyLibName, "dynacut_verify_handler"),
+      rewriter.symbol_addr(kVerifyLibName, "dynacut_restorer"));
+}
+
+CustomizeReport DynaCut::restore_feature(const std::string& name) {
+  auto it = applied_.find(name);
+  if (it == applied_.end()) {
+    throw StateError("feature not disabled: " + name);
+  }
+
+  CustomizeReport report;
+  for (auto& [pid, edits] : it->second) {
+    const os::Process* proc = os_.process(pid);
+    if (proc == nullptr || proc->state == os::Process::State::kExited) {
+      continue;
+    }
+    image::ProcessImage img = image::checkpoint(os_, pid);
+    report.timing.checkpoint_ns += model_.checkpoint_cost(img.pages.size());
+    report.image_pages += img.pages.size();
+
+    rw::ImageRewriter rewriter(img);
+    for (auto e = edits.rbegin(); e != edits.rend(); ++e) {
+      if (e->unmapped) {
+        img.add_vma(e->patch.vaddr, e->patch.original.size(), e->vma_prot,
+                    e->vma_name);
+        img.write_bytes(e->patch.vaddr, e->patch.original);
+        ++report.pages_unmapped;
+      } else {
+        rewriter.undo(e->patch);
+        ++report.blocks_patched;
+      }
+    }
+    report.timing.code_update_ns += model_.patch_cost(
+        report.blocks_patched, report.pages_unmapped);
+
+    store_.put(img.core.proc_name + "." + std::to_string(pid), img);
+    image::restore(os_, pid, img);
+    report.timing.restore_ns += model_.restore_cost(img.pages.size());
+    ++report.processes;
+  }
+
+  applied_.erase(it);
+  os_.advance_clock(report.timing.total_ns());
+  log_info("restored feature '" + name + "'");
+  return report;
+}
+
+std::vector<uint64_t> DynaCut::verifier_log(int pid) const {
+  const os::Process* p = os_.process(pid);
+  if (p == nullptr) throw StateError("verifier_log: no process");
+  const os::LoadedModule* lib = p->module_named(kVerifyLibName);
+  if (lib == nullptr) return {};
+  const melf::Symbol* count_sym = lib->binary->find_symbol("log_count");
+  const melf::Symbol* buf_sym = lib->binary->find_symbol("log_buf");
+  DYNACUT_ASSERT(count_sym != nullptr && buf_sym != nullptr);
+  uint64_t count = 0;
+  p->mem.peek(lib->base + count_sym->value, &count, 8);
+  count = std::min<uint64_t>(count, buf_sym->size / 8);
+  std::vector<uint64_t> out(count);
+  if (count > 0) {
+    p->mem.peek(lib->base + buf_sym->value, out.data(), count * 8);
+  }
+  return out;
+}
+
+}  // namespace dynacut::core

@@ -1,0 +1,140 @@
+// The DynaCut facade: dynamic code customization of running processes.
+//
+// A DynaCut instance manages one application (a process group rooted at a
+// pid). Each customization follows the paper's pipeline:
+//
+//   checkpoint (freeze + dump to the in-memory image store)
+//     -> rewrite the static image (block/wipe/unmap undesired blocks,
+//        inject/extend the fault-handler library, set SIGTRAP sigaction)
+//     -> restore (install rewritten state, thaw)
+//
+// and charges the virtual clock for the rewrite window via the CostModel —
+// that charge is the paper's "service interruption time". All code edits
+// keep undo records, so features can be re-enabled at any time
+// (bidirectional customization).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/coverage.hpp"
+#include "core/cost_model.hpp"
+#include "image/checkpoint.hpp"
+#include "image/image.hpp"
+#include "os/os.hpp"
+#include "rewriter/rewriter.hpp"
+
+namespace dynacut::core {
+
+/// How undesired code is removed (paper §3.2.1).
+enum class RemovalPolicy {
+  kBlockFirstByte,  ///< int3 on each block's first byte (cheap, reversible)
+  kWipeBlocks,      ///< fill whole blocks with int3 (anti code-reuse)
+  kUnmapPages,      ///< drop fully-covered pages; wipe partial remainders
+};
+
+/// What happens when blocked code is reached (paper §3.2.2).
+enum class TrapPolicy {
+  kTerminate,  ///< no handler: default SIGTRAP disposition kills the process
+  kRedirect,   ///< injected handler redirects to the app's error path
+  kVerify,     ///< injected verifier heals the byte and logs the address
+};
+
+/// A feature to disable: its unique basic blocks (usually from
+/// analysis::feature_diff) plus, for kRedirect, the error-handler location.
+struct FeatureSpec {
+  std::string name;
+  std::vector<analysis::CovBlock> blocks;
+  /// Redirect target (module + module-relative offset of the error path).
+  /// Only blocks inside the same function as the target get redirect
+  /// entries; other blocks fall through to terminate — the paper's
+  /// same-function restriction.
+  std::string redirect_module;
+  uint64_t redirect_offset = 0;
+};
+
+struct CustomizeReport {
+  TimingBreakdown timing;
+  size_t processes = 0;
+  size_t blocks_patched = 0;
+  size_t pages_unmapped = 0;
+  uint64_t image_pages = 0;  ///< pages dumped across the group
+};
+
+class DynaCut {
+ public:
+  /// Manages the process group rooted at `root_pid` inside `os`.
+  DynaCut(os::Os& os, int root_pid, CostModel model = {});
+
+  /// Disables a feature across every process of the group. Throws
+  /// StateError on policy violations (e.g. kRedirect with no block in the
+  /// error handler's function, kVerify without kBlockFirstByte).
+  CustomizeReport disable_feature(const FeatureSpec& spec,
+                                  RemovalPolicy removal,
+                                  TrapPolicy trap_policy);
+
+  /// Re-enables a previously disabled feature (restores bytes, re-maps
+  /// unmapped ranges from the original binary).
+  CustomizeReport restore_feature(const std::string& name);
+
+  /// Drops initialization-only code (from analysis::init_only). Removed
+  /// blocks trap-terminate if ever reached, like the paper's default.
+  CustomizeReport remove_init_code(const analysis::CoverageGraph& init_blocks,
+                                   RemovalPolicy removal);
+
+  bool feature_disabled(const std::string& name) const;
+
+  /// Addresses healed by the verifier library in `pid` (reads the injected
+  /// library's log from live guest memory).
+  std::vector<uint64_t> verifier_log(int pid) const;
+
+  /// The tmpfs-like store holding the most recent image of each process.
+  image::ImageStore& store() { return store_; }
+  const CostModel& cost_model() const { return model_; }
+
+ private:
+  struct AppliedEdit {
+    rw::PatchRecord patch;          // byte-level undo
+    bool unmapped = false;          // range was unmapped instead of patched
+    uint32_t vma_prot = 0;          // original VMA protection (unmap undo)
+    std::string vma_name;
+  };
+
+  using PerPidEdits = std::map<int, std::vector<AppliedEdit>>;
+
+  CustomizeReport apply(const std::string& feature_name,
+                        const std::vector<analysis::CovBlock>& blocks,
+                        RemovalPolicy removal, TrapPolicy trap_policy,
+                        const std::string& redirect_module,
+                        uint64_t redirect_offset);
+
+  /// Removal-policy application; fills `edits` and the redirect/original
+  /// tables' raw entries.
+  void remove_blocks(rw::ImageRewriter& rw, const image::ProcessImage& img,
+                     const std::vector<analysis::CovBlock>& blocks,
+                     RemovalPolicy removal, std::vector<AppliedEdit>& edits,
+                     std::vector<std::pair<uint64_t, uint8_t>>& originals,
+                     CustomizeReport& report);
+
+  void install_redirects(
+      rw::ImageRewriter& rw, image::ProcessImage& img,
+      const std::vector<analysis::CovBlock>& blocks,
+      const std::string& redirect_module, uint64_t redirect_offset,
+      CustomizeReport& report);
+
+  void install_verifier(
+      rw::ImageRewriter& rw, image::ProcessImage& img,
+      const std::vector<std::pair<uint64_t, uint8_t>>& originals,
+      CustomizeReport& report);
+
+  os::Os& os_;
+  int root_pid_;
+  CostModel model_;
+  image::ImageStore store_;
+  std::map<std::string, PerPidEdits> applied_;
+};
+
+}  // namespace dynacut::core

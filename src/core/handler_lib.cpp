@@ -1,0 +1,115 @@
+#include "core/handler_lib.hpp"
+
+#include "melf/builder.hpp"
+#include "os/syscall.hpp"
+
+namespace dynacut::core {
+
+using melf::ProgramBuilder;
+
+namespace {
+
+/// The 11-byte sigreturn stub registered as the signal restorer (the
+/// paper's injected rt_sigreturn restorer code).
+void emit_restorer(ProgramBuilder& b) {
+  b.func("dynacut_restorer").sys(os::sys::kSigreturn);
+}
+
+}  // namespace
+
+std::shared_ptr<const melf::Binary> build_redirect_lib(size_t capacity) {
+  ProgramBuilder b(kSigLibName);
+  b.data("redirect_count", std::vector<uint8_t>(8, 0));
+  b.data("redirect_table", std::vector<uint8_t>(capacity * 16, 0));
+
+  auto& f = b.func("dynacut_handler");
+  // r1 = signal frame, r3 = fault (trap) address.
+  f.lea_sym(6, "redirect_count")
+      .load(7, 6, 0)
+      .lea_sym(6, "redirect_table")
+      .label("loop")
+      .cmp_ri(7, 0)
+      .je("not_found")
+      .load(8, 6, 0)
+      .cmp_rr(8, 3)
+      .je("found")
+      .add_ri(6, 16)
+      .sub_ri(7, 1)
+      .jmp("loop")
+      .label("found")
+      .load(8, 6, 8)
+      .store(1, 0, 8)  // frame->saved_ip = redirect target
+      .ret()
+      .label("not_found")
+      .mov_ri(1, 134)
+      .sys(os::sys::kExit);
+
+  emit_restorer(b);
+  return std::make_shared<melf::Binary>(b.link());
+}
+
+std::shared_ptr<const melf::Binary> build_verifier_lib(size_t capacity,
+                                                       size_t log_capacity) {
+  ProgramBuilder b(kVerifyLibName);
+  b.data("orig_count", std::vector<uint8_t>(8, 0));
+  b.data("orig_table", std::vector<uint8_t>(capacity * 16, 0));
+  b.data("log_count", std::vector<uint8_t>(8, 0));
+  b.data_u64("log_cap", log_capacity);
+  b.data("log_buf", std::vector<uint8_t>(log_capacity * 8, 0));
+
+  auto& f = b.func("dynacut_verify_handler");
+  // r1 = signal frame, r3 = fault (trap) address.
+  f.lea_sym(6, "orig_count")
+      .load(7, 6, 0)
+      .lea_sym(6, "orig_table")
+      .label("loop")
+      .cmp_ri(7, 0)
+      .je("not_found")
+      .load(8, 6, 0)
+      .cmp_rr(8, 3)
+      .je("found")
+      .add_ri(6, 16)
+      .sub_ri(7, 1)
+      .jmp("loop");
+
+  // Found: r9 = original byte; mprotect the page RWX and heal in place.
+  f.label("found")
+      .load(9, 6, 8)
+      .push(1)
+      .push(3)
+      .push(9)
+      .mov_rr(1, 3)
+      .mov_ri(6, ~static_cast<uint64_t>(kPageSize - 1))
+      .and_rr(1, 6)
+      .mov_ri(2, kPageSize)
+      .mov_ri(3, kProtRead | kProtWrite | kProtExec)
+      .sys(os::sys::kMprotect)
+      .pop(9)
+      .pop(3)
+      .pop(1)
+      .storeb(3, 0, 9);  // put the original byte back
+
+  // Log the healed address (bounded).
+  f.lea_sym(6, "log_count")
+      .load(7, 6, 0)
+      .lea_sym(8, "log_cap")
+      .load(8, 8, 0)
+      .cmp_rr(7, 8)
+      .jae("done")
+      .lea_sym(8, "log_buf")
+      .mov_rr(10, 7)
+      .shl_ri(10, 3)
+      .add_rr(8, 10)
+      .store(8, 0, 3)
+      .add_ri(7, 1)
+      .store(6, 0, 7)
+      .label("done")
+      .ret();  // sigreturn resumes at the healed instruction
+
+  f.label("not_found").mov_ri(1, 135).sys(os::sys::kExit);
+
+  emit_restorer(b);
+  return std::make_shared<melf::Binary>(b.link());
+}
+
+}  // namespace dynacut::core

@@ -1,0 +1,41 @@
+// Builders for the position-independent guest libraries DynaCut injects
+// into checkpointed images (paper §3.2.2/§3.2.3 and Figure 5).
+//
+// Both libraries are fully PIC (IP-relative addressing only, no kAbs64
+// relocations) so the rewriter can place them at any unused address. Their
+// lookup tables are zero-filled .data that the host-side rewriter populates
+// after injection, once absolute addresses are known.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "melf/binary.hpp"
+
+namespace dynacut::core {
+
+/// Name under which the redirect handler library is injected.
+inline constexpr const char* kSigLibName = "libdynacut_sig.so";
+/// Name of the verifier library.
+inline constexpr const char* kVerifyLibName = "libdynacut_verify.so";
+
+/// Redirect fault handler: on SIGTRAP it looks the faulting address up in
+/// `redirect_table` ((trap_addr, target_addr) pairs, `redirect_count`
+/// entries) and rewrites the signal frame's saved IP to the target — e.g.
+/// the application's own "403 Forbidden" path. Unknown trap addresses
+/// terminate the process with exit code 134.
+/// Exports: dynacut_handler, dynacut_restorer, redirect_count,
+/// redirect_table (capacity entries).
+std::shared_ptr<const melf::Binary> build_redirect_lib(size_t capacity);
+
+/// Verifier handler (§3.2.3): instead of terminating, it restores the
+/// original first byte of a wrongly-removed block (found in `orig_table`),
+/// logs the address into `log_buf`/`log_count`, and sigreturns so the healed
+/// instruction re-executes. Requires the code pages to be W|X (the DynaCut
+/// host arranges that when installing verify mode).
+/// Exports: dynacut_verify_handler, dynacut_restorer, orig_count,
+/// orig_table, log_count, log_buf (log_capacity u64 slots).
+std::shared_ptr<const melf::Binary> build_verifier_lib(size_t capacity,
+                                                       size_t log_capacity);
+
+}  // namespace dynacut::core

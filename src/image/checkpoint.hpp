@@ -1,0 +1,30 @@
+// Checkpoint/restore between live osim processes and ProcessImages — the
+// `criu dump` / `criu restore` analogue, including the paper's modification
+// of dumping executable/file-backed pages (§3.3) and TCP_REPAIR-style
+// connection survival.
+#pragma once
+
+#include "image/image.hpp"
+#include "os/os.hpp"
+
+namespace dynacut::image {
+
+/// Freezes `pid` and dumps its full state. The process stays frozen (and
+/// thus makes no progress) until restore() — that window is DynaCut's
+/// service-interruption time.
+ProcessImage checkpoint(os::Os& os, int pid);
+
+/// Replaces the frozen process's state with `img` and thaws it. Live socket
+/// objects referenced by the image's fd table are re-attached (TCP_REPAIR).
+void restore(os::Os& os, int pid, const ProcessImage& img);
+
+/// Restores an image as a brand-new process (e.g. booting from a stored
+/// post-init image instead of rerunning initialization). Listening sockets
+/// are re-created and re-registered; established connections come back with
+/// their buffered bytes but a closed peer. Returns the new pid.
+int restore_new(os::Os& os, const ProcessImage& img);
+
+/// checkpoint() for a whole process group (Nginx master + workers).
+std::vector<ProcessImage> checkpoint_group(os::Os& os, int root_pid);
+
+}  // namespace dynacut::image

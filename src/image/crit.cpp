@@ -1,0 +1,216 @@
+#include "image/crit.hpp"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/hex.hpp"
+
+namespace dynacut::image {
+
+namespace {
+
+std::string to_hex_blob(std::span<const uint8_t> data) {
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (uint8_t b : data) {
+    out.push_back(digits[b >> 4]);
+    out.push_back(digits[b & 0xf]);
+  }
+  return out;
+}
+
+std::vector<uint8_t> from_hex_blob(const std::string& s) {
+  if (s.size() % 2 != 0) throw DecodeError("odd-length hex blob");
+  auto nib = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    throw DecodeError(std::string("bad hex digit '") + c + "'");
+  };
+  std::vector<uint8_t> out(s.size() / 2);
+  for (size_t i = 0; i < out.size(); ++i) {
+    out[i] = static_cast<uint8_t>(nib(s[2 * i]) << 4 | nib(s[2 * i + 1]));
+  }
+  return out;
+}
+
+std::vector<std::string> tokens_of(const std::string& line) {
+  std::istringstream in(line);
+  std::vector<std::string> out;
+  std::string tok;
+  while (in >> tok) out.push_back(tok);
+  return out;
+}
+
+/// "key=value" accessor over a token list; throws when missing.
+std::string field(const std::vector<std::string>& toks,
+                  const std::string& key) {
+  for (const auto& t : toks) {
+    if (t.rfind(key + "=", 0) == 0) return t.substr(key.size() + 1);
+  }
+  throw DecodeError("missing field '" + key + "'");
+}
+
+uint64_t field_u64(const std::vector<std::string>& toks,
+                   const std::string& key) {
+  return parse_u64(field(toks, key));
+}
+
+}  // namespace
+
+std::string show_core(const ProcessImage& img) {
+  std::string out;
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "core name=%s pid=%d ppid=%d\n",
+                img.core.proc_name.c_str(), img.core.pid, img.core.ppid);
+  out += buf;
+  for (int i = 0; i < isa::kNumRegs; ++i) {
+    std::snprintf(buf, sizeof buf, "reg %d %s\n", i,
+                  hex_addr(img.core.cpu.regs[static_cast<size_t>(i)]).c_str());
+    out += buf;
+  }
+  out += "ip " + hex_addr(img.core.cpu.ip) + "\n";
+  out += "flags " + hex_addr(img.core.cpu.pack_flags()) + "\n";
+  for (size_t i = 0; i < img.core.sigactions.size(); ++i) {
+    const os::SigAction& sa = img.core.sigactions[i];
+    if (sa.handler == 0 && sa.restorer == 0) continue;
+    std::snprintf(buf, sizeof buf, "sigaction %zu handler=%s restorer=%s\n",
+                  i, hex_addr(sa.handler).c_str(),
+                  hex_addr(sa.restorer).c_str());
+    out += buf;
+  }
+  for (uint64_t f : img.core.signal_frames) {
+    out += "sigframe " + hex_addr(f) + "\n";
+  }
+  return out;
+}
+
+std::string show_mems(const ProcessImage& img) {
+  std::string out;
+  char buf[192];
+  for (const auto& v : img.vmas) {
+    std::snprintf(buf, sizeof buf, "vma %s %s prot=%u name=%s\n",
+                  hex_addr(v.start).c_str(), hex_addr(v.end).c_str(), v.prot,
+                  v.name.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+std::string decode_text(const ProcessImage& img, bool include_pages) {
+  std::string out = "crsim-image v1\n";
+  out += show_core(img);
+  out += show_mems(img);
+
+  for (const auto& [addr, bytes] : img.pages) {
+    if (include_pages) {
+      out += "page " + hex_addr(addr) + " " + to_hex_blob(bytes) + "\n";
+    } else {
+      out += "page " + hex_addr(addr) + " <" +
+             std::to_string(bytes.size()) + " bytes>\n";
+    }
+  }
+
+  char buf[160];
+  for (const auto& f : img.fds) {
+    std::snprintf(buf, sizeof buf, "fd %d kind=%u sock=%u port=%u rx=",
+                  f.fd, static_cast<unsigned>(f.kind),
+                  static_cast<unsigned>(f.sock_kind), f.port);
+    out += buf;
+    out += to_hex_blob(f.rx_bytes) + " tx=" + to_hex_blob(f.tx_bytes) + "\n";
+  }
+
+  for (const auto& m : img.modules) {
+    out += "module name=" + m.name + " base=" + hex_addr(m.base) +
+           " size=" + hex_addr(m.size);
+    if (include_pages) {
+      out += " melf=" + to_hex_blob(m.binary->encode());
+    }
+    out += "\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+ProcessImage encode_text(const std::string& text) {
+  std::istringstream in(text);
+  std::string line;
+  if (!std::getline(in, line) || line != "crsim-image v1") {
+    throw DecodeError("crit: bad header");
+  }
+
+  ProcessImage img;
+  bool saw_end = false;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    auto toks = tokens_of(line);
+    const std::string& kind = toks[0];
+
+    if (kind == "core") {
+      img.core.proc_name = field(toks, "name");
+      img.core.pid = static_cast<int>(field_u64(toks, "pid"));
+      img.core.ppid = static_cast<int>(field_u64(toks, "ppid"));
+    } else if (kind == "reg") {
+      if (toks.size() != 3) throw DecodeError("crit: bad reg line");
+      uint64_t idx = parse_u64(toks[1]);
+      if (idx >= isa::kNumRegs) throw DecodeError("crit: bad reg index");
+      img.core.cpu.regs[idx] = parse_u64(toks[2]);
+    } else if (kind == "ip") {
+      img.core.cpu.ip = parse_u64(toks.at(1));
+    } else if (kind == "flags") {
+      img.core.cpu.unpack_flags(parse_u64(toks.at(1)));
+    } else if (kind == "sigaction") {
+      uint64_t signo = parse_u64(toks.at(1));
+      if (signo >= os::sig::kNumSignals) {
+        throw DecodeError("crit: bad signal number");
+      }
+      img.core.sigactions[signo] = os::SigAction{
+          field_u64(toks, "handler"), field_u64(toks, "restorer")};
+    } else if (kind == "sigframe") {
+      img.core.signal_frames.push_back(parse_u64(toks.at(1)));
+    } else if (kind == "vma") {
+      VmaImage v;
+      v.start = parse_u64(toks.at(1));
+      v.end = parse_u64(toks.at(2));
+      v.prot = static_cast<uint32_t>(field_u64(toks, "prot"));
+      v.name = field(toks, "name");
+      img.vmas.push_back(std::move(v));
+    } else if (kind == "page") {
+      uint64_t addr = parse_u64(toks.at(1));
+      std::vector<uint8_t> bytes = from_hex_blob(toks.at(2));
+      if (bytes.size() != kPageSize) {
+        throw DecodeError("crit: page blob is not one page");
+      }
+      img.pages.emplace(addr, std::move(bytes));
+    } else if (kind == "fd") {
+      FdImage f;
+      f.fd = static_cast<int>(parse_u64(toks.at(1)));
+      f.kind = static_cast<os::FileDesc::Kind>(field_u64(toks, "kind"));
+      f.sock_kind = static_cast<uint8_t>(field_u64(toks, "sock"));
+      f.port = static_cast<uint16_t>(field_u64(toks, "port"));
+      f.rx_bytes = from_hex_blob(field(toks, "rx"));
+      f.tx_bytes = from_hex_blob(field(toks, "tx"));
+      img.fds.push_back(std::move(f));
+    } else if (kind == "module") {
+      ModuleImage m;
+      m.name = field(toks, "name");
+      m.base = field_u64(toks, "base");
+      m.size = field_u64(toks, "size");
+      auto payload = from_hex_blob(field(toks, "melf"));
+      m.binary =
+          std::make_shared<melf::Binary>(melf::Binary::decode(payload));
+      img.modules.push_back(std::move(m));
+    } else if (kind == "end") {
+      saw_end = true;
+      break;
+    } else {
+      throw DecodeError("crit: unknown record '" + kind + "'");
+    }
+  }
+  if (!saw_end) throw DecodeError("crit: missing end record");
+  return img;
+}
+
+}  // namespace dynacut::image

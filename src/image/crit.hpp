@@ -1,0 +1,33 @@
+// CRIT-style text codec for process images (paper §3.3).
+//
+// CRIU ships CRIT, which decodes protobuf image files into editable text
+// and encodes them back; DynaCut extends it into a rewriting API. crsim
+// mirrors that: `decode_text` renders a ProcessImage as a line-oriented,
+// human-readable document (registers, sigactions, VMAs, page hex dumps, fd
+// table, module table) and `encode_text` parses the document back into an
+// image — so `encode_text(decode_text(img))` is lossless for everything
+// serializable. Useful for inspecting images in tests and for hand-crafted
+// edits (e.g. `crit x <dir> mems` equivalents).
+#pragma once
+
+#include <string>
+
+#include "image/image.hpp"
+
+namespace dynacut::image {
+
+/// Renders the image as text. With `include_pages` false the (large) page
+/// hex dumps are omitted — the `crit show core.img`-style summary view.
+std::string decode_text(const ProcessImage& img, bool include_pages = true);
+
+/// Parses a document produced by decode_text (with pages included) back
+/// into an image. Throws DecodeError on malformed input.
+ProcessImage encode_text(const std::string& text);
+
+/// The `crit x <dir> mems` equivalent: one line per VMA.
+std::string show_mems(const ProcessImage& img);
+
+/// The `crit show core.img` equivalent: registers + signal state.
+std::string show_core(const ProcessImage& img);
+
+}  // namespace dynacut::image

@@ -1,0 +1,35 @@
+// VX64 disassembler — the Capstone stand-in. Turns raw code bytes back into
+// text and instruction streams; used by the CFG recoverer, the CRIT text
+// codec and diagnostics.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace dynacut::isa {
+
+/// Formats one decoded instruction, e.g. "mov r1, 0x2a" or "jne 0x4005f0"
+/// (branch targets are resolved against `addr`).
+std::string format_instr(const Instr& ins, uint64_t addr);
+
+/// One line of disassembly output.
+struct DisasmLine {
+  uint64_t addr = 0;
+  Instr instr;
+  bool valid = true;  ///< false for undecodable bytes (printed as ".byte")
+  uint8_t raw_byte = 0;
+};
+
+/// Linear-sweep disassembly of `code` mapped at `base`. Undecodable bytes
+/// become single-byte invalid lines, so the sweep always makes progress.
+std::vector<DisasmLine> disassemble(std::span<const uint8_t> code,
+                                    uint64_t base);
+
+/// Full textual listing ("<addr>  <mnemonic> ..." per line).
+std::string disassemble_text(std::span<const uint8_t> code, uint64_t base);
+
+}  // namespace dynacut::isa

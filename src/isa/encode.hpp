@@ -1,0 +1,65 @@
+// Raw VX64 instruction encoder. The melf::ProgramBuilder layers labels,
+// functions and relocations on top of this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "isa/isa.hpp"
+
+namespace dynacut::isa {
+
+/// Appends encoded instructions to a byte vector. Methods return the offset
+/// of the instruction's first byte, which callers use for fixups.
+class Encoder {
+ public:
+  explicit Encoder(std::vector<uint8_t>& out) : out_(out) {}
+
+  size_t mov_ri(int rd, uint64_t imm);
+  size_t mov_rr(int rd, int rs);
+  size_t load(int rd, int rb, int32_t disp);
+  size_t store(int rb, int32_t disp, int rs);
+  size_t loadb(int rd, int rb, int32_t disp);
+  size_t storeb(int rb, int32_t disp, int rs);
+  size_t add_rr(int rd, int rs);
+  size_t add_ri(int rd, int32_t imm);
+  size_t sub_rr(int rd, int rs);
+  size_t sub_ri(int rd, int32_t imm);
+  size_t mul_rr(int rd, int rs);
+  size_t div_rr(int rd, int rs);
+  size_t and_rr(int rd, int rs);
+  size_t or_rr(int rd, int rs);
+  size_t xor_rr(int rd, int rs);
+  size_t shl_ri(int rd, uint8_t amount);
+  size_t shr_ri(int rd, uint8_t amount);
+  size_t cmp_rr(int ra, int rb);
+  size_t cmp_ri(int ra, int32_t imm);
+  size_t branch(Op op, int32_t rel);  ///< any of kJmp..kJae, kCall
+  size_t ret();
+  size_t callr(int r);
+  size_t jmpr(int r);
+  size_t push(int r);
+  size_t pop(int r);
+  size_t syscall();
+  size_t lea(int rd, int32_t rel);
+  size_t nop();
+  size_t trap();
+
+  size_t offset() const { return out_.size(); }
+
+  /// Back-patches the rel32 field of a branch/call/lea emitted at
+  /// `instr_offset`.
+  void patch_rel32(size_t instr_offset, int32_t rel);
+
+ private:
+  size_t op0(Op op);
+  size_t op1(Op op, int r);
+  size_t op2(Op op, int r1, int r2);
+  size_t op_ri32(Op op, int r, int32_t imm);
+  size_t op_mem(Op op, int r1, int r2, int32_t disp);
+  void put_i32(int32_t v);
+
+  std::vector<uint8_t>& out_;
+};
+
+}  // namespace dynacut::isa

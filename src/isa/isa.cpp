@@ -1,0 +1,219 @@
+#include "isa/isa.hpp"
+
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace dynacut::isa {
+
+namespace {
+
+struct OpInfo {
+  uint8_t length;
+  const char* name;
+};
+
+/// Indexed by opcode byte; length 0 marks invalid opcodes.
+const OpInfo* op_table() {
+  static OpInfo table[256] = {};
+  static bool init = [] {
+    auto set = [&](Op op, uint8_t len, const char* name) {
+      table[static_cast<uint8_t>(op)] = {len, name};
+    };
+    set(Op::kMovRI, 10, "mov");
+    set(Op::kMovRR, 3, "mov");
+    set(Op::kLoad, 7, "load");
+    set(Op::kStore, 7, "store");
+    set(Op::kLoadB, 7, "loadb");
+    set(Op::kStoreB, 7, "storeb");
+    set(Op::kAddRR, 3, "add");
+    set(Op::kAddRI, 6, "add");
+    set(Op::kSubRR, 3, "sub");
+    set(Op::kSubRI, 6, "sub");
+    set(Op::kMulRR, 3, "mul");
+    set(Op::kDivRR, 3, "div");
+    set(Op::kAndRR, 3, "and");
+    set(Op::kOrRR, 3, "or");
+    set(Op::kXorRR, 3, "xor");
+    set(Op::kShlRI, 3, "shl");
+    set(Op::kShrRI, 3, "shr");
+    set(Op::kCmpRR, 3, "cmp");
+    set(Op::kCmpRI, 6, "cmp");
+    set(Op::kJmp, 5, "jmp");
+    set(Op::kJe, 5, "je");
+    set(Op::kJne, 5, "jne");
+    set(Op::kJlt, 5, "jlt");
+    set(Op::kJle, 5, "jle");
+    set(Op::kJgt, 5, "jgt");
+    set(Op::kJge, 5, "jge");
+    set(Op::kJb, 5, "jb");
+    set(Op::kJae, 5, "jae");
+    set(Op::kCall, 5, "call");
+    set(Op::kRet, 1, "ret");
+    set(Op::kCallR, 2, "callr");
+    set(Op::kJmpR, 2, "jmpr");
+    set(Op::kPush, 2, "push");
+    set(Op::kPop, 2, "pop");
+    set(Op::kSyscall, 1, "syscall");
+    set(Op::kLea, 6, "lea");
+    set(Op::kNop, 1, "nop");
+    set(Op::kTrap, 1, "trap");
+    return true;
+  }();
+  (void)init;
+  return table;
+}
+
+int32_t read_i32(std::span<const uint8_t> p) {
+  int32_t v;
+  std::memcpy(&v, p.data(), sizeof v);
+  return v;
+}
+
+int64_t read_i64(std::span<const uint8_t> p) {
+  int64_t v;
+  std::memcpy(&v, p.data(), sizeof v);
+  return v;
+}
+
+}  // namespace
+
+bool valid_opcode(uint8_t byte) { return op_table()[byte].length != 0; }
+
+uint8_t instr_length(uint8_t opcode_byte) {
+  return op_table()[opcode_byte].length;
+}
+
+bool is_terminator(Op op) {
+  switch (op) {
+    case Op::kJmp:
+    case Op::kJe:
+    case Op::kJne:
+    case Op::kJlt:
+    case Op::kJle:
+    case Op::kJgt:
+    case Op::kJge:
+    case Op::kJb:
+    case Op::kJae:
+    case Op::kCall:
+    case Op::kRet:
+    case Op::kCallR:
+    case Op::kJmpR:
+    case Op::kSyscall:
+    case Op::kTrap:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_cond_branch(Op op) {
+  switch (op) {
+    case Op::kJe:
+    case Op::kJne:
+    case Op::kJlt:
+    case Op::kJle:
+    case Op::kJgt:
+    case Op::kJge:
+    case Op::kJb:
+    case Op::kJae:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool is_direct_transfer(Op op) {
+  return op == Op::kJmp || op == Op::kCall || is_cond_branch(op);
+}
+
+std::optional<Instr> try_decode(std::span<const uint8_t> code) {
+  if (code.empty()) return std::nullopt;
+  uint8_t byte = code[0];
+  uint8_t len = instr_length(byte);
+  if (len == 0 || code.size() < len) return std::nullopt;
+
+  Instr ins;
+  ins.op = static_cast<Op>(byte);
+  ins.length = len;
+  switch (ins.op) {
+    case Op::kMovRI:
+      ins.r1 = code[1] & 0x0f;
+      ins.imm = read_i64(code.subspan(2));
+      break;
+    case Op::kMovRR:
+    case Op::kAddRR:
+    case Op::kSubRR:
+    case Op::kMulRR:
+    case Op::kDivRR:
+    case Op::kAndRR:
+    case Op::kOrRR:
+    case Op::kXorRR:
+    case Op::kCmpRR:
+      ins.r1 = code[1] & 0x0f;
+      ins.r2 = code[2] & 0x0f;
+      break;
+    case Op::kLoad:
+    case Op::kLoadB:
+    case Op::kStore:
+    case Op::kStoreB:
+      ins.r1 = code[1] & 0x0f;
+      ins.r2 = code[2] & 0x0f;
+      ins.imm = read_i32(code.subspan(3));
+      break;
+    case Op::kAddRI:
+    case Op::kSubRI:
+    case Op::kCmpRI:
+    case Op::kLea:
+      ins.r1 = code[1] & 0x0f;
+      ins.imm = read_i32(code.subspan(2));
+      break;
+    case Op::kShlRI:
+    case Op::kShrRI:
+      ins.r1 = code[1] & 0x0f;
+      ins.imm = code[2];
+      break;
+    case Op::kJmp:
+    case Op::kJe:
+    case Op::kJne:
+    case Op::kJlt:
+    case Op::kJle:
+    case Op::kJgt:
+    case Op::kJge:
+    case Op::kJb:
+    case Op::kJae:
+    case Op::kCall:
+      ins.imm = read_i32(code.subspan(1));
+      break;
+    case Op::kCallR:
+    case Op::kJmpR:
+    case Op::kPush:
+    case Op::kPop:
+      ins.r1 = code[1] & 0x0f;
+      break;
+    case Op::kRet:
+    case Op::kSyscall:
+    case Op::kNop:
+    case Op::kTrap:
+      break;
+  }
+  return ins;
+}
+
+Instr decode(std::span<const uint8_t> code) {
+  auto ins = try_decode(code);
+  if (!ins) {
+    throw DecodeError(code.empty() ? "empty code span"
+                                   : "invalid or truncated instruction, "
+                                     "opcode byte " +
+                                         std::to_string(code[0]));
+  }
+  return *ins;
+}
+
+std::string mnemonic(Op op) {
+  const char* name = op_table()[static_cast<uint8_t>(op)].name;
+  return name ? name : "(bad)";
+}
+
+}  // namespace dynacut::isa

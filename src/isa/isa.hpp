@@ -1,0 +1,110 @@
+// VX64: the small 64-bit variable-length ISA executed by the simulator.
+//
+// VX64 stands in for x86-64 in this reproduction. It keeps the three
+// properties DynaCut's mechanism depends on:
+//   * variable-length encoding (so disassembly/BB recovery is non-trivial),
+//   * a one-byte trap instruction TRAP = 0xCC (the int3 analogue),
+//   * IP-relative control flow and addressing (so code is position
+//     independent and injectable as a shared library).
+//
+// Registers: r0..r15, 64-bit. r15 doubles as the stack pointer (SP).
+// By convention r0 holds syscall numbers / return values and r1..r5 carry
+// syscall/function arguments.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace dynacut::isa {
+
+inline constexpr int kNumRegs = 16;
+inline constexpr int kSpReg = 15;  ///< r15 is the stack pointer.
+
+/// One-byte opcodes. Values are part of the binary format; do not renumber.
+enum class Op : uint8_t {
+  kMovRI = 0x01,   ///< r1 = imm64
+  kMovRR = 0x02,   ///< r1 = r2
+  kLoad = 0x03,    ///< r1 = mem64[r2 + disp32]
+  kStore = 0x04,   ///< mem64[r1 + disp32] = r2
+  kLoadB = 0x05,   ///< r1 = zext(mem8[r2 + disp32])
+  kStoreB = 0x06,  ///< mem8[r1 + disp32] = low8(r2)
+  kAddRR = 0x07,
+  kAddRI = 0x08,  ///< r1 += simm32
+  kSubRR = 0x09,
+  kSubRI = 0x0A,
+  kMulRR = 0x0B,
+  kDivRR = 0x0C,  ///< unsigned divide; divisor 0 faults
+  kAndRR = 0x0D,
+  kOrRR = 0x0E,
+  kXorRR = 0x0F,
+  kShlRI = 0x10,
+  kShrRI = 0x11,
+  kCmpRR = 0x12,  ///< sets flags from r1 ? r2
+  kCmpRI = 0x13,  ///< sets flags from r1 ? simm32
+  kJmp = 0x14,    ///< ip = ip_after + rel32
+  kJe = 0x15,
+  kJne = 0x16,
+  kJlt = 0x17,  ///< signed <
+  kJle = 0x18,
+  kJgt = 0x19,
+  kJge = 0x1A,
+  kJb = 0x1B,   ///< unsigned <
+  kJae = 0x1C,  ///< unsigned >=
+  kCall = 0x1D,
+  kRet = 0x1E,
+  kCallR = 0x1F,  ///< call through register
+  kJmpR = 0x20,   ///< jump through register
+  kPush = 0x21,
+  kPop = 0x22,
+  kSyscall = 0x23,
+  kLea = 0x24,  ///< r1 = ip_after + rel32 (PIC address formation)
+  kNop = 0x90,
+  kTrap = 0xCC,  ///< one-byte breakpoint; raises SIGTRAP (int3 analogue)
+};
+
+/// A decoded instruction. `imm` holds imm64, simm32, disp32, rel32 or the
+/// shift amount depending on the opcode.
+struct Instr {
+  Op op = Op::kNop;
+  uint8_t r1 = 0;
+  uint8_t r2 = 0;
+  int64_t imm = 0;
+  uint8_t length = 1;  ///< encoded size in bytes
+
+  /// Branch/call target for IP-relative transfers, given the instruction's
+  /// own address.
+  uint64_t target(uint64_t addr) const {
+    return addr + length + static_cast<uint64_t>(imm);
+  }
+};
+
+/// True if the opcode byte names a valid VX64 instruction.
+bool valid_opcode(uint8_t byte);
+
+/// Encoded length of an instruction starting with this opcode byte, or 0 if
+/// the opcode is invalid.
+uint8_t instr_length(uint8_t opcode_byte);
+
+/// Instructions that end a basic block (any control transfer, syscalls and
+/// traps) — the same block boundaries drcov observes.
+bool is_terminator(Op op);
+
+/// Conditional branches (terminators with fall-through successors).
+bool is_cond_branch(Op op);
+
+/// Direct IP-relative transfers whose static target is recoverable.
+bool is_direct_transfer(Op op);
+
+/// Decodes one instruction at the start of `code`. Returns std::nullopt on
+/// an invalid opcode or truncated encoding (the executor raises SIGILL).
+std::optional<Instr> try_decode(std::span<const uint8_t> code);
+
+/// Decoding that throws DecodeError instead; for host-side tooling.
+Instr decode(std::span<const uint8_t> code);
+
+/// Mnemonic of an opcode ("mov", "jne", "trap", ...).
+std::string mnemonic(Op op);
+
+}  // namespace dynacut::isa

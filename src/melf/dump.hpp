@@ -1,0 +1,23 @@
+// objdump-style textual rendering of MELF binaries: header, section table,
+// symbol table, import/PLT table and full disassembly. Used by tooling,
+// examples and debugging sessions ("the attacker has access to the target
+// binaries" — this is what they'd look at).
+#pragma once
+
+#include <string>
+
+#include "melf/binary.hpp"
+
+namespace dynacut::melf {
+
+/// Section + symbol + import tables ("objdump -h -t").
+std::string dump_headers(const Binary& bin);
+
+/// Disassembles .text and .plt with symbol-anchored labels
+/// ("objdump -d").
+std::string dump_disasm(const Binary& bin);
+
+/// Everything.
+std::string dump_all(const Binary& bin);
+
+}  // namespace dynacut::melf

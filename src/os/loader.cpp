@@ -1,0 +1,56 @@
+#include "os/loader.hpp"
+
+#include "common/error.hpp"
+#include "common/hex.hpp"
+
+namespace dynacut::os {
+
+uint64_t resolve_symbol(const Process& p, const std::string& name) {
+  for (const auto& m : p.modules) {
+    if (const melf::Symbol* s = m.binary->find_symbol(name)) {
+      if (s->global) return m.base + s->value;
+    }
+  }
+  return 0;
+}
+
+void load_module(Process& p, std::shared_ptr<const melf::Binary> bin,
+                 uint64_t base) {
+  if (base != page_floor(base)) {
+    throw GuestError("module base not page aligned: " + hex_addr(base));
+  }
+
+  // Map every section as its own VMA (so .text pages can later be unmapped
+  // independently of data) and copy initialized bytes.
+  for (const auto& sec : bin->sections) {
+    if (sec.size == 0) continue;
+    p.mem.map(base + sec.offset, sec.size, melf::section_prot(sec.kind),
+              bin->name + ":" + melf::section_name(sec.kind));
+    if (!sec.bytes.empty()) {
+      p.mem.poke(base + sec.offset, sec.bytes.data(), sec.bytes.size());
+    }
+  }
+
+  // Register before relocating so kGotEntry can resolve self-exports too.
+  p.modules.push_back(
+      LoadedModule{bin->name, base, bin->image_size(), bin});
+
+  for (const auto& rel : bin->relocs) {
+    uint64_t value = 0;
+    switch (rel.kind) {
+      case melf::RelocKind::kAbs64:
+        value = base + static_cast<uint64_t>(rel.addend);
+        break;
+      case melf::RelocKind::kGotEntry:
+        value = resolve_symbol(p, rel.symbol);
+        if (value == 0) {
+          throw GuestError("unresolved import '" + rel.symbol +
+                           "' while loading " + bin->name);
+        }
+        break;
+    }
+    p.mem.poke(base + rel.offset, &value, 8);
+  }
+}
+
+}  // namespace dynacut::os

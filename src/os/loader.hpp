@@ -1,0 +1,25 @@
+// Guest module loader: maps MELF binaries into a process address space and
+// applies relocations — the ELF-loader analogue. The DynaCut rewriter
+// performs the same steps on checkpointed images when injecting handler
+// libraries (src/rewriter/inject.cpp).
+#pragma once
+
+#include <memory>
+
+#include "melf/binary.hpp"
+#include "os/process.hpp"
+
+namespace dynacut::os {
+
+/// Maps `bin` at `base`, copies section bytes, applies kAbs64 relocations
+/// against `base` and kGotEntry relocations against the global symbols of
+/// modules already loaded in `p` (and `bin` itself). Registers the module.
+/// Throws GuestError on overlap or unresolved imports.
+void load_module(Process& p, std::shared_ptr<const melf::Binary> bin,
+                 uint64_t base);
+
+/// Resolves a global symbol across every module loaded in `p`; returns its
+/// absolute address or 0.
+uint64_t resolve_symbol(const Process& p, const std::string& name);
+
+}  // namespace dynacut::os

@@ -1,0 +1,574 @@
+#include "os/os.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/hex.hpp"
+#include "common/log.hpp"
+#include "vm/exec.hpp"
+
+namespace dynacut::os {
+
+// ---------------------------------------------------------------------------
+// Process lifecycle
+// ---------------------------------------------------------------------------
+
+int Os::spawn(std::shared_ptr<const melf::Binary> app,
+              std::vector<std::shared_ptr<const melf::Binary>> libs,
+              const std::string& name) {
+  if (app->entry == melf::Binary::kNoEntry) {
+    throw GuestError("cannot spawn module without entry point: " + app->name);
+  }
+  auto p = std::make_unique<Process>();
+  p->pid = next_pid_++;
+  p->name = name.empty() ? app->name : name;
+
+  uint64_t lib_base = kLibcBase;
+  for (auto& lib : libs) {
+    load_module(*p, lib, lib_base);
+    lib_base = page_ceil(lib_base + lib->image_size()) + kPageSize;
+  }
+  load_module(*p, app, kAppBase);
+
+  p->mem.map(kStackTop - kStackSize, kStackSize, kProtRead | kProtWrite,
+             "[stack]");
+  p->cpu.sp() = kStackTop - 64;
+  p->cpu.ip = kAppBase + app->entry;
+  p->fds[1] = FileDesc{FileDesc::Kind::kConsole, nullptr};
+
+  int pid = p->pid;
+  procs_[pid] = std::move(p);
+  log_debug("spawned pid " + std::to_string(pid) + " (" + app->name + ")");
+  return pid;
+}
+
+Process* Os::process(int pid) {
+  auto it = procs_.find(pid);
+  return it == procs_.end() ? nullptr : it->second.get();
+}
+
+const Process* Os::process(int pid) const {
+  auto it = procs_.find(pid);
+  return it == procs_.end() ? nullptr : it->second.get();
+}
+
+std::vector<int> Os::pids() const {
+  std::vector<int> out;
+  for (const auto& [pid, p] : procs_) out.push_back(pid);
+  return out;
+}
+
+std::vector<int> Os::process_group(int root) const {
+  std::vector<int> out;
+  if (procs_.count(root) == 0) return out;
+  out.push_back(root);
+  // Processes are pid-ordered and children have larger pids than parents,
+  // so one forward pass collects the whole tree.
+  for (const auto& [pid, p] : procs_) {
+    if (pid == root || p->state == Process::State::kExited) continue;
+    if (std::find(out.begin(), out.end(), p->ppid) != out.end()) {
+      out.push_back(pid);
+    }
+  }
+  return out;
+}
+
+void Os::kill(int pid) {
+  if (Process* p = process(pid)) {
+    p->state = Process::State::kExited;
+    p->term_signal = 9;
+  }
+}
+
+void Os::freeze(int pid) {
+  Process* p = process(pid);
+  if (p == nullptr || p->state == Process::State::kExited) {
+    throw StateError("freeze: no live process " + std::to_string(pid));
+  }
+  if (p->state == Process::State::kFrozen) {
+    throw StateError("freeze: already frozen " + std::to_string(pid));
+  }
+  // block_kind is preserved so thaw() can return a blocked process to
+  // kBlocked and let it re-check its wait condition.
+  p->state = Process::State::kFrozen;
+}
+
+void Os::thaw(int pid) {
+  Process* p = process(pid);
+  if (p == nullptr || p->state != Process::State::kFrozen) {
+    throw StateError("thaw: process not frozen " + std::to_string(pid));
+  }
+  p->state = p->block_kind == Process::BlockKind::kNone
+                 ? Process::State::kRunnable
+                 : Process::State::kBlocked;
+}
+
+bool Os::all_exited() const {
+  for (const auto& [pid, p] : procs_) {
+    if (p->state != Process::State::kExited) return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Host networking
+// ---------------------------------------------------------------------------
+
+bool Os::has_listener(uint16_t port) const {
+  auto it = listeners_.find(port);
+  return it != listeners_.end() && !it->second.expired();
+}
+
+HostConn Os::connect(uint16_t port) {
+  auto it = listeners_.find(port);
+  std::shared_ptr<Socket> listener =
+      it == listeners_.end() ? nullptr : it->second.lock();
+  if (listener == nullptr || listener->kind != Socket::Kind::kListen) {
+    throw StateError("connect: no listener on port " + std::to_string(port));
+  }
+  auto conn = std::make_shared<Conn>();
+  listener->backlog.push_back(SockEnd{conn, /*side_a=*/false});
+  return HostConn(SockEnd{conn, /*side_a=*/true});
+}
+
+void Os::register_listener(const std::shared_ptr<Socket>& sock) {
+  if (sock == nullptr || sock->kind != Socket::Kind::kListen) {
+    throw StateError("register_listener: not a listening socket");
+  }
+  listeners_[sock->port] = sock;
+}
+
+int Os::adopt(std::unique_ptr<Process> p) {
+  p->pid = next_pid_++;
+  int pid = p->pid;
+  procs_[pid] = std::move(p);
+  return pid;
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler
+// ---------------------------------------------------------------------------
+
+bool Os::try_unblock(Process& p) {
+  switch (p.block_kind) {
+    case Process::BlockKind::kNone:
+      return true;
+    case Process::BlockKind::kRecv: {
+      auto it = p.fds.find(p.block_fd);
+      if (it == p.fds.end() || it->second.sock == nullptr) return true;
+      Socket& s = *it->second.sock;
+      if (s.kind != Socket::Kind::kStream) return true;
+      if (!s.end.rx().empty() || !s.end.peer_open()) {
+        p.block_kind = Process::BlockKind::kNone;
+        return true;
+      }
+      return false;
+    }
+    case Process::BlockKind::kAccept: {
+      auto it = p.fds.find(p.block_fd);
+      if (it == p.fds.end() || it->second.sock == nullptr) return true;
+      Socket& s = *it->second.sock;
+      if (!s.backlog.empty()) {
+        p.block_kind = Process::BlockKind::kNone;
+        return true;
+      }
+      return false;
+    }
+    case Process::BlockKind::kSleep:
+      if (clock_ >= p.wake_at) {
+        p.block_kind = Process::BlockKind::kNone;
+        return true;
+      }
+      return false;
+  }
+  return true;
+}
+
+uint64_t Os::run(uint64_t max_instr) {
+  uint64_t retired = 0;
+  while (retired < max_instr) {
+    bool ran = false;
+    uint64_t earliest_wake = ~0ull;
+
+    for (auto& [pid, p] : procs_) {
+      if (p->state == Process::State::kBlocked) {
+        if (try_unblock(*p)) {
+          p->state = Process::State::kRunnable;
+        } else if (p->block_kind == Process::BlockKind::kSleep) {
+          earliest_wake = std::min(earliest_wake, p->wake_at);
+        }
+      }
+    }
+
+    for (auto& [pid, p] : procs_) {
+      if (p->state != Process::State::kRunnable) continue;
+      run_quantum(*p, max_instr - retired, retired);
+      ran = true;
+      if (retired >= max_instr) break;
+    }
+
+    if (!ran) {
+      if (earliest_wake != ~0ull && earliest_wake > clock_) {
+        clock_ = earliest_wake;  // idle until the next timer
+        continue;
+      }
+      break;  // deadlocked or waiting on external input
+    }
+  }
+  return retired;
+}
+
+void Os::run_ticks(uint64_t ticks) {
+  const uint64_t deadline = clock_ + ticks;
+  while (clock_ < deadline) {
+    uint64_t before = clock_;
+    // Bound each inner run so we re-check the deadline frequently.
+    uint64_t retired = run(kQuantum * 16);
+    if (retired == 0 && clock_ == before) {
+      clock_ = deadline;  // fully idle: jump forward
+      break;
+    }
+  }
+}
+
+void Os::run_quantum(Process& p, uint64_t budget, uint64_t& retired) {
+  uint64_t quota = std::min<uint64_t>(kQuantum, budget);
+  yielded_ = false;
+  for (uint64_t i = 0; i < quota; ++i) {
+    if (p.state != Process::State::kRunnable) break;
+    if (p.at_block_start && sink_ != nullptr) {
+      sink_->on_block(p, p.cpu.ip);
+    }
+    p.at_block_start = false;
+
+    vm::StepResult r = vm::step(p.mem, p.cpu);
+    ++retired;
+    ++clock_;
+    ++p.instructions_retired;
+
+    switch (r.kind) {
+      case vm::StepKind::kOk:
+        if (r.block_end) p.at_block_start = true;
+        break;
+      case vm::StepKind::kSyscall:
+        do_syscall(p);
+        p.at_block_start = true;
+        break;
+      case vm::StepKind::kTrap:
+        deliver_signal(p, sig::kSigTrap, r.fault_addr);
+        break;
+      case vm::StepKind::kFault: {
+        int signo = r.fault == vm::FaultType::kSegv  ? sig::kSigSegv
+                    : r.fault == vm::FaultType::kIll ? sig::kSigIll
+                                                     : sig::kSigFpe;
+        deliver_signal(p, signo, r.fault_addr);
+        break;
+      }
+    }
+    if (yielded_) break;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Signals
+// ---------------------------------------------------------------------------
+
+void Os::deliver_signal(Process& p, int signo, uint64_t fault_addr) {
+  const SigAction& act = p.sigactions[signo];
+  if (act.handler == 0) {
+    p.state = Process::State::kExited;
+    p.term_signal = signo;
+    log_debug("pid " + std::to_string(p.pid) + " killed by signal " +
+              std::to_string(signo) + " at " + hex_addr(p.cpu.ip));
+    return;
+  }
+
+  const uint64_t frame = (p.cpu.sp() - sig::frame::kSize) & ~7ull;
+  try {
+    p.mem.poke(frame + sig::frame::kSavedIp, &p.cpu.ip, 8);
+    uint64_t flags = p.cpu.pack_flags();
+    p.mem.poke(frame + sig::frame::kFlags, &flags, 8);
+    p.mem.poke(frame + sig::frame::kRegs, p.cpu.regs.data(), 16 * 8);
+    uint64_t s = static_cast<uint64_t>(signo);
+    p.mem.poke(frame + sig::frame::kSigNo, &s, 8);
+    p.mem.poke(frame + sig::frame::kFaultAddr, &fault_addr, 8);
+    // Return address for the handler's `ret`: the registered restorer stub.
+    uint64_t ra_slot = frame - 8;
+    p.mem.poke(ra_slot, &act.restorer, 8);
+    p.cpu.sp() = ra_slot;
+  } catch (const StateError&) {
+    // Unwritable stack: no way to deliver; kill (kernel does the same).
+    p.state = Process::State::kExited;
+    p.term_signal = signo;
+    return;
+  }
+
+  p.signal_frames.push_back(frame);
+  p.cpu.regs[1] = frame;
+  p.cpu.regs[2] = static_cast<uint64_t>(signo);
+  p.cpu.regs[3] = fault_addr;
+  p.cpu.ip = act.handler;
+  p.at_block_start = true;
+}
+
+void Os::do_sigreturn(Process& p) {
+  if (p.signal_frames.empty()) {
+    p.state = Process::State::kExited;
+    p.term_signal = sig::kSigSegv;
+    return;
+  }
+  uint64_t frame = p.signal_frames.back();
+  p.signal_frames.pop_back();
+  try {
+    // Read the (possibly handler-modified) frame back — this is where a
+    // redirected saved_ip takes effect.
+    uint64_t ip, flags;
+    p.mem.peek(frame + sig::frame::kSavedIp, &ip, 8);
+    p.mem.peek(frame + sig::frame::kFlags, &flags, 8);
+    p.mem.peek(frame + sig::frame::kRegs, p.cpu.regs.data(), 16 * 8);
+    p.cpu.ip = ip;
+    p.cpu.unpack_flags(flags);
+  } catch (const StateError&) {
+    p.state = Process::State::kExited;
+    p.term_signal = sig::kSigSegv;
+    return;
+  }
+  p.at_block_start = true;
+}
+
+// ---------------------------------------------------------------------------
+// Syscalls
+// ---------------------------------------------------------------------------
+
+void Os::block_on_fd(Process& p, Process::BlockKind kind, int fd) {
+  // Rewind onto the SYSCALL instruction (1 byte) so it re-executes when the
+  // condition clears; r0 still holds the syscall number.
+  p.cpu.ip -= 1;
+  p.state = Process::State::kBlocked;
+  p.block_kind = kind;
+  p.block_fd = fd;
+}
+
+uint64_t Os::do_fork(Process& parent) {
+  auto child = std::make_unique<Process>();
+  child->pid = next_pid_++;
+  child->ppid = parent.pid;
+  child->name = parent.name;
+  child->mem = parent.mem;  // deep copy: VMAs + populated pages
+  child->cpu = parent.cpu;
+  child->fds = parent.fds;  // shares Socket objects (dup semantics)
+  child->next_fd = parent.next_fd;
+  child->sigactions = parent.sigactions;
+  child->signal_frames = parent.signal_frames;
+  child->modules = parent.modules;
+  child->cpu.regs[0] = 0;  // child's fork() return value
+  child->at_block_start = true;
+  int pid = child->pid;
+  procs_[pid] = std::move(child);
+  clock_ += costs_.fork_extra;
+  return static_cast<uint64_t>(pid);
+}
+
+void Os::do_syscall(Process& p) {
+  auto& r = p.cpu.regs;
+  const uint64_t num = r[0];
+  if (syscall_hook_) syscall_hook_(p, num);
+  const uint64_t a1 = r[1], a2 = r[2], a3 = r[3];
+  clock_ += costs_.base;
+
+  auto ret = [&](uint64_t v) { r[0] = v; };
+
+  switch (num) {
+    case sys::kExit:
+      p.state = Process::State::kExited;
+      p.exit_code = static_cast<int>(a1);
+      return;
+
+    case sys::kWrite:
+    case sys::kSend: {
+      auto it = p.fds.find(static_cast<int>(a1));
+      if (it == p.fds.end()) return ret(sys::kErr);
+      std::vector<uint8_t> buf(a3);
+      if (!p.mem.read(a2, buf.data(), a3, kProtRead).ok) {
+        return ret(sys::kErr);
+      }
+      clock_ += a3 / costs_.per_io_byte_div;
+      if (it->second.kind == FileDesc::Kind::kConsole) {
+        p.stdout_buf.append(buf.begin(), buf.end());
+        return ret(a3);
+      }
+      Socket& s = *it->second.sock;
+      if (s.kind != Socket::Kind::kStream || !s.end.peer_open()) {
+        return ret(sys::kErr);
+      }
+      auto& q = s.end.tx();
+      q.insert(q.end(), buf.begin(), buf.end());
+      return ret(a3);
+    }
+
+    case sys::kRead:
+    case sys::kRecv: {
+      auto it = p.fds.find(static_cast<int>(a1));
+      if (it == p.fds.end()) return ret(sys::kErr);
+      if (it->second.kind == FileDesc::Kind::kConsole) return ret(0);
+      Socket& s = *it->second.sock;
+      if (s.kind != Socket::Kind::kStream) return ret(sys::kErr);
+      auto& q = s.end.rx();
+      if (q.empty()) {
+        if (!s.end.peer_open()) return ret(0);  // EOF
+        return block_on_fd(p, Process::BlockKind::kRecv,
+                           static_cast<int>(a1));
+      }
+      uint64_t n = std::min<uint64_t>(a3, q.size());
+      std::vector<uint8_t> buf(q.begin(), q.begin() + static_cast<long>(n));
+      if (!p.mem.write(a2, buf.data(), n, kProtWrite).ok) {
+        return ret(sys::kErr);
+      }
+      q.erase(q.begin(), q.begin() + static_cast<long>(n));
+      clock_ += n / costs_.per_io_byte_div;
+      return ret(n);
+    }
+
+    case sys::kSocket: {
+      int fd = p.next_fd++;
+      auto sock = std::make_shared<Socket>();
+      p.fds[fd] = FileDesc{FileDesc::Kind::kSocket, sock};
+      return ret(static_cast<uint64_t>(fd));
+    }
+
+    case sys::kBind: {
+      auto it = p.fds.find(static_cast<int>(a1));
+      if (it == p.fds.end() || it->second.sock == nullptr) {
+        return ret(sys::kErr);
+      }
+      it->second.sock->port = static_cast<uint16_t>(a2);
+      return ret(0);
+    }
+
+    case sys::kListen: {
+      auto it = p.fds.find(static_cast<int>(a1));
+      if (it == p.fds.end() || it->second.sock == nullptr) {
+        return ret(sys::kErr);
+      }
+      auto& sock = it->second.sock;
+      sock->kind = Socket::Kind::kListen;
+      listeners_[sock->port] = sock;
+      return ret(0);
+    }
+
+    case sys::kAccept: {
+      auto it = p.fds.find(static_cast<int>(a1));
+      if (it == p.fds.end() || it->second.sock == nullptr ||
+          it->second.sock->kind != Socket::Kind::kListen) {
+        return ret(sys::kErr);
+      }
+      Socket& listener = *it->second.sock;
+      if (listener.backlog.empty()) {
+        return block_on_fd(p, Process::BlockKind::kAccept,
+                           static_cast<int>(a1));
+      }
+      auto conn_sock = std::make_shared<Socket>();
+      conn_sock->kind = Socket::Kind::kStream;
+      conn_sock->end = listener.backlog.front();
+      listener.backlog.pop_front();
+      int fd = p.next_fd++;
+      p.fds[fd] = FileDesc{FileDesc::Kind::kSocket, conn_sock};
+      clock_ += costs_.accept_extra;
+      return ret(static_cast<uint64_t>(fd));
+    }
+
+    case sys::kConnect: {
+      auto it = p.fds.find(static_cast<int>(a1));
+      if (it == p.fds.end() || it->second.sock == nullptr) {
+        return ret(sys::kErr);
+      }
+      auto lit = listeners_.find(static_cast<uint16_t>(a2));
+      std::shared_ptr<Socket> listener =
+          lit == listeners_.end() ? nullptr : lit->second.lock();
+      if (listener == nullptr) return ret(sys::kErr);
+      auto conn = std::make_shared<Conn>();
+      listener->backlog.push_back(SockEnd{conn, /*side_a=*/false});
+      it->second.sock->kind = Socket::Kind::kStream;
+      it->second.sock->end = SockEnd{conn, /*side_a=*/true};
+      return ret(0);
+    }
+
+    case sys::kClose: {
+      auto it = p.fds.find(static_cast<int>(a1));
+      if (it == p.fds.end()) return ret(sys::kErr);
+      if (it->second.sock && it->second.sock->kind == Socket::Kind::kStream) {
+        it->second.sock->end.close();
+      }
+      p.fds.erase(it);
+      return ret(0);
+    }
+
+    case sys::kFork:
+      return ret(do_fork(p));
+
+    case sys::kSigaction: {
+      if (a1 >= sig::kNumSignals) return ret(sys::kErr);
+      p.sigactions[a1] = SigAction{a2, a3};
+      return ret(0);
+    }
+
+    case sys::kSigreturn:
+      do_sigreturn(p);
+      return;
+
+    case sys::kNanosleep:
+      p.state = Process::State::kBlocked;
+      p.block_kind = Process::BlockKind::kSleep;
+      p.wake_at = clock_ + a1;
+      return ret(0);
+
+    case sys::kMmap: {
+      uint64_t hint = a1 == 0 ? kHeapBase : a1;
+      uint64_t size = page_ceil(a2);
+      if (size == 0) return ret(sys::kErr);
+      uint64_t addr = p.mem.find_free(size, hint);
+      p.mem.map(addr, size, static_cast<uint32_t>(a3), "[anon]");
+      return ret(addr);
+    }
+
+    case sys::kMunmap:
+      try {
+        p.mem.unmap(page_floor(a1), page_ceil(a2));
+        return ret(0);
+      } catch (const StateError&) {
+        return ret(sys::kErr);
+      }
+
+    case sys::kMprotect:
+      try {
+        p.mem.protect(page_floor(a1), page_ceil(a2),
+                      static_cast<uint32_t>(a3));
+        return ret(0);
+      } catch (const StateError&) {
+        return ret(sys::kErr);
+      }
+
+    case sys::kGetpid:
+      return ret(static_cast<uint64_t>(p.pid));
+
+    case sys::kNudge:
+      nudges_.emplace_back(p.pid, a1);
+      if (nudge_hook_) nudge_hook_(p, a1);
+      return ret(0);
+
+    case sys::kYield:
+      yielded_ = true;
+      return ret(0);
+
+    case sys::kClock:
+      return ret(clock_);
+
+    default:
+      // Unknown syscall: SIGSYS-like default — kill the process.
+      p.state = Process::State::kExited;
+      p.term_signal = 31;
+      return;
+  }
+}
+
+}  // namespace dynacut::os

@@ -1,0 +1,133 @@
+// osim: the userspace OS simulator hosting guest processes.
+//
+// Single-core round-robin scheduler with a virtual clock (1 tick per retired
+// instruction plus per-syscall costs). Blocking syscalls park the process
+// and transparently re-execute when the condition clears. Signals are
+// delivered through guest-stack frames with an rt_sigreturn-style unwind —
+// the substrate DynaCut's trap-handling and redirection run on.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "os/loader.hpp"
+#include "os/process.hpp"
+#include "os/socket.hpp"
+
+namespace dynacut::os {
+
+/// Receives basic-block entry events (the drcov tracer implements this).
+class BlockSink {
+ public:
+  virtual ~BlockSink() = default;
+  virtual void on_block(const Process& p, uint64_t ip) = 0;
+};
+
+/// Per-syscall virtual-time costs (ticks; 1 tick ~ 1ns of the paper's
+/// hardware). Exposed so benches can document the cost model.
+struct SyscallCosts {
+  uint64_t base = 60;
+  uint64_t per_io_byte_div = 4;  ///< io adds len/div ticks
+  uint64_t fork_extra = 20000;
+  uint64_t accept_extra = 500;
+};
+
+class Os {
+ public:
+  Os() = default;
+  Os(const Os&) = delete;
+  Os& operator=(const Os&) = delete;
+
+  // --- processes --------------------------------------------------------
+  /// Loads libraries (at the libc region) and the application (at kAppBase),
+  /// maps a stack and creates a runnable process. Returns its pid.
+  int spawn(std::shared_ptr<const melf::Binary> app,
+            std::vector<std::shared_ptr<const melf::Binary>> libs = {},
+            const std::string& name = "");
+
+  Process* process(int pid);
+  const Process* process(int pid) const;
+  std::vector<int> pids() const;
+  /// `root` plus all live descendants (an Nginx-style master+workers group).
+  std::vector<int> process_group(int root) const;
+  void kill(int pid);
+
+  // --- scheduling & time -------------------------------------------------
+  /// Runs until every process is exited/blocked/frozen or `max_instr`
+  /// instructions retire. Returns instructions retired.
+  uint64_t run(uint64_t max_instr = ~0ull);
+
+  /// Runs until the virtual clock advances by `ticks` (idle gaps with only
+  /// sleepers skip forward; fully idle systems jump to the deadline).
+  void run_ticks(uint64_t ticks);
+
+  bool all_exited() const;
+  uint64_t now() const { return clock_; }
+  /// Charges externally-imposed downtime (e.g. DynaCut's rewrite window).
+  void advance_clock(uint64_t ticks) { clock_ += ticks; }
+
+  // --- checkpoint support -------------------------------------------------
+  void freeze(int pid);
+  void thaw(int pid);
+
+  // --- host networking -----------------------------------------------------
+  /// Connects to a guest listener; throws StateError if no one listens.
+  HostConn connect(uint16_t port);
+  bool has_listener(uint16_t port) const;
+  /// Registers a listening socket (used by process-image restore).
+  void register_listener(const std::shared_ptr<Socket>& sock);
+
+  /// Adopts an externally constructed process (image restore into a new
+  /// process). Assigns and returns a fresh pid.
+  int adopt(std::unique_ptr<Process> p);
+
+  // --- instrumentation ----------------------------------------------------
+  void set_block_sink(BlockSink* sink) { sink_ = sink; }
+  /// (pid, code) markers emitted by the kNudge syscall.
+  const std::vector<std::pair<int, uint64_t>>& nudges() const {
+    return nudges_;
+  }
+  /// Invoked synchronously when a guest issues kNudge — lets a tracer dump
+  /// coverage at the exact init/serving boundary (the paper's DynamoRIO
+  /// nudge extension).
+  void set_nudge_hook(std::function<void(const Process&, uint64_t)> hook) {
+    nudge_hook_ = std::move(hook);
+  }
+
+  /// Invoked before every syscall executes (args still in registers).
+  /// Powers the paper's §5 future-work extension: inferring the end of the
+  /// initialization phase from syscall activity (see trace::PhaseDetector).
+  void set_syscall_hook(std::function<void(const Process&, uint64_t)> hook) {
+    syscall_hook_ = std::move(hook);
+  }
+
+  SyscallCosts& costs() { return costs_; }
+
+ private:
+  static constexpr uint64_t kQuantum = 256;
+
+  void run_quantum(Process& p, uint64_t budget, uint64_t& retired);
+  void do_syscall(Process& p);
+  void deliver_signal(Process& p, int signo, uint64_t fault_addr);
+  void do_sigreturn(Process& p);
+  bool try_unblock(Process& p);
+  void block_on_fd(Process& p, Process::BlockKind kind, int fd);
+  uint64_t do_fork(Process& p);
+
+  std::map<int, std::unique_ptr<Process>> procs_;
+  int next_pid_ = 100;
+  uint64_t clock_ = 0;
+  std::map<uint16_t, std::weak_ptr<Socket>> listeners_;
+  BlockSink* sink_ = nullptr;
+  std::vector<std::pair<int, uint64_t>> nudges_;
+  std::function<void(const Process&, uint64_t)> nudge_hook_;
+  std::function<void(const Process&, uint64_t)> syscall_hook_;
+  SyscallCosts costs_;
+  bool yielded_ = false;
+};
+
+}  // namespace dynacut::os

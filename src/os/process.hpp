@@ -1,0 +1,102 @@
+// The osim process: address space, CPU, fds, signal state, loaded modules.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "melf/binary.hpp"
+#include "os/socket.hpp"
+#include "os/syscall.hpp"
+#include "vm/addrspace.hpp"
+#include "vm/cpu.hpp"
+
+namespace dynacut::os {
+
+/// A module mapped into a process (application, libc.so, injected handler
+/// libraries). The drcov-style tracer keys coverage entries by module.
+struct LoadedModule {
+  std::string name;
+  uint64_t base = 0;
+  uint64_t size = 0;
+  std::shared_ptr<const melf::Binary> binary;
+
+  bool contains(uint64_t addr) const {
+    return addr >= base && addr < base + size;
+  }
+};
+
+/// Registered disposition for one signal. handler==0 means default action
+/// (terminate the process).
+struct SigAction {
+  uint64_t handler = 0;
+  uint64_t restorer = 0;
+};
+
+struct FileDesc {
+  enum class Kind { kConsole, kSocket };
+  Kind kind = Kind::kConsole;
+  std::shared_ptr<Socket> sock;
+};
+
+struct Process {
+  enum class State {
+    kRunnable,
+    kBlocked,  ///< parked in a blocking syscall; see `block`
+    kFrozen,   ///< checkpointed by DynaCut; invisible to the scheduler
+    kExited,
+  };
+
+  enum class BlockKind { kNone, kRecv, kAccept, kSleep };
+
+  int pid = 0;
+  int ppid = 0;
+  std::string name;
+  State state = State::kRunnable;
+
+  vm::AddressSpace mem;
+  vm::Cpu cpu;
+
+  std::map<int, FileDesc> fds;
+  int next_fd = 3;
+
+  std::array<SigAction, sig::kNumSignals> sigactions{};
+  std::vector<uint64_t> signal_frames;  ///< kernel-side frame address stack
+
+  std::vector<LoadedModule> modules;
+
+  BlockKind block_kind = BlockKind::kNone;
+  int block_fd = -1;
+  uint64_t wake_at = 0;  ///< for kSleep
+
+  std::string stdout_buf;  ///< bytes written to fd 1, host-observable
+
+  int exit_code = 0;
+  int term_signal = 0;  ///< non-zero if killed by a signal
+
+  /// True right after process start, a control transfer, or a signal
+  /// delivery/return — i.e. when cpu.ip is the first instruction of a basic
+  /// block. Drives the tracer.
+  bool at_block_start = true;
+
+  uint64_t instructions_retired = 0;
+
+  const LoadedModule* module_at(uint64_t addr) const {
+    for (const auto& m : modules) {
+      if (m.contains(addr)) return &m;
+    }
+    return nullptr;
+  }
+
+  const LoadedModule* module_named(const std::string& module_name) const {
+    for (const auto& m : modules) {
+      if (m.name == module_name) return &m;
+    }
+    return nullptr;
+  }
+};
+
+}  // namespace dynacut::os

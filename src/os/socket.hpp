@@ -1,0 +1,91 @@
+// In-memory TCP-like sockets connecting guest processes with each other and
+// with host-side test/benchmark drivers.
+//
+// A Conn is a duplex byte pipe with two sides (a/b). Kernel Socket objects
+// and host-side HostConn wrappers both reference Conns through shared
+// pointers, so connections survive checkpoint/restore of the owning process
+// — the moral equivalent of CRIU's TCP_REPAIR.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace dynacut::os {
+
+struct Conn {
+  std::deque<uint8_t> to_a;  ///< bytes waiting for side a
+  std::deque<uint8_t> to_b;  ///< bytes waiting for side b
+  bool a_open = true;
+  bool b_open = true;
+};
+
+/// One endpoint of a Conn.
+struct SockEnd {
+  std::shared_ptr<Conn> conn;
+  bool side_a = false;
+
+  std::deque<uint8_t>& rx() const { return side_a ? conn->to_a : conn->to_b; }
+  std::deque<uint8_t>& tx() const { return side_a ? conn->to_b : conn->to_a; }
+  bool peer_open() const { return side_a ? conn->b_open : conn->a_open; }
+  void close() const {
+    (side_a ? conn->a_open : conn->b_open) = false;
+  }
+};
+
+/// Kernel socket object (shared across fork'd fd tables).
+struct Socket {
+  enum class Kind { kUnbound, kListen, kStream };
+  Kind kind = Kind::kUnbound;
+  uint16_t port = 0;
+  std::deque<SockEnd> backlog;  ///< pending peer endpoints (listen sockets)
+  SockEnd end;                  ///< connected endpoint (stream sockets)
+};
+
+/// Host-side handle to a connection with a guest server. Non-blocking:
+/// recv-style calls return whatever is buffered.
+class HostConn {
+ public:
+  HostConn() = default;
+  explicit HostConn(SockEnd end) : end_(std::move(end)) {}
+
+  bool valid() const { return end_.conn != nullptr; }
+
+  void send(std::string_view data) {
+    auto& q = end_.tx();
+    q.insert(q.end(), data.begin(), data.end());
+  }
+
+  /// Drains all currently buffered bytes.
+  std::string recv_all() {
+    auto& q = end_.rx();
+    std::string out(q.begin(), q.end());
+    q.clear();
+    return out;
+  }
+
+  /// Pops one '\n'-terminated line if complete, else empty.
+  std::string recv_line() {
+    auto& q = end_.rx();
+    for (size_t i = 0; i < q.size(); ++i) {
+      if (q[i] == '\n') {
+        std::string line(q.begin(), q.begin() + static_cast<long>(i) + 1);
+        q.erase(q.begin(), q.begin() + static_cast<long>(i) + 1);
+        return line;
+      }
+    }
+    return {};
+  }
+
+  size_t pending() const { return end_.rx().size(); }
+  bool peer_open() const { return end_.peer_open(); }
+  void close() { end_.close(); }
+
+ private:
+  SockEnd end_;
+};
+
+}  // namespace dynacut::os

@@ -1,0 +1,61 @@
+// Syscall numbers and signal numbers of the osim kernel ABI.
+//
+// ABI: r0 = syscall number and return value; r1..r5 = arguments.
+// Errors return (uint64_t)-1. Blocking syscalls that cannot complete park
+// the process and re-execute transparently once the condition clears.
+#pragma once
+
+#include <cstdint>
+
+namespace dynacut::os::sys {
+
+inline constexpr uint64_t kExit = 0;       ///< exit(code)
+inline constexpr uint64_t kWrite = 1;      ///< write(fd, buf, len) -> len
+inline constexpr uint64_t kRead = 2;       ///< read(fd, buf, len) -> n | 0 EOF
+inline constexpr uint64_t kSocket = 3;     ///< socket() -> fd
+inline constexpr uint64_t kBind = 4;       ///< bind(fd, port)
+inline constexpr uint64_t kListen = 5;     ///< listen(fd)
+inline constexpr uint64_t kAccept = 6;     ///< accept(fd) -> conn fd [blocks]
+inline constexpr uint64_t kSend = 7;       ///< send(fd, buf, len) -> len
+inline constexpr uint64_t kRecv = 8;       ///< recv(fd, buf, len) [blocks]
+inline constexpr uint64_t kClose = 9;      ///< close(fd)
+inline constexpr uint64_t kFork = 10;      ///< fork() -> child pid | 0
+inline constexpr uint64_t kSigaction = 11; ///< sigaction(signo, handler, restorer)
+inline constexpr uint64_t kSigreturn = 12; ///< return from signal handler
+inline constexpr uint64_t kNanosleep = 13; ///< nanosleep(ticks)
+inline constexpr uint64_t kMmap = 14;      ///< mmap(hint, size, prot) -> addr
+inline constexpr uint64_t kMunmap = 15;    ///< munmap(addr, size)
+inline constexpr uint64_t kGetpid = 16;    ///< getpid() -> pid
+inline constexpr uint64_t kNudge = 17;     ///< nudge(code): host-visible marker
+inline constexpr uint64_t kYield = 18;     ///< end scheduling quantum
+inline constexpr uint64_t kClock = 19;     ///< clock() -> virtual ticks
+inline constexpr uint64_t kConnect = 20;   ///< connect(fd, port)
+inline constexpr uint64_t kMprotect = 21;  ///< mprotect(addr, size, prot)
+
+inline constexpr uint64_t kMaxSyscall = 22;
+
+inline constexpr uint64_t kErr = static_cast<uint64_t>(-1);
+
+}  // namespace dynacut::os::sys
+
+namespace dynacut::os::sig {
+
+inline constexpr int kSigIll = 4;
+inline constexpr int kSigTrap = 5;  ///< raised by the 0xCC TRAP instruction
+inline constexpr int kSigFpe = 8;
+inline constexpr int kSigSegv = 11;
+inline constexpr int kNumSignals = 32;
+
+/// Signal-frame layout, written to the guest stack on delivery. The handler
+/// receives a pointer to this frame in r1 and may rewrite kSavedIp — that is
+/// DynaCut's control-flow redirection mechanism (paper §3.2.2).
+namespace frame {
+inline constexpr uint64_t kSavedIp = 0;
+inline constexpr uint64_t kFlags = 8;
+inline constexpr uint64_t kRegs = 16;  ///< 16 * u64
+inline constexpr uint64_t kSigNo = 144;
+inline constexpr uint64_t kFaultAddr = 152;
+inline constexpr uint64_t kSize = 160;
+}  // namespace frame
+
+}  // namespace dynacut::os::sig

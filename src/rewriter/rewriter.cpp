@@ -1,0 +1,171 @@
+#include "rewriter/rewriter.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/hex.hpp"
+#include "isa/isa.hpp"
+
+namespace dynacut::rw {
+
+namespace {
+/// Default injection region: high, away from app/libc/stack — stands in for
+/// the paper's "randomized but unused location".
+constexpr uint64_t kInjectHint = 0x7f1d00000000;
+}  // namespace
+
+PatchRecord ImageRewriter::write_bytes(uint64_t vaddr,
+                                       std::span<const uint8_t> bytes) {
+  PatchRecord rec;
+  rec.vaddr = vaddr;
+  rec.original = img_.read_bytes(vaddr, bytes.size());
+  img_.write_bytes(vaddr, bytes);
+  bytes_patched_ += bytes.size();
+  pages_touched_ +=
+      (page_ceil(vaddr + bytes.size()) - page_floor(vaddr)) / kPageSize;
+  return rec;
+}
+
+PatchRecord ImageRewriter::block_first_byte(uint64_t vaddr) {
+  const uint8_t trap = static_cast<uint8_t>(isa::Op::kTrap);
+  return write_bytes(vaddr, std::span(&trap, 1));
+}
+
+PatchRecord ImageRewriter::wipe(uint64_t vaddr, uint64_t size) {
+  std::vector<uint8_t> traps(size, static_cast<uint8_t>(isa::Op::kTrap));
+  return write_bytes(vaddr, traps);
+}
+
+void ImageRewriter::undo(const PatchRecord& rec) {
+  img_.write_bytes(rec.vaddr, rec.original);
+  bytes_patched_ += rec.original.size();
+}
+
+void ImageRewriter::unmap_pages(uint64_t vaddr, uint64_t size) {
+  uint64_t start = page_floor(vaddr);
+  uint64_t end = page_ceil(vaddr + size);
+  img_.drop_range(start, end - start);
+  pages_touched_ += (end - start) / kPageSize;
+}
+
+void ImageRewriter::grow_vma(uint64_t vma_start, uint64_t extra) {
+  img_.grow_vma(vma_start, extra);
+}
+
+void ImageRewriter::make_code_writable(const std::string& module_name) {
+  const image::ModuleImage* m = img_.module_named(module_name);
+  if (m == nullptr) {
+    throw StateError("make_code_writable: no module " + module_name);
+  }
+  for (auto& v : img_.vmas) {
+    if (v.start >= m->base && v.end <= m->base + m->size &&
+        (v.prot & kProtExec) != 0) {
+      v.prot |= kProtWrite;
+    }
+  }
+}
+
+void ImageRewriter::set_sigaction(int signo, uint64_t handler,
+                                  uint64_t restorer) {
+  if (signo < 0 || signo >= os::sig::kNumSignals) {
+    throw StateError("set_sigaction: bad signal " + std::to_string(signo));
+  }
+  img_.core.sigactions[static_cast<size_t>(signo)] =
+      os::SigAction{handler, restorer};
+}
+
+uint64_t ImageRewriter::inject_library(
+    std::shared_ptr<const melf::Binary> lib, uint64_t base) {
+  if (img_.module_named(lib->name) != nullptr) {
+    throw StateError("inject_library: module already present: " + lib->name);
+  }
+  if (base == 0) {
+    base = img_.find_free(lib->image_size(), kInjectHint);
+  }
+  if (base != page_floor(base)) {
+    throw StateError("inject_library: base not page aligned");
+  }
+
+  // Create VMAs and page content for every section — the mm/pagemap/pages
+  // edits of paper §3.3.
+  for (const auto& sec : lib->sections) {
+    if (sec.size == 0) continue;
+    img_.add_vma(base + sec.offset, sec.size, melf::section_prot(sec.kind),
+                 lib->name + ":" + melf::section_name(sec.kind));
+    if (!sec.bytes.empty()) {
+      img_.write_bytes(base + sec.offset, sec.bytes);
+      pages_touched_ += page_ceil(sec.bytes.size()) / kPageSize;
+    }
+  }
+
+  // Register the module before relocating so self-exports resolve.
+  img_.modules.push_back(
+      image::ModuleImage{lib->name, base, lib->image_size(), lib});
+
+  for (const auto& rel : lib->relocs) {
+    uint64_t value = 0;
+    switch (rel.kind) {
+      case melf::RelocKind::kAbs64:
+        // "Global data relocations are performed by adding the VMA base
+        // address of the library to the st_value field of the symbol."
+        value = base + static_cast<uint64_t>(rel.addend);
+        break;
+      case melf::RelocKind::kGotEntry: {
+        // "Find the external libc function symbol offset from the libc
+        // binary; add the runtime VMA base address of libc; write the new
+        // address to the GOT of the signal handler library."
+        for (const auto& m : img_.modules) {
+          const melf::Symbol* s = m.binary->find_symbol(rel.symbol);
+          if (s != nullptr && s->global) {
+            value = m.base + s->value;
+            break;
+          }
+        }
+        if (value == 0) {
+          throw StateError("inject_library: unresolved import '" +
+                           rel.symbol + "'");
+        }
+        break;
+      }
+    }
+    img_.write_u64(base + rel.offset, value);
+    ++relocs_applied_;
+  }
+  return base;
+}
+
+void ImageRewriter::unload_library(const std::string& name) {
+  const image::ModuleImage* m = img_.module_named(name);
+  if (m == nullptr) throw StateError("unload_library: no module " + name);
+  uint64_t base = m->base;
+  uint64_t size = m->size;
+  img_.modules.erase(
+      std::remove_if(img_.modules.begin(), img_.modules.end(),
+                     [&](const image::ModuleImage& mi) {
+                       return mi.name == name;
+                     }),
+      img_.modules.end());
+  // Drop each VMA of the module individually (sections are not contiguous
+  // at page granularity but all live inside [base, base+size)).
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;
+  for (const auto& v : img_.vmas) {
+    if (v.start >= base && v.end <= base + size) {
+      ranges.emplace_back(v.start, v.end - v.start);
+    }
+  }
+  for (const auto& [start, len] : ranges) img_.drop_range(start, len);
+}
+
+uint64_t ImageRewriter::symbol_addr(const std::string& module_name,
+                                    const std::string& symbol) const {
+  const image::ModuleImage* m = img_.module_named(module_name);
+  if (m == nullptr) throw StateError("symbol_addr: no module " + module_name);
+  const melf::Symbol* s = m->binary->find_symbol(symbol);
+  if (s == nullptr) {
+    throw StateError("symbol_addr: no symbol " + symbol + " in " +
+                     module_name);
+  }
+  return m->base + s->value;
+}
+
+}  // namespace dynacut::rw

@@ -1,0 +1,95 @@
+// The DynaCut process rewriter (paper §3.2.1/§3.3): mutates a checkpointed
+// ProcessImage between dump and restore.
+//
+// Supported transforms — the same list the paper's CRIT extension provides:
+//   * update memory contents (arbitrary byte patches),
+//   * replace the first byte of a basic block with TRAP (int3 blocking),
+//   * wipe whole blocks with TRAP bytes (anti-ROP variant),
+//   * unmap code pages / grow VMAs,
+//   * inject a position-independent shared library (ELF-walk, page
+//     creation, global-data + GOT/PLT relocation against loaded modules),
+//   * rewrite the SIGTRAP sigaction to point into the injected library,
+//     with the library's own restorer stub.
+//
+// Every code edit records the original bytes so features can be restored
+// ("bidirectional" customization).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "image/image.hpp"
+#include "melf/binary.hpp"
+
+namespace dynacut::rw {
+
+/// Undo record for one code edit.
+struct PatchRecord {
+  uint64_t vaddr = 0;
+  std::vector<uint8_t> original;
+};
+
+class ImageRewriter {
+ public:
+  explicit ImageRewriter(image::ProcessImage& img) : img_(img) {}
+
+  // --- raw memory edits -------------------------------------------------
+  /// Patches bytes and returns an undo record.
+  PatchRecord write_bytes(uint64_t vaddr, std::span<const uint8_t> bytes);
+
+  /// Blocks the basic block at `vaddr` by replacing its first byte with
+  /// TRAP (0xCC). Returns the undo record.
+  PatchRecord block_first_byte(uint64_t vaddr);
+
+  /// Wipes [vaddr, vaddr+size) entirely with TRAP bytes — prevents gadget
+  /// reuse inside the block. Returns the undo record.
+  PatchRecord wipe(uint64_t vaddr, uint64_t size);
+
+  /// Reverts a previous edit.
+  void undo(const PatchRecord& rec);
+
+  // --- VMA surgery --------------------------------------------------------
+  /// Unmaps the page range fully covering [vaddr, vaddr+size).
+  void unmap_pages(uint64_t vaddr, uint64_t size);
+  void grow_vma(uint64_t vma_start, uint64_t extra);
+
+  /// Marks code pages writable+executable (verifier self-healing support).
+  void make_code_writable(const std::string& module_name);
+
+  // --- signal plumbing -----------------------------------------------------
+  void set_sigaction(int signo, uint64_t handler, uint64_t restorer);
+
+  // --- library injection ----------------------------------------------------
+  /// Injects `lib` as a new module. If base==0, picks an unused address from
+  /// `hint` (default: a high randomized-looking region). Applies kAbs64
+  /// relocations against the chosen base and kGotEntry relocations against
+  /// the image's loaded modules. Returns the load base.
+  uint64_t inject_library(std::shared_ptr<const melf::Binary> lib,
+                          uint64_t base = 0);
+
+  /// Removes a previously injected module and its VMAs.
+  void unload_library(const std::string& name);
+
+  /// Absolute address of `symbol` exported by module `module_name` in the
+  /// image; throws StateError if missing.
+  uint64_t symbol_addr(const std::string& module_name,
+                       const std::string& symbol) const;
+
+  /// Counters consumed by the cost model.
+  size_t bytes_patched() const { return bytes_patched_; }
+  size_t pages_touched() const { return pages_touched_; }
+  size_t relocs_applied() const { return relocs_applied_; }
+
+ private:
+  image::ProcessImage& img_;
+  size_t bytes_patched_ = 0;
+  size_t pages_touched_ = 0;
+  size_t relocs_applied_ = 0;
+};
+
+}  // namespace dynacut::rw

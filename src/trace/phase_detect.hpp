@@ -1,0 +1,45 @@
+// Automatic initialization-phase detection (the paper's §5 future-work
+// item, implemented): instead of requiring the user to nudge the tracer
+// when the server "looks ready", monitor syscall activity and declare the
+// init/serving transition at the first accept(2) — the moment a server
+// enters its request loop. Ghavamnia et al. hand-pick the equivalent
+// transition functions (ngx_worker_process_cycle, server_main_loop); the
+// syscall signal needs no source knowledge at all.
+#pragma once
+
+#include <functional>
+#include <set>
+
+#include "os/os.hpp"
+
+namespace dynacut::trace {
+
+class PhaseDetector {
+ public:
+  using Callback = std::function<void(const os::Process&)>;
+
+  /// Installs itself as `os`'s syscall hook (the single hook slot — do not
+  /// combine with another syscall hook). `on_init_end` fires exactly once
+  /// per process, at its first accept().
+  PhaseDetector(os::Os& os, Callback on_init_end)
+      : os_(os), cb_(std::move(on_init_end)) {
+    os_.set_syscall_hook([this](const os::Process& p, uint64_t num) {
+      if (num != os::sys::kAccept) return;
+      if (!fired_.insert(p.pid).second) return;
+      cb_(p);
+    });
+  }
+
+  ~PhaseDetector() { os_.set_syscall_hook(nullptr); }
+  PhaseDetector(const PhaseDetector&) = delete;
+  PhaseDetector& operator=(const PhaseDetector&) = delete;
+
+  bool fired(int pid) const { return fired_.count(pid) != 0; }
+
+ private:
+  os::Os& os_;
+  Callback cb_;
+  std::set<int> fired_;
+};
+
+}  // namespace dynacut::trace

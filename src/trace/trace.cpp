@@ -1,0 +1,119 @@
+#include "trace/trace.hpp"
+
+#include "common/error.hpp"
+#include "vm/exec.hpp"
+
+namespace dynacut::trace {
+
+const ModuleRec* TraceLog::module_named(const std::string& name) const {
+  for (const auto& m : modules) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::vector<uint8_t> TraceLog::encode() const {
+  ByteWriter w;
+  w.str("DRCOVSIM");
+  w.str(process_name);
+  w.i32(pid);
+  w.u32(static_cast<uint32_t>(modules.size()));
+  for (const auto& m : modules) {
+    w.str(m.name);
+    w.u64(m.base);
+    w.u64(m.size);
+  }
+  w.u32(static_cast<uint32_t>(blocks.size()));
+  for (const auto& b : blocks) {
+    w.u32(b.module_id);
+    w.u64(b.offset);
+    w.u32(b.size);
+  }
+  return w.take();
+}
+
+TraceLog TraceLog::decode(std::span<const uint8_t> data) {
+  ByteReader r(data);
+  if (r.str() != "DRCOVSIM") throw DecodeError("bad trace log magic");
+  TraceLog log;
+  log.process_name = r.str();
+  log.pid = r.i32();
+  uint32_t nmod = r.u32();
+  for (uint32_t i = 0; i < nmod; ++i) {
+    ModuleRec m;
+    m.name = r.str();
+    m.base = r.u64();
+    m.size = r.u64();
+    log.modules.push_back(std::move(m));
+  }
+  uint32_t nblk = r.u32();
+  for (uint32_t i = 0; i < nblk; ++i) {
+    BlockRec b;
+    b.module_id = r.u32();
+    b.offset = r.u64();
+    b.size = r.u32();
+    if (b.module_id >= log.modules.size()) {
+      throw DecodeError("block references missing module");
+    }
+    log.blocks.push_back(b);
+  }
+  if (!r.done()) throw DecodeError("trailing bytes in trace log");
+  return log;
+}
+
+void Tracer::on_block(const os::Process& p, uint64_t ip) {
+  if (only_pid_ != 0 && p.pid != only_pid_) return;
+  PerProc& d = data_[p.pid];
+  if (!d.seen.insert(ip).second) return;
+  vm::BlockInfo info = vm::block_at(p.mem, ip);
+  d.order.emplace_back(ip, static_cast<uint32_t>(info.size));
+}
+
+TraceLog Tracer::dump(int pid) const {
+  const os::Process* p = os_.process(pid);
+  if (p == nullptr) throw StateError("dump: no process " + std::to_string(pid));
+
+  TraceLog log;
+  log.process_name = p->name;
+  log.pid = pid;
+  for (const auto& m : p->modules) {
+    log.modules.push_back(ModuleRec{m.name, m.base, m.size});
+  }
+
+  auto it = data_.find(pid);
+  if (it == data_.end()) return log;
+  for (const auto& [addr, size] : it->second.order) {
+    BlockRec rec;
+    rec.size = size;
+    const os::LoadedModule* m = p->module_at(addr);
+    if (m != nullptr) {
+      // Module table position == index in p->modules by construction.
+      rec.module_id =
+          static_cast<uint32_t>(m - p->modules.data());
+      rec.offset = addr - m->base;
+    } else {
+      // Block outside any module (shouldn't happen for our guests): record
+      // it against a synthetic "[unknown]" module at base 0.
+      if (log.modules.empty() || log.modules.back().name != "[unknown]") {
+        log.modules.push_back(ModuleRec{"[unknown]", 0, 0});
+      }
+      rec.module_id = static_cast<uint32_t>(log.modules.size() - 1);
+      rec.offset = addr;
+    }
+    log.blocks.push_back(rec);
+  }
+  return log;
+}
+
+TraceLog Tracer::dump_and_reset(int pid) {
+  TraceLog log = dump(pid);
+  data_.erase(pid);
+  return log;
+}
+
+size_t Tracer::block_count(int pid) const {
+  auto it = data_.find(pid);
+  return it == data_.end() ? 0 : it->second.order.size();
+}
+
+}  // namespace dynacut::trace

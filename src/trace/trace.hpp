@@ -1,0 +1,87 @@
+// tracesim: the DynamoRIO-drcov stand-in.
+//
+// A Tracer attaches to the OS as a BlockSink and records, per process, every
+// basic block the first time it executes — as <module, offset, size> tuples
+// plus a module table, which is exactly the information drcov logs and the
+// paper's tracediff.py consumes. The nudge mechanism (dump_and_reset)
+// reproduces the paper's extension for dumping initialization-phase coverage
+// mid-run (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "os/os.hpp"
+
+namespace dynacut::trace {
+
+/// One module row of a coverage log.
+struct ModuleRec {
+  std::string name;
+  uint64_t base = 0;
+  uint64_t size = 0;
+};
+
+/// One basic-block row: module-relative offset and block byte size.
+struct BlockRec {
+  uint32_t module_id = 0;  ///< index into TraceLog::modules
+  uint64_t offset = 0;
+  uint32_t size = 0;
+
+  friend bool operator==(const BlockRec&, const BlockRec&) = default;
+};
+
+/// A coverage log of one traced process (one drcov output file).
+struct TraceLog {
+  std::string process_name;
+  int pid = 0;
+  std::vector<ModuleRec> modules;
+  std::vector<BlockRec> blocks;  ///< first-execution order
+
+  const ModuleRec* module_named(const std::string& name) const;
+
+  std::vector<uint8_t> encode() const;
+  static TraceLog decode(std::span<const uint8_t> data);
+};
+
+/// Basic-block coverage tracer. Attach with Os::set_block_sink. By default
+/// traces every process; restrict with trace_only().
+class Tracer : public os::BlockSink {
+ public:
+  explicit Tracer(os::Os& os) : os_(os) { os_.set_block_sink(this); }
+  ~Tracer() override { os_.set_block_sink(nullptr); }
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Restricts tracing to one pid (0 = trace all).
+  void trace_only(int pid) { only_pid_ = pid; }
+
+  void on_block(const os::Process& p, uint64_t ip) override;
+
+  /// Snapshot of the coverage collected so far for `pid`.
+  TraceLog dump(int pid) const;
+
+  /// The nudge: dumps coverage and clears the code cache so subsequent
+  /// execution is recorded afresh (used to split init/serving phases).
+  TraceLog dump_and_reset(int pid);
+
+  /// Deduplicated block count recorded so far for `pid`.
+  size_t block_count(int pid) const;
+
+ private:
+  struct PerProc {
+    std::vector<std::pair<uint64_t, uint32_t>> order;  // (abs addr, size)
+    std::unordered_set<uint64_t> seen;
+  };
+
+  os::Os& os_;
+  int only_pid_ = 0;
+  std::map<int, PerProc> data_;
+};
+
+}  // namespace dynacut::trace

@@ -1,0 +1,274 @@
+#include "vm/addrspace.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/hex.hpp"
+
+namespace dynacut::vm {
+
+void AddressSpace::map(uint64_t start, uint64_t size, uint32_t prot,
+                       const std::string& name) {
+  DYNACUT_ASSERT(start == page_floor(start));
+  size = page_ceil(size);
+  if (size == 0) throw StateError("map of empty region");
+  uint64_t end = start + size;
+  // Overlap check against neighbours.
+  auto it = vmas_.upper_bound(start);
+  if (it != vmas_.begin()) {
+    auto prev = std::prev(it);
+    if (prev->second.end > start) {
+      throw StateError("map overlaps existing VMA " + prev->second.name +
+                       " at " + hex_addr(start));
+    }
+  }
+  if (it != vmas_.end() && it->second.start < end) {
+    throw StateError("map overlaps existing VMA " + it->second.name + " at " +
+                     hex_addr(it->second.start));
+  }
+  vmas_[start] = Vma{start, end, prot, name};
+  invalidate_caches();
+}
+
+void AddressSpace::unmap(uint64_t start, uint64_t size) {
+  invalidate_caches();
+  DYNACUT_ASSERT(start == page_floor(start));
+  size = page_ceil(size);
+  uint64_t end = start + size;
+  bool touched = false;
+
+  // Collect affected VMAs, then rewrite them.
+  std::vector<Vma> affected;
+  for (auto it = vmas_.begin(); it != vmas_.end();) {
+    const Vma& v = it->second;
+    if (v.end <= start || v.start >= end) {
+      ++it;
+      continue;
+    }
+    affected.push_back(v);
+    it = vmas_.erase(it);
+    touched = true;
+  }
+  if (!touched) {
+    throw StateError("unmap of unmapped range at " + hex_addr(start));
+  }
+  for (const Vma& v : affected) {
+    if (v.start < start) {
+      vmas_[v.start] = Vma{v.start, start, v.prot, v.name};
+    }
+    if (v.end > end) {
+      vmas_[end] = Vma{end, v.end, v.prot, v.name};
+    }
+  }
+  // Discard pages in the unmapped range.
+  for (uint64_t p = start; p < end; p += kPageSize) pages_.erase(p);
+}
+
+void AddressSpace::protect(uint64_t start, uint64_t size, uint32_t prot) {
+  invalidate_caches();
+  DYNACUT_ASSERT(start == page_floor(start));
+  size = page_ceil(size);
+  uint64_t end = start + size;
+
+  std::vector<Vma> affected;
+  for (auto it = vmas_.begin(); it != vmas_.end();) {
+    const Vma& v = it->second;
+    if (v.end <= start || v.start >= end) {
+      ++it;
+      continue;
+    }
+    affected.push_back(v);
+    it = vmas_.erase(it);
+  }
+  if (affected.empty()) {
+    throw StateError("protect of unmapped range at " + hex_addr(start));
+  }
+  for (const Vma& v : affected) {
+    if (v.start < start) vmas_[v.start] = Vma{v.start, start, v.prot, v.name};
+    uint64_t mid_start = std::max(v.start, start);
+    uint64_t mid_end = std::min(v.end, end);
+    vmas_[mid_start] = Vma{mid_start, mid_end, prot, v.name};
+    if (v.end > end) vmas_[end] = Vma{end, v.end, v.prot, v.name};
+  }
+}
+
+const Vma* AddressSpace::vma_at(uint64_t addr) const {
+  if (cached_vma_ != nullptr && cached_vma_->contains(addr)) {
+    return cached_vma_;
+  }
+  auto it = vmas_.upper_bound(addr);
+  if (it == vmas_.begin()) return nullptr;
+  --it;
+  if (!it->second.contains(addr)) return nullptr;
+  cached_vma_ = &it->second;
+  return cached_vma_;
+}
+
+uint64_t AddressSpace::find_free(uint64_t size, uint64_t hint) const {
+  size = page_ceil(size);
+  uint64_t candidate = page_floor(hint);
+  for (const auto& [start, v] : vmas_) {
+    if (start >= candidate + size) break;  // gap before this VMA fits
+    if (v.end > candidate) candidate = v.end;
+  }
+  return candidate;
+}
+
+AddressSpace::Page& AddressSpace::ensure_page(uint64_t page_addr) {
+  auto it = pages_.find(page_addr);
+  if (it == pages_.end()) {
+    it = pages_.emplace(page_addr, Page(kPageSize, 0)).first;
+  }
+  return it->second;
+}
+
+const AddressSpace::Page* AddressSpace::find_page(uint64_t page_addr) const {
+  auto it = pages_.find(page_addr);
+  return it == pages_.end() ? nullptr : &it->second;
+}
+
+Access AddressSpace::check_range(uint64_t addr, uint64_t n,
+                                 uint32_t need_prot) const {
+  uint64_t cur = addr;
+  uint64_t end = addr + n;
+  while (cur < end) {
+    const Vma* v = vma_at(cur);
+    if (v == nullptr || (v->prot & need_prot) != need_prot) {
+      return {false, cur};
+    }
+    cur = v->end;
+  }
+  return {true, 0};
+}
+
+Access AddressSpace::read(uint64_t addr, void* out, uint64_t n,
+                          uint32_t need_prot) const {
+  // Fast path: access within the cached VMA and the cached page.
+  if (cached_vma_ != nullptr && addr >= cached_vma_->start && n > 0 &&
+      addr + n <= cached_vma_->end &&
+      (cached_vma_->prot & need_prot) == need_prot) {
+    uint64_t page = page_floor(addr);
+    if (page == page_floor(addr + n - 1)) {
+      if (page != cached_page_addr_) {
+        auto it = pages_.find(page);
+        if (it != pages_.end()) {
+          cached_page_addr_ = page;
+          cached_page_ = const_cast<Page*>(&it->second);
+        }
+      }
+      if (page == cached_page_addr_) {
+        std::memcpy(out, cached_page_->data() + (addr - page), n);
+        return {true, 0};
+      }
+    }
+  }
+
+  Access a = check_range(addr, n, need_prot);
+  if (!a.ok) return a;
+  auto* dst = static_cast<uint8_t*>(out);
+  uint64_t cur = addr;
+  while (n > 0) {
+    uint64_t page = page_floor(cur);
+    uint64_t off = cur - page;
+    uint64_t chunk = std::min<uint64_t>(n, kPageSize - off);
+    if (const Page* p = find_page(page)) {
+      std::memcpy(dst, p->data() + off, chunk);
+    } else {
+      std::memset(dst, 0, chunk);
+    }
+    dst += chunk;
+    cur += chunk;
+    n -= chunk;
+  }
+  return {true, 0};
+}
+
+Access AddressSpace::write(uint64_t addr, const void* src, uint64_t n,
+                           uint32_t need_prot) {
+  if (cached_vma_ != nullptr && addr >= cached_vma_->start && n > 0 &&
+      addr + n <= cached_vma_->end &&
+      (cached_vma_->prot & need_prot) == need_prot) {
+    uint64_t page = page_floor(addr);
+    if (page == page_floor(addr + n - 1)) {
+      if (page != cached_page_addr_) {
+        cached_page_addr_ = page;
+        cached_page_ = &ensure_page(page);
+      }
+      std::memcpy(cached_page_->data() + (addr - page), src, n);
+      return {true, 0};
+    }
+  }
+
+  Access a = check_range(addr, n, need_prot);
+  if (!a.ok) return a;
+  const auto* s = static_cast<const uint8_t*>(src);
+  uint64_t cur = addr;
+  while (n > 0) {
+    uint64_t page = page_floor(cur);
+    uint64_t off = cur - page;
+    uint64_t chunk = std::min<uint64_t>(n, kPageSize - off);
+    std::memcpy(ensure_page(page).data() + off, s, chunk);
+    s += chunk;
+    cur += chunk;
+    n -= chunk;
+  }
+  return {true, 0};
+}
+
+void AddressSpace::peek(uint64_t addr, void* out, uint64_t n) const {
+  Access a = check_range(addr, n, 0);
+  if (!a.ok) {
+    throw StateError("peek of unmapped address " + hex_addr(a.fault_addr));
+  }
+  Access r = read(addr, out, n, 0);
+  DYNACUT_ASSERT(r.ok);
+}
+
+void AddressSpace::poke(uint64_t addr, const void* src, uint64_t n) {
+  Access a = check_range(addr, n, 0);
+  if (!a.ok) {
+    throw StateError("poke of unmapped address " + hex_addr(a.fault_addr));
+  }
+  Access w = write(addr, src, n, 0);
+  DYNACUT_ASSERT(w.ok);
+}
+
+std::vector<uint8_t> AddressSpace::peek_bytes(uint64_t addr,
+                                              uint64_t n) const {
+  std::vector<uint8_t> out(n);
+  peek(addr, out.data(), n);
+  return out;
+}
+
+void AddressSpace::poke_bytes(uint64_t addr, std::span<const uint8_t> bytes) {
+  poke(addr, bytes.data(), bytes.size());
+}
+
+std::vector<uint64_t> AddressSpace::populated_pages() const {
+  std::vector<uint64_t> out;
+  out.reserve(pages_.size());
+  for (const auto& [addr, page] : pages_) {
+    // A page can linger after its VMA was unmapped and the range remapped;
+    // only report pages still inside a VMA.
+    if (vma_at(addr) != nullptr) out.push_back(addr);
+  }
+  return out;
+}
+
+std::span<const uint8_t> AddressSpace::page_bytes(uint64_t page_addr) const {
+  const Page* p = find_page(page_addr);
+  if (p == nullptr) {
+    throw StateError("page not populated: " + hex_addr(page_addr));
+  }
+  return {p->data(), p->size()};
+}
+
+void AddressSpace::install_page(uint64_t page_addr,
+                                std::span<const uint8_t> bytes) {
+  DYNACUT_ASSERT(page_addr == page_floor(page_addr));
+  DYNACUT_ASSERT(bytes.size() == kPageSize);
+  Page& p = ensure_page(page_addr);
+  std::copy(bytes.begin(), bytes.end(), p.begin());
+}
+
+}  // namespace dynacut::vm

@@ -1,0 +1,132 @@
+// Per-process virtual address space: a VMA list plus sparse 4 KiB pages.
+//
+// This is the object CRIU-style checkpointing serializes (mm + pagemap +
+// pages) and the process rewriter mutates. Pages are populated lazily on
+// first write; reads inside a VMA of an unpopulated page observe zeros —
+// mirroring anonymous-memory semantics, and giving the checkpointer the
+// same "dump only populated pages" behaviour the paper relies on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/constants.hpp"
+#include "common/error.hpp"
+
+namespace dynacut::vm {
+
+/// A virtual memory area (page-aligned [start, end) range).
+struct Vma {
+  uint64_t start = 0;
+  uint64_t end = 0;
+  uint32_t prot = 0;
+  std::string name;  ///< "miniweb:.text", "[stack]", "[heap]", ...
+
+  uint64_t size() const { return end - start; }
+  bool contains(uint64_t addr) const { return addr >= start && addr < end; }
+};
+
+enum class FaultType : uint8_t {
+  kNone = 0,
+  kSegv,  ///< unmapped address or protection violation
+  kIll,   ///< undecodable instruction
+  kFpe,   ///< divide by zero
+};
+
+/// Outcome of a checked memory access.
+struct Access {
+  bool ok = true;
+  uint64_t fault_addr = 0;
+};
+
+class AddressSpace {
+ public:
+  AddressSpace() = default;
+  // Copies/moves must not carry cache pointers into another object's maps.
+  AddressSpace(const AddressSpace& o) : vmas_(o.vmas_), pages_(o.pages_) {}
+  AddressSpace& operator=(const AddressSpace& o) {
+    vmas_ = o.vmas_;
+    pages_ = o.pages_;
+    invalidate_caches();
+    return *this;
+  }
+  AddressSpace(AddressSpace&& o) noexcept
+      : vmas_(std::move(o.vmas_)), pages_(std::move(o.pages_)) {}
+  AddressSpace& operator=(AddressSpace&& o) noexcept {
+    vmas_ = std::move(o.vmas_);
+    pages_ = std::move(o.pages_);
+    invalidate_caches();
+    o.invalidate_caches();
+    return *this;
+  }
+
+  /// Maps a new VMA. Throws StateError if it overlaps an existing one.
+  void map(uint64_t start, uint64_t size, uint32_t prot,
+           const std::string& name);
+
+  /// Unmaps [start, start+size); partial unmaps split VMAs. Pages in the
+  /// range are discarded. Throws StateError if the range touches no VMA.
+  void unmap(uint64_t start, uint64_t size);
+
+  /// Changes protection of [start, start+size), splitting VMAs as needed.
+  void protect(uint64_t start, uint64_t size, uint32_t prot);
+
+  const Vma* vma_at(uint64_t addr) const;
+  const std::map<uint64_t, Vma>& vmas() const { return vmas_; }
+
+  /// Finds a free gap of `size` bytes at or above `hint` (page aligned).
+  uint64_t find_free(uint64_t size, uint64_t hint) const;
+
+  // --- checked guest accesses (return faults, never throw) -------------
+  Access read(uint64_t addr, void* out, uint64_t n, uint32_t need_prot) const;
+  Access write(uint64_t addr, const void* src, uint64_t n, uint32_t need_prot);
+
+  // --- host/debugger accesses (ignore protections, throw on unmapped) --
+  void peek(uint64_t addr, void* out, uint64_t n) const;
+  void poke(uint64_t addr, const void* src, uint64_t n);
+  std::vector<uint8_t> peek_bytes(uint64_t addr, uint64_t n) const;
+  void poke_bytes(uint64_t addr, std::span<const uint8_t> bytes);
+
+  /// Addresses of populated (written-to) pages, ascending. This is what the
+  /// checkpointer dumps.
+  std::vector<uint64_t> populated_pages() const;
+
+  /// Raw content of one populated page; throws if not populated.
+  std::span<const uint8_t> page_bytes(uint64_t page_addr) const;
+
+  /// Installs page content directly (used by restore).
+  void install_page(uint64_t page_addr, std::span<const uint8_t> bytes);
+
+  uint64_t vma_count() const { return vmas_.size(); }
+
+ private:
+  using Page = std::vector<uint8_t>;  // always kPageSize long
+
+  Page& ensure_page(uint64_t page_addr);
+  const Page* find_page(uint64_t page_addr) const;
+  void invalidate_caches() const {
+    cached_vma_ = nullptr;
+    cached_page_addr_ = ~0ull;
+    cached_page_ = nullptr;
+  }
+
+  /// Checks [addr, addr+n) lies inside VMAs with `need_prot`; returns the
+  /// faulting address otherwise.
+  Access check_range(uint64_t addr, uint64_t n, uint32_t need_prot) const;
+
+  std::map<uint64_t, Vma> vmas_;        // keyed by start
+  std::map<uint64_t, Page> pages_;      // keyed by page address
+
+  // Hot-path caches (guest execution hits the same VMA/page repeatedly).
+  // std::map nodes are pointer-stable across inserts, so these stay valid
+  // until a VMA or page is removed; every structural change invalidates.
+  mutable const Vma* cached_vma_ = nullptr;
+  mutable uint64_t cached_page_addr_ = ~0ull;
+  mutable Page* cached_page_ = nullptr;
+};
+
+}  // namespace dynacut::vm

@@ -1,0 +1,257 @@
+#include "vm/exec.hpp"
+
+#include <cstring>
+
+namespace dynacut::vm {
+
+namespace {
+
+using isa::Instr;
+using isa::Op;
+
+/// Fetches and decodes the instruction at cpu.ip. Returns fault info on
+/// unmapped/non-executable memory or an invalid encoding.
+StepResult fetch(const AddressSpace& mem, uint64_t ip, Instr& out) {
+  // Fast path: speculatively read a maximal instruction (10 bytes) in one
+  // go — almost always hits the cached page.
+  uint8_t fast[10];
+  if (mem.read(ip, fast, sizeof fast, kProtExec).ok) {
+    auto ins = isa::try_decode(fast);
+    if (!ins) return {StepKind::kFault, FaultType::kIll, ip, false};
+    out = *ins;
+    return {StepKind::kOk, FaultType::kNone, 0, false};
+  }
+
+  uint8_t opcode;
+  Access a = mem.read(ip, &opcode, 1, kProtExec);
+  if (!a.ok) return {StepKind::kFault, FaultType::kSegv, a.fault_addr, false};
+  uint8_t len = isa::instr_length(opcode);
+  if (len == 0) return {StepKind::kFault, FaultType::kIll, ip, false};
+  uint8_t buf[16];
+  buf[0] = opcode;
+  if (len > 1) {
+    a = mem.read(ip + 1, buf + 1, len - 1, kProtExec);
+    if (!a.ok) {
+      return {StepKind::kFault, FaultType::kSegv, a.fault_addr, false};
+    }
+  }
+  auto ins = isa::try_decode({buf, len});
+  if (!ins) return {StepKind::kFault, FaultType::kIll, ip, false};
+  out = *ins;
+  return {StepKind::kOk, FaultType::kNone, 0, false};
+}
+
+void set_flags(Cpu& cpu, uint64_t a, uint64_t b) {
+  cpu.zf = a == b;
+  cpu.lt_u = a < b;
+  cpu.lt_s = static_cast<int64_t>(a) < static_cast<int64_t>(b);
+}
+
+bool branch_taken(const Cpu& cpu, Op op) {
+  switch (op) {
+    case Op::kJe:
+      return cpu.zf;
+    case Op::kJne:
+      return !cpu.zf;
+    case Op::kJlt:
+      return cpu.lt_s;
+    case Op::kJle:
+      return cpu.lt_s || cpu.zf;
+    case Op::kJgt:
+      return !cpu.lt_s && !cpu.zf;
+    case Op::kJge:
+      return !cpu.lt_s;
+    case Op::kJb:
+      return cpu.lt_u;
+    case Op::kJae:
+      return !cpu.lt_u;
+    default:
+      return true;  // kJmp
+  }
+}
+
+}  // namespace
+
+StepResult step(AddressSpace& mem, Cpu& cpu) {
+  Instr ins;
+  StepResult fr = fetch(mem, cpu.ip, ins);
+  if (fr.kind != StepKind::kOk) return fr;
+
+  const uint64_t next_ip = cpu.ip + ins.length;
+  auto& r = cpu.regs;
+  StepResult result;
+  result.block_end = isa::is_terminator(ins.op);
+
+  auto segv = [&](uint64_t addr) {
+    return StepResult{StepKind::kFault, FaultType::kSegv, addr, false};
+  };
+
+  switch (ins.op) {
+    case Op::kMovRI:
+      r[ins.r1] = static_cast<uint64_t>(ins.imm);
+      break;
+    case Op::kMovRR:
+      r[ins.r1] = r[ins.r2];
+      break;
+    case Op::kLoad: {
+      uint64_t v;
+      Access a = mem.read(r[ins.r2] + ins.imm, &v, 8, kProtRead);
+      if (!a.ok) return segv(a.fault_addr);
+      r[ins.r1] = v;
+      break;
+    }
+    case Op::kStore: {
+      Access a = mem.write(r[ins.r1] + ins.imm, &r[ins.r2], 8, kProtWrite);
+      if (!a.ok) return segv(a.fault_addr);
+      break;
+    }
+    case Op::kLoadB: {
+      uint8_t v;
+      Access a = mem.read(r[ins.r2] + ins.imm, &v, 1, kProtRead);
+      if (!a.ok) return segv(a.fault_addr);
+      r[ins.r1] = v;
+      break;
+    }
+    case Op::kStoreB: {
+      uint8_t v = static_cast<uint8_t>(r[ins.r2]);
+      Access a = mem.write(r[ins.r1] + ins.imm, &v, 1, kProtWrite);
+      if (!a.ok) return segv(a.fault_addr);
+      break;
+    }
+    case Op::kAddRR:
+      r[ins.r1] += r[ins.r2];
+      break;
+    case Op::kAddRI:
+      r[ins.r1] += static_cast<uint64_t>(ins.imm);
+      break;
+    case Op::kSubRR:
+      r[ins.r1] -= r[ins.r2];
+      break;
+    case Op::kSubRI:
+      r[ins.r1] -= static_cast<uint64_t>(ins.imm);
+      break;
+    case Op::kMulRR:
+      r[ins.r1] *= r[ins.r2];
+      break;
+    case Op::kDivRR:
+      if (r[ins.r2] == 0) {
+        return {StepKind::kFault, FaultType::kFpe, cpu.ip, false};
+      }
+      r[ins.r1] /= r[ins.r2];
+      break;
+    case Op::kAndRR:
+      r[ins.r1] &= r[ins.r2];
+      break;
+    case Op::kOrRR:
+      r[ins.r1] |= r[ins.r2];
+      break;
+    case Op::kXorRR:
+      r[ins.r1] ^= r[ins.r2];
+      break;
+    case Op::kShlRI:
+      r[ins.r1] <<= (ins.imm & 63);
+      break;
+    case Op::kShrRI:
+      r[ins.r1] >>= (ins.imm & 63);
+      break;
+    case Op::kCmpRR:
+      set_flags(cpu, r[ins.r1], r[ins.r2]);
+      break;
+    case Op::kCmpRI:
+      set_flags(cpu, r[ins.r1], static_cast<uint64_t>(ins.imm));
+      break;
+    case Op::kJmp:
+    case Op::kJe:
+    case Op::kJne:
+    case Op::kJlt:
+    case Op::kJle:
+    case Op::kJgt:
+    case Op::kJge:
+    case Op::kJb:
+    case Op::kJae:
+      cpu.ip = branch_taken(cpu, ins.op) ? ins.target(cpu.ip) : next_ip;
+      return result;
+    case Op::kCall: {
+      uint64_t ra = next_ip;
+      cpu.sp() -= 8;
+      Access a = mem.write(cpu.sp(), &ra, 8, kProtWrite);
+      if (!a.ok) return segv(a.fault_addr);
+      cpu.ip = ins.target(cpu.ip);
+      return result;
+    }
+    case Op::kCallR: {
+      uint64_t ra = next_ip;
+      cpu.sp() -= 8;
+      Access a = mem.write(cpu.sp(), &ra, 8, kProtWrite);
+      if (!a.ok) return segv(a.fault_addr);
+      cpu.ip = r[ins.r1];
+      return result;
+    }
+    case Op::kRet: {
+      uint64_t ra;
+      Access a = mem.read(cpu.sp(), &ra, 8, kProtRead);
+      if (!a.ok) return segv(a.fault_addr);
+      cpu.sp() += 8;
+      cpu.ip = ra;
+      return result;
+    }
+    case Op::kJmpR:
+      cpu.ip = r[ins.r1];
+      return result;
+    case Op::kPush: {
+      cpu.sp() -= 8;
+      Access a = mem.write(cpu.sp(), &r[ins.r1], 8, kProtWrite);
+      if (!a.ok) return segv(a.fault_addr);
+      break;
+    }
+    case Op::kPop: {
+      uint64_t v;
+      Access a = mem.read(cpu.sp(), &v, 8, kProtRead);
+      if (!a.ok) return segv(a.fault_addr);
+      cpu.sp() += 8;
+      r[ins.r1] = v;
+      break;
+    }
+    case Op::kSyscall:
+      cpu.ip = next_ip;
+      result.kind = StepKind::kSyscall;
+      return result;
+    case Op::kTrap:
+      // ip intentionally NOT advanced: the signal frame records the trap
+      // address so a handler can patch/redirect and re-execute.
+      result.kind = StepKind::kTrap;
+      result.fault_addr = cpu.ip;
+      return result;
+    case Op::kLea:
+      r[ins.r1] = ins.target(cpu.ip);
+      break;
+    case Op::kNop:
+      break;
+  }
+
+  cpu.ip = next_ip;
+  return result;
+}
+
+BlockInfo block_at(const AddressSpace& mem, uint64_t addr,
+                   uint64_t max_bytes) {
+  BlockInfo info;
+  uint64_t cur = addr;
+  while (cur - addr < max_bytes) {
+    uint8_t buf[16];
+    Access a = mem.read(cur, buf, 1, kProtExec);
+    if (!a.ok) break;
+    uint8_t len = isa::instr_length(buf[0]);
+    if (len == 0) break;
+    if (len > 1 && !mem.read(cur + 1, buf + 1, len - 1, kProtExec).ok) break;
+    auto ins = isa::try_decode({buf, len});
+    if (!ins) break;
+    info.size = cur + len - addr;
+    info.instr_count += 1;
+    if (isa::is_terminator(ins->op)) break;
+    cur += len;
+  }
+  return info;
+}
+
+}  // namespace dynacut::vm

@@ -1,0 +1,42 @@
+// The VX64 executor: single-steps a CPU over an address space.
+//
+// The executor is policy-free: syscalls, traps and faults are reported to
+// the caller (the OS simulator), which implements kernel behaviour.
+#pragma once
+
+#include <cstdint>
+
+#include "vm/addrspace.hpp"
+#include "vm/cpu.hpp"
+
+namespace dynacut::vm {
+
+enum class StepKind : uint8_t {
+  kOk,       ///< instruction retired normally
+  kSyscall,  ///< SYSCALL executed; ip already advanced past it
+  kTrap,     ///< TRAP (0xCC) reached; ip still points at the trap byte
+  kFault,    ///< SIGSEGV/SIGILL/SIGFPE condition; ip unchanged
+};
+
+struct StepResult {
+  StepKind kind = StepKind::kOk;
+  FaultType fault = FaultType::kNone;
+  uint64_t fault_addr = 0;
+  bool block_end = false;  ///< the retired instruction was a BB terminator
+};
+
+/// Executes exactly one instruction. Never throws on guest misbehaviour —
+/// all guest errors surface as kFault/kTrap results.
+StepResult step(AddressSpace& mem, Cpu& cpu);
+
+/// Decodes the basic block starting at `addr`: its byte size (distance to
+/// the end of its terminator) and instruction count. Walks at most
+/// `max_bytes`. Returns 0 size if the first instruction is undecodable.
+struct BlockInfo {
+  uint64_t size = 0;
+  uint32_t instr_count = 0;
+};
+BlockInfo block_at(const AddressSpace& mem, uint64_t addr,
+                   uint64_t max_bytes = 4096);
+
+}  // namespace dynacut::vm

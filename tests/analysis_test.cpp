@@ -1,0 +1,233 @@
+// Tests for coverage-graph algebra and the paper's two differential
+// analyses: tracediff feature discovery and init-phase identification.
+#include <gtest/gtest.h>
+
+#include "analysis/coverage.hpp"
+#include "apps/libc.hpp"
+#include "common/rng.hpp"
+#include "os/os.hpp"
+#include "test_guests.hpp"
+#include "trace/trace.hpp"
+
+namespace dynacut::analysis {
+namespace {
+
+CovBlock blk(const std::string& m, uint64_t off, uint32_t size = 4) {
+  return CovBlock{m, off, size};
+}
+
+CoverageGraph graph(std::initializer_list<CovBlock> blocks) {
+  CoverageGraph g;
+  for (const auto& b : blocks) g.insert(b);
+  return g;
+}
+
+TEST(CoverageGraph, InsertAndContains) {
+  CoverageGraph g = graph({blk("app", 0x10), blk("app", 0x20)});
+  EXPECT_EQ(g.size(), 2u);
+  EXPECT_TRUE(g.contains("app", 0x10));
+  EXPECT_FALSE(g.contains("app", 0x30));
+  EXPECT_FALSE(g.contains("libc", 0x10));
+}
+
+TEST(CoverageGraph, InsertIsIdempotent) {
+  CoverageGraph g = graph({blk("app", 0x10), blk("app", 0x10)});
+  EXPECT_EQ(g.size(), 1u);
+}
+
+TEST(CoverageGraph, MergeIsUnion) {
+  CoverageGraph a = graph({blk("app", 1), blk("app", 2)});
+  CoverageGraph b = graph({blk("app", 2), blk("app", 3)});
+  a.merge(b);
+  EXPECT_EQ(a.size(), 3u);
+}
+
+TEST(CoverageGraph, DiffKeepsOnlyUnique) {
+  CoverageGraph a = graph({blk("app", 1), blk("app", 2), blk("app", 3)});
+  CoverageGraph b = graph({blk("app", 2)});
+  CoverageGraph d = a.diff(b);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_TRUE(d.contains("app", 1));
+  EXPECT_FALSE(d.contains("app", 2));
+  EXPECT_TRUE(d.contains("app", 3));
+}
+
+TEST(CoverageGraph, DiffWithSelfIsEmpty) {
+  CoverageGraph a = graph({blk("app", 1), blk("app", 2)});
+  EXPECT_TRUE(a.diff(a).empty());
+}
+
+TEST(CoverageGraph, IntersectKeepsCommon) {
+  CoverageGraph a = graph({blk("app", 1), blk("app", 2)});
+  CoverageGraph b = graph({blk("app", 2), blk("app", 3)});
+  CoverageGraph i = a.intersect(b);
+  EXPECT_EQ(i.size(), 1u);
+  EXPECT_TRUE(i.contains("app", 2));
+}
+
+TEST(CoverageGraph, ModuleFilters) {
+  CoverageGraph g = graph({blk("app", 1), blk("libc.so", 2), blk("app", 3)});
+  EXPECT_EQ(g.only_module("app").size(), 2u);
+  EXPECT_EQ(g.without_module("libc.so").size(), 2u);
+  EXPECT_EQ(g.only_module("libc.so").size(), 1u);
+  EXPECT_TRUE(g.only_module("nothing").empty());
+}
+
+TEST(CoverageGraph, TotalBytes) {
+  CoverageGraph g = graph({blk("app", 1, 10), blk("app", 20, 5)});
+  EXPECT_EQ(g.total_bytes(), 15u);
+}
+
+TEST(CoverageGraph, BlocksSortedByModuleThenOffset) {
+  CoverageGraph g =
+      graph({blk("z", 1), blk("a", 9), blk("a", 2), blk("z", 0)});
+  auto v = g.blocks();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0].module, "a");
+  EXPECT_EQ(v[0].offset, 2u);
+  EXPECT_EQ(v[1].offset, 9u);
+  EXPECT_EQ(v[2].module, "z");
+  EXPECT_EQ(v[2].offset, 0u);
+}
+
+// Set-algebra properties over seeded random graphs.
+class CoverageAlgebra : public ::testing::TestWithParam<int> {};
+
+TEST_P(CoverageAlgebra, DiffDisjointFromOtherAndSubsetOfSelf) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  CoverageGraph a, b;
+  for (int i = 0; i < 60; ++i) {
+    a.insert(blk("m", rng.below(40) * 8));
+    b.insert(blk("m", rng.below(40) * 8));
+  }
+  CoverageGraph d = a.diff(b);
+  for (const auto& block : d.blocks()) {
+    EXPECT_TRUE(a.contains(block.module, block.offset));
+    EXPECT_FALSE(b.contains(block.module, block.offset));
+  }
+  // a = (a \ b) ∪ (a ∩ b)
+  CoverageGraph recomposed = d;
+  recomposed.merge(a.intersect(b));
+  EXPECT_EQ(recomposed.size(), a.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoverageAlgebra, ::testing::Range(1, 9));
+
+// ---------------------------------------------------------------------------
+// End-to-end tracediff on the toy server (paper Fig. 4 workflow)
+// ---------------------------------------------------------------------------
+
+struct TracedRun {
+  trace::TraceLog log;
+  std::shared_ptr<const melf::Binary> bin;
+};
+
+/// Boots toysrv, sends `requests`, returns the full-run coverage.
+TracedRun traced_run(const std::string& requests) {
+  os::Os vos;
+  trace::Tracer tracer(vos);
+  auto bin = testing::build_toysrv();
+  int pid = vos.spawn(bin, {apps::build_libc()});
+  vos.run();
+  auto conn = vos.connect(80);
+  conn.send(requests);
+  vos.run();
+  return {tracer.dump(pid), bin};
+}
+
+TEST(FeatureDiff, FindsFeatureUniqueBlocks) {
+  TracedRun with_b = traced_run("A\nB\nQ\n");   // undesired run includes B
+  TracedRun without_b = traced_run("A\nA\nQ\n");  // wanted run: A only
+
+  CoverageGraph unique_b =
+      feature_diff({with_b.log}, {without_b.log}, "toysrv");
+  ASSERT_FALSE(unique_b.empty());
+
+  // Every unique block must lie in handle_b or dispatch's arm_b block.
+  const melf::Symbol* handle_b = with_b.bin->find_symbol("handle_b");
+  const melf::Symbol* dispatch = with_b.bin->find_symbol("dispatch");
+  for (const auto& b : unique_b.blocks()) {
+    bool in_handle_b = b.offset >= handle_b->value &&
+                       b.offset < handle_b->value + handle_b->size;
+    bool in_dispatch = b.offset >= dispatch->value &&
+                       b.offset < dispatch->value + dispatch->size;
+    EXPECT_TRUE(in_handle_b || in_dispatch)
+        << "stray block at offset " << b.offset;
+  }
+  // And handle_b's entry block must be among them.
+  EXPECT_TRUE(unique_b.contains("toysrv", handle_b->value));
+}
+
+TEST(FeatureDiff, LibraryBlocksFilteredOut) {
+  TracedRun with_b = traced_run("B\nQ\n");
+  TracedRun without_b = traced_run("A\nQ\n");
+  CoverageGraph unique_b =
+      feature_diff({with_b.log}, {without_b.log}, "toysrv");
+  for (const auto& b : unique_b.blocks()) {
+    EXPECT_EQ(b.module, "toysrv");  // no libc.so blocks
+  }
+}
+
+TEST(FeatureDiff, MergedWantedTracesShrinkTheDiff) {
+  TracedRun undesired = traced_run("A\nB\nQ\n");
+  TracedRun wanted1 = traced_run("Q\n");        // barely exercises dispatch
+  TracedRun wanted2 = traced_run("A\nA\nQ\n");  // exercises A fully
+
+  CoverageGraph diff_narrow =
+      feature_diff({undesired.log}, {wanted1.log}, "toysrv");
+  CoverageGraph diff_merged =
+      feature_diff({undesired.log}, {wanted1.log, wanted2.log}, "toysrv");
+  // More wanted traces => fewer (or equal) blocks misclassified as unique.
+  EXPECT_LE(diff_merged.size(), diff_narrow.size());
+  EXPECT_LT(diff_merged.size(), diff_narrow.size());
+}
+
+TEST(InitOnly, SplitsInitFromServing) {
+  os::Os vos;
+  trace::Tracer tracer(vos);
+  auto bin = testing::build_toysrv();
+  int pid = vos.spawn(bin, {apps::build_libc()});
+  vos.run();  // init finished; parked in accept
+  trace::TraceLog init_log = tracer.dump_and_reset(pid);
+  auto conn = vos.connect(80);
+  conn.send("A\nB\nQ\n");
+  vos.run();
+  trace::TraceLog serving_log = tracer.dump(pid);
+
+  CoverageGraph init_blocks = init_only(init_log, serving_log, "toysrv");
+  ASSERT_FALSE(init_blocks.empty());
+
+  const melf::Symbol* init_fn = bin->find_symbol("init");
+  EXPECT_TRUE(init_blocks.contains("toysrv", init_fn->value));
+  // Nothing in dispatch/handlers may be classified init-only.
+  for (const char* live : {"dispatch", "handle_a", "handle_b", "serve_loop"}) {
+    const melf::Symbol* s = bin->find_symbol(live);
+    for (const auto& b : init_blocks.blocks()) {
+      EXPECT_FALSE(b.offset >= s->value && b.offset < s->value + s->size)
+          << "init-only misclassified block inside " << live;
+    }
+  }
+}
+
+TEST(InitOnly, SharedBlocksAreKept) {
+  // main's call-into-serve_loop block spans init and serving; any block
+  // executed again post-nudge must not be marked init-only.
+  os::Os vos;
+  trace::Tracer tracer(vos);
+  auto bin = testing::build_toysrv();
+  int pid = vos.spawn(bin, {apps::build_libc()});
+  vos.run();
+  trace::TraceLog init_log = tracer.dump_and_reset(pid);
+  auto conn = vos.connect(80);
+  conn.send("A\nQ\n");
+  vos.run();
+  trace::TraceLog serving_log = tracer.dump(pid);
+
+  CoverageGraph init_blocks = init_only(init_log, serving_log, "toysrv");
+  CoverageGraph serving =
+      CoverageGraph::from_log(serving_log).only_module("toysrv");
+  EXPECT_TRUE(init_blocks.intersect(serving).empty());
+}
+
+}  // namespace
+}  // namespace dynacut::analysis

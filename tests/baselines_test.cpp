@@ -1,0 +1,138 @@
+// Tests for the static-debloater baselines (razor_sim, chisel_sim) and the
+// server oracle they minimize against.
+#include <gtest/gtest.h>
+
+#include "apps/libc.hpp"
+#include "baselines/chisel.hpp"
+#include "baselines/oracle.hpp"
+#include "baselines/razor.hpp"
+#include "os/os.hpp"
+#include "test_guests.hpp"
+#include "trace/trace.hpp"
+
+namespace dynacut::baselines {
+namespace {
+
+using analysis::CoverageGraph;
+
+trace::TraceLog trace_toysrv(const std::string& requests) {
+  os::Os vos;
+  trace::Tracer tracer(vos);
+  int pid = vos.spawn(testing::build_toysrv(), {apps::build_libc()});
+  vos.run();
+  auto conn = vos.connect(80);
+  conn.send(requests);
+  vos.run();
+  return tracer.dump(pid);
+}
+
+TEST(Razor, KeepsTracedBlocksRemovesRest) {
+  auto bin = testing::build_toysrv();
+  RazorResult res = razor_debloat(*bin, "toysrv", {trace_toysrv("A\nQ\n")});
+
+  EXPECT_GT(res.total_blocks, 0u);
+  EXPECT_GT(res.kept.size(), 0u);
+  EXPECT_GT(res.removed.size(), 0u);
+  EXPECT_EQ(res.kept.size() + res.removed.size(), res.total_blocks);
+  EXPECT_GT(res.kept_fraction(), 0.0);
+  EXPECT_LT(res.kept_fraction(), 1.0);
+  // Traced code kept; kept/removed disjoint by construction.
+  EXPECT_TRUE(res.kept.contains("toysrv",
+                                bin->find_symbol("handle_a")->value));
+  EXPECT_TRUE(res.kept.intersect(res.removed).empty());
+}
+
+TEST(Razor, HeuristicExpansionGrowsKeptSet) {
+  auto bin = testing::build_toysrv();
+  auto log = trace_toysrv("A\nQ\n");
+  RazorResult h0 = razor_debloat(*bin, "toysrv", {log}, 0);
+  RazorResult h2 = razor_debloat(*bin, "toysrv", {log}, 2);
+  RazorResult h5 = razor_debloat(*bin, "toysrv", {log}, 5);
+  EXPECT_LT(h0.kept.size(), h2.kept.size());
+  EXPECT_LE(h2.kept.size(), h5.kept.size());
+}
+
+TEST(Razor, MoreTrainingTracesKeepMore) {
+  auto bin = testing::build_toysrv();
+  RazorResult narrow = razor_debloat(*bin, "toysrv", {trace_toysrv("Q\n")});
+  RazorResult broad = razor_debloat(
+      *bin, "toysrv", {trace_toysrv("Q\n"), trace_toysrv("A\nB\nQ\n")});
+  EXPECT_GT(broad.kept.size(), narrow.kept.size());
+}
+
+TEST(Razor, UntrainedFeatureIsRemoved) {
+  auto bin = testing::build_toysrv();
+  // Train without B; handle_b must be gone (the static-debloating downside
+  // the paper's Figure 1(b) criticizes: B is unusable forever).
+  RazorResult res =
+      razor_debloat(*bin, "toysrv", {trace_toysrv("A\nQ\n")}, 0);
+  EXPECT_FALSE(
+      res.kept.contains("toysrv", bin->find_symbol("handle_b")->value));
+}
+
+TEST(Oracle, AcceptsFullKeptSetRejectsEmptyish) {
+  auto bin = testing::build_toysrv();
+  auto oracle = make_server_oracle(
+      bin, {apps::build_libc()}, 80, "toysrv",
+      {{"A\n", "alpha\n"}, {"X\n", "err\n"}});
+
+  // Keep everything -> passes.
+  analysis::StaticCfg cfg = analysis::recover_cfg(*bin);
+  CoverageGraph all;
+  for (const auto& [off, blk] : cfg.blocks) {
+    all.insert(analysis::CovBlock{"toysrv", off, blk.size});
+  }
+  EXPECT_TRUE(oracle(all));
+
+  // Keep nothing -> the server can't even boot.
+  EXPECT_FALSE(oracle(CoverageGraph{}));
+}
+
+TEST(Oracle, DetectsWrongReply) {
+  auto bin = testing::build_toysrv();
+  auto oracle = make_server_oracle(bin, {apps::build_libc()}, 80, "toysrv",
+                                   {{"A\n", "WRONG\n"}});
+  analysis::StaticCfg cfg = analysis::recover_cfg(*bin);
+  CoverageGraph all;
+  for (const auto& [off, blk] : cfg.blocks) {
+    all.insert(analysis::CovBlock{"toysrv", off, blk.size});
+  }
+  EXPECT_FALSE(oracle(all));
+}
+
+TEST(Chisel, MinimizesBelowRazor) {
+  auto bin = testing::build_toysrv();
+  auto log = trace_toysrv("A\nB\nQ\n");
+  // Level-4 heuristics: deep enough that the untrained error path survives
+  // (RAZOR's higher zCode levels exist for exactly this reason).
+  RazorResult razor = razor_debloat(*bin, "toysrv", {log}, 4);
+
+  // Requirement: only feature A (and the error path) must keep working.
+  auto oracle = make_server_oracle(
+      bin, {apps::build_libc()}, 80, "toysrv",
+      {{"A\n", "alpha\n"}, {"X\n", "err\n"}});
+
+  ChiselResult chisel =
+      chisel_debloat(*bin, "toysrv", razor.kept, oracle, 6);
+
+  EXPECT_LT(chisel.kept.size(), razor.kept.size());
+  EXPECT_GT(chisel.oracle_calls, 1);
+  EXPECT_LT(chisel.kept_fraction(), razor.kept_fraction());
+  // The minimized server still passes its own oracle.
+  EXPECT_TRUE(oracle(chisel.kept));
+  // And B is gone: chisel removed at least the B handler entry.
+  EXPECT_FALSE(
+      chisel.kept.contains("toysrv", bin->find_symbol("handle_b")->value));
+}
+
+TEST(Chisel, ThrowsWhenSeedFailsOracle) {
+  auto bin = testing::build_toysrv();
+  auto oracle = make_server_oracle(bin, {apps::build_libc()}, 80, "toysrv",
+                                   {{"A\n", "alpha\n"}});
+  EXPECT_THROW(
+      chisel_debloat(*bin, "toysrv", CoverageGraph{}, oracle, 2),
+      StateError);
+}
+
+}  // namespace
+}  // namespace dynacut::baselines

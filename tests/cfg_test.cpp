@@ -1,0 +1,241 @@
+// Tests for static CFG recovery (total-BB counting), PLT-usage analysis and
+// the gadget scanner.
+#include <gtest/gtest.h>
+
+#include "analysis/cfg.hpp"
+#include "analysis/gadget.hpp"
+#include "analysis/plt.hpp"
+#include "apps/libc.hpp"
+#include "apps/minikv.hpp"
+#include "apps/miniweb.hpp"
+#include "melf/builder.hpp"
+#include "os/os.hpp"
+#include "test_guests.hpp"
+#include "trace/trace.hpp"
+
+namespace dynacut::analysis {
+namespace {
+
+using melf::Binary;
+using melf::ProgramBuilder;
+
+TEST(Cfg, StraightLineFunctionIsOneBlock) {
+  ProgramBuilder b("line");
+  b.func("f").mov_ri(1, 1).add_ri(1, 2).ret();
+  Binary bin = b.link();
+  StaticCfg cfg = recover_cfg(bin);
+  ASSERT_EQ(cfg.block_count(), 1u);
+  const CfgBlock& blk = cfg.blocks.begin()->second;
+  EXPECT_EQ(blk.instr_count, 3u);
+  EXPECT_TRUE(blk.succs.empty());  // ret
+}
+
+TEST(Cfg, DiamondHasFourBlocks) {
+  ProgramBuilder b("diamond");
+  auto& f = b.func("f");
+  f.cmp_ri(1, 0)
+      .je("right")
+      .mov_ri(2, 1)  // left
+      .jmp("join")
+      .label("right")
+      .mov_ri(2, 2)
+      .label("join")
+      .ret();
+  Binary bin = b.link();
+  StaticCfg cfg = recover_cfg(bin);
+  EXPECT_EQ(cfg.block_count(), 4u);
+}
+
+TEST(Cfg, BranchTargetsSplitBlocks) {
+  // A backward branch into the middle of a straight line must split it.
+  ProgramBuilder b("split");
+  auto& f = b.func("f");
+  f.mov_ri(1, 0)
+      .label("mid")
+      .add_ri(1, 1)
+      .cmp_ri(1, 5)
+      .jlt("mid")
+      .ret();
+  Binary bin = b.link();
+  StaticCfg cfg = recover_cfg(bin);
+  // Blocks: [entry..jlt], [mid..jlt], [ret]; mid is a leader.
+  EXPECT_EQ(cfg.block_count(), 3u);
+}
+
+TEST(Cfg, CallCreatesEdgeAndFallthrough) {
+  ProgramBuilder b("calls");
+  b.func("callee").ret();
+  b.func("caller").call("callee").mov_ri(1, 0).ret();
+  Binary bin = b.link();
+  StaticCfg cfg = recover_cfg(bin);
+  uint64_t callee = bin.find_symbol("callee")->value;
+  uint64_t caller = bin.find_symbol("caller")->value;
+  const CfgBlock& first = cfg.blocks.at(caller);
+  EXPECT_EQ(first.succs.size(), 2u);  // call target + fallthrough
+  EXPECT_NE(std::find(first.succs.begin(), first.succs.end(), callee),
+            first.succs.end());
+}
+
+TEST(Cfg, UnreachableFunctionsStillCounted) {
+  // Angr-style totals include never-called functions (symbol roots).
+  ProgramBuilder b("cold");
+  b.func("used").ret();
+  b.func("cold").mov_ri(1, 1).ret();
+  Binary bin = b.link();
+  EXPECT_GE(total_block_count(bin), 2u);
+}
+
+TEST(Cfg, TotalCountsCoverRealApps) {
+  // Sanity ranges for the evaluation apps; exact numbers are asserted by
+  // determinism (same binary => same count).
+  size_t kv = total_block_count(*apps::build_minikv());
+  size_t web = total_block_count(*apps::build_miniweb());
+  EXPECT_GT(kv, 100u);
+  EXPECT_GT(web, 500u);  // padded with synthetic modules
+  EXPECT_EQ(kv, total_block_count(*apps::build_minikv()));  // deterministic
+}
+
+TEST(Cfg, StaticBlocksSupersetOfTracedBlocks) {
+  // Every dynamically observed toysrv block must exist statically (the
+  // traced block's start must fall on a static block start or inside one,
+  // since dynamic blocks split at call returns the static CFG also splits).
+  os::Os vos;
+  trace::Tracer tracer(vos);
+  auto bin = testing::build_toysrv();
+  int pid = vos.spawn(bin, {apps::build_libc()});
+  vos.run();
+  auto conn = vos.connect(80);
+  conn.send("A\nB\nQ\n");
+  vos.run();
+  trace::TraceLog log = tracer.dump(pid);
+
+  StaticCfg cfg = recover_cfg(*bin);
+  for (const auto& blk : log.blocks) {
+    if (log.modules[blk.module_id].name != "toysrv") continue;
+    // Find the static block containing this offset.
+    auto it = cfg.blocks.upper_bound(blk.offset);
+    ASSERT_NE(it, cfg.blocks.begin()) << "offset " << blk.offset;
+    --it;
+    EXPECT_LT(blk.offset, it->second.offset + it->second.size)
+        << "traced block at " << blk.offset << " not covered statically";
+  }
+}
+
+// ---------------------------------------------------------------------------
+// PLT analysis
+// ---------------------------------------------------------------------------
+
+struct PhaseCov {
+  CoverageGraph init;
+  CoverageGraph serving;
+  std::shared_ptr<const Binary> bin;
+};
+
+PhaseCov minikv_phases() {
+  os::Os vos;
+  trace::Tracer tracer(vos);
+  auto bin = apps::build_minikv();
+  int pid = vos.spawn(bin, {apps::build_libc()});
+  vos.run();
+  trace::TraceLog init_log = tracer.dump_and_reset(pid);
+  auto conn = vos.connect(apps::kMinikvPort);
+  conn.send("SET a 1\nGET a\nPING\n");
+  vos.run();
+  trace::TraceLog serving_log = tracer.dump(pid);
+  return {CoverageGraph::from_log(init_log),
+          CoverageGraph::from_log(serving_log), bin};
+}
+
+TEST(Plt, ClassifiesInitOnlyEntries) {
+  PhaseCov pc = minikv_phases();
+  PltUsage usage = analyze_plt(*pc.bin, "minikv", pc.init, pc.serving);
+
+  EXPECT_EQ(usage.total_entries, pc.bin->imports.size());
+  EXPECT_FALSE(usage.executed.empty());
+  EXPECT_FALSE(usage.init_only.empty());
+  EXPECT_FALSE(usage.serving.empty());
+
+  auto has = [](const std::vector<std::string>& v, const char* name) {
+    return std::find(v.begin(), v.end(), name) != v.end();
+  };
+  // socket/bind/listen/memset run only during startup.
+  EXPECT_TRUE(has(usage.init_only, "socket"));
+  EXPECT_TRUE(has(usage.init_only, "bind"));
+  EXPECT_TRUE(has(usage.init_only, "listen"));
+  EXPECT_TRUE(has(usage.init_only, "memset"));
+  // recv_line/strcmp serve requests.
+  EXPECT_TRUE(has(usage.serving, "recv_line"));
+  EXPECT_TRUE(has(usage.serving, "strcmp"));
+  // init_only and serving are disjoint; both are subsets of executed.
+  for (const auto& e : usage.init_only) {
+    EXPECT_FALSE(has(usage.serving, e.c_str())) << e;
+    EXPECT_TRUE(has(usage.executed, e.c_str()));
+  }
+}
+
+TEST(Plt, BlocksForEntriesMatchStubOffsets) {
+  auto bin = apps::build_minikv();
+  auto blocks = plt_blocks(*bin, "minikv", {"socket", "bind"});
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_EQ(blocks[0].offset, *bin->plt_stub_offset("socket"));
+  EXPECT_EQ(blocks[0].size, melf::Binary::kPltStubSize);
+  // Unknown entries are skipped, not invented.
+  EXPECT_TRUE(plt_blocks(*bin, "minikv", {"no_such_import"}).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Gadget scanner
+// ---------------------------------------------------------------------------
+
+TEST(Gadgets, FindsRetSequences) {
+  os::Os vos;
+  int pid = vos.spawn(testing::build_toysrv(), {apps::build_libc()});
+  GadgetStats stats = scan_gadgets(vos.process(pid)->mem);
+  EXPECT_GT(stats.gadget_starts, 10u);
+  EXPECT_GT(stats.executable_bytes, 0u);
+}
+
+TEST(Gadgets, WipingCodeRemovesGadgets) {
+  os::Os vos;
+  int pid = vos.spawn(testing::build_toysrv(), {apps::build_libc()});
+  os::Process* p = vos.process(pid);
+  GadgetStats before = scan_gadgets(p->mem);
+
+  // Wipe the whole app .text with traps (host-side, simulating the
+  // aggressive wipe policy).
+  const os::LoadedModule* app = p->module_named("toysrv");
+  const melf::Section* text =
+      app->binary->section(melf::SectionKind::kText);
+  std::vector<uint8_t> traps(text->size, 0xCC);
+  p->mem.poke_bytes(app->base + text->offset, traps);
+
+  GadgetStats after = scan_gadgets(p->mem);
+  EXPECT_LT(after.gadget_starts, before.gadget_starts);
+}
+
+TEST(Gadgets, UnmappingCodeRemovesGadgetsEntirely) {
+  os::Os vos;
+  int pid = vos.spawn(testing::build_toysrv(), {apps::build_libc()});
+  os::Process* p = vos.process(pid);
+  const os::LoadedModule* libc = p->module_named("libc.so");
+  GadgetStats before = scan_gadgets(p->mem);
+  // Unmap libc .text: its gadget contribution disappears.
+  const melf::Section* text =
+      libc->binary->section(melf::SectionKind::kText);
+  p->mem.unmap(libc->base + text->offset, page_ceil(text->size));
+  GadgetStats after = scan_gadgets(p->mem);
+  EXPECT_LT(after.gadget_starts, before.gadget_starts);
+  EXPECT_LT(after.executable_bytes, before.executable_bytes);
+}
+
+TEST(Gadgets, RespectsMaxInstrs) {
+  os::Os vos;
+  int pid = vos.spawn(testing::build_toysrv(), {apps::build_libc()});
+  const os::Process* p = vos.process(pid);
+  GadgetStats narrow = scan_gadgets(p->mem, 1);
+  GadgetStats wide = scan_gadgets(p->mem, 8);
+  EXPECT_LE(narrow.gadget_starts, wide.gadget_starts);
+}
+
+}  // namespace
+}  // namespace dynacut::analysis

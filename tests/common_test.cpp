@@ -1,0 +1,142 @@
+// Unit tests for src/common: byte I/O, hex formatting, RNG determinism.
+#include <gtest/gtest.h>
+
+#include "common/bytes.hpp"
+#include "common/constants.hpp"
+#include "common/error.hpp"
+#include "common/hex.hpp"
+#include "common/rng.hpp"
+
+namespace dynacut {
+namespace {
+
+TEST(ByteWriter, WritesPrimitivesLittleEndian) {
+  ByteWriter w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0102030405060708ULL);
+  const auto& b = w.bytes();
+  ASSERT_EQ(b.size(), 1u + 2 + 4 + 8);
+  EXPECT_EQ(b[0], 0xab);
+  EXPECT_EQ(b[1], 0x34);
+  EXPECT_EQ(b[2], 0x12);
+  EXPECT_EQ(b[3], 0xef);
+  EXPECT_EQ(b[7], 0x08);  // low byte of the u64
+}
+
+TEST(ByteRoundtrip, AllPrimitiveTypes) {
+  ByteWriter w;
+  w.u8(7);
+  w.u16(65535);
+  w.u32(4000000000u);
+  w.u64(1ull << 63);
+  w.i32(-42);
+  w.i64(-1234567890123ll);
+  w.str("hello");
+  w.blob(std::vector<uint8_t>{1, 2, 3});
+
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u8(), 7);
+  EXPECT_EQ(r.u16(), 65535);
+  EXPECT_EQ(r.u32(), 4000000000u);
+  EXPECT_EQ(r.u64(), 1ull << 63);
+  EXPECT_EQ(r.i32(), -42);
+  EXPECT_EQ(r.i64(), -1234567890123ll);
+  EXPECT_EQ(r.str(), "hello");
+  EXPECT_EQ(r.blob(), (std::vector<uint8_t>{1, 2, 3}));
+  EXPECT_TRUE(r.done());
+}
+
+TEST(ByteReader, ThrowsOnTruncatedRead) {
+  std::vector<uint8_t> data{1, 2};
+  ByteReader r(data);
+  EXPECT_THROW(r.u32(), DecodeError);
+}
+
+TEST(ByteReader, ThrowsOnTruncatedString) {
+  ByteWriter w;
+  w.u32(100);  // claims 100 bytes follow
+  w.u8('x');
+  ByteReader r(w.bytes());
+  EXPECT_THROW(r.str(), DecodeError);
+}
+
+TEST(ByteReader, EmptyStringAndBlob) {
+  ByteWriter w;
+  w.str("");
+  w.blob({});
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.str(), "");
+  EXPECT_TRUE(r.blob().empty());
+}
+
+TEST(ByteWriter, PatchU32) {
+  ByteWriter w;
+  w.u32(0);
+  w.u8(9);
+  w.patch_u32(0, 0xcafebabe);
+  ByteReader r(w.bytes());
+  EXPECT_EQ(r.u32(), 0xcafebabe);
+}
+
+TEST(Hex, Addr) { EXPECT_EQ(hex_addr(0x400000), "0x400000"); }
+
+TEST(Hex, Bytes) {
+  std::vector<uint8_t> b{0xcc, 0x90, 0x01};
+  EXPECT_EQ(hex_bytes(b), "cc 90 01");
+}
+
+TEST(Hex, ParseU64) {
+  EXPECT_EQ(parse_u64("0x10"), 16u);
+  EXPECT_EQ(parse_u64("42"), 42u);
+  EXPECT_THROW(parse_u64(""), DecodeError);
+  EXPECT_THROW(parse_u64("zz"), DecodeError);
+  EXPECT_THROW(parse_u64("12x"), DecodeError);
+}
+
+TEST(Hex, DumpHasAddressColumn) {
+  std::vector<uint8_t> b(20, 0xaa);
+  std::string dump = hexdump(b, 0x1000);
+  EXPECT_NE(dump.find("0000000000001000"), std::string::npos);
+  EXPECT_NE(dump.find("0000000000001010"), std::string::npos);
+}
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  EXPECT_NE(a.next(), b.next());
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng r(9);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t v = r.range(3, 5);
+    EXPECT_GE(v, 3u);
+    EXPECT_LE(v, 5u);
+    saw_lo |= v == 3;
+    saw_hi |= v == 5;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Constants, PageMath) {
+  EXPECT_EQ(page_floor(0x1fff), 0x1000u);
+  EXPECT_EQ(page_ceil(0x1001), 0x2000u);
+  EXPECT_EQ(page_ceil(0x1000), 0x1000u);
+  EXPECT_EQ(page_floor(0), 0u);
+}
+
+}  // namespace
+}  // namespace dynacut

@@ -1,0 +1,102 @@
+// Unit tests for core building blocks: cost model arithmetic, timing
+// breakdowns, and the injected handler libraries' structure (PIC-ness,
+// exports, table sizing).
+#include <gtest/gtest.h>
+
+#include "core/cost_model.hpp"
+#include "core/handler_lib.hpp"
+#include "isa/disasm.hpp"
+#include "os/syscall.hpp"
+
+namespace dynacut::core {
+namespace {
+
+TEST(CostModel, TermsAreProportionalToWork) {
+  CostModel m;
+  EXPECT_EQ(m.checkpoint_cost(0), m.checkpoint_base_ns);
+  EXPECT_EQ(m.checkpoint_cost(100) - m.checkpoint_cost(0),
+            100 * m.checkpoint_per_page_ns);
+  EXPECT_EQ(m.restore_cost(10) - m.restore_cost(0),
+            10 * m.restore_per_page_ns);
+  EXPECT_EQ(m.patch_cost(5, 0), 5 * m.patch_per_block_ns);
+  EXPECT_EQ(m.patch_cost(0, 3), 3 * m.unmap_per_page_ns);
+  EXPECT_EQ(m.inject_cost(7) - m.inject_cost(0), 7 * m.inject_per_reloc_ns);
+}
+
+TEST(CostModel, ServerScaleFeatureRemovalIsSubSecond) {
+  // A 2.3MB image (~560 pages) with a handful of blocks — the Fig. 6 case —
+  // must land well under a second with the default coefficients.
+  CostModel m;
+  uint64_t total = m.checkpoint_cost(560) + m.patch_cost(10, 0) +
+                   m.inject_cost(12) + m.restore_cost(560);
+  EXPECT_LT(total, 1'000'000'000u);
+  EXPECT_GT(total, 100'000'000u);
+}
+
+TEST(TimingBreakdown, TotalsAndAccumulation) {
+  TimingBreakdown a{1, 2, 3, 4};
+  EXPECT_EQ(a.total_ns(), 10u);
+  TimingBreakdown b{10, 20, 30, 40};
+  a += b;
+  EXPECT_EQ(a.checkpoint_ns, 11u);
+  EXPECT_EQ(a.total_ns(), 110u);
+  TimingBreakdown half_second{500'000'000, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(half_second.total_seconds(), 0.5);
+}
+
+TEST(HandlerLib, RedirectLibIsPositionIndependent) {
+  auto lib = build_redirect_lib(16);
+  // PIC requirement: no kAbs64 relocations (only GOT entries would be
+  // allowed, and this library imports nothing).
+  for (const auto& rel : lib->relocs) {
+    EXPECT_NE(rel.kind, melf::RelocKind::kAbs64);
+  }
+  EXPECT_TRUE(lib->imports.empty());
+  EXPECT_EQ(lib->entry, melf::Binary::kNoEntry);
+}
+
+TEST(HandlerLib, RedirectLibExportsAndCapacity) {
+  auto lib = build_redirect_lib(32);
+  for (const char* sym : {"dynacut_handler", "dynacut_restorer",
+                          "redirect_count", "redirect_table"}) {
+    ASSERT_NE(lib->find_symbol(sym), nullptr) << sym;
+  }
+  EXPECT_EQ(lib->find_symbol("redirect_table")->size, 32u * 16);
+  EXPECT_EQ(lib->find_symbol("redirect_count")->size, 8u);
+}
+
+TEST(HandlerLib, RestorerIsSigreturnStub) {
+  // The restorer must be the small mov+syscall sigreturn stub (the paper's
+  // injected rt_sigreturn restorer).
+  auto lib = build_redirect_lib(4);
+  const melf::Symbol* restorer = lib->find_symbol("dynacut_restorer");
+  ASSERT_NE(restorer, nullptr);
+  EXPECT_EQ(restorer->size, 11u);  // mov_ri(10) + syscall(1)
+  const melf::Section* text = lib->section(melf::SectionKind::kText);
+  auto ins = isa::decode(std::span(text->bytes).subspan(restorer->value));
+  EXPECT_EQ(ins.op, isa::Op::kMovRI);
+  EXPECT_EQ(static_cast<uint64_t>(ins.imm), os::sys::kSigreturn);
+}
+
+TEST(HandlerLib, VerifierLibShape) {
+  auto lib = build_verifier_lib(10, 64);
+  for (const char* sym :
+       {"dynacut_verify_handler", "dynacut_restorer", "orig_count",
+        "orig_table", "log_count", "log_cap", "log_buf"}) {
+    ASSERT_NE(lib->find_symbol(sym), nullptr) << sym;
+  }
+  EXPECT_EQ(lib->find_symbol("orig_table")->size, 10u * 16);
+  EXPECT_EQ(lib->find_symbol("log_buf")->size, 64u * 8);
+  for (const auto& rel : lib->relocs) {
+    EXPECT_NE(rel.kind, melf::RelocKind::kAbs64);  // PIC
+  }
+}
+
+TEST(HandlerLib, CapacityScalesLayout) {
+  auto small = build_redirect_lib(1);
+  auto big = build_redirect_lib(1024);
+  EXPECT_GT(big->image_size(), small->image_size());
+}
+
+}  // namespace
+}  // namespace dynacut::core

@@ -1,0 +1,138 @@
+// Tests for the CRIT-style text codec: decode/encode roundtrips, summary
+// views, hand-edited-image workflows and malformed-input rejection.
+#include <gtest/gtest.h>
+
+#include "apps/libc.hpp"
+#include "image/checkpoint.hpp"
+#include "image/crit.hpp"
+#include "os/os.hpp"
+#include "test_guests.hpp"
+
+namespace dynacut::image {
+namespace {
+
+ProcessImage live_image(os::Os& vos, int& pid) {
+  pid = vos.spawn(testing::build_toysrv(), {apps::build_libc()});
+  vos.run();
+  return checkpoint(vos, pid);
+}
+
+TEST(Crit, TextRoundtripIsLossless) {
+  os::Os vos;
+  int pid = 0;
+  ProcessImage img = live_image(vos, pid);
+  std::string text = decode_text(img);
+  ProcessImage back = encode_text(text);
+
+  // Binary serialization is the canonical equality check.
+  EXPECT_EQ(back.encode(), img.encode());
+  restore(vos, pid, img);
+}
+
+TEST(Crit, RestoredFromTextImageStillServes) {
+  os::Os vos;
+  int pid = 0;
+  ProcessImage img = live_image(vos, pid);
+  ProcessImage back = encode_text(decode_text(img));
+  // Text form drops live socket handles; splice them back (TCP repair).
+  for (size_t i = 0; i < back.fds.size(); ++i) {
+    back.fds[i].live = img.fds[i].live;
+  }
+  restore(vos, pid, back);
+  auto conn = vos.connect(80);
+  conn.send("A\nQ\n");
+  vos.run();
+  EXPECT_EQ(conn.recv_all(), "alpha\n");
+  EXPECT_TRUE(vos.all_exited());
+}
+
+TEST(Crit, HandEditedRegisterTakesEffect) {
+  // The CRIT workflow: decode to text, edit a register, encode, restore.
+  namespace sys = os::sys;
+  melf::ProgramBuilder b("regdemo");
+  auto& f = b.func("main");
+  f.mov_ri(12, 1);
+  f.label("wait").mov_ri(1, 50).sys(sys::kNanosleep);
+  f.cmp_ri(12, 1).je("wait");
+  f.mov_rr(1, 12).sys(sys::kExit);  // exits with r12 once it changes
+  b.set_entry("main");
+
+  os::Os vos;
+  int pid = vos.spawn(std::make_shared<melf::Binary>(b.link()));
+  vos.run(5000);
+  ProcessImage img = checkpoint(vos, pid);
+  std::string text = decode_text(img);
+
+  size_t at = text.find("reg 12 0x1\n");
+  ASSERT_NE(at, std::string::npos);
+  text.replace(at, 11, "reg 12 0x2a\n");
+
+  restore(vos, pid, encode_text(text));
+  vos.run();
+  ASSERT_TRUE(vos.all_exited());
+  EXPECT_EQ(vos.process(pid)->exit_code, 42);
+}
+
+TEST(Crit, ShowMemsListsEveryVma) {
+  os::Os vos;
+  int pid = 0;
+  ProcessImage img = live_image(vos, pid);
+  std::string mems = show_mems(img);
+  for (const auto& v : img.vmas) {
+    EXPECT_NE(mems.find("name=" + v.name), std::string::npos) << v.name;
+  }
+  EXPECT_NE(mems.find("[stack]"), std::string::npos);
+  EXPECT_NE(mems.find("toysrv:.text"), std::string::npos);
+  restore(vos, pid, img);
+}
+
+TEST(Crit, ShowCoreIncludesRegistersAndSigactions) {
+  ProcessImage img;
+  img.core.proc_name = "demo";
+  img.core.pid = 7;
+  img.core.cpu.ip = 0x401000;
+  img.core.cpu.regs[3] = 0xabc;
+  img.core.sigactions[os::sig::kSigTrap] = os::SigAction{0x5000, 0x5100};
+  std::string core = show_core(img);
+  EXPECT_NE(core.find("name=demo pid=7"), std::string::npos);
+  EXPECT_NE(core.find("ip 0x401000"), std::string::npos);
+  EXPECT_NE(core.find("reg 3 0xabc"), std::string::npos);
+  EXPECT_NE(core.find("sigaction 5 handler=0x5000 restorer=0x5100"),
+            std::string::npos);
+}
+
+TEST(Crit, SummaryViewOmitsPagePayloads) {
+  os::Os vos;
+  int pid = 0;
+  ProcessImage img = live_image(vos, pid);
+  std::string full = decode_text(img, /*include_pages=*/true);
+  std::string summary = decode_text(img, /*include_pages=*/false);
+  EXPECT_LT(summary.size(), full.size() / 4);
+  EXPECT_NE(summary.find("<4096 bytes>"), std::string::npos);
+  restore(vos, pid, img);
+}
+
+TEST(Crit, RejectsMalformedInput) {
+  EXPECT_THROW(encode_text(""), DecodeError);
+  EXPECT_THROW(encode_text("not an image\n"), DecodeError);
+  EXPECT_THROW(encode_text("crsim-image v1\n"), DecodeError);  // no end
+  EXPECT_THROW(encode_text("crsim-image v1\nbogus record\nend\n"),
+               DecodeError);
+  EXPECT_THROW(encode_text("crsim-image v1\nreg 99 0x1\nend\n"),
+               DecodeError);
+  EXPECT_THROW(encode_text("crsim-image v1\npage 0x1000 abcd\nend\n"),
+               DecodeError);  // not a full page
+  EXPECT_THROW(encode_text("crsim-image v1\nsigaction 99 handler=0x1 "
+                           "restorer=0x2\nend\n"),
+               DecodeError);
+}
+
+TEST(Crit, EmptyImageRoundtrips) {
+  ProcessImage img;
+  img.core.proc_name = "empty";
+  ProcessImage back = encode_text(decode_text(img));
+  EXPECT_EQ(back.encode(), img.encode());
+}
+
+}  // namespace
+}  // namespace dynacut::image

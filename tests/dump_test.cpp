@@ -1,0 +1,53 @@
+// Tests for the objdump-style MELF renderer.
+#include <gtest/gtest.h>
+
+#include "apps/libc.hpp"
+#include "apps/minikv.hpp"
+#include "melf/dump.hpp"
+#include "test_guests.hpp"
+
+namespace dynacut::melf {
+namespace {
+
+TEST(Dump, HeadersListSectionsSymbolsImports) {
+  auto bin = dynacut::testing::build_toysrv();
+  std::string text = dump_headers(*bin);
+  EXPECT_NE(text.find("MELF module toysrv"), std::string::npos);
+  for (const char* sec : {".text", ".plt", ".rodata", ".data", ".got",
+                          ".bss"}) {
+    EXPECT_NE(text.find(sec), std::string::npos) << sec;
+  }
+  for (const char* sym : {"main", "dispatch", "handle_b", "dispatch_err"}) {
+    EXPECT_NE(text.find(sym), std::string::npos) << sym;
+  }
+  EXPECT_NE(text.find("strncmp"), std::string::npos);  // import table
+  EXPECT_NE(text.find("Relocations:"), std::string::npos);
+}
+
+TEST(Dump, DisasmHasLabelsAndMnemonics) {
+  auto bin = dynacut::testing::build_toysrv();
+  std::string text = dump_disasm(*bin);
+  EXPECT_NE(text.find("<main>:"), std::string::npos);
+  EXPECT_NE(text.find("<dispatch>:"), std::string::npos);
+  EXPECT_NE(text.find("<dispatch_err>:"), std::string::npos);  // mark symbol
+  EXPECT_NE(text.find("syscall"), std::string::npos);
+  EXPECT_NE(text.find("call"), std::string::npos);
+  EXPECT_NE(text.find("Disassembly of .plt"), std::string::npos);
+  EXPECT_NE(text.find("jmpr r11"), std::string::npos);  // PLT stub tail
+}
+
+TEST(Dump, LibraryWithoutEntryRendered) {
+  std::string text = dump_headers(*apps::build_libc());
+  EXPECT_NE(text.find("entry (none)"), std::string::npos);
+}
+
+TEST(Dump, AllConcatenatesBothViews) {
+  auto bin = apps::build_minikv();
+  std::string all = dump_all(*bin);
+  EXPECT_NE(all.find("Sections:"), std::string::npos);
+  EXPECT_NE(all.find("Disassembly of .text"), std::string::npos);
+  EXPECT_GT(all.size(), 10'000u);  // a real listing, not a stub
+}
+
+}  // namespace
+}  // namespace dynacut::melf

@@ -1,0 +1,260 @@
+// Behavioural tests for the guest libc.so: every exported routine is driven
+// from a small guest program and its result surfaced via the exit code.
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "apps/libc.hpp"
+#include "melf/builder.hpp"
+#include "os/os.hpp"
+#include "os/syscall.hpp"
+
+namespace dynacut::apps {
+namespace {
+
+using melf::Binary;
+using melf::FunctionBuilder;
+using melf::ProgramBuilder;
+using os::Os;
+namespace sys = os::sys;
+
+/// Runs a guest whose body leaves the value-under-test in r1 and exits.
+int run_guest(const std::function<void(ProgramBuilder&, FunctionBuilder&)>&
+                  populate) {
+  ProgramBuilder b("t");
+  auto& f = b.func("main");
+  populate(b, f);
+  f.sys(sys::kExit);
+  b.set_entry("main");
+  Os os;
+  int pid = os.spawn(std::make_shared<Binary>(b.link()), {build_libc()});
+  os.run();
+  const os::Process* p = os.process(pid);
+  EXPECT_TRUE(os.all_exited());
+  EXPECT_EQ(p->term_signal, 0) << "guest killed by signal";
+  return p->exit_code;
+}
+
+TEST(GuestLibc, Strlen) {
+  int code = run_guest([](ProgramBuilder& b, FunctionBuilder& f) {
+    b.rodata_str("s", "hello, world");
+    f.mov_sym(1, "s").call_import("strlen").mov_rr(1, 0);
+  });
+  EXPECT_EQ(code, 12);
+}
+
+TEST(GuestLibc, StrlenEmpty) {
+  int code = run_guest([](ProgramBuilder& b, FunctionBuilder& f) {
+    b.rodata_str("s", "");
+    f.mov_sym(1, "s").call_import("strlen").mov_rr(1, 0);
+  });
+  EXPECT_EQ(code, 0);
+}
+
+TEST(GuestLibc, StrcmpEqual) {
+  int code = run_guest([](ProgramBuilder& b, FunctionBuilder& f) {
+    b.rodata_str("a", "GET");
+    b.rodata_str("b", "GET");
+    f.mov_sym(1, "a").mov_sym(2, "b").call_import("strcmp").mov_rr(1, 0);
+  });
+  EXPECT_EQ(code, 0);
+}
+
+TEST(GuestLibc, StrcmpDifferent) {
+  int code = run_guest([](ProgramBuilder& b, FunctionBuilder& f) {
+    b.rodata_str("a", "GET");
+    b.rodata_str("b", "GE!");
+    f.mov_sym(1, "a").mov_sym(2, "b").call_import("strcmp").mov_rr(1, 0);
+  });
+  EXPECT_EQ(code, 1);
+}
+
+TEST(GuestLibc, StrcmpPrefixDiffers) {
+  int code = run_guest([](ProgramBuilder& b, FunctionBuilder& f) {
+    b.rodata_str("a", "SET");
+    b.rodata_str("b", "SETRANGE");
+    f.mov_sym(1, "a").mov_sym(2, "b").call_import("strcmp").mov_rr(1, 0);
+  });
+  EXPECT_EQ(code, 1);
+}
+
+TEST(GuestLibc, StrncmpStopsAtN) {
+  int code = run_guest([](ProgramBuilder& b, FunctionBuilder& f) {
+    b.rodata_str("a", "SETRANGE");
+    b.rodata_str("b", "SETXXXXX");
+    f.mov_sym(1, "a").mov_sym(2, "b").mov_ri(3, 3).call_import("strncmp");
+    f.mov_rr(1, 0);
+  });
+  EXPECT_EQ(code, 0);
+}
+
+TEST(GuestLibc, StrncmpSeesDifferenceWithinN) {
+  int code = run_guest([](ProgramBuilder& b, FunctionBuilder& f) {
+    b.rodata_str("a", "PUT");
+    b.rodata_str("b", "POT");
+    f.mov_sym(1, "a").mov_sym(2, "b").mov_ri(3, 3).call_import("strncmp");
+    f.mov_rr(1, 0);
+  });
+  EXPECT_EQ(code, 1);
+}
+
+TEST(GuestLibc, StrcpyThenStrlen) {
+  int code = run_guest([](ProgramBuilder& b, FunctionBuilder& f) {
+    b.rodata_str("src", "copied");
+    b.bss("dst", 32);
+    f.mov_sym(1, "dst").mov_sym(2, "src").call_import("strcpy");
+    f.mov_rr(1, 0).call_import("strlen").mov_rr(1, 0);
+  });
+  EXPECT_EQ(code, 6);
+}
+
+TEST(GuestLibc, MemsetFillsBytes) {
+  int code = run_guest([](ProgramBuilder& b, FunctionBuilder& f) {
+    b.bss("buf", 16);
+    f.mov_sym(1, "buf").mov_ri(2, 0x5a).mov_ri(3, 8).call_import("memset");
+    f.mov_sym(6, "buf").loadb(7, 6, 7).loadb(8, 6, 8);  // inside / outside
+    f.mov_rr(1, 7).shl_ri(1, 8).or_rr(1, 8);  // (buf[7]<<8) | buf[8]
+  });
+  EXPECT_EQ(code, 0x5a00);
+}
+
+TEST(GuestLibc, MemcpyCopiesExactLength) {
+  int code = run_guest([](ProgramBuilder& b, FunctionBuilder& f) {
+    b.rodata_str("src", "abcdef");
+    b.bss("dst", 16);
+    f.mov_sym(1, "dst").mov_sym(2, "src").mov_ri(3, 3).call_import("memcpy");
+    f.mov_sym(6, "dst").loadb(7, 6, 2).loadb(8, 6, 3);  // 'c' and 0
+    f.mov_rr(1, 7).shl_ri(1, 8).or_rr(1, 8);
+  });
+  EXPECT_EQ(code, 'c' << 8);
+}
+
+TEST(GuestLibc, AtoiParsesDecimal) {
+  int code = run_guest([](ProgramBuilder& b, FunctionBuilder& f) {
+    b.rodata_str("n", "217");
+    f.mov_sym(1, "n").call_import("atoi").mov_rr(1, 0);
+  });
+  EXPECT_EQ(code, 217);
+}
+
+TEST(GuestLibc, AtoiStopsAtNonDigit) {
+  int code = run_guest([](ProgramBuilder& b, FunctionBuilder& f) {
+    b.rodata_str("n", "42abc");
+    f.mov_sym(1, "n").call_import("atoi").mov_rr(1, 0);
+  });
+  EXPECT_EQ(code, 42);
+}
+
+TEST(GuestLibc, AtoiEmptyIsZero) {
+  int code = run_guest([](ProgramBuilder& b, FunctionBuilder& f) {
+    b.rodata_str("n", "x");
+    f.mov_sym(1, "n").call_import("atoi").mov_rr(1, 0);
+  });
+  EXPECT_EQ(code, 0);
+}
+
+TEST(GuestLibc, UtoaRoundtripsThroughAtoi) {
+  int code = run_guest([](ProgramBuilder& b, FunctionBuilder& f) {
+    b.bss("buf", 32);
+    f.mov_ri(1, 90817).mov_sym(2, "buf").call_import("utoa");
+    f.mov_sym(1, "buf").call_import("atoi").mov_rr(1, 0);
+  });
+  EXPECT_EQ(code, 90817);
+}
+
+TEST(GuestLibc, UtoaZero) {
+  int code = run_guest([](ProgramBuilder& b, FunctionBuilder& f) {
+    b.bss("buf", 32);
+    f.mov_ri(1, 0).mov_sym(2, "buf").call_import("utoa");
+    f.mov_rr(12, 0);  // returned length
+    f.mov_sym(6, "buf").loadb(7, 6, 0);
+    // exit( (len << 8) | first_char )
+    f.mov_rr(1, 12).shl_ri(1, 8).or_rr(1, 7);
+  });
+  EXPECT_EQ(code, (1 << 8) | '0');
+}
+
+TEST(GuestLibc, UtoaReturnsDigitCount) {
+  int code = run_guest([](ProgramBuilder& b, FunctionBuilder& f) {
+    b.bss("buf", 32);
+    f.mov_ri(1, 123456).mov_sym(2, "buf").call_import("utoa").mov_rr(1, 0);
+  });
+  EXPECT_EQ(code, 6);
+}
+
+TEST(GuestLibc, WriteStrToStdout) {
+  ProgramBuilder b("ws");
+  b.rodata_str("msg", "ready\n");
+  auto& f = b.func("main");
+  f.mov_ri(1, 1).mov_sym(2, "msg").call_import("write_str");
+  f.mov_ri(1, 0).sys(sys::kExit);
+  b.set_entry("main");
+  Os os;
+  int pid = os.spawn(std::make_shared<Binary>(b.link()), {build_libc()});
+  os.run();
+  EXPECT_EQ(os.process(pid)->stdout_buf, "ready\n");
+}
+
+TEST(GuestLibc, RecvLineReadsExactlyOneLine) {
+  ProgramBuilder b("rl");
+  b.bss("buf", 64);
+  auto& f = b.func("main");
+  f.sys(sys::kSocket).mov_rr(12, 0);
+  f.mov_rr(1, 12).mov_ri(2, 21).sys(sys::kBind);
+  f.mov_rr(1, 12).sys(sys::kListen);
+  f.mov_rr(1, 12).sys(sys::kAccept).mov_rr(13, 0);
+  f.mov_rr(1, 13).mov_sym(2, "buf").mov_ri(3, 64).call_import("recv_line");
+  f.mov_rr(12, 0);  // first line length
+  f.mov_rr(1, 13).mov_sym(2, "buf").mov_ri(3, 64).call_import("recv_line");
+  // exit( first_len * 100 + second_len )
+  f.mov_ri(6, 100).mul_rr(12, 6).add_rr(12, 0).mov_rr(1, 12).sys(sys::kExit);
+  b.set_entry("main");
+  Os os;
+  int pid = os.spawn(std::make_shared<Binary>(b.link()), {build_libc()});
+  os.run();
+  auto conn = os.connect(21);
+  conn.send("abc\nde\n");  // two lines in one burst
+  os.run();
+  ASSERT_TRUE(os.all_exited());
+  EXPECT_EQ(os.process(pid)->exit_code, 4 * 100 + 3);
+}
+
+TEST(GuestLibc, RecvLineEofReturnsZero) {
+  ProgramBuilder b("rleof");
+  b.bss("buf", 64);
+  auto& f = b.func("main");
+  f.sys(sys::kSocket).mov_rr(12, 0);
+  f.mov_rr(1, 12).mov_ri(2, 22).sys(sys::kBind);
+  f.mov_rr(1, 12).sys(sys::kListen);
+  f.mov_rr(1, 12).sys(sys::kAccept).mov_rr(13, 0);
+  f.mov_rr(1, 13).mov_sym(2, "buf").mov_ri(3, 64).call_import("recv_line");
+  f.add_ri(0, 50).mov_rr(1, 0).sys(sys::kExit);
+  b.set_entry("main");
+  Os os;
+  int pid = os.spawn(std::make_shared<Binary>(b.link()), {build_libc()});
+  os.run();
+  auto conn = os.connect(22);
+  os.run();
+  conn.close();
+  os.run();
+  ASSERT_TRUE(os.all_exited());
+  EXPECT_EQ(os.process(pid)->exit_code, 50);
+}
+
+TEST(GuestLibc, BinaryShapeSanity) {
+  auto libc = build_libc();
+  EXPECT_EQ(libc->name, "libc.so");
+  EXPECT_EQ(libc->entry, melf::Binary::kNoEntry);  // library, not executable
+  EXPECT_TRUE(libc->imports.empty());
+  for (const char* name :
+       {"strlen", "strcmp", "strncmp", "strcpy", "memset", "memcpy", "atoi",
+        "utoa", "write_str", "recv_line"}) {
+    const melf::Symbol* s = libc->find_symbol(name);
+    ASSERT_NE(s, nullptr) << name;
+    EXPECT_TRUE(s->global);
+    EXPECT_TRUE(s->is_function);
+  }
+}
+
+}  // namespace
+}  // namespace dynacut::apps

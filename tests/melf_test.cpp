@@ -1,0 +1,329 @@
+// Tests for the MELF binary format, the ProgramBuilder assembler DSL and
+// the linker: layout, symbols, fixups, PLT/GOT generation, (de)serialization.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "isa/disasm.hpp"
+#include "melf/binary.hpp"
+#include "melf/builder.hpp"
+
+namespace dynacut::melf {
+namespace {
+
+Binary tiny_program() {
+  ProgramBuilder b("tiny");
+  auto& main = b.func("main");
+  main.mov_ri(1, 5)
+      .cmp_ri(1, 5)
+      .je("eq")
+      .mov_ri(0, 1)
+      .ret()
+      .label("eq")
+      .mov_ri(0, 0)
+      .ret();
+  b.set_entry("main");
+  return b.link();
+}
+
+TEST(Builder, TinyProgramLinks) {
+  Binary bin = tiny_program();
+  EXPECT_EQ(bin.name, "tiny");
+  const Symbol* main = bin.find_symbol("main");
+  ASSERT_NE(main, nullptr);
+  EXPECT_TRUE(main->is_function);
+  EXPECT_EQ(bin.entry, main->value);
+  EXPECT_GT(main->size, 0u);
+}
+
+TEST(Builder, LocalLabelBranchResolves) {
+  Binary bin = tiny_program();
+  const Section* text = bin.section(SectionKind::kText);
+  ASSERT_NE(text, nullptr);
+  // Find the je and check its target lands on the "eq" label instruction.
+  auto lines = isa::disassemble(text->bytes, 0);
+  uint64_t je_target = 0;
+  for (const auto& l : lines) {
+    if (l.valid && l.instr.op == isa::Op::kJe) {
+      je_target = l.instr.target(l.addr);
+    }
+  }
+  ASSERT_NE(je_target, 0u);
+  // The instruction at the target must be mov r0, 0.
+  bool found = false;
+  for (const auto& l : lines) {
+    if (l.addr == je_target) {
+      EXPECT_EQ(l.instr.op, isa::Op::kMovRI);
+      EXPECT_EQ(l.instr.imm, 0);
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Builder, DuplicateLabelThrows) {
+  ProgramBuilder b("dup");
+  auto& f = b.func("f");
+  f.label("x");
+  EXPECT_THROW(f.label("x"), GuestError);
+}
+
+TEST(Builder, UnresolvedLabelThrowsAtLink) {
+  ProgramBuilder b("bad");
+  b.func("f").jmp("nowhere").ret();
+  EXPECT_THROW(b.link(), GuestError);
+}
+
+TEST(Builder, UnresolvedSymbolThrowsAtLink) {
+  ProgramBuilder b("bad");
+  b.func("f").call("missing_function").ret();
+  EXPECT_THROW(b.link(), GuestError);
+}
+
+TEST(Builder, DuplicateFunctionSymbolThrows) {
+  ProgramBuilder b("dup");
+  b.func("f").ret();
+  b.rodata_str("f", "clash");
+  EXPECT_THROW(b.link(), GuestError);
+}
+
+TEST(Builder, LinkTwiceThrows) {
+  ProgramBuilder b("twice");
+  b.func("f").ret();
+  b.link();
+  EXPECT_THROW(b.link(), StateError);
+}
+
+TEST(Builder, CrossFunctionCall) {
+  ProgramBuilder b("calls");
+  b.func("helper").mov_ri(0, 99).ret();
+  b.func("main").call("helper").ret();
+  b.set_entry("main");
+  Binary bin = b.link();
+
+  const Symbol* helper = bin.find_symbol("helper");
+  const Symbol* main = bin.find_symbol("main");
+  ASSERT_NE(helper, nullptr);
+  ASSERT_NE(main, nullptr);
+  const Section* text = bin.section(SectionKind::kText);
+  auto call =
+      isa::decode(std::span(text->bytes).subspan(main->value));
+  EXPECT_EQ(call.op, isa::Op::kCall);
+  EXPECT_EQ(call.target(main->value), helper->value);
+}
+
+TEST(Builder, SectionLayoutIsPageAlignedAndOrdered) {
+  ProgramBuilder b("layout");
+  b.func("main").ret();
+  b.import("strcmp");
+  b.rodata_str("msg", "hello");
+  b.data_u64("counter", 7);
+  b.bss("buffer", 256);
+  Binary bin = b.link();
+
+  uint64_t prev_end = 0;
+  for (auto kind :
+       {SectionKind::kText, SectionKind::kPlt, SectionKind::kRodata,
+        SectionKind::kData, SectionKind::kGot, SectionKind::kBss}) {
+    const Section* s = bin.section(kind);
+    ASSERT_NE(s, nullptr) << section_name(kind);
+    EXPECT_EQ(s->offset % kPageSize, 0u) << section_name(kind);
+    EXPECT_GE(s->offset, prev_end) << section_name(kind);
+    prev_end = s->offset + s->size;
+  }
+  EXPECT_EQ(bin.image_size() % kPageSize, 0u);
+  EXPECT_GE(bin.image_size(), prev_end);
+}
+
+TEST(Builder, BssHasNoBytesButHasSize) {
+  ProgramBuilder b("bss");
+  b.func("main").ret();
+  b.bss("table", 10000);
+  Binary bin = b.link();
+  const Section* bss = bin.section(SectionKind::kBss);
+  ASSERT_NE(bss, nullptr);
+  EXPECT_EQ(bss->size, 10000u);
+  EXPECT_TRUE(bss->bytes.empty());
+}
+
+TEST(Builder, PltStubShape) {
+  ProgramBuilder b("plt");
+  b.func("main").call_import("strlen").ret();
+  Binary bin = b.link();
+
+  ASSERT_EQ(bin.imports.size(), 1u);
+  EXPECT_EQ(bin.imports[0], "strlen");
+
+  auto stub_off = bin.plt_stub_offset("strlen");
+  ASSERT_TRUE(stub_off.has_value());
+  const Section* plt = bin.section(SectionKind::kPlt);
+  ASSERT_NE(plt, nullptr);
+  EXPECT_EQ(*stub_off, plt->offset);
+
+  // Stub = lea r11, <got slot>; load r11, [r11+0]; jmpr r11.
+  std::span<const uint8_t> stub(plt->bytes);
+  auto lea = isa::decode(stub);
+  EXPECT_EQ(lea.op, isa::Op::kLea);
+  EXPECT_EQ(lea.r1, 11);
+  EXPECT_EQ(lea.target(*stub_off), bin.got_slot_offset(0));
+  auto load = isa::decode(stub.subspan(lea.length));
+  EXPECT_EQ(load.op, isa::Op::kLoad);
+  auto jmpr = isa::decode(stub.subspan(lea.length + load.length));
+  EXPECT_EQ(jmpr.op, isa::Op::kJmpR);
+  EXPECT_EQ(jmpr.r1, 11);
+}
+
+TEST(Builder, GotEntryRelocationPerImport) {
+  ProgramBuilder b("got");
+  b.func("main").call_import("strlen").call_import("strcmp").ret();
+  Binary bin = b.link();
+  int got_relocs = 0;
+  for (const auto& r : bin.relocs) {
+    if (r.kind == RelocKind::kGotEntry) {
+      ++got_relocs;
+      EXPECT_TRUE(r.symbol == "strlen" || r.symbol == "strcmp");
+    }
+  }
+  EXPECT_EQ(got_relocs, 2);
+}
+
+TEST(Builder, ImportDeduplicated) {
+  ProgramBuilder b("dedup");
+  b.func("a").call_import("strlen").ret();
+  b.func("b").call_import("strlen").ret();
+  Binary bin = b.link();
+  EXPECT_EQ(bin.imports.size(), 1u);
+}
+
+TEST(Builder, MovSymEmitsAbs64Reloc) {
+  ProgramBuilder b("abs");
+  b.rodata_str("msg", "hi");
+  b.func("main").mov_sym(1, "msg").ret();
+  Binary bin = b.link();
+  const Symbol* msg = bin.find_symbol("msg");
+  ASSERT_NE(msg, nullptr);
+  bool found = false;
+  for (const auto& r : bin.relocs) {
+    if (r.kind == RelocKind::kAbs64 &&
+        r.addend == static_cast<int64_t>(msg->value)) {
+      found = true;
+      // Patch site is inside main's mov imm64 field.
+      const Symbol* main = bin.find_symbol("main");
+      EXPECT_EQ(r.offset, main->value + 2);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Builder, DataPtrEmitsResolvedReloc) {
+  ProgramBuilder b("ptr");
+  b.func("target").ret();
+  b.data_ptr("slot", "target");
+  Binary bin = b.link();
+  const Symbol* target = bin.find_symbol("target");
+  const Symbol* slot = bin.find_symbol("slot");
+  ASSERT_NE(target, nullptr);
+  ASSERT_NE(slot, nullptr);
+  bool found = false;
+  for (const auto& r : bin.relocs) {
+    if (r.kind == RelocKind::kAbs64 && r.offset == slot->value) {
+      EXPECT_EQ(r.addend, static_cast<int64_t>(target->value));
+      EXPECT_TRUE(r.symbol.empty());  // resolved at link time
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Builder, LeaSymIsPicRelative) {
+  ProgramBuilder b("pic");
+  b.rodata_str("msg", "hi");
+  b.func("main").lea_sym(1, "msg").ret();
+  Binary bin = b.link();
+  const Symbol* main = bin.find_symbol("main");
+  const Symbol* msg = bin.find_symbol("msg");
+  const Section* text = bin.section(SectionKind::kText);
+  auto lea = isa::decode(std::span(text->bytes).subspan(main->value));
+  EXPECT_EQ(lea.op, isa::Op::kLea);
+  EXPECT_EQ(lea.target(main->value), msg->value);
+  // No relocation needed for IP-relative addressing.
+  for (const auto& r : bin.relocs) {
+    EXPECT_NE(r.kind, RelocKind::kAbs64);
+  }
+}
+
+TEST(Builder, FunctionsAre16ByteAligned) {
+  ProgramBuilder b("align");
+  b.func("a").nop().ret();  // 2 bytes
+  b.func("c").ret();
+  Binary bin = b.link();
+  for (const auto& s : bin.symbols) {
+    if (s.is_function) EXPECT_EQ(s.value % 16, 0u) << s.name;
+  }
+}
+
+TEST(Builder, SymbolContaining) {
+  ProgramBuilder b("contain");
+  b.func("a").nop().nop().ret();
+  b.func("b").ret();
+  Binary bin = b.link();
+  const Symbol* a = bin.find_symbol("a");
+  const Symbol* b_sym = bin.find_symbol("b");
+  EXPECT_EQ(bin.symbol_containing(a->value + 1), a);
+  EXPECT_EQ(bin.symbol_containing(b_sym->value), b_sym);
+  EXPECT_EQ(bin.symbol_containing(0xffffff), nullptr);
+}
+
+TEST(Format, EncodeDecodeRoundtrip) {
+  ProgramBuilder b("round");
+  b.func("helper").mov_ri(0, 3).ret();
+  b.func("main").call("helper").call_import("write").ret();
+  b.rodata_str("greeting", "hello world");
+  b.data_u64("counter", 42);
+  b.bss("scratch", 512);
+  b.set_entry("main");
+  Binary bin = b.link();
+
+  std::vector<uint8_t> encoded = bin.encode();
+  Binary back = Binary::decode(encoded);
+
+  EXPECT_EQ(back.name, bin.name);
+  EXPECT_EQ(back.entry, bin.entry);
+  EXPECT_EQ(back.imports, bin.imports);
+  ASSERT_EQ(back.sections.size(), bin.sections.size());
+  for (size_t i = 0; i < bin.sections.size(); ++i) {
+    EXPECT_EQ(back.sections[i].kind, bin.sections[i].kind);
+    EXPECT_EQ(back.sections[i].offset, bin.sections[i].offset);
+    EXPECT_EQ(back.sections[i].size, bin.sections[i].size);
+    EXPECT_EQ(back.sections[i].bytes, bin.sections[i].bytes);
+  }
+  ASSERT_EQ(back.symbols.size(), bin.symbols.size());
+  for (size_t i = 0; i < bin.symbols.size(); ++i) {
+    EXPECT_EQ(back.symbols[i].name, bin.symbols[i].name);
+    EXPECT_EQ(back.symbols[i].value, bin.symbols[i].value);
+  }
+  EXPECT_EQ(back.relocs.size(), bin.relocs.size());
+}
+
+TEST(Format, DecodeRejectsGarbage) {
+  std::vector<uint8_t> junk{1, 2, 3, 4, 5};
+  EXPECT_THROW(Binary::decode(junk), DecodeError);
+}
+
+TEST(Format, DecodeRejectsTrailingBytes) {
+  Binary bin = tiny_program();
+  auto bytes = bin.encode();
+  bytes.push_back(0);
+  EXPECT_THROW(Binary::decode(bytes), DecodeError);
+}
+
+TEST(Format, SectionProtections) {
+  EXPECT_EQ(section_prot(SectionKind::kText), kProtRead | kProtExec);
+  EXPECT_EQ(section_prot(SectionKind::kPlt), kProtRead | kProtExec);
+  EXPECT_EQ(section_prot(SectionKind::kRodata), kProtRead);
+  EXPECT_EQ(section_prot(SectionKind::kData), kProtRead | kProtWrite);
+  EXPECT_EQ(section_prot(SectionKind::kGot), kProtRead | kProtWrite);
+  EXPECT_EQ(section_prot(SectionKind::kBss), kProtRead | kProtWrite);
+}
+
+}  // namespace
+}  // namespace dynacut::melf

@@ -1,0 +1,524 @@
+// Integration tests for the osim kernel: process lifecycle, syscalls,
+// sockets, fork, signal delivery/sigreturn (including the saved-IP
+// redirection DynaCut's fault handlers rely on), loader/PLT linkage.
+#include <gtest/gtest.h>
+
+#include "apps/libc.hpp"
+#include "common/error.hpp"
+#include "melf/builder.hpp"
+#include "os/os.hpp"
+#include "os/syscall.hpp"
+
+namespace dynacut::os {
+namespace {
+
+using apps::build_libc;
+using melf::Binary;
+using melf::ProgramBuilder;
+
+std::shared_ptr<const Binary> make(ProgramBuilder& b) {
+  return std::make_shared<Binary>(b.link());
+}
+
+TEST(Os, SpawnRunExit) {
+  ProgramBuilder b("exit42");
+  b.func("main").mov_ri(1, 42).sys(sys::kExit);
+  b.set_entry("main");
+  Os os;
+  int pid = os.spawn(make(b));
+  os.run();
+  ASSERT_TRUE(os.all_exited());
+  EXPECT_EQ(os.process(pid)->exit_code, 42);
+  EXPECT_EQ(os.process(pid)->term_signal, 0);
+}
+
+TEST(Os, SpawnLibraryWithoutEntryThrows) {
+  Os os;
+  EXPECT_THROW(os.spawn(build_libc()), GuestError);
+}
+
+TEST(Os, WriteToStdoutIsHostObservable) {
+  ProgramBuilder b("hello");
+  b.rodata_str("msg", "hello osim\n");
+  b.func("main")
+      .mov_ri(1, 1)
+      .mov_sym(2, "msg")
+      .mov_ri(3, 11)
+      .sys(sys::kWrite)
+      .mov_ri(1, 0)
+      .sys(sys::kExit);
+  b.set_entry("main");
+  Os os;
+  int pid = os.spawn(make(b));
+  os.run();
+  EXPECT_EQ(os.process(pid)->stdout_buf, "hello osim\n");
+}
+
+TEST(Os, LibcCallThroughPlt) {
+  ProgramBuilder b("uses_libc");
+  b.rodata_str("msg", "four");
+  b.func("main")
+      .mov_sym(1, "msg")
+      .call_import("strlen")
+      .mov_rr(1, 0)
+      .sys(sys::kExit);  // exit(strlen("four")) == exit(4)
+  b.set_entry("main");
+  Os os;
+  int pid = os.spawn(make(b), {build_libc()});
+  os.run();
+  ASSERT_TRUE(os.all_exited());
+  EXPECT_EQ(os.process(pid)->exit_code, 4);
+}
+
+TEST(Os, EchoServerWithHostClient) {
+  // Guest: listen on port 7; accept; echo one line back; exit.
+  ProgramBuilder b("echo");
+  b.bss("buf", 128);
+  auto& f = b.func("main");
+  f.sys(sys::kSocket).mov_rr(12, 0);                       // r12 = listen fd
+  f.mov_rr(1, 12).mov_ri(2, 7).sys(sys::kBind);
+  f.mov_rr(1, 12).sys(sys::kListen);
+  f.mov_rr(1, 12).sys(sys::kAccept).mov_rr(13, 0);         // r13 = conn fd
+  f.mov_rr(1, 13).mov_sym(2, "buf").mov_ri(3, 128).call_import("recv_line");
+  f.mov_rr(3, 0);                                          // line length
+  f.mov_rr(1, 13).mov_sym(2, "buf").sys(sys::kSend);
+  f.mov_ri(1, 0).sys(sys::kExit);
+  b.set_entry("main");
+
+  Os os;
+  int pid = os.spawn(make(b), {build_libc()});
+  os.run();  // runs until blocked in accept
+  EXPECT_FALSE(os.all_exited());
+  ASSERT_TRUE(os.has_listener(7));
+
+  HostConn conn = os.connect(7);
+  conn.send("ping\n");
+  os.run();
+  EXPECT_EQ(conn.recv_all(), "ping\n");
+  EXPECT_TRUE(os.all_exited());
+  EXPECT_EQ(os.process(pid)->exit_code, 0);
+}
+
+TEST(Os, ConnectWithoutListenerThrows) {
+  Os os;
+  EXPECT_THROW(os.connect(1234), StateError);
+}
+
+TEST(Os, RecvBlocksUntilDataArrives) {
+  ProgramBuilder b("blocker");
+  b.bss("buf", 16);
+  auto& f = b.func("main");
+  f.sys(sys::kSocket).mov_rr(12, 0);
+  f.mov_rr(1, 12).mov_ri(2, 9).sys(sys::kBind);
+  f.mov_rr(1, 12).sys(sys::kListen);
+  f.mov_rr(1, 12).sys(sys::kAccept).mov_rr(13, 0);
+  f.mov_rr(1, 13).mov_sym(2, "buf").mov_ri(3, 16).sys(sys::kRecv);
+  f.mov_rr(1, 0).sys(sys::kExit);  // exit(bytes received)
+  b.set_entry("main");
+
+  Os os;
+  int pid = os.spawn(make(b));
+  os.run();
+  HostConn conn = os.connect(9);
+  os.run();
+  EXPECT_EQ(os.process(pid)->state, Process::State::kBlocked);
+  conn.send("abc");
+  os.run();
+  ASSERT_TRUE(os.all_exited());
+  EXPECT_EQ(os.process(pid)->exit_code, 3);
+}
+
+TEST(Os, RecvReturnsZeroOnPeerClose) {
+  ProgramBuilder b("eof");
+  b.bss("buf", 16);
+  auto& f = b.func("main");
+  f.sys(sys::kSocket).mov_rr(12, 0);
+  f.mov_rr(1, 12).mov_ri(2, 10).sys(sys::kBind);
+  f.mov_rr(1, 12).sys(sys::kListen);
+  f.mov_rr(1, 12).sys(sys::kAccept).mov_rr(13, 0);
+  f.mov_rr(1, 13).mov_sym(2, "buf").mov_ri(3, 16).sys(sys::kRecv);
+  f.add_ri(0, 77).mov_rr(1, 0).sys(sys::kExit);  // exit(77 + n)
+  b.set_entry("main");
+
+  Os os;
+  int pid = os.spawn(make(b));
+  os.run();
+  HostConn conn = os.connect(10);
+  os.run();
+  conn.close();
+  os.run();
+  ASSERT_TRUE(os.all_exited());
+  EXPECT_EQ(os.process(pid)->exit_code, 77);
+}
+
+TEST(Os, GuestToGuestConnection) {
+  // Server guest echoes; client guest connects, sends, checks reply length.
+  ProgramBuilder sb("server");
+  sb.bss("buf", 64);
+  auto& s = sb.func("main");
+  s.sys(sys::kSocket).mov_rr(12, 0);
+  s.mov_rr(1, 12).mov_ri(2, 11).sys(sys::kBind);
+  s.mov_rr(1, 12).sys(sys::kListen);
+  s.mov_rr(1, 12).sys(sys::kAccept).mov_rr(13, 0);
+  s.mov_rr(1, 13).mov_sym(2, "buf").mov_ri(3, 64).sys(sys::kRecv);
+  s.mov_rr(3, 0);
+  s.mov_rr(1, 13).mov_sym(2, "buf").sys(sys::kSend);
+  s.mov_ri(1, 0).sys(sys::kExit);
+  sb.set_entry("main");
+
+  ProgramBuilder cb("client");
+  cb.rodata_str("msg", "hi!");
+  cb.bss("buf", 64);
+  auto& c = cb.func("main");
+  c.sys(sys::kSocket).mov_rr(12, 0);
+  c.mov_rr(1, 12).mov_ri(2, 11).sys(sys::kConnect);
+  c.mov_rr(1, 12).mov_sym(2, "msg").mov_ri(3, 3).sys(sys::kSend);
+  c.mov_rr(1, 12).mov_sym(2, "buf").mov_ri(3, 64).sys(sys::kRecv);
+  c.mov_rr(1, 0).sys(sys::kExit);  // exit(reply length)
+  cb.set_entry("main");
+
+  Os os;
+  int spid = os.spawn(make(sb));
+  os.run();  // server parks in accept before the client exists
+  int cpid = os.spawn(make(cb));
+  os.run();
+  ASSERT_TRUE(os.all_exited());
+  EXPECT_EQ(os.process(spid)->exit_code, 0);
+  EXPECT_EQ(os.process(cpid)->exit_code, 3);
+}
+
+TEST(Os, ForkReturnsChildPidAndZero) {
+  // Parent exits with (fork() != 0), child with 0 after observing r0 == 0.
+  ProgramBuilder b("forker");
+  auto& f = b.func("main");
+  f.sys(sys::kFork);
+  f.cmp_ri(0, 0).je("child");
+  f.mov_ri(1, 1).sys(sys::kExit);  // parent
+  f.label("child").mov_ri(1, 2).sys(sys::kExit);
+  b.set_entry("main");
+
+  Os os;
+  int pid = os.spawn(make(b));
+  os.run();
+  ASSERT_TRUE(os.all_exited());
+  auto pids = os.pids();
+  ASSERT_EQ(pids.size(), 2u);
+  EXPECT_EQ(os.process(pid)->exit_code, 1);
+  int child = pids[0] == pid ? pids[1] : pids[0];
+  EXPECT_EQ(os.process(child)->exit_code, 2);
+  EXPECT_EQ(os.process(child)->ppid, pid);
+}
+
+TEST(Os, ForkCopiesMemoryCopyOnWriteIndependence) {
+  // Child increments a counter; parent must not see the change.
+  ProgramBuilder b("cow");
+  b.data_u64("counter", 5);
+  auto& f = b.func("main");
+  f.sys(sys::kFork);
+  f.cmp_ri(0, 0).je("child");
+  // parent: sleep a bit, then exit(counter)
+  f.mov_ri(1, 100000).sys(sys::kNanosleep);
+  f.mov_sym(6, "counter").load(1, 6, 0).sys(sys::kExit);
+  f.label("child")
+      .mov_sym(6, "counter")
+      .load(7, 6, 0)
+      .add_ri(7, 10)
+      .store(6, 0, 7)
+      .mov_ri(1, 0)
+      .sys(sys::kExit);
+  b.set_entry("main");
+
+  Os os;
+  int pid = os.spawn(make(b));
+  os.run();
+  ASSERT_TRUE(os.all_exited());
+  EXPECT_EQ(os.process(pid)->exit_code, 5);  // parent unaffected
+}
+
+TEST(Os, ProcessGroupCollectsDescendants) {
+  ProgramBuilder b("tree");
+  auto& f = b.func("main");
+  f.sys(sys::kFork);
+  f.label("spin").jmp("spin");  // parent and child both spin forever
+  b.set_entry("main");
+  Os os;
+  int pid = os.spawn(make(b));
+  os.run(100000);  // enough to fork; both stay alive spinning
+  auto group = os.process_group(pid);
+  EXPECT_EQ(group.size(), 2u);
+  EXPECT_EQ(group[0], pid);
+}
+
+TEST(Os, TrapWithoutHandlerKillsProcess) {
+  ProgramBuilder b("trapdie");
+  b.func("main").trap();
+  b.set_entry("main");
+  Os os;
+  int pid = os.spawn(make(b));
+  os.run();
+  ASSERT_TRUE(os.all_exited());
+  EXPECT_EQ(os.process(pid)->term_signal, sig::kSigTrap);
+}
+
+TEST(Os, SegvOnUnmappedAccessKills) {
+  ProgramBuilder b("segv");
+  b.func("main").mov_ri(1, 0xdead0000).load(2, 1, 0).ret();
+  b.set_entry("main");
+  Os os;
+  int pid = os.spawn(make(b));
+  os.run();
+  EXPECT_EQ(os.process(pid)->term_signal, sig::kSigSegv);
+}
+
+TEST(Os, DivByZeroRaisesSigfpe) {
+  ProgramBuilder b("fpe");
+  b.func("main").mov_ri(1, 3).mov_ri(2, 0).div_rr(1, 2).ret();
+  b.set_entry("main");
+  Os os;
+  int pid = os.spawn(make(b));
+  os.run();
+  EXPECT_EQ(os.process(pid)->term_signal, sig::kSigFpe);
+}
+
+// The central mechanism test: a guest SIGTRAP handler rewrites the saved IP
+// in its signal frame; sigreturn resumes at the redirected location. This
+// is exactly how DynaCut's injected fault handler implements "respond 403
+// instead of crashing" (paper §3.2.2, Figure 5).
+TEST(Os, TrapHandlerRedirectsSavedIp) {
+  ProgramBuilder b("redirect");
+  auto& f = b.func("main");
+  f.mov_ri(1, sig::kSigTrap)
+      .mov_sym(2, "handler")
+      .mov_sym(3, "restorer")
+      .sys(sys::kSigaction);
+  f.trap();                            // 1 byte; handler skips over it
+  f.mov_ri(1, 55).sys(sys::kExit);     // reached only via redirect
+  b.func("handler")
+      .load(6, 1, 0)   // frame->saved_ip (address of the trap byte)
+      .add_ri(6, 1)    // skip the 1-byte trap
+      .store(1, 0, 6)
+      .ret();          // returns into the restorer
+  b.func("restorer").sys(sys::kSigreturn);
+  b.set_entry("main");
+
+  Os os;
+  int pid = os.spawn(make(b));
+  os.run();
+  ASSERT_TRUE(os.all_exited());
+  EXPECT_EQ(os.process(pid)->term_signal, 0);
+  EXPECT_EQ(os.process(pid)->exit_code, 55);
+}
+
+TEST(Os, TrapHandlerPreservesRegistersAcrossSignal) {
+  ProgramBuilder b("sigregs");
+  auto& f = b.func("main");
+  f.mov_ri(1, sig::kSigTrap)
+      .mov_sym(2, "handler")
+      .mov_sym(3, "restorer")
+      .sys(sys::kSigaction);
+  f.mov_ri(9, 123);  // must survive the handler clobbering r9
+  f.trap();
+  f.mov_rr(1, 9).sys(sys::kExit);
+  b.func("handler")
+      .mov_ri(9, 999)  // clobber; sigreturn must restore 123
+      .load(6, 1, 0)
+      .add_ri(6, 1)
+      .store(1, 0, 6)
+      .ret();
+  b.func("restorer").sys(sys::kSigreturn);
+  b.set_entry("main");
+
+  Os os;
+  int pid = os.spawn(make(b));
+  os.run();
+  ASSERT_TRUE(os.all_exited());
+  EXPECT_EQ(os.process(pid)->exit_code, 123);
+}
+
+TEST(Os, SigreturnWithoutFrameKills) {
+  ProgramBuilder b("badsigret");
+  b.func("main").sys(sys::kSigreturn);
+  b.set_entry("main");
+  Os os;
+  int pid = os.spawn(make(b));
+  os.run();
+  EXPECT_EQ(os.process(pid)->term_signal, sig::kSigSegv);
+}
+
+TEST(Os, NanosleepAdvancesVirtualClock) {
+  ProgramBuilder b("sleeper");
+  b.func("main").mov_ri(1, 5000).sys(sys::kNanosleep).mov_ri(1, 0).sys(
+      sys::kExit);
+  b.set_entry("main");
+  Os os;
+  os.spawn(make(b));
+  os.run();
+  ASSERT_TRUE(os.all_exited());
+  EXPECT_GE(os.now(), 5000u);
+}
+
+TEST(Os, MmapMunmap) {
+  ProgramBuilder b("mapper");
+  auto& f = b.func("main");
+  f.mov_ri(1, 0)
+      .mov_ri(2, 8192)
+      .mov_ri(3, kProtRead | kProtWrite)
+      .sys(sys::kMmap)
+      .mov_rr(12, 0);            // addr
+  f.mov_ri(6, 77).store(12, 0, 6).load(7, 12, 0);  // write+read the mapping
+  f.mov_rr(1, 12).mov_ri(2, 8192).sys(sys::kMunmap);
+  f.mov_rr(1, 7).sys(sys::kExit);
+  b.set_entry("main");
+  Os os;
+  int pid = os.spawn(make(b));
+  os.run();
+  ASSERT_TRUE(os.all_exited());
+  EXPECT_EQ(os.process(pid)->exit_code, 77);
+}
+
+TEST(Os, MprotectMakesCodeWritable) {
+  // Guest patches its own code after mprotect (the verifier-library path).
+  ProgramBuilder b("selfpatch");
+  auto& f = b.func("main");
+  // mprotect(kAppBase, page, RWX)
+  f.mov_ri(1, kAppBase)
+      .mov_ri(2, kPageSize)
+      .mov_ri(3, kProtRead | kProtWrite | kProtExec)
+      .sys(sys::kMprotect);
+  // overwrite the trap below with NOP (0x90) before reaching it
+  f.mov_sym(6, "patchee").mov_ri(7, 0x90).storeb(6, 0, 7);
+  f.call("patchee");
+  f.mov_ri(1, 21).sys(sys::kExit);
+  b.func("patchee").trap().ret();  // trap byte gets replaced by nop
+  b.set_entry("main");
+  Os os;
+  int pid = os.spawn(make(b));
+  os.run();
+  ASSERT_TRUE(os.all_exited());
+  EXPECT_EQ(os.process(pid)->term_signal, 0);
+  EXPECT_EQ(os.process(pid)->exit_code, 21);
+}
+
+TEST(Os, WriteToCodeWithoutMprotectFaults) {
+  ProgramBuilder b("wxviolate");
+  auto& f = b.func("main");
+  f.mov_sym(6, "main").mov_ri(7, 0x90).storeb(6, 0, 7);
+  f.mov_ri(1, 0).sys(sys::kExit);
+  b.set_entry("main");
+  Os os;
+  int pid = os.spawn(make(b));
+  os.run();
+  EXPECT_EQ(os.process(pid)->term_signal, sig::kSigSegv);
+}
+
+TEST(Os, NudgeEventsRecorded) {
+  ProgramBuilder b("nudger");
+  b.func("main").mov_ri(1, 424242).sys(sys::kNudge).mov_ri(1, 0).sys(
+      sys::kExit);
+  b.set_entry("main");
+  Os os;
+  int pid = os.spawn(make(b));
+  os.run();
+  ASSERT_EQ(os.nudges().size(), 1u);
+  EXPECT_EQ(os.nudges()[0].first, pid);
+  EXPECT_EQ(os.nudges()[0].second, 424242u);
+}
+
+TEST(Os, GetpidAndClockSyscalls) {
+  ProgramBuilder b("pidclk");
+  auto& f = b.func("main");
+  f.sys(sys::kGetpid).mov_rr(12, 0);
+  f.sys(sys::kClock).cmp_ri(0, 0).je("bad");
+  f.mov_rr(1, 12).sys(sys::kExit);
+  f.label("bad").mov_ri(1, 0).sys(sys::kExit);
+  b.set_entry("main");
+  Os os;
+  int pid = os.spawn(make(b));
+  os.run();
+  EXPECT_EQ(os.process(pid)->exit_code, pid);
+}
+
+TEST(Os, FreezeHidesProcessFromScheduler) {
+  ProgramBuilder b("spinner");
+  auto& f = b.func("main");
+  f.label("spin").mov_ri(1, 10).sys(sys::kNanosleep).jmp("spin");
+  b.set_entry("main");
+  Os os;
+  int pid = os.spawn(make(b));
+  os.run(1000);
+  uint64_t retired_before = os.process(pid)->instructions_retired;
+  os.freeze(pid);
+  os.run(1000);
+  EXPECT_EQ(os.process(pid)->instructions_retired, retired_before);
+  os.thaw(pid);
+  os.run(1000);
+  EXPECT_GT(os.process(pid)->instructions_retired, retired_before);
+}
+
+TEST(Os, FreezeTwiceThrows) {
+  ProgramBuilder b("spin2");
+  b.func("main").label("s").jmp("s");
+  b.set_entry("main");
+  Os os;
+  int pid = os.spawn(make(b));
+  os.freeze(pid);
+  EXPECT_THROW(os.freeze(pid), StateError);
+  EXPECT_THROW(os.thaw(999), StateError);
+}
+
+TEST(Os, RunTicksAdvancesIdleClock) {
+  Os os;
+  uint64_t t0 = os.now();
+  os.run_ticks(12345);
+  EXPECT_GE(os.now() - t0, 12345u);
+}
+
+TEST(Os, UnknownSyscallKillsProcess) {
+  ProgramBuilder b("badsys");
+  b.func("main").sys(9999);
+  b.set_entry("main");
+  Os os;
+  int pid = os.spawn(make(b));
+  os.run();
+  EXPECT_EQ(os.process(pid)->term_signal, 31);
+}
+
+TEST(Loader, ResolveSymbolAcrossModules) {
+  ProgramBuilder b("resolver");
+  b.func("main").call_import("strlen").mov_ri(1, 0).sys(sys::kExit);
+  b.set_entry("main");
+  Os os;
+  int pid = os.spawn(make(b), {build_libc()});
+  const Process* p = os.process(pid);
+  uint64_t strlen_addr = resolve_symbol(*p, "strlen");
+  EXPECT_NE(strlen_addr, 0u);
+  EXPECT_GE(strlen_addr, kLibcBase);
+  EXPECT_EQ(resolve_symbol(*p, "no_such_symbol"), 0u);
+}
+
+TEST(Loader, UnresolvedImportThrows) {
+  ProgramBuilder b("missing");
+  b.func("main").call_import("nonexistent_function").ret();
+  b.set_entry("main");
+  Os os;
+  EXPECT_THROW(os.spawn(make(b)), GuestError);
+}
+
+TEST(Loader, ModuleAtMapsAddressesToModules) {
+  ProgramBuilder b("mapped");
+  b.func("main").call_import("strlen").mov_ri(1, 0).sys(sys::kExit);
+  b.set_entry("main");
+  Os os;
+  int pid = os.spawn(make(b), {build_libc()});
+  const Process* p = os.process(pid);
+  const LoadedModule* app = p->module_at(kAppBase);
+  ASSERT_NE(app, nullptr);
+  EXPECT_EQ(app->name, "mapped");
+  const LoadedModule* libc = p->module_at(kLibcBase);
+  ASSERT_NE(libc, nullptr);
+  EXPECT_EQ(libc->name, "libc.so");
+  EXPECT_EQ(p->module_at(0x1), nullptr);
+}
+
+}  // namespace
+}  // namespace dynacut::os

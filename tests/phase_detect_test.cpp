@@ -1,0 +1,82 @@
+// Tests for automatic init-phase detection (syscall-monitoring extension).
+#include <gtest/gtest.h>
+
+#include "analysis/coverage.hpp"
+#include "apps/libc.hpp"
+#include "apps/minikv.hpp"
+#include "os/os.hpp"
+#include "test_guests.hpp"
+#include "trace/phase_detect.hpp"
+#include "trace/trace.hpp"
+
+namespace dynacut::trace {
+namespace {
+
+TEST(PhaseDetector, FiresOnceAtFirstAccept) {
+  os::Os vos;
+  int fired_count = 0;
+  int fired_pid = 0;
+  PhaseDetector det(vos, [&](const os::Process& p) {
+    ++fired_count;
+    fired_pid = p.pid;
+  });
+  int pid = vos.spawn(testing::build_toysrv(), {apps::build_libc()});
+  vos.run();  // parks in accept (syscall executes, then blocks + re-executes)
+  EXPECT_EQ(fired_count, 1);
+  EXPECT_EQ(fired_pid, pid);
+  EXPECT_TRUE(det.fired(pid));
+
+  // Serve a request; the re-executed accept must not fire again.
+  auto conn = vos.connect(80);
+  conn.send("A\nQ\n");
+  vos.run();
+  EXPECT_EQ(fired_count, 1);
+}
+
+TEST(PhaseDetector, DoesNotFireForNonServers) {
+  os::Os vos;
+  int fired = 0;
+  PhaseDetector det(vos, [&](const os::Process&) { ++fired; });
+  melf::ProgramBuilder b("batch");
+  b.func("main").mov_ri(1, 0).sys(os::sys::kExit);
+  b.set_entry("main");
+  int pid = vos.spawn(std::make_shared<melf::Binary>(b.link()));
+  vos.run();
+  EXPECT_EQ(fired, 0);
+  EXPECT_FALSE(det.fired(pid));
+}
+
+TEST(PhaseDetector, AutomaticNudgeMatchesManualSplit) {
+  // Fully automatic init/serving split: the detector triggers the tracer's
+  // dump_and_reset, no user involvement — and the resulting init-only set
+  // must contain minikv's init functions and none of its command handlers.
+  os::Os vos;
+  Tracer tracer(vos);
+  TraceLog init_log;
+  PhaseDetector det(vos, [&](const os::Process& p) {
+    init_log = tracer.dump_and_reset(p.pid);
+  });
+
+  auto bin = apps::build_minikv();
+  int pid = vos.spawn(bin, {apps::build_libc()});
+  vos.run();
+  ASSERT_TRUE(det.fired(pid));
+  auto conn = vos.connect(apps::kMinikvPort);
+  conn.send("SET k v\nGET k\nPING\nSHUTDOWN\n");
+  vos.run();
+  TraceLog serving_log = tracer.dump(pid);
+
+  analysis::CoverageGraph init_only =
+      analysis::init_only(init_log, serving_log, "minikv");
+  ASSERT_FALSE(init_only.empty());
+  EXPECT_TRUE(init_only.contains(
+      "minikv", bin->find_symbol("init_table")->value));
+  for (const char* serving_fn : {"cmd_get", "cmd_set", "cmd_ping",
+                                 "dispatch_command", "handle_conn"}) {
+    const melf::Symbol* s = bin->find_symbol(serving_fn);
+    EXPECT_FALSE(init_only.contains("minikv", s->value)) << serving_fn;
+  }
+}
+
+}  // namespace
+}  // namespace dynacut::trace

@@ -1,0 +1,105 @@
+// Shared guest programs for integration tests.
+#pragma once
+
+#include <memory>
+
+#include "apps/libc.hpp"
+#include "melf/builder.hpp"
+#include "os/syscall.hpp"
+
+namespace dynacut::testing {
+
+/// "toysrv": a line-protocol server on port 80 with the structure the paper
+/// assumes — an init phase touching config memory, then an accept+dispatch
+/// loop whose dispatcher is one big compare chain with a shared error path.
+///
+/// Protocol (one line per request):
+///   "A..." -> "alpha\n"     (feature A: arm in dispatch + handle_a)
+///   "B..." -> "beta\n"      (feature B: arm in dispatch + handle_b)
+///   "Q..." -> server exits
+///   else   -> "err\n"       (the error path, exported as symbol
+///                            "dispatch_err" inside function "dispatch")
+///
+/// Exported symbols of interest: init, dispatch, handle_a, handle_b,
+/// dispatch_err (mark), serve_loop.
+inline std::shared_ptr<const melf::Binary> build_toysrv(uint16_t port = 80) {
+  namespace sys = os::sys;
+  melf::ProgramBuilder b("toysrv");
+  b.rodata_str("ready_msg", "ready\n");
+  b.rodata_str("alpha_msg", "alpha\n");
+  b.rodata_str("beta_msg", "beta\n");
+  b.rodata_str("err_msg", "err\n");
+  b.rodata_str("cmd_a", "A");
+  b.rodata_str("cmd_b", "B");
+  b.rodata_str("cmd_q", "Q");
+  b.bss("cfg", 8192);
+  b.bss("buf", 128);
+
+  // init: touch config memory (creates dumped pages) and announce readiness.
+  auto& init = b.func("init");
+  init.mov_sym(1, "cfg")
+      .mov_ri(2, 7)
+      .mov_ri(3, 8192)
+      .call_import("memset")
+      .mov_ri(1, 1)
+      .mov_sym(2, "ready_msg")
+      .call_import("write_str")
+      .ret();
+
+  auto& main = b.func("main");
+  main.call("init");
+  main.sys(sys::kSocket).mov_rr(12, 0);
+  main.mov_rr(1, 12).mov_ri(2, port).sys(sys::kBind);
+  main.mov_rr(1, 12).sys(sys::kListen);
+  main.mov_rr(1, 12).sys(sys::kAccept).mov_rr(13, 0);
+  main.call("serve_loop");
+  main.mov_ri(1, 0).sys(sys::kExit);
+
+  auto& loop = b.func("serve_loop");
+  loop.label("top")
+      .mov_rr(1, 13)
+      .mov_sym(2, "buf")
+      .mov_ri(3, 128)
+      .call_import("recv_line")
+      .cmp_ri(0, 0)
+      .je("done")
+      .call("dispatch")
+      .cmp_ri(0, 99)  // dispatch returns 99 for Q
+      .je("done")
+      .jmp("top")
+      .label("done")
+      .ret();
+
+  // The big switch-case dispatcher. Each feature arm is its own basic
+  // block; the error path is in the same function (mark "dispatch_err").
+  auto& d = b.func("dispatch");
+  d.mov_sym(1, "buf").mov_sym(2, "cmd_a").mov_ri(3, 1).call_import("strncmp");
+  d.cmp_ri(0, 0).je("arm_a");
+  d.mov_sym(1, "buf").mov_sym(2, "cmd_b").mov_ri(3, 1).call_import("strncmp");
+  d.cmp_ri(0, 0).je("arm_b");
+  d.mov_sym(1, "buf").mov_sym(2, "cmd_q").mov_ri(3, 1).call_import("strncmp");
+  d.cmp_ri(0, 0).je("arm_q");
+  d.jmp("err");
+  d.label("arm_a").call("handle_a").mov_ri(0, 0).ret();
+  d.label("arm_b").call("handle_b").mov_ri(0, 0).ret();
+  d.label("arm_q").mov_ri(0, 99).ret();
+  d.label("err").mark("dispatch_err");
+  d.mov_rr(1, 13).mov_sym(2, "err_msg").call_import("write_str");
+  d.mov_ri(0, 0).ret();
+
+  b.func("handle_a")
+      .mov_rr(1, 13)
+      .mov_sym(2, "alpha_msg")
+      .call_import("write_str")
+      .ret();
+  b.func("handle_b")
+      .mov_rr(1, 13)
+      .mov_sym(2, "beta_msg")
+      .call_import("write_str")
+      .ret();
+
+  b.set_entry("main");
+  return std::make_shared<melf::Binary>(b.link());
+}
+
+}  // namespace dynacut::testing

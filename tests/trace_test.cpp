@@ -1,0 +1,233 @@
+// Tests for the drcov-style tracer: dedup, module attribution, block sizes,
+// first-execution order, nudge dump/reset, serialization.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "analysis/coverage.hpp"
+#include "apps/libc.hpp"
+#include "melf/builder.hpp"
+#include "os/os.hpp"
+#include "test_guests.hpp"
+#include "trace/trace.hpp"
+
+namespace dynacut::trace {
+namespace {
+
+namespace sys = os::sys;
+using melf::Binary;
+using melf::ProgramBuilder;
+
+TEST(Tracer, RecordsBlocksOnce) {
+  // A loop executes its body many times; the trace must contain it once.
+  ProgramBuilder b("loopy");
+  auto& f = b.func("main");
+  f.mov_ri(6, 100)
+      .label("loop")
+      .sub_ri(6, 1)
+      .cmp_ri(6, 0)
+      .jne("loop")
+      .mov_ri(1, 0)
+      .sys(sys::kExit);
+  b.set_entry("main");
+
+  os::Os vos;
+  Tracer tracer(vos);
+  int pid = vos.spawn(std::make_shared<Binary>(b.link()));
+  vos.run();
+  TraceLog log = tracer.dump(pid);
+  // Blocks: [start..jne], [loop body..jne] (re-entry), [mov;syscall] + the
+  // loop body counted once despite 100 iterations.
+  EXPECT_GE(log.blocks.size(), 2u);
+  EXPECT_LE(log.blocks.size(), 4u);
+  // No duplicate (module, offset) pairs.
+  std::set<std::pair<uint32_t, uint64_t>> seen;
+  for (const auto& blk : log.blocks) {
+    EXPECT_TRUE(seen.insert({blk.module_id, blk.offset}).second);
+  }
+}
+
+TEST(Tracer, AttributesBlocksToModules) {
+  os::Os vos;
+  Tracer tracer(vos);
+  int pid = vos.spawn(testing::build_toysrv(), {apps::build_libc()});
+  vos.run();  // parks in accept
+  auto conn = vos.connect(80);
+  conn.send("A\nQ\n");
+  vos.run();
+
+  TraceLog log = tracer.dump(pid);
+  ASSERT_GE(log.modules.size(), 2u);
+  const ModuleRec* app = log.module_named("toysrv");
+  const ModuleRec* libc = log.module_named("libc.so");
+  ASSERT_NE(app, nullptr);
+  ASSERT_NE(libc, nullptr);
+
+  size_t app_blocks = 0, libc_blocks = 0;
+  for (const auto& blk : log.blocks) {
+    const auto& m = log.modules[blk.module_id];
+    if (m.name == "toysrv") ++app_blocks;
+    if (m.name == "libc.so") ++libc_blocks;
+    // Offsets must be inside the module image.
+    EXPECT_LT(blk.offset, m.size == 0 ? ~0ull : m.size);
+    EXPECT_GT(blk.size, 0u);
+  }
+  EXPECT_GT(app_blocks, 5u);   // init, main, loop, dispatch, handler blocks
+  EXPECT_GT(libc_blocks, 3u);  // memset, write_str, strncmp, recv_line
+}
+
+TEST(Tracer, BlockSizesMatchDisassembly) {
+  ProgramBuilder b("sized");
+  auto& f = b.func("main");
+  f.mov_ri(1, 0).sys(sys::kExit);  // block: mov(10) + mov(10) + syscall(1)
+  b.set_entry("main");
+  os::Os vos;
+  Tracer tracer(vos);
+  int pid = vos.spawn(std::make_shared<Binary>(b.link()));
+  vos.run();
+  TraceLog log = tracer.dump(pid);
+  ASSERT_EQ(log.blocks.size(), 1u);
+  EXPECT_EQ(log.blocks[0].size, 21u);  // mov_ri r1 + mov_ri r0 + syscall
+  EXPECT_EQ(log.blocks[0].offset, 0u);
+}
+
+TEST(Tracer, FirstExecutionOrderPreserved) {
+  os::Os vos;
+  Tracer tracer(vos);
+  int pid = vos.spawn(testing::build_toysrv(), {apps::build_libc()});
+  vos.run();
+  auto conn = vos.connect(80);
+  conn.send("B\nQ\n");
+  vos.run();
+  TraceLog log = tracer.dump(pid);
+  // init code must appear before any dispatch block.
+  const Binary& bin = *vos.process(pid)->modules.back().binary;
+  uint64_t init_off = bin.find_symbol("init")->value;
+  uint64_t dispatch_off = bin.find_symbol("dispatch")->value;
+  int init_pos = -1, dispatch_pos = -1;
+  for (size_t i = 0; i < log.blocks.size(); ++i) {
+    if (log.modules[log.blocks[i].module_id].name != "toysrv") continue;
+    if (log.blocks[i].offset == init_off && init_pos < 0) {
+      init_pos = static_cast<int>(i);
+    }
+    if (log.blocks[i].offset == dispatch_off && dispatch_pos < 0) {
+      dispatch_pos = static_cast<int>(i);
+    }
+  }
+  ASSERT_GE(init_pos, 0);
+  ASSERT_GE(dispatch_pos, 0);
+  EXPECT_LT(init_pos, dispatch_pos);
+}
+
+TEST(Tracer, NudgeDumpAndResetSplitsPhases) {
+  os::Os vos;
+  Tracer tracer(vos);
+  int pid = vos.spawn(testing::build_toysrv(), {apps::build_libc()});
+  vos.run();  // init done, parked in accept — the "server ready" moment
+
+  TraceLog init_log = tracer.dump_and_reset(pid);  // the nudge
+  EXPECT_GT(init_log.blocks.size(), 0u);
+  EXPECT_EQ(tracer.block_count(pid), 0u);
+
+  auto conn = vos.connect(80);
+  conn.send("A\nQ\n");
+  vos.run();
+  TraceLog serving_log = tracer.dump(pid);
+  EXPECT_GT(serving_log.blocks.size(), 0u);
+
+  // init must contain the init function; serving must not.
+  const Binary& bin = *vos.process(pid)->modules.back().binary;
+  uint64_t init_off = bin.find_symbol("init")->value;
+  auto contains = [&](const TraceLog& log, uint64_t off) {
+    for (const auto& blk : log.blocks) {
+      if (log.modules[blk.module_id].name == "toysrv" && blk.offset == off) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(contains(init_log, init_off));
+  EXPECT_FALSE(contains(serving_log, init_off));
+  // dispatch runs only in the serving phase.
+  uint64_t dispatch_off = bin.find_symbol("dispatch")->value;
+  EXPECT_FALSE(contains(init_log, dispatch_off));
+  EXPECT_TRUE(contains(serving_log, dispatch_off));
+}
+
+TEST(Tracer, TraceOnlyFiltersOtherPids) {
+  ProgramBuilder b("twins");
+  auto& f = b.func("main");
+  f.sys(sys::kFork).mov_ri(1, 0).sys(sys::kExit);
+  b.set_entry("main");
+  os::Os vos;
+  Tracer tracer(vos);
+  int pid = vos.spawn(std::make_shared<Binary>(b.link()));
+  tracer.trace_only(pid);
+  vos.run();
+  EXPECT_GT(tracer.block_count(pid), 0u);
+  for (int other : vos.pids()) {
+    if (other != pid) EXPECT_EQ(tracer.block_count(other), 0u);
+  }
+}
+
+TEST(Tracer, ForkedChildTracedSeparately) {
+  ProgramBuilder b("forktrace");
+  auto& f = b.func("main");
+  f.sys(sys::kFork);
+  f.cmp_ri(0, 0).je("child");
+  f.mov_ri(1, 0).sys(sys::kExit);
+  f.label("child").nop().nop().mov_ri(1, 0).sys(sys::kExit);
+  b.set_entry("main");
+  os::Os vos;
+  Tracer tracer(vos);
+  int pid = vos.spawn(std::make_shared<Binary>(b.link()));
+  vos.run();
+  auto pids = vos.pids();
+  ASSERT_EQ(pids.size(), 2u);
+  int child = pids[0] == pid ? pids[1] : pids[0];
+  EXPECT_GT(tracer.block_count(pid), 0u);
+  EXPECT_GT(tracer.block_count(child), 0u);
+  TraceLog child_log = tracer.dump(child);
+  EXPECT_EQ(child_log.pid, child);
+}
+
+TEST(TraceLog, EncodeDecodeRoundtrip) {
+  os::Os vos;
+  Tracer tracer(vos);
+  int pid = vos.spawn(testing::build_toysrv(), {apps::build_libc()});
+  vos.run();
+  TraceLog log = tracer.dump(pid);
+  TraceLog back = TraceLog::decode(log.encode());
+  EXPECT_EQ(back.process_name, log.process_name);
+  EXPECT_EQ(back.pid, log.pid);
+  ASSERT_EQ(back.modules.size(), log.modules.size());
+  for (size_t i = 0; i < log.modules.size(); ++i) {
+    EXPECT_EQ(back.modules[i].name, log.modules[i].name);
+    EXPECT_EQ(back.modules[i].base, log.modules[i].base);
+  }
+  ASSERT_EQ(back.blocks.size(), log.blocks.size());
+  EXPECT_EQ(back.blocks, log.blocks);
+}
+
+TEST(TraceLog, DecodeRejectsGarbage) {
+  std::vector<uint8_t> junk{9, 9, 9};
+  EXPECT_THROW(TraceLog::decode(junk), DecodeError);
+}
+
+TEST(TraceLog, DecodeRejectsDanglingModuleRef) {
+  TraceLog log;
+  log.process_name = "x";
+  log.modules.push_back(ModuleRec{"m", 0, 100});
+  log.blocks.push_back(BlockRec{5, 0, 1});  // module 5 doesn't exist
+  auto bytes = log.encode();
+  EXPECT_THROW(TraceLog::decode(bytes), DecodeError);
+}
+
+TEST(Tracer, DumpUnknownPidThrows) {
+  os::Os vos;
+  Tracer tracer(vos);
+  EXPECT_THROW(tracer.dump(12345), StateError);
+}
+
+}  // namespace
+}  // namespace dynacut::trace

@@ -1,0 +1,452 @@
+// Tests for the VM substrate: address-space semantics (VMAs, pages,
+// protections, faults) and the VX64 executor.
+#include <gtest/gtest.h>
+
+#include "common/constants.hpp"
+#include "isa/encode.hpp"
+#include "vm/addrspace.hpp"
+#include "vm/cpu.hpp"
+#include "vm/exec.hpp"
+
+namespace dynacut::vm {
+namespace {
+
+using isa::Encoder;
+using isa::Op;
+
+// ---------------------------------------------------------------------------
+// AddressSpace
+// ---------------------------------------------------------------------------
+
+TEST(AddressSpace, MapAndQuery) {
+  AddressSpace as;
+  as.map(0x1000, 0x2000, kProtRead | kProtWrite, "test");
+  const Vma* v = as.vma_at(0x1500);
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(v->start, 0x1000u);
+  EXPECT_EQ(v->end, 0x3000u);
+  EXPECT_EQ(v->name, "test");
+  EXPECT_EQ(as.vma_at(0x0fff), nullptr);
+  EXPECT_EQ(as.vma_at(0x3000), nullptr);
+}
+
+TEST(AddressSpace, MapRoundsSizeToPage) {
+  AddressSpace as;
+  as.map(0x1000, 1, kProtRead, "tiny");
+  EXPECT_NE(as.vma_at(0x1fff), nullptr);
+}
+
+TEST(AddressSpace, OverlappingMapThrows) {
+  AddressSpace as;
+  as.map(0x1000, 0x2000, kProtRead, "a");
+  EXPECT_THROW(as.map(0x2000, 0x1000, kProtRead, "b"), StateError);
+  EXPECT_THROW(as.map(0x0000, 0x2000, kProtRead, "c"), StateError);
+  as.map(0x3000, 0x1000, kProtRead, "ok");  // adjacent is fine
+}
+
+TEST(AddressSpace, MapEmptyThrows) {
+  AddressSpace as;
+  EXPECT_THROW(as.map(0x1000, 0, kProtRead, "none"), StateError);
+}
+
+TEST(AddressSpace, ReadOfUnwrittenPagesIsZero) {
+  AddressSpace as;
+  as.map(0x1000, 0x1000, kProtRead | kProtWrite, "z");
+  uint64_t v = 123;
+  ASSERT_TRUE(as.read(0x1100, &v, 8, kProtRead).ok);
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(as.populated_pages().empty());  // reads don't populate
+}
+
+TEST(AddressSpace, WriteReadRoundtripAcrossPages) {
+  AddressSpace as;
+  as.map(0x1000, 0x3000, kProtRead | kProtWrite, "rw");
+  std::vector<uint8_t> data(5000);
+  for (size_t i = 0; i < data.size(); ++i) data[i] = uint8_t(i * 7);
+  ASSERT_TRUE(as.write(0x1ffc, data.data(), data.size(), kProtWrite).ok);
+  std::vector<uint8_t> back(5000);
+  ASSERT_TRUE(as.read(0x1ffc, back.data(), back.size(), kProtRead).ok);
+  EXPECT_EQ(back, data);
+  EXPECT_EQ(as.populated_pages().size(), 3u);  // touched 3 pages
+}
+
+TEST(AddressSpace, ProtectionViolationFaults) {
+  AddressSpace as;
+  as.map(0x1000, 0x1000, kProtRead, "ro");
+  uint8_t b = 1;
+  Access a = as.write(0x1000, &b, 1, kProtWrite);
+  EXPECT_FALSE(a.ok);
+  EXPECT_EQ(a.fault_addr, 0x1000u);
+  // Host pokes bypass protection.
+  as.poke(0x1000, &b, 1);
+  uint8_t out = 0;
+  as.peek(0x1000, &out, 1);
+  EXPECT_EQ(out, 1);
+}
+
+TEST(AddressSpace, UnmappedAccessFaultsAtExactAddress) {
+  AddressSpace as;
+  as.map(0x1000, 0x1000, kProtRead | kProtWrite, "a");
+  std::vector<uint8_t> buf(0x2000);
+  Access a = as.read(0x1800, buf.data(), 0x1000, kProtRead);
+  EXPECT_FALSE(a.ok);
+  EXPECT_EQ(a.fault_addr, 0x2000u);  // first byte outside the VMA
+}
+
+TEST(AddressSpace, UnmapWholeRegionDiscardsPages) {
+  AddressSpace as;
+  as.map(0x1000, 0x2000, kProtRead | kProtWrite, "gone");
+  uint64_t v = 42;
+  as.write(0x1000, &v, 8, kProtWrite);
+  as.unmap(0x1000, 0x2000);
+  EXPECT_EQ(as.vma_at(0x1000), nullptr);
+  EXPECT_TRUE(as.populated_pages().empty());
+  // Remapping the range sees zeros, not stale data.
+  as.map(0x1000, 0x1000, kProtRead | kProtWrite, "fresh");
+  uint64_t out = 99;
+  as.read(0x1000, &out, 8, kProtRead);
+  EXPECT_EQ(out, 0u);
+}
+
+TEST(AddressSpace, PartialUnmapSplitsVma) {
+  AddressSpace as;
+  as.map(0x1000, 0x3000, kProtRead, "big");
+  as.unmap(0x2000, 0x1000);
+  EXPECT_NE(as.vma_at(0x1000), nullptr);
+  EXPECT_EQ(as.vma_at(0x2000), nullptr);
+  EXPECT_NE(as.vma_at(0x3000), nullptr);
+  EXPECT_EQ(as.vma_count(), 2u);
+}
+
+TEST(AddressSpace, UnmapUnmappedThrows) {
+  AddressSpace as;
+  EXPECT_THROW(as.unmap(0x5000, 0x1000), StateError);
+}
+
+TEST(AddressSpace, ProtectSplitsAndApplies) {
+  AddressSpace as;
+  as.map(0x1000, 0x3000, kProtRead | kProtWrite, "rw");
+  as.protect(0x2000, 0x1000, kProtRead);
+  uint8_t b = 1;
+  EXPECT_TRUE(as.write(0x1000, &b, 1, kProtWrite).ok);
+  EXPECT_FALSE(as.write(0x2000, &b, 1, kProtWrite).ok);
+  EXPECT_TRUE(as.write(0x3000, &b, 1, kProtWrite).ok);
+}
+
+TEST(AddressSpace, FindFreeSkipsMappedRegions) {
+  AddressSpace as;
+  as.map(0x1000, 0x1000, kProtRead, "a");
+  as.map(0x3000, 0x1000, kProtRead, "b");
+  EXPECT_EQ(as.find_free(0x1000, 0x1000), 0x2000u);
+  EXPECT_EQ(as.find_free(0x2000, 0x1000), 0x4000u);  // 0x2000 gap too small
+  EXPECT_EQ(as.find_free(0x1000, 0x5000), 0x5000u);
+}
+
+TEST(AddressSpace, InstallAndReadPage) {
+  AddressSpace as;
+  as.map(0x1000, 0x1000, kProtRead, "p");
+  std::vector<uint8_t> page(kPageSize, 0x5a);
+  as.install_page(0x1000, page);
+  auto bytes = as.page_bytes(0x1000);
+  EXPECT_EQ(bytes[0], 0x5a);
+  EXPECT_EQ(bytes[kPageSize - 1], 0x5a);
+  EXPECT_THROW(as.page_bytes(0x2000), StateError);
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+struct Machine {
+  AddressSpace mem;
+  Cpu cpu;
+
+  explicit Machine(const std::vector<uint8_t>& code) {
+    mem.map(0x1000, page_ceil(code.size()), kProtRead | kProtExec, "code");
+    mem.poke(0x1000, code.data(), code.size());
+    mem.map(0x8000, 0x1000, kProtRead | kProtWrite, "stack");
+    cpu.ip = 0x1000;
+    cpu.sp() = 0x9000;
+  }
+
+  /// Steps until a non-kOk result or `limit` instructions.
+  StepResult run(int limit = 10000) {
+    StepResult r;
+    for (int i = 0; i < limit; ++i) {
+      r = step(mem, cpu);
+      if (r.kind != StepKind::kOk) return r;
+    }
+    return r;
+  }
+};
+
+std::vector<uint8_t> assemble(const std::function<void(Encoder&)>& gen) {
+  std::vector<uint8_t> code;
+  Encoder enc(code);
+  gen(enc);
+  return code;
+}
+
+TEST(Exec, ArithmeticAndSyscall) {
+  auto code = assemble([](Encoder& e) {
+    e.mov_ri(1, 20);
+    e.mov_ri(2, 22);
+    e.add_rr(1, 2);   // r1 = 42
+    e.mov_ri(3, 7);
+    e.mul_rr(3, 1);   // r3 = 294
+    e.sub_ri(3, 94);  // r3 = 200
+    e.mov_ri(4, 8);
+    e.div_rr(3, 4);   // r3 = 25
+    e.syscall();
+  });
+  Machine m(code);
+  StepResult r = m.run();
+  EXPECT_EQ(r.kind, StepKind::kSyscall);
+  EXPECT_EQ(m.cpu.regs[1], 42u);
+  EXPECT_EQ(m.cpu.regs[3], 25u);
+}
+
+TEST(Exec, BitwiseAndShifts) {
+  auto code = assemble([](Encoder& e) {
+    e.mov_ri(1, 0xf0);
+    e.mov_ri(2, 0x0f);
+    e.or_rr(1, 2);    // 0xff
+    e.mov_ri(3, 0xff);
+    e.and_rr(3, 1);   // 0xff
+    e.xor_rr(3, 2);   // 0xf0
+    e.shl_ri(3, 4);   // 0xf00
+    e.shr_ri(3, 8);   // 0xf
+    e.syscall();
+  });
+  Machine m(code);
+  m.run();
+  EXPECT_EQ(m.cpu.regs[3], 0xfu);
+}
+
+TEST(Exec, ConditionalBranchesSignedUnsigned) {
+  // r1 = -1 (unsigned huge), r2 = 1. Signed: r1 < r2. Unsigned: r1 > r2.
+  auto code = assemble([](Encoder& e) {
+    e.mov_ri(1, static_cast<uint64_t>(-1));
+    e.mov_ri(2, 1);
+    e.cmp_rr(1, 2);
+    e.branch(Op::kJlt, 11);  // taken (signed): skip mov r5,1 (10B) + 1 trap
+    e.mov_ri(5, 1);
+    e.trap();
+    e.cmp_rr(1, 2);
+    e.branch(Op::kJb, 11);  // NOT taken (unsigned): falls through
+    e.mov_ri(6, 7);
+    e.syscall();
+  });
+  Machine m(code);
+  StepResult r = m.run();
+  EXPECT_EQ(r.kind, StepKind::kSyscall);
+  EXPECT_EQ(m.cpu.regs[5], 0u);  // skipped
+  EXPECT_EQ(m.cpu.regs[6], 7u);  // executed
+}
+
+TEST(Exec, LoopSumsToTen) {
+  // for (r1=0, r2=0; r1<5; r1++) r2 += r1;  => r2 = 10
+  auto code = assemble([](Encoder& e) {
+    e.mov_ri(1, 0);
+    e.mov_ri(2, 0);
+    size_t loop = e.offset();
+    e.add_rr(2, 1);
+    e.add_ri(1, 1);
+    e.cmp_ri(1, 5);
+    size_t j = e.branch(Op::kJlt, 0);
+    e.patch_rel32(j, static_cast<int32_t>(loop) -
+                         static_cast<int32_t>(j + 5));
+    e.syscall();
+  });
+  Machine m(code);
+  m.run();
+  EXPECT_EQ(m.cpu.regs[2], 10u);
+}
+
+TEST(Exec, CallRetUsesStack) {
+  auto code = assemble([](Encoder& e) {
+    e.branch(Op::kCall, 6);  // call over the next syscall (1B) + nops
+    e.syscall();             // returns here
+    e.nop();                 // padding
+    e.nop();
+    e.nop();
+    e.nop();
+    e.nop();
+    // callee:
+    e.mov_ri(4, 77);
+    e.ret();
+  });
+  Machine m(code);
+  uint64_t sp0 = m.cpu.sp();
+  StepResult r = m.run();
+  EXPECT_EQ(r.kind, StepKind::kSyscall);
+  EXPECT_EQ(m.cpu.regs[4], 77u);
+  EXPECT_EQ(m.cpu.sp(), sp0);  // balanced
+}
+
+TEST(Exec, PushPopRoundtrip) {
+  auto code = assemble([](Encoder& e) {
+    e.mov_ri(1, 111);
+    e.mov_ri(2, 222);
+    e.push(1);
+    e.push(2);
+    e.pop(3);
+    e.pop(4);
+    e.syscall();
+  });
+  Machine m(code);
+  m.run();
+  EXPECT_EQ(m.cpu.regs[3], 222u);
+  EXPECT_EQ(m.cpu.regs[4], 111u);
+}
+
+TEST(Exec, LoadStoreByteAndWord) {
+  auto code = assemble([](Encoder& e) {
+    e.mov_ri(1, 0x8000);
+    e.mov_ri(2, 0x1122334455667788ULL);
+    e.store(1, 0, 2);
+    e.load(3, 1, 0);
+    e.loadb(4, 1, 1);  // second byte = 0x77
+    e.mov_ri(5, 0xfe);
+    e.storeb(1, 0, 5);
+    e.loadb(6, 1, 0);
+    e.syscall();
+  });
+  Machine m(code);
+  m.run();
+  EXPECT_EQ(m.cpu.regs[3], 0x1122334455667788ULL);
+  EXPECT_EQ(m.cpu.regs[4], 0x77u);
+  EXPECT_EQ(m.cpu.regs[6], 0xfeu);
+}
+
+TEST(Exec, LeaComputesIpRelative) {
+  auto code = assemble([](Encoder& e) {
+    e.lea(1, 10);  // r1 = 0x1000 + 6 + 10
+    e.syscall();
+  });
+  Machine m(code);
+  m.run();
+  EXPECT_EQ(m.cpu.regs[1], 0x1000u + 6 + 10);
+}
+
+TEST(Exec, IndirectCallAndJump) {
+  auto code = assemble([](Encoder& e) {
+    e.mov_ri(1, 0x1000 + 10 + 2 + 1 + 5);  // address of callee
+    e.callr(1);
+    e.syscall();
+    e.nop();
+    e.nop();
+    e.nop();
+    e.nop();
+    e.nop();
+    // callee at 0x1000+18:
+    e.mov_ri(4, 5);
+    e.ret();
+  });
+  Machine m(code);
+  StepResult r = m.run();
+  EXPECT_EQ(r.kind, StepKind::kSyscall);
+  EXPECT_EQ(m.cpu.regs[4], 5u);
+}
+
+TEST(Exec, TrapReportsAddressWithoutAdvancing) {
+  auto code = assemble([](Encoder& e) {
+    e.nop();
+    e.trap();
+  });
+  Machine m(code);
+  StepResult r = m.run();
+  EXPECT_EQ(r.kind, StepKind::kTrap);
+  EXPECT_EQ(r.fault_addr, 0x1001u);
+  EXPECT_EQ(m.cpu.ip, 0x1001u);  // ip parked on the 0xCC byte
+}
+
+TEST(Exec, DivideByZeroFaults) {
+  auto code = assemble([](Encoder& e) {
+    e.mov_ri(1, 5);
+    e.mov_ri(2, 0);
+    e.div_rr(1, 2);
+  });
+  Machine m(code);
+  StepResult r = m.run();
+  EXPECT_EQ(r.kind, StepKind::kFault);
+  EXPECT_EQ(r.fault, FaultType::kFpe);
+}
+
+TEST(Exec, InvalidOpcodeFaultsIll) {
+  std::vector<uint8_t> code{0x00};
+  Machine m(code);
+  StepResult r = m.run();
+  EXPECT_EQ(r.kind, StepKind::kFault);
+  EXPECT_EQ(r.fault, FaultType::kIll);
+  EXPECT_EQ(r.fault_addr, 0x1000u);
+}
+
+TEST(Exec, ExecuteNonExecutableFaults) {
+  auto code = assemble([](Encoder& e) {
+    e.mov_ri(1, 0x8000);
+    e.jmpr(1);  // jump into the RW stack region
+  });
+  Machine m(code);
+  StepResult r = m.run();
+  EXPECT_EQ(r.kind, StepKind::kFault);
+  EXPECT_EQ(r.fault, FaultType::kSegv);
+  EXPECT_EQ(r.fault_addr, 0x8000u);
+}
+
+TEST(Exec, LoadFromUnmappedFaults) {
+  auto code = assemble([](Encoder& e) {
+    e.mov_ri(1, 0x500000);
+    e.load(2, 1, 0);
+  });
+  Machine m(code);
+  StepResult r = m.run();
+  EXPECT_EQ(r.kind, StepKind::kFault);
+  EXPECT_EQ(r.fault, FaultType::kSegv);
+  EXPECT_EQ(r.fault_addr, 0x500000u);
+}
+
+TEST(Exec, BlockEndFlagOnTerminators) {
+  auto code = assemble([](Encoder& e) {
+    e.nop();
+    e.branch(Op::kJmp, 0);
+    e.syscall();
+  });
+  Machine m(code);
+  StepResult r1 = step(m.mem, m.cpu);
+  EXPECT_FALSE(r1.block_end);  // nop
+  StepResult r2 = step(m.mem, m.cpu);
+  EXPECT_TRUE(r2.block_end);  // jmp
+}
+
+TEST(Exec, BlockAtMeasuresBasicBlock) {
+  auto code = assemble([](Encoder& e) {
+    e.mov_ri(1, 1);   // 10 bytes
+    e.add_ri(1, 2);   // 6 bytes
+    e.branch(Op::kJmp, 0);  // 5 bytes, terminator
+    e.nop();
+  });
+  Machine m(code);
+  BlockInfo info = block_at(m.mem, 0x1000);
+  EXPECT_EQ(info.size, 21u);
+  EXPECT_EQ(info.instr_count, 3u);
+}
+
+TEST(Exec, BlockAtOnTrapIsOneByte) {
+  std::vector<uint8_t> code{0xCC};
+  Machine m(code);
+  BlockInfo info = block_at(m.mem, 0x1000);
+  EXPECT_EQ(info.size, 1u);
+  EXPECT_EQ(info.instr_count, 1u);
+}
+
+TEST(Exec, BlockAtOnInvalidByteIsEmpty) {
+  std::vector<uint8_t> code{0x00};
+  Machine m(code);
+  BlockInfo info = block_at(m.mem, 0x1000);
+  EXPECT_EQ(info.size, 0u);
+  EXPECT_EQ(info.instr_count, 0u);
+}
+
+}  // namespace
+}  // namespace dynacut::vm
