@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_live_blocks.dir/fig10_live_blocks.cpp.o"
+  "CMakeFiles/fig10_live_blocks.dir/fig10_live_blocks.cpp.o.d"
+  "fig10_live_blocks"
+  "fig10_live_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_live_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

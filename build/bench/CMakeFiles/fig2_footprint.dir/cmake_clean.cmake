@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_footprint.dir/fig2_footprint.cpp.o"
+  "CMakeFiles/fig2_footprint.dir/fig2_footprint.cpp.o.d"
+  "fig2_footprint"
+  "fig2_footprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_footprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_redis_timeline.dir/fig8_redis_timeline.cpp.o"
+  "CMakeFiles/fig8_redis_timeline.dir/fig8_redis_timeline.cpp.o.d"
+  "fig8_redis_timeline"
+  "fig8_redis_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_redis_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

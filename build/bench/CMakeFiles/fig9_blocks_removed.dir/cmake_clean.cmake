@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_blocks_removed.dir/fig9_blocks_removed.cpp.o"
+  "CMakeFiles/fig9_blocks_removed.dir/fig9_blocks_removed.cpp.o.d"
+  "fig9_blocks_removed"
+  "fig9_blocks_removed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_blocks_removed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec_plt_brop.dir/sec_plt_brop.cpp.o"
+  "CMakeFiles/sec_plt_brop.dir/sec_plt_brop.cpp.o.d"
+  "sec_plt_brop"
+  "sec_plt_brop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec_plt_brop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

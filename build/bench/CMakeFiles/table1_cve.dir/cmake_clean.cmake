@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_cve.dir/table1_cve.cpp.o"
+  "CMakeFiles/table1_cve.dir/table1_cve.cpp.o.d"
+  "table1_cve"
+  "table1_cve.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_cve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/init_trim.dir/init_trim.cpp.o"
+  "CMakeFiles/init_trim.dir/init_trim.cpp.o.d"
+  "init_trim"
+  "init_trim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/init_trim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

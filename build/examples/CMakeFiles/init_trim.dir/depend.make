@@ -1,0 +1,2 @@
+# Empty dependencies file for init_trim.
+# This may be replaced when dependencies are built.

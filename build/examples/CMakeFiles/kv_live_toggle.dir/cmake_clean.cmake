@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kv_live_toggle.dir/kv_live_toggle.cpp.o"
+  "CMakeFiles/kv_live_toggle.dir/kv_live_toggle.cpp.o.d"
+  "kv_live_toggle"
+  "kv_live_toggle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kv_live_toggle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for kv_live_toggle.
+# This may be replaced when dependencies are built.

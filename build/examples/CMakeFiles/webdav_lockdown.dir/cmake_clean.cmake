@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/webdav_lockdown.dir/webdav_lockdown.cpp.o"
+  "CMakeFiles/webdav_lockdown.dir/webdav_lockdown.cpp.o.d"
+  "webdav_lockdown"
+  "webdav_lockdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/webdav_lockdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("isa")
+subdirs("melf")
+subdirs("vm")
+subdirs("os")
+subdirs("trace")
+subdirs("image")
+subdirs("analysis")
+subdirs("rewriter")
+subdirs("core")
+subdirs("apps")
+subdirs("baselines")

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/cfg.cpp" "src/analysis/CMakeFiles/dynacut_analysis.dir/cfg.cpp.o" "gcc" "src/analysis/CMakeFiles/dynacut_analysis.dir/cfg.cpp.o.d"
+  "/root/repo/src/analysis/coverage.cpp" "src/analysis/CMakeFiles/dynacut_analysis.dir/coverage.cpp.o" "gcc" "src/analysis/CMakeFiles/dynacut_analysis.dir/coverage.cpp.o.d"
+  "/root/repo/src/analysis/gadget.cpp" "src/analysis/CMakeFiles/dynacut_analysis.dir/gadget.cpp.o" "gcc" "src/analysis/CMakeFiles/dynacut_analysis.dir/gadget.cpp.o.d"
+  "/root/repo/src/analysis/plt.cpp" "src/analysis/CMakeFiles/dynacut_analysis.dir/plt.cpp.o" "gcc" "src/analysis/CMakeFiles/dynacut_analysis.dir/plt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/dynacut_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/melf/CMakeFiles/dynacut_melf.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dynacut_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dynacut_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dynacut_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dynacut_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

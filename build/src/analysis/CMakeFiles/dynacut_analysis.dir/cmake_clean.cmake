@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynacut_analysis.dir/cfg.cpp.o"
+  "CMakeFiles/dynacut_analysis.dir/cfg.cpp.o.d"
+  "CMakeFiles/dynacut_analysis.dir/coverage.cpp.o"
+  "CMakeFiles/dynacut_analysis.dir/coverage.cpp.o.d"
+  "CMakeFiles/dynacut_analysis.dir/gadget.cpp.o"
+  "CMakeFiles/dynacut_analysis.dir/gadget.cpp.o.d"
+  "CMakeFiles/dynacut_analysis.dir/plt.cpp.o"
+  "CMakeFiles/dynacut_analysis.dir/plt.cpp.o.d"
+  "libdynacut_analysis.a"
+  "libdynacut_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynacut_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

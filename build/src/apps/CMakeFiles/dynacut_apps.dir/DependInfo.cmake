@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/libc.cpp" "src/apps/CMakeFiles/dynacut_apps.dir/libc.cpp.o" "gcc" "src/apps/CMakeFiles/dynacut_apps.dir/libc.cpp.o.d"
+  "/root/repo/src/apps/minihttpd.cpp" "src/apps/CMakeFiles/dynacut_apps.dir/minihttpd.cpp.o" "gcc" "src/apps/CMakeFiles/dynacut_apps.dir/minihttpd.cpp.o.d"
+  "/root/repo/src/apps/minikv.cpp" "src/apps/CMakeFiles/dynacut_apps.dir/minikv.cpp.o" "gcc" "src/apps/CMakeFiles/dynacut_apps.dir/minikv.cpp.o.d"
+  "/root/repo/src/apps/miniweb.cpp" "src/apps/CMakeFiles/dynacut_apps.dir/miniweb.cpp.o" "gcc" "src/apps/CMakeFiles/dynacut_apps.dir/miniweb.cpp.o.d"
+  "/root/repo/src/apps/specgen.cpp" "src/apps/CMakeFiles/dynacut_apps.dir/specgen.cpp.o" "gcc" "src/apps/CMakeFiles/dynacut_apps.dir/specgen.cpp.o.d"
+  "/root/repo/src/apps/synth.cpp" "src/apps/CMakeFiles/dynacut_apps.dir/synth.cpp.o" "gcc" "src/apps/CMakeFiles/dynacut_apps.dir/synth.cpp.o.d"
+  "/root/repo/src/apps/webcommon.cpp" "src/apps/CMakeFiles/dynacut_apps.dir/webcommon.cpp.o" "gcc" "src/apps/CMakeFiles/dynacut_apps.dir/webcommon.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/melf/CMakeFiles/dynacut_melf.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dynacut_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dynacut_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dynacut_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dynacut_isa.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

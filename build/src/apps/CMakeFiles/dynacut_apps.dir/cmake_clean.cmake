@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynacut_apps.dir/libc.cpp.o"
+  "CMakeFiles/dynacut_apps.dir/libc.cpp.o.d"
+  "CMakeFiles/dynacut_apps.dir/minihttpd.cpp.o"
+  "CMakeFiles/dynacut_apps.dir/minihttpd.cpp.o.d"
+  "CMakeFiles/dynacut_apps.dir/minikv.cpp.o"
+  "CMakeFiles/dynacut_apps.dir/minikv.cpp.o.d"
+  "CMakeFiles/dynacut_apps.dir/miniweb.cpp.o"
+  "CMakeFiles/dynacut_apps.dir/miniweb.cpp.o.d"
+  "CMakeFiles/dynacut_apps.dir/specgen.cpp.o"
+  "CMakeFiles/dynacut_apps.dir/specgen.cpp.o.d"
+  "CMakeFiles/dynacut_apps.dir/synth.cpp.o"
+  "CMakeFiles/dynacut_apps.dir/synth.cpp.o.d"
+  "CMakeFiles/dynacut_apps.dir/webcommon.cpp.o"
+  "CMakeFiles/dynacut_apps.dir/webcommon.cpp.o.d"
+  "libdynacut_apps.a"
+  "libdynacut_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynacut_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynacut_baselines.dir/chisel.cpp.o"
+  "CMakeFiles/dynacut_baselines.dir/chisel.cpp.o.d"
+  "CMakeFiles/dynacut_baselines.dir/oracle.cpp.o"
+  "CMakeFiles/dynacut_baselines.dir/oracle.cpp.o.d"
+  "CMakeFiles/dynacut_baselines.dir/razor.cpp.o"
+  "CMakeFiles/dynacut_baselines.dir/razor.cpp.o.d"
+  "libdynacut_baselines.a"
+  "libdynacut_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynacut_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

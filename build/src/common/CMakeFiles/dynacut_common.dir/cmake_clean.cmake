@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynacut_common.dir/bytes.cpp.o"
+  "CMakeFiles/dynacut_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/dynacut_common.dir/hex.cpp.o"
+  "CMakeFiles/dynacut_common.dir/hex.cpp.o.d"
+  "CMakeFiles/dynacut_common.dir/log.cpp.o"
+  "CMakeFiles/dynacut_common.dir/log.cpp.o.d"
+  "libdynacut_common.a"
+  "libdynacut_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynacut_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

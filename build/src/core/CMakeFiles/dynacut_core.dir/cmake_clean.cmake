@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynacut_core.dir/dynacut.cpp.o"
+  "CMakeFiles/dynacut_core.dir/dynacut.cpp.o.d"
+  "CMakeFiles/dynacut_core.dir/handler_lib.cpp.o"
+  "CMakeFiles/dynacut_core.dir/handler_lib.cpp.o.d"
+  "libdynacut_core.a"
+  "libdynacut_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynacut_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

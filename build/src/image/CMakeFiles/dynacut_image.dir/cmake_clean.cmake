@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynacut_image.dir/checkpoint.cpp.o"
+  "CMakeFiles/dynacut_image.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/dynacut_image.dir/crit.cpp.o"
+  "CMakeFiles/dynacut_image.dir/crit.cpp.o.d"
+  "CMakeFiles/dynacut_image.dir/image.cpp.o"
+  "CMakeFiles/dynacut_image.dir/image.cpp.o.d"
+  "libdynacut_image.a"
+  "libdynacut_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynacut_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynacut_isa.dir/disasm.cpp.o"
+  "CMakeFiles/dynacut_isa.dir/disasm.cpp.o.d"
+  "CMakeFiles/dynacut_isa.dir/encode.cpp.o"
+  "CMakeFiles/dynacut_isa.dir/encode.cpp.o.d"
+  "CMakeFiles/dynacut_isa.dir/isa.cpp.o"
+  "CMakeFiles/dynacut_isa.dir/isa.cpp.o.d"
+  "libdynacut_isa.a"
+  "libdynacut_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynacut_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

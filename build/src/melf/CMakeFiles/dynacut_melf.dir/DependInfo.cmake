@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/melf/binary.cpp" "src/melf/CMakeFiles/dynacut_melf.dir/binary.cpp.o" "gcc" "src/melf/CMakeFiles/dynacut_melf.dir/binary.cpp.o.d"
+  "/root/repo/src/melf/builder.cpp" "src/melf/CMakeFiles/dynacut_melf.dir/builder.cpp.o" "gcc" "src/melf/CMakeFiles/dynacut_melf.dir/builder.cpp.o.d"
+  "/root/repo/src/melf/dump.cpp" "src/melf/CMakeFiles/dynacut_melf.dir/dump.cpp.o" "gcc" "src/melf/CMakeFiles/dynacut_melf.dir/dump.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/dynacut_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dynacut_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynacut_melf.dir/binary.cpp.o"
+  "CMakeFiles/dynacut_melf.dir/binary.cpp.o.d"
+  "CMakeFiles/dynacut_melf.dir/builder.cpp.o"
+  "CMakeFiles/dynacut_melf.dir/builder.cpp.o.d"
+  "CMakeFiles/dynacut_melf.dir/dump.cpp.o"
+  "CMakeFiles/dynacut_melf.dir/dump.cpp.o.d"
+  "libdynacut_melf.a"
+  "libdynacut_melf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynacut_melf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynacut_os.dir/loader.cpp.o"
+  "CMakeFiles/dynacut_os.dir/loader.cpp.o.d"
+  "CMakeFiles/dynacut_os.dir/os.cpp.o"
+  "CMakeFiles/dynacut_os.dir/os.cpp.o.d"
+  "libdynacut_os.a"
+  "libdynacut_os.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynacut_os.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynacut_rewriter.dir/rewriter.cpp.o"
+  "CMakeFiles/dynacut_rewriter.dir/rewriter.cpp.o.d"
+  "libdynacut_rewriter.a"
+  "libdynacut_rewriter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynacut_rewriter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

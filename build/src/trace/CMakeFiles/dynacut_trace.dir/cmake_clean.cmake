@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynacut_trace.dir/trace.cpp.o"
+  "CMakeFiles/dynacut_trace.dir/trace.cpp.o.d"
+  "libdynacut_trace.a"
+  "libdynacut_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynacut_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

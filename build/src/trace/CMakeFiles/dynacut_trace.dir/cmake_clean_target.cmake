@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdynacut_trace.a"
+)

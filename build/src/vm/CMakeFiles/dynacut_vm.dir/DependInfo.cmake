@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vm/addrspace.cpp" "src/vm/CMakeFiles/dynacut_vm.dir/addrspace.cpp.o" "gcc" "src/vm/CMakeFiles/dynacut_vm.dir/addrspace.cpp.o.d"
+  "/root/repo/src/vm/exec.cpp" "src/vm/CMakeFiles/dynacut_vm.dir/exec.cpp.o" "gcc" "src/vm/CMakeFiles/dynacut_vm.dir/exec.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isa/CMakeFiles/dynacut_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dynacut_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

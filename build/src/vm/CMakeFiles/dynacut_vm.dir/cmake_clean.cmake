@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynacut_vm.dir/addrspace.cpp.o"
+  "CMakeFiles/dynacut_vm.dir/addrspace.cpp.o.d"
+  "CMakeFiles/dynacut_vm.dir/exec.cpp.o"
+  "CMakeFiles/dynacut_vm.dir/exec.cpp.o.d"
+  "libdynacut_vm.a"
+  "libdynacut_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynacut_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

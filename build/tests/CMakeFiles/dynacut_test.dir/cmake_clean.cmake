@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynacut_test.dir/dynacut_test.cpp.o"
+  "CMakeFiles/dynacut_test.dir/dynacut_test.cpp.o.d"
+  "dynacut_test"
+  "dynacut_test.pdb"
+  "dynacut_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynacut_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/guestlib_test.cpp" "tests/CMakeFiles/guestlib_test.dir/guestlib_test.cpp.o" "gcc" "tests/CMakeFiles/guestlib_test.dir/guestlib_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/dynacut_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/os/CMakeFiles/dynacut_os.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/dynacut_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/melf/CMakeFiles/dynacut_melf.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/dynacut_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/dynacut_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/melf_test.dir/melf_test.cpp.o"
+  "CMakeFiles/melf_test.dir/melf_test.cpp.o.d"
+  "melf_test"
+  "melf_test.pdb"
+  "melf_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/melf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phase_detect_test.dir/phase_detect_test.cpp.o"
+  "CMakeFiles/phase_detect_test.dir/phase_detect_test.cpp.o.d"
+  "phase_detect_test"
+  "phase_detect_test.pdb"
+  "phase_detect_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phase_detect_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
