@@ -43,6 +43,7 @@ core::FeatureSpec discover_set_feature(
 struct Row {
   const char* name;
   core::CustomizeReport rep;
+  analysis::cutcheck::CheckReport check;  ///< pre-flight verifier findings
   uint64_t gadgets_in_feature = 0;
   bool blocked_ok = false;
   bool restored_ok = false;
@@ -83,6 +84,9 @@ Row run_policy(const char* name, core::RemovalPolicy removal,
   Row row;
   row.name = name;
   core::DynaCut dc(vos, pid);
+  // The same verification apply() performs in enforce mode, kept visible so
+  // the ablation also contrasts what the linter says about each policy.
+  row.check = dc.preflight(spec, removal, trap);
   row.rep = dc.disable_feature(spec, removal, trap);
   row.gadgets_in_feature = feature_gadgets(vos, pid, spec.blocks);
 
@@ -130,15 +134,23 @@ int main() {
   rows.push_back(run_policy("unmap pages", core::RemovalPolicy::kUnmapPages,
                             core::TrapPolicy::kTerminate, spec));
 
-  std::printf("\n%-16s %10s %9s %10s %14s %9s %9s\n", "policy", "blocks",
-              "pages_rm", "rewrite_s", "live_feat_B", "blocked", "restore");
+  std::printf("\n%-16s %10s %9s %10s %14s %9s %9s %6s %7s %8s\n", "policy",
+              "blocks", "pages_rm", "rewrite_s", "live_feat_B", "blocked",
+              "restore", "cc_err", "cc_warn", "gadget_d");
   for (const auto& r : rows) {
-    std::printf("%-16s %10zu %9zu %10.3f %14llu %9s %9s\n", r.name,
-                r.rep.blocks_patched, r.rep.pages_unmapped,
+    std::printf("%-16s %10zu %9zu %10.3f %14llu %9s %9s %6zu %7zu %8lld\n",
+                r.name, r.rep.blocks_patched, r.rep.pages_unmapped,
                 r.rep.timing.total_seconds(),
                 (unsigned long long)r.gadgets_in_feature,
-                r.blocked_ok ? "yes" : "NO", r.restored_ok ? "yes" : "NO");
+                r.blocked_ok ? "yes" : "NO", r.restored_ok ? "yes" : "NO",
+                r.check.errors(), r.check.warnings(),
+                (long long)r.check.gadget_delta);
   }
+
+  std::printf("\ncutcheck findings (unmap-pages policy):\n%s",
+              rows.back().check.format().empty()
+                  ? "  (none)\n"
+                  : rows.back().check.format().c_str());
   std::printf(
       "\nReading: first-byte blocking leaves the feature's bytes executable\n"
       "(code-reuse material) but is cheapest; wiping zeroes that out at the\n"

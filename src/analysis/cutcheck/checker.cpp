@@ -1,0 +1,500 @@
+#include "analysis/cutcheck/checker.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "analysis/cfg.hpp"
+#include "analysis/gadget.hpp"
+#include "analysis/plt.hpp"
+#include "common/constants.hpp"
+#include "common/hex.hpp"
+#include "vm/addrspace.hpp"
+
+namespace dynacut::analysis::cutcheck {
+namespace {
+
+bool is_exec_kind(melf::SectionKind k) {
+  return k == melf::SectionKind::kText || k == melf::SectionKind::kPlt;
+}
+
+bool in_exec_section(const melf::Binary& bin, uint64_t off) {
+  for (const auto& sec : bin.sections) {
+    if (!is_exec_kind(sec.kind)) continue;
+    if (off >= sec.offset && off < sec.offset + sec.bytes.size()) return true;
+  }
+  return false;
+}
+
+/// Everything the rules share, derived once per plan.
+struct Ctx {
+  Ctx(const CutPlan& p, const melf::Binary& b) : plan(p), bin(b) {}
+
+  const CutPlan& plan;
+  const melf::Binary& bin;
+  StaticCfg cfg;
+  std::vector<std::pair<uint64_t, uint64_t>> ranges;  // (offset, size)
+  std::set<uint64_t> range_starts;
+  ByteSet range_bytes;  ///< exactly the bytes the plan names
+  ByteSet dead;         ///< bytes actually killed under the removal policy
+  std::vector<uint64_t> dropped_pages;  ///< kUnmapPages only
+  std::set<uint64_t> dropped_set;
+  CheckReport report;
+
+  void add(const char* rule, Severity sev, uint64_t off, std::string msg,
+           std::string hint = "") {
+    report.add({rule, sev, plan.module, off, std::move(msg), std::move(hint)});
+  }
+
+  bool live_block(uint64_t block_start) const {
+    return !dead.contains(block_start);
+  }
+};
+
+/// The reachable instruction whose encoding covers `off` (as its first byte
+/// or an interior byte), if any.
+std::optional<uint64_t> covering_instr(const Ctx& c, uint64_t off) {
+  auto it = c.cfg.instr_starts.upper_bound(off);
+  if (it == c.cfg.instr_starts.begin()) return std::nullopt;
+  --it;
+  isa::Instr ins;
+  if (!decode_at(c.bin, *it, ins)) return std::nullopt;
+  if (off < *it + ins.length) return *it;
+  return std::nullopt;
+}
+
+// --- CC001: block boundaries --------------------------------------------
+
+void check_boundary(Ctx& c) {
+  for (const auto& [off, size] : c.ranges) {
+    if (!in_exec_section(c.bin, off)) {
+      c.add(kRuleBoundary, Severity::kError, off,
+            "block start lies outside every executable section",
+            "drop the block or fix its module-relative offset");
+      continue;
+    }
+    if (!c.cfg.is_instr_start(off)) {
+      if (auto host = covering_instr(c, off)) {
+        c.add(kRuleBoundary, Severity::kError, off,
+              "block starts mid-instruction, inside the encoding at " +
+                  hex_addr(*host) + "; patching here corrupts a live " +
+                  "instruction",
+              "align the block to the instruction boundary at " +
+                  hex_addr(*host));
+      } else {
+        c.add(kRuleBoundary, Severity::kWarning, off,
+              "block start is not statically reachable; boundary checks "
+              "cannot be validated here",
+              "confirm the block comes from a trusted trace");
+      }
+      continue;
+    }
+    if (c.plan.removal == Removal::kBlockFirstByte) continue;
+
+    // Wipe/unmap consume the whole range: its end must not tear code.
+    uint64_t end = off + size;
+    if (!in_exec_section(c.bin, end - 1)) {
+      c.add(kRuleBoundary, Severity::kWarning, off,
+            "block [" + hex_addr(off) + ", " + hex_addr(end) +
+                ") extends past the executable section holding its start",
+            "trim the block to the section's code bytes");
+      continue;
+    }
+    if (c.cfg.block_containing(end) != nullptr && !c.cfg.is_instr_start(end)) {
+      c.add(kRuleBoundary, Severity::kError, off,
+            "block end " + hex_addr(end) +
+                " falls mid-instruction; wiping up to it tears the "
+                "surviving instruction stream",
+            "extend or shrink the block to an instruction boundary");
+    }
+  }
+}
+
+// --- CC002: stray edges into removed code -------------------------------
+
+void check_stray_edges(Ctx& c) {
+  // First-byte removal leaves every interior byte intact, so edges into the
+  // interior still execute original code — that is the policy's documented
+  // (weaker) contract, not a plan defect.
+  if (c.plan.removal == Removal::kBlockFirstByte) return;
+
+  for (const auto& [boff, blk] : c.cfg.blocks) {
+    if (!c.live_block(boff)) continue;  // removed blocks are not sources
+    for (uint64_t t : blk.succs) {
+      if (c.plan.removal == Removal::kUnmapPages &&
+          c.dropped_set.count(page_floor(t)) != 0) {
+        c.add(kRuleStrayEdge, Severity::kError, t,
+              "live block " + hex_addr(boff) + " transfers to " +
+                  hex_addr(t) +
+                  " on a page the plan unmaps; reaching it raises SIGSEGV, "
+                  "which no trap policy handles",
+              "keep the page mapped (wipe-blocks) or cut the source block "
+              "too");
+        continue;
+      }
+      if (c.dead.contains(t) && c.range_starts.count(t) == 0) {
+        // A trap fires at a byte the handler has no table entry for.
+        Severity sev = c.plan.trap == Trap::kTerminate ? Severity::kWarning
+                                                       : Severity::kError;
+        c.add(kRuleStrayEdge, sev, t,
+              "live block " + hex_addr(boff) +
+                  " branches into the interior of a removed range at " +
+                  hex_addr(t) +
+                  "; the trap handler only recognises block entry points",
+              "start a plan block exactly at " + hex_addr(t) +
+                  " or cut the source block");
+      }
+    }
+  }
+}
+
+// --- CC003: redirect-target validity ------------------------------------
+
+void check_redirect(Ctx& c) {
+  if (c.plan.trap != Trap::kRedirect || !c.plan.has_redirect) return;
+  uint64_t tgt = c.plan.redirect_offset;
+
+  if (!c.cfg.is_instr_start(tgt)) {
+    c.add(kRuleRedirect, Severity::kError, tgt,
+          "redirect target is not a reachable instruction start",
+          "point the redirect at a decoded instruction boundary");
+    return;
+  }
+  const melf::Symbol* fn = c.bin.symbol_containing(tgt);
+  if (fn == nullptr) {
+    c.add(kRuleRedirect, Severity::kError, tgt,
+          "redirect target lies outside every function symbol",
+          "redirect into a function's error path");
+    return;
+  }
+
+  bool same_fn = false;
+  size_t outside = 0;
+  for (const auto& [off, size] : c.ranges) {
+    if (c.bin.symbol_containing(off) == fn) {
+      same_fn = true;
+    } else {
+      ++outside;
+    }
+  }
+  if (!same_fn) {
+    c.add(kRuleRedirect, Severity::kError, tgt,
+          "no removed block shares function '" + fn->name +
+              "' with the redirect target; redirecting would rewrite the IP "
+              "across a call frame",
+          "choose an error path inside the function being cut, or use the "
+          "terminate policy");
+    return;
+  }
+  if (outside > 0) {
+    c.add(kRuleRedirect, Severity::kNote, tgt,
+          std::to_string(outside) + " removed block(s) fall outside '" +
+              fn->name +
+              "'; traps there terminate instead of redirecting "
+              "(same-function restriction)");
+  }
+
+  // The redirect only helps if the error path can actually finish the
+  // request: walk live intra-function blocks from the target and look for a
+  // return or a syscall.
+  const CfgBlock* start = c.cfg.block_containing(tgt);
+  if (start == nullptr) return;
+  std::set<uint64_t> seen;
+  std::deque<uint64_t> work{start->offset};
+  bool exits = false;
+  while (!work.empty() && !exits) {
+    uint64_t off = work.front();
+    work.pop_front();
+    if (!seen.insert(off).second) continue;
+    const CfgBlock* b = c.cfg.block_at(off);
+    if (b == nullptr || !c.live_block(off)) continue;
+    if (b->term == isa::Op::kRet || b->term == isa::Op::kSyscall) {
+      exits = true;
+      break;
+    }
+    for (uint64_t t : b->succs) {
+      if (c.bin.symbol_containing(t) == fn) work.push_back(t);
+    }
+  }
+  if (!exits) {
+    c.add(kRuleRedirect, Severity::kWarning, tgt,
+          "redirect target cannot reach a return or syscall through live "
+          "blocks of '" +
+              fn->name + "'; redirected requests may never complete",
+          "verify the error path survives the cut");
+  }
+}
+
+// --- CC004: reachability amplification ----------------------------------
+
+void check_reach_amp(Ctx& c) {
+  auto funcs = split_functions(c.cfg, c.bin);
+  for (const auto& [entry, f] : funcs) {
+    std::set<uint64_t> cut;
+    for (uint64_t b : f.blocks) {
+      if (c.dead.contains(b)) cut.insert(b);
+    }
+    if (cut.empty()) continue;
+
+    auto idom = dominator_tree(f);
+    size_t amplified = 0;
+    for (uint64_t b : f.blocks) {
+      if (b == entry || cut.count(b) != 0 || idom.count(b) == 0) continue;
+      for (uint64_t cur = b; cur != entry;) {
+        auto it = idom.find(cur);
+        if (it == idom.end() || it->second == cur) break;
+        cur = it->second;
+        if (cut.count(cur) != 0) {
+          ++amplified;
+          break;
+        }
+      }
+    }
+    if (amplified > 0) {
+      const melf::Symbol* sym = c.bin.symbol_containing(entry);
+      c.add(kRuleReachAmp, Severity::kNote, entry,
+            std::to_string(amplified) + " live block(s) in '" +
+                (sym != nullptr ? sym->name : hex_addr(entry)) +
+                "' are dominated by removed blocks and become unreachable "
+                "with the cut",
+            "grow the cut to the dominated region to reclaim more bytes");
+    }
+  }
+
+  // Call-graph amplification: a function all of whose direct call sites are
+  // removed cannot be reached any more (modulo indirect calls).
+  for (const auto& [entry, sites] : call_sites(c.cfg, c.bin)) {
+    if (sites.empty() || c.dead.contains(entry)) continue;
+    bool all_cut = std::all_of(sites.begin(), sites.end(), [&](uint64_t s) {
+      return c.dead.contains(s);
+    });
+    if (all_cut) {
+      const melf::Symbol* sym = c.bin.symbol_containing(entry);
+      c.add(kRuleReachAmp, Severity::kNote, entry,
+            "function '" + (sym != nullptr ? sym->name : hex_addr(entry)) +
+                "' is only reached through removed call sites; it is dead "
+                "after the cut",
+            "consider adding the whole function to the plan");
+    }
+  }
+}
+
+// --- CC005: page safety under kUnmapPages -------------------------------
+
+void check_page_safety(Ctx& c) {
+  if (c.plan.removal != Removal::kUnmapPages) return;
+
+  for (uint64_t page : c.dropped_pages) {
+    uint64_t pend = page + kPageSize;
+
+    // The rewriter's per-range accounting sums range lengths per page, so
+    // overlapping or duplicate blocks can add up to kPageSize while the
+    // union of their bytes does not cover the page. Diff against the true
+    // byte coverage.
+    for (const auto& [gb, ge] : c.range_bytes.gaps(page, pend)) {
+      auto it = c.cfg.instr_starts.lower_bound(gb);
+      bool has_code = it != c.cfg.instr_starts.end() && *it < ge;
+      if (!has_code) has_code = c.cfg.block_containing(gb) != nullptr;
+      if (has_code) {
+        c.add(kRulePageSafety, Severity::kError, gb,
+              "page " + hex_addr(page) +
+                  " is dropped by per-range accounting, but [" +
+                  hex_addr(gb) + ", " + hex_addr(ge) +
+                  ") holds reachable code the plan never covered",
+              "deduplicate overlapping plan blocks or switch to "
+              "wipe-blocks");
+      } else {
+        c.add(kRulePageSafety, Severity::kWarning, gb,
+              "page " + hex_addr(page) + " is dropped with " +
+                  std::to_string(ge - gb) +
+                  " byte(s) at " + hex_addr(gb) +
+                  " not named by the plan (no code recovered there)");
+      }
+    }
+
+    // A live block starting on an earlier page that runs into this page
+    // falls off a cliff at the page boundary.
+    const CfgBlock* straddler = c.cfg.block_containing(page);
+    if (straddler != nullptr && straddler->offset < page &&
+        !c.range_bytes.contains(straddler->offset)) {
+      c.add(kRulePageSafety, Severity::kError, straddler->offset,
+            "live block " + hex_addr(straddler->offset) +
+                " runs into unmapped page " + hex_addr(page),
+            "cut the whole block or keep the page mapped");
+    }
+
+    // Import plumbing on the page (reuses the PLT analysis).
+    for (const auto& import : c.bin.imports) {
+      for (const auto& stub : plt_blocks(c.bin, c.plan.module, {import})) {
+        uint64_t sb = stub.offset;
+        uint64_t se = stub.offset + stub.size;
+        if (se <= page || sb >= pend) continue;
+        bool referenced = false;
+        for (const auto& [boff, blk] : c.cfg.blocks) {
+          if (!c.live_block(boff)) continue;
+          for (uint64_t t : blk.succs) {
+            if (t == sb) referenced = true;
+          }
+        }
+        if (referenced) {
+          c.add(kRulePageSafety, Severity::kError, sb,
+                "PLT stub for '" + import + "' sits on dropped page " +
+                    hex_addr(page) + " but live code still calls it",
+                "keep the import's stub or cut its callers too");
+        } else if (!c.range_bytes.contains(sb)) {
+          c.add(kRulePageSafety, Severity::kWarning, sb,
+                "PLT stub for '" + import + "' vanishes with page " +
+                    hex_addr(page) + " without being named by the plan");
+        }
+      }
+    }
+    for (size_t i = 0; i < c.bin.imports.size(); ++i) {
+      uint64_t got = c.bin.got_slot_offset(i);
+      if (got < page || got >= pend) continue;
+      auto stub = c.bin.plt_stub_offset(c.bin.imports[i]);
+      if (stub.has_value() && !c.dead.contains(*stub)) {
+        c.add(kRulePageSafety, Severity::kError, got,
+              "GOT slot of '" + c.bin.imports[i] + "' sits on dropped page " +
+                  hex_addr(page) + " while its PLT stub stays live",
+              "the stub's indirect jump would fault; cut the stub as well");
+      }
+    }
+  }
+}
+
+// --- CC006: gadget delta ------------------------------------------------
+
+void check_gadget_delta(Ctx& c, const CheckOptions& opts) {
+  if (!opts.gadget_delta) return;
+
+  // Rebuild the module's executable memory in a scratch address space and
+  // apply the plan the way the rewriter would.
+  vm::AddressSpace mem;
+  std::vector<std::pair<uint64_t, uint64_t>> extents;  // code byte ranges
+  for (const auto& sec : c.bin.sections) {
+    if (!is_exec_kind(sec.kind) || sec.bytes.empty()) continue;
+    uint64_t start = kAppBase + sec.offset;
+    mem.map(start, page_ceil(sec.bytes.size()), kProtRead | kProtExec,
+            c.plan.module + ":" + melf::section_name(sec.kind));
+    mem.poke_bytes(start, sec.bytes);
+    extents.emplace_back(sec.offset, sec.offset + sec.bytes.size());
+  }
+  if (extents.empty()) return;
+
+  GadgetStats before = scan_gadgets(mem, opts.gadget_max_instrs);
+
+  // Clamped trap fill: plans may (legitimately, with a CC001 warning) name
+  // ranges past the recovered code; the rewriter would fault the guest, the
+  // simulation just ignores the out-of-code remainder.
+  auto fill = [&](uint64_t off, uint64_t len) {
+    for (const auto& [eb, ee] : extents) {
+      uint64_t lo = std::max(off, eb);
+      uint64_t hi = std::min(off + len, ee);
+      if (lo >= hi) continue;
+      std::vector<uint8_t> trap(hi - lo,
+                                static_cast<uint8_t>(isa::Op::kTrap));
+      mem.poke_bytes(kAppBase + lo, trap);
+    }
+  };
+
+  switch (c.plan.removal) {
+    case Removal::kBlockFirstByte:
+      for (const auto& [off, size] : c.ranges) fill(off, 1);
+      break;
+    case Removal::kWipeBlocks:
+      for (const auto& [off, size] : c.ranges) fill(off, size);
+      break;
+    case Removal::kUnmapPages:
+      for (const auto& [off, size] : c.ranges) fill(off, size);
+      for (uint64_t page : c.dropped_pages) {
+        uint64_t addr = kAppBase + page;
+        const vm::Vma* v = mem.vma_at(addr);
+        if (v != nullptr && v->contains(addr + kPageSize - 1)) {
+          mem.unmap(addr, kPageSize);
+        }
+      }
+      break;
+  }
+
+  GadgetStats after = scan_gadgets(mem, opts.gadget_max_instrs);
+  int64_t delta = static_cast<int64_t>(after.gadget_starts) -
+                  static_cast<int64_t>(before.gadget_starts);
+  c.report.gadget_delta = delta;
+
+  uint64_t anchor = c.ranges.empty() ? 0 : c.ranges.front().first;
+  std::string counts = std::to_string(before.gadget_starts) + " -> " +
+                       std::to_string(after.gadget_starts);
+  if (delta > 0) {
+    c.add(kRuleGadget, Severity::kWarning, anchor,
+          "the cut adds " + std::to_string(delta) +
+              " ROP gadget start(s) (" + counts + ")",
+          "prefer wipe-blocks/unmap-pages over partial patches");
+  } else {
+    c.add(kRuleGadget, Severity::kNote, anchor,
+          "gadget starts " + counts + " (delta " + std::to_string(delta) +
+              ")");
+  }
+}
+
+}  // namespace
+
+CheckReport check_plan(const CutPlan& plan, const CheckOptions& opts) {
+  if (plan.binary == nullptr) {
+    CheckReport r;
+    if (plan.has_redirect) {
+      r.add({kRuleRedirect, Severity::kError, plan.module, 0,
+             "redirect module '" + plan.module + "' is not loaded",
+             "load the module or drop the redirect"});
+    } else {
+      r.add({kRuleBoundary, Severity::kWarning, plan.module, 0,
+             "module '" + plan.module +
+                 "' is not loaded; the rewriter will silently skip its " +
+                 std::to_string(plan.blocks.size()) + " block(s)",
+             "load the module or drop its blocks from the feature"});
+    }
+    return r;
+  }
+
+  Ctx c{plan, *plan.binary};
+  c.cfg = recover_cfg(c.bin);
+  c.ranges = plan.ranges();
+  for (const auto& [off, size] : c.ranges) {
+    c.range_starts.insert(off);
+    c.range_bytes.add(off, off + size);
+  }
+  switch (plan.removal) {
+    case Removal::kBlockFirstByte:
+      for (const auto& [off, size] : c.ranges) c.dead.add(off, off + 1);
+      break;
+    case Removal::kWipeBlocks:
+      for (const auto& [off, size] : c.ranges) c.dead.add(off, off + size);
+      break;
+    case Removal::kUnmapPages:
+      for (const auto& [off, size] : c.ranges) c.dead.add(off, off + size);
+      c.dropped_pages = accounted_full_pages(plan);
+      for (uint64_t p : c.dropped_pages) {
+        c.dropped_set.insert(p);
+        c.dead.add(p, p + kPageSize);
+      }
+      break;
+  }
+
+  check_boundary(c);
+  check_stray_edges(c);
+  check_redirect(c);
+  check_reach_amp(c);
+  check_page_safety(c);
+  check_gadget_delta(c, opts);
+  return std::move(c.report);
+}
+
+CheckReport check_plans(const std::vector<CutPlan>& plans,
+                        const CheckOptions& opts) {
+  CheckReport merged;
+  for (const auto& p : plans) merged.merge(check_plan(p, opts));
+  return merged;
+}
+
+}  // namespace dynacut::analysis::cutcheck

@@ -1,0 +1,52 @@
+// cutcheck: a static cut-plan verifier that lints customizations before the
+// image is rewritten.
+//
+// DynaCut's rewriter applies whatever plan it is handed; a malformed plan
+// (a patch landing mid-instruction, an unmapped page that still holds live
+// code, a redirect across a call frame) produces a process that faults in
+// ways the trap handler cannot recover. check_plan runs six rules over the
+// plan and the module's statically recovered CFG and reports findings with
+// stable IDs, so the facade can reject provably unsafe cuts up front
+// (CheckMode::kEnforce) instead of debugging a corrupted guest later.
+//
+// Rules:
+//   CC001-boundary      block boundaries vs. decoded instruction starts
+//   CC002-stray-edge    live control flow into wiped interiors/dropped pages
+//   CC003-redirect      redirect-target validity (same-function restriction)
+//   CC004-reach-amp     dominator/call-graph reachability amplification
+//   CC005-page-safety   per-range page accounting vs. true byte coverage,
+//                       PLT stubs and GOT slots on dropped pages
+//   CC006-gadget-delta  simulated ROP-gadget-start change of the rewrite
+#pragma once
+
+#include <vector>
+
+#include "analysis/cutcheck/diagnostics.hpp"
+#include "analysis/cutcheck/plan.hpp"
+
+namespace dynacut::analysis::cutcheck {
+
+inline constexpr char kRuleBoundary[] = "CC001-boundary";
+inline constexpr char kRuleStrayEdge[] = "CC002-stray-edge";
+inline constexpr char kRuleRedirect[] = "CC003-redirect";
+inline constexpr char kRuleReachAmp[] = "CC004-reach-amp";
+inline constexpr char kRulePageSafety[] = "CC005-page-safety";
+inline constexpr char kRuleGadget[] = "CC006-gadget-delta";
+
+struct CheckOptions {
+  /// Simulate the rewrite and diff gadget-start counts (CC006). The
+  /// simulation maps every executable section into a scratch address space;
+  /// disable for very hot paths.
+  bool gadget_delta = true;
+  int gadget_max_instrs = 5;  ///< scan_gadgets window
+};
+
+/// Verifies one module's cut plan. Never mutates anything; safe to call on
+/// a live system at any time.
+CheckReport check_plan(const CutPlan& plan, const CheckOptions& opts = {});
+
+/// Verifies every per-module plan of a feature and merges the reports.
+CheckReport check_plans(const std::vector<CutPlan>& plans,
+                        const CheckOptions& opts = {});
+
+}  // namespace dynacut::analysis::cutcheck

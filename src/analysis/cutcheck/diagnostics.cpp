@@ -1,0 +1,68 @@
+#include "analysis/cutcheck/diagnostics.hpp"
+
+#include <algorithm>
+
+#include "common/hex.hpp"
+
+namespace dynacut::analysis::cutcheck {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::kNote:
+      return "note";
+    case Severity::kWarning:
+      return "warning";
+    case Severity::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string Diagnostic::format() const {
+  std::string line = std::string(severity_name(severity)) + " " + rule + " " +
+                     module + "+" + hex_addr(offset) + ": " + message;
+  if (!fix_hint.empty()) line += " (fix: " + fix_hint + ")";
+  return line;
+}
+
+void CheckReport::merge(CheckReport other) {
+  diags.insert(diags.end(), std::make_move_iterator(other.diags.begin()),
+               std::make_move_iterator(other.diags.end()));
+  gadget_delta += other.gadget_delta;
+}
+
+std::vector<const Diagnostic*> CheckReport::by_rule(
+    const std::string& rule) const {
+  std::vector<const Diagnostic*> out;
+  for (const auto& d : diags) {
+    if (d.rule == rule) out.push_back(&d);
+  }
+  return out;
+}
+
+std::string CheckReport::format() const {
+  std::vector<const Diagnostic*> ordered;
+  ordered.reserve(diags.size());
+  for (const auto& d : diags) ordered.push_back(&d);
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const Diagnostic* a, const Diagnostic* b) {
+                     return static_cast<int>(a->severity) >
+                            static_cast<int>(b->severity);
+                   });
+  std::string out;
+  for (const Diagnostic* d : ordered) {
+    out += d->format();
+    out += '\n';
+  }
+  return out;
+}
+
+size_t CheckReport::count(Severity s) const {
+  size_t n = 0;
+  for (const auto& d : diags) {
+    if (d.severity == s) ++n;
+  }
+  return n;
+}
+
+}  // namespace dynacut::analysis::cutcheck

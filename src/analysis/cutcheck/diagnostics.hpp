@@ -1,0 +1,62 @@
+// Structured diagnostics emitted by the cutcheck static verifier.
+//
+// Every finding carries a stable rule ID (CC001..CC006), a severity, the
+// module-relative anchor it refers to and a fix hint, so operators (and
+// tests) can gate on specific rules instead of parsing prose. A CheckReport
+// aggregates the findings of all rules over all per-module plans; only
+// kError findings make a plan rejectable in CheckMode::kEnforce.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynacut::analysis::cutcheck {
+
+enum class Severity {
+  kNote,     ///< informational (e.g. free extra removal candidates)
+  kWarning,  ///< suspicious but not provably unsafe; plan still applies
+  kError,    ///< provably unsafe cut; rejected under CheckMode::kEnforce
+};
+
+const char* severity_name(Severity s);
+
+struct Diagnostic {
+  std::string rule;  ///< stable ID, e.g. "CC001-boundary"
+  Severity severity = Severity::kNote;
+  std::string module;   ///< module the finding anchors to
+  uint64_t offset = 0;  ///< module-relative anchor
+  std::string message;
+  std::string fix_hint;  ///< empty when no repair is suggested
+
+  /// "error CC005-page-safety toysrv+0x1040: ... (fix: ...)"
+  std::string format() const;
+};
+
+class CheckReport {
+ public:
+  std::vector<Diagnostic> diags;
+  /// Net ROP-gadget-start change the plan would cause (CC006); negative is
+  /// an attack-surface reduction. Summed across merged reports.
+  int64_t gadget_delta = 0;
+
+  /// True when the plan carries no kError finding (warnings/notes pass).
+  bool ok() const { return errors() == 0; }
+  size_t errors() const { return count(Severity::kError); }
+  size_t warnings() const { return count(Severity::kWarning); }
+  size_t notes() const { return count(Severity::kNote); }
+
+  void add(Diagnostic d) { diags.push_back(std::move(d)); }
+  void merge(CheckReport other);
+
+  /// Findings of one rule, in emission order.
+  std::vector<const Diagnostic*> by_rule(const std::string& rule) const;
+
+  /// One line per finding, errors first within emission order.
+  std::string format() const;
+
+ private:
+  size_t count(Severity s) const;
+};
+
+}  // namespace dynacut::analysis::cutcheck

@@ -1,0 +1,113 @@
+#include "analysis/cutcheck/plan.hpp"
+
+#include <algorithm>
+
+#include "common/constants.hpp"
+
+namespace dynacut::analysis::cutcheck {
+
+const char* removal_name(Removal r) {
+  switch (r) {
+    case Removal::kBlockFirstByte:
+      return "block-first-byte";
+    case Removal::kWipeBlocks:
+      return "wipe-blocks";
+    case Removal::kUnmapPages:
+      return "unmap-pages";
+  }
+  return "?";
+}
+
+const char* trap_name(Trap t) {
+  switch (t) {
+    case Trap::kTerminate:
+      return "terminate";
+    case Trap::kRedirect:
+      return "redirect";
+    case Trap::kVerify:
+      return "verify";
+  }
+  return "?";
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> CutPlan::ranges() const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  out.reserve(blocks.size());
+  for (const auto& b : blocks) {
+    out.emplace_back(b.offset, b.size == 0 ? 1 : b.size);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+uint64_t CutPlan::total_bytes() const {
+  uint64_t sum = 0;
+  for (const auto& b : blocks) sum += b.size == 0 ? 1 : b.size;
+  return sum;
+}
+
+void ByteSet::add(uint64_t begin, uint64_t end) {
+  if (begin >= end) return;
+  // Absorb every interval overlapping or touching [begin, end).
+  auto it = iv_.upper_bound(begin);
+  if (it != iv_.begin()) {
+    --it;
+    if (it->second < begin) ++it;
+  }
+  while (it != iv_.end() && it->first <= end) {
+    begin = std::min(begin, it->first);
+    end = std::max(end, it->second);
+    it = iv_.erase(it);
+  }
+  iv_[begin] = end;
+}
+
+bool ByteSet::contains(uint64_t off) const {
+  auto it = iv_.upper_bound(off);
+  if (it == iv_.begin()) return false;
+  --it;
+  return off < it->second;
+}
+
+bool ByteSet::covers(uint64_t begin, uint64_t end) const {
+  if (begin >= end) return true;
+  auto it = iv_.upper_bound(begin);
+  if (it == iv_.begin()) return false;
+  --it;
+  return begin >= it->first && end <= it->second;
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> ByteSet::gaps(uint64_t begin,
+                                                         uint64_t end) const {
+  std::vector<std::pair<uint64_t, uint64_t>> out;
+  uint64_t cur = begin;
+  auto it = iv_.upper_bound(begin);
+  if (it != iv_.begin() && std::prev(it)->second > begin) --it;
+  for (; it != iv_.end() && it->first < end && cur < end; ++it) {
+    if (it->first > cur) out.emplace_back(cur, it->first);
+    cur = std::max(cur, it->second);
+  }
+  if (cur < end) out.emplace_back(cur, end);
+  return out;
+}
+
+std::vector<uint64_t> accounted_full_pages(const CutPlan& plan) {
+  std::map<uint64_t, uint64_t> covered;  // page -> accounted bytes
+  for (const auto& [off, size] : plan.ranges()) {
+    uint64_t cur = off;
+    uint64_t end = off + size;
+    while (cur < end) {
+      uint64_t page = page_floor(cur);
+      uint64_t chunk = std::min(end, page + kPageSize) - cur;
+      covered[page] += chunk;
+      cur += chunk;
+    }
+  }
+  std::vector<uint64_t> full;
+  for (const auto& [page, bytes] : covered) {
+    if (bytes >= kPageSize) full.push_back(page);
+  }
+  return full;
+}
+
+}  // namespace dynacut::analysis::cutcheck

@@ -2,6 +2,7 @@
 // repo (MELF binaries, trace files, process images).
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <span>
@@ -87,7 +88,9 @@ class ByteReader {
 
   void raw(void* out, size_t n) {
     need(n);
-    std::memcpy(out, data_.data() + pos_, n);
+    // min() restates need()'s guarantee in a form the optimizer can see, so
+    // inlining into fixed-size callers doesn't trip -Warray-bounds.
+    std::memcpy(out, data_.data() + pos_, std::min(n, data_.size() - pos_));
     pos_ += n;
   }
 

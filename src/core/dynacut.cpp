@@ -9,11 +9,60 @@
 
 namespace dynacut::core {
 
-DynaCut::DynaCut(os::Os& os, int root_pid, CostModel model)
-    : os_(os), root_pid_(root_pid), model_(model) {
+DynaCut::DynaCut(os::Os& os, int root_pid, CostModel model, CheckMode check)
+    : os_(os), root_pid_(root_pid), model_(model), check_mode_(check) {
   if (os_.process(root_pid) == nullptr) {
     throw StateError("DynaCut: no process " + std::to_string(root_pid));
   }
+}
+
+analysis::cutcheck::CheckReport DynaCut::run_check(
+    const std::vector<analysis::CovBlock>& blocks, RemovalPolicy removal,
+    TrapPolicy trap_policy, const std::string& feature_name,
+    const std::string& redirect_module, uint64_t redirect_offset) const {
+  const os::Process* proc = os_.process(root_pid_);
+  std::vector<rw::ModuleRef> mods;
+  if (proc != nullptr) {
+    mods.reserve(proc->modules.size());
+    for (const auto& m : proc->modules) mods.push_back({m.name, m.binary});
+  }
+  auto plans = rw::extract_plans(mods, feature_name, blocks, removal,
+                                 trap_policy, redirect_module,
+                                 redirect_offset);
+  return analysis::cutcheck::check_plans(plans);
+}
+
+analysis::cutcheck::CheckReport DynaCut::preflight(
+    const FeatureSpec& spec, RemovalPolicy removal,
+    TrapPolicy trap_policy) const {
+  return run_check(spec.blocks, removal, trap_policy, spec.name,
+                   spec.redirect_module, spec.redirect_offset);
+}
+
+void DynaCut::preflight_or_throw(const std::string& feature_name,
+                                 const std::vector<analysis::CovBlock>& blocks,
+                                 RemovalPolicy removal, TrapPolicy trap_policy,
+                                 const std::string& redirect_module,
+                                 uint64_t redirect_offset) const {
+  if (check_mode_ == CheckMode::kOff) return;
+  auto report = run_check(blocks, removal, trap_policy, feature_name,
+                          redirect_module, redirect_offset);
+  for (const auto& d : report.diags) {
+    using analysis::cutcheck::Severity;
+    if (d.severity == Severity::kNote) {
+      log_debug("cutcheck: " + d.format());
+    } else {
+      log_warn("cutcheck: " + d.format());
+    }
+  }
+  if (report.ok()) return;
+  if (check_mode_ == CheckMode::kEnforce) {
+    throw StateError("cutcheck rejected plan '" + feature_name + "':\n" +
+                     report.format());
+  }
+  log_warn("cutcheck: plan '" + feature_name + "' has " +
+           std::to_string(report.errors()) +
+           " error(s); applying anyway (warn mode)");
 }
 
 CustomizeReport DynaCut::disable_feature(const FeatureSpec& spec,
@@ -45,6 +94,9 @@ CustomizeReport DynaCut::apply(const std::string& feature_name,
                                RemovalPolicy removal, TrapPolicy trap_policy,
                                const std::string& redirect_module,
                                uint64_t redirect_offset) {
+  preflight_or_throw(feature_name, blocks, removal, trap_policy,
+                     redirect_module, redirect_offset);
+
   CustomizeReport report;
   PerPidEdits per_pid;
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "analysis/coverage.hpp"
+#include "analysis/cutcheck/checker.hpp"
 #include "core/cost_model.hpp"
 #include "image/checkpoint.hpp"
 #include "image/image.hpp"
@@ -29,18 +30,19 @@
 
 namespace dynacut::core {
 
-/// How undesired code is removed (paper §3.2.1).
-enum class RemovalPolicy {
-  kBlockFirstByte,  ///< int3 on each block's first byte (cheap, reversible)
-  kWipeBlocks,      ///< fill whole blocks with int3 (anti code-reuse)
-  kUnmapPages,      ///< drop fully-covered pages; wipe partial remainders
-};
+/// How undesired code is removed (paper §3.2.1). The enumerators live in
+/// analysis::cutcheck so the static verifier and the facade share one
+/// vocabulary; the historical core:: names remain the public spelling.
+using RemovalPolicy = analysis::cutcheck::Removal;
 
 /// What happens when blocked code is reached (paper §3.2.2).
-enum class TrapPolicy {
-  kTerminate,  ///< no handler: default SIGTRAP disposition kills the process
-  kRedirect,   ///< injected handler redirects to the app's error path
-  kVerify,     ///< injected verifier heals the byte and logs the address
+using TrapPolicy = analysis::cutcheck::Trap;
+
+/// What DynaCut does with cutcheck findings before rewriting an image.
+enum class CheckMode {
+  kEnforce,  ///< reject plans with kError findings (StateError); default
+  kWarn,     ///< log findings, apply anyway
+  kOff,      ///< skip the verifier entirely
 };
 
 /// A feature to disable: its unique basic blocks (usually from
@@ -66,8 +68,20 @@ struct CustomizeReport {
 
 class DynaCut {
  public:
-  /// Manages the process group rooted at `root_pid` inside `os`.
-  DynaCut(os::Os& os, int root_pid, CostModel model = {});
+  /// Manages the process group rooted at `root_pid` inside `os`. Every
+  /// customization is pre-flighted by the cutcheck verifier according to
+  /// `check` (kEnforce rejects provably unsafe plans before any checkpoint).
+  DynaCut(os::Os& os, int root_pid, CostModel model = {},
+          CheckMode check = CheckMode::kEnforce);
+
+  void set_check_mode(CheckMode mode) { check_mode_ = mode; }
+  CheckMode check_mode() const { return check_mode_; }
+
+  /// Runs the cutcheck verifier on a feature without touching any process —
+  /// the same plans and rules apply() uses, exposed for tooling and benches.
+  analysis::cutcheck::CheckReport preflight(const FeatureSpec& spec,
+                                            RemovalPolicy removal,
+                                            TrapPolicy trap_policy) const;
 
   /// Disables a feature across every process of the group. Throws
   /// StateError on policy violations (e.g. kRedirect with no block in the
@@ -111,6 +125,20 @@ class DynaCut {
                         const std::string& redirect_module,
                         uint64_t redirect_offset);
 
+  /// The cutcheck gate at the top of apply(): extracts per-module plans
+  /// from the root process's loaded modules, runs the verifier and acts on
+  /// check_mode_. Throws StateError in kEnforce mode on kError findings.
+  void preflight_or_throw(const std::string& feature_name,
+                          const std::vector<analysis::CovBlock>& blocks,
+                          RemovalPolicy removal, TrapPolicy trap_policy,
+                          const std::string& redirect_module,
+                          uint64_t redirect_offset) const;
+
+  analysis::cutcheck::CheckReport run_check(
+      const std::vector<analysis::CovBlock>& blocks, RemovalPolicy removal,
+      TrapPolicy trap_policy, const std::string& feature_name,
+      const std::string& redirect_module, uint64_t redirect_offset) const;
+
   /// Removal-policy application; fills `edits` and the redirect/original
   /// tables' raw entries.
   void remove_blocks(rw::ImageRewriter& rw, const image::ProcessImage& img,
@@ -133,6 +161,7 @@ class DynaCut {
   os::Os& os_;
   int root_pid_;
   CostModel model_;
+  CheckMode check_mode_ = CheckMode::kEnforce;
   image::ImageStore store_;
   std::map<std::string, PerPidEdits> applied_;
 };

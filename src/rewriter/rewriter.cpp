@@ -168,4 +168,43 @@ uint64_t ImageRewriter::symbol_addr(const std::string& module_name,
   return m->base + s->value;
 }
 
+std::vector<analysis::cutcheck::CutPlan> extract_plans(
+    const std::vector<ModuleRef>& modules, const std::string& feature,
+    const std::vector<analysis::CovBlock>& blocks,
+    analysis::cutcheck::Removal removal, analysis::cutcheck::Trap trap,
+    const std::string& redirect_module, uint64_t redirect_offset) {
+  auto module_binary =
+      [&](const std::string& name) -> std::shared_ptr<const melf::Binary> {
+    for (const auto& m : modules) {
+      if (m.name == name) return m.binary;
+    }
+    return nullptr;
+  };
+
+  std::vector<analysis::cutcheck::CutPlan> plans;
+  auto plan_for =
+      [&](const std::string& module) -> analysis::cutcheck::CutPlan& {
+    for (auto& p : plans) {
+      if (p.module == module) return p;
+    }
+    analysis::cutcheck::CutPlan p;
+    p.feature = feature;
+    p.module = module;
+    p.binary = module_binary(module);
+    p.removal = removal;
+    p.trap = trap;
+    plans.push_back(std::move(p));
+    return plans.back();
+  };
+
+  for (const auto& b : blocks) plan_for(b.module).blocks.push_back(b);
+  if (trap == analysis::cutcheck::Trap::kRedirect &&
+      !redirect_module.empty()) {
+    analysis::cutcheck::CutPlan& p = plan_for(redirect_module);
+    p.has_redirect = true;
+    p.redirect_offset = redirect_offset;
+  }
+  return plans;
+}
+
 }  // namespace dynacut::rw

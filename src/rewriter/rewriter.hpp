@@ -23,10 +23,30 @@
 #include <string>
 #include <vector>
 
+#include "analysis/cutcheck/plan.hpp"
 #include "image/image.hpp"
 #include "melf/binary.hpp"
 
 namespace dynacut::rw {
+
+/// A loaded module as the plan extractor needs it. Both image::ModuleImage
+/// and os::LoadedModule convert trivially.
+struct ModuleRef {
+  std::string name;
+  std::shared_ptr<const melf::Binary> binary;
+};
+
+/// Splits a feature's blocks into per-module cut plans — the unit the
+/// cutcheck verifier lints and the exact inputs remove_blocks will act on.
+/// Modules named by blocks but absent from `modules` yield a plan with a
+/// null binary (the rewriter would silently skip them; the checker warns).
+/// Under Trap::kRedirect the redirect module always gets a plan, so
+/// redirect validity is checked even when no block lands in it.
+std::vector<analysis::cutcheck::CutPlan> extract_plans(
+    const std::vector<ModuleRef>& modules, const std::string& feature,
+    const std::vector<analysis::CovBlock>& blocks,
+    analysis::cutcheck::Removal removal, analysis::cutcheck::Trap trap,
+    const std::string& redirect_module = {}, uint64_t redirect_offset = 0);
 
 /// Undo record for one code edit.
 struct PatchRecord {

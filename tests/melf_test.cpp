@@ -257,7 +257,9 @@ TEST(Builder, FunctionsAre16ByteAligned) {
   b.func("c").ret();
   Binary bin = b.link();
   for (const auto& s : bin.symbols) {
-    if (s.is_function) EXPECT_EQ(s.value % 16, 0u) << s.name;
+    if (s.is_function) {
+      EXPECT_EQ(s.value % 16, 0u) << s.name;
+    }
   }
 }
 

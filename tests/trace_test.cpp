@@ -166,7 +166,9 @@ TEST(Tracer, TraceOnlyFiltersOtherPids) {
   vos.run();
   EXPECT_GT(tracer.block_count(pid), 0u);
   for (int other : vos.pids()) {
-    if (other != pid) EXPECT_EQ(tracer.block_count(other), 0u);
+    if (other != pid) {
+      EXPECT_EQ(tracer.block_count(other), 0u);
+    }
   }
 }
 
