@@ -5,6 +5,12 @@
 // itself (the simulator substrate), complementing the virtual-time figures.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
 #include "analysis/cfg.hpp"
 #include "analysis/coverage.hpp"
 #include "apps/libc.hpp"
@@ -12,8 +18,10 @@
 #include "bench_common.hpp"
 #include "core/handler_lib.hpp"
 #include "image/checkpoint.hpp"
+#include "isa/encode.hpp"
 #include "rewriter/rewriter.hpp"
 #include "trace/trace.hpp"
+#include "vm/exec.hpp"
 
 namespace {
 
@@ -146,6 +154,140 @@ void BM_GuestExecution(benchmark::State& state) {
 }
 BENCHMARK(BM_GuestExecution);
 
+// ---------------------------------------------------------------------------
+// --vm_steps mode: raw guest execution throughput (steps/sec), decode cache
+// off vs on, over a straight-line arithmetic loop — the workload where the
+// cache's fetch/decode elision shows up undiluted by syscalls or I/O.
+// ---------------------------------------------------------------------------
+
+struct VmStepsReport {
+  uint64_t steps = 0;
+  double off_steps_per_sec = 0;
+  double on_steps_per_sec = 0;
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_invalidations = 0;
+  uint64_t cached_pages = 0;
+};
+
+constexpr uint64_t kVmCodeBase = 0x1000;
+
+/// Builds the benchmark guest: a loop of ~60 register-register ALU ops, a
+/// counter increment, and a conditional back-edge; a TRAP byte terminates.
+void build_vm_loop(vm::AddressSpace& mem, vm::Cpu& cpu) {
+  std::vector<uint8_t> code;
+  isa::Encoder e(code);
+  const size_t loop_top = e.offset();
+  for (int i = 0; i < 40; ++i) {
+    e.add_rr(1, 2);
+    e.xor_rr(3, 4);
+    e.sub_rr(5, 6);
+  }
+  e.add_ri(0, 1);
+  e.cmp_ri(0, INT32_MAX);  // never reached within any realistic budget
+  const size_t back = e.branch(isa::Op::kJlt, 0);
+  e.patch_rel32(back, static_cast<int32_t>(loop_top - (back + 5)));
+  e.trap();
+
+  mem.map(kVmCodeBase, page_ceil(code.size()), kProtRead | kProtExec,
+          "bench:.text");
+  mem.poke_bytes(kVmCodeBase, code);
+  cpu = vm::Cpu{};
+  cpu.ip = kVmCodeBase;
+}
+
+double measure_steps_per_sec(uint64_t steps, vm::DecodeCache* cache) {
+  vm::AddressSpace mem;
+  vm::Cpu cpu;
+  build_vm_loop(mem, cpu);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  uint64_t retired = 0;
+  if (cache != nullptr) {
+    while (retired < steps) {
+      uint64_t n = 0;
+      vm::StepResult r = vm::run_block(mem, cpu, cache, steps - retired, n);
+      retired += n;
+      if (r.kind != vm::StepKind::kOk) break;  // unexpected: trap/fault
+    }
+  } else {
+    while (retired < steps) {
+      vm::StepResult r = vm::step(mem, cpu);
+      ++retired;
+      if (r.kind != vm::StepKind::kOk) break;
+    }
+  }
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  return static_cast<double>(retired) / dt.count();
+}
+
+int run_vm_steps(uint64_t steps, const std::string& out_path) {
+  VmStepsReport rep;
+  rep.steps = steps;
+  rep.off_steps_per_sec = measure_steps_per_sec(steps, nullptr);
+  vm::DecodeCache cache;
+  rep.on_steps_per_sec = measure_steps_per_sec(steps, &cache);
+  rep.cache_hits = cache.hits();
+  rep.cache_misses = cache.misses();
+  rep.cache_invalidations = cache.invalidations();
+  rep.cached_pages = cache.cached_pages();
+  const double speedup = rep.on_steps_per_sec / rep.off_steps_per_sec;
+
+  std::printf("vm_steps: %llu instructions/run\n",
+              static_cast<unsigned long long>(rep.steps));
+  std::printf("  cache off: %.3e steps/sec\n", rep.off_steps_per_sec);
+  std::printf("  cache on:  %.3e steps/sec (%.2fx)\n", rep.on_steps_per_sec,
+              speedup);
+  std::printf("  cache: %llu hits, %llu misses, %llu invalidations, "
+              "%llu pages\n",
+              static_cast<unsigned long long>(rep.cache_hits),
+              static_cast<unsigned long long>(rep.cache_misses),
+              static_cast<unsigned long long>(rep.cache_invalidations),
+              static_cast<unsigned long long>(rep.cached_pages));
+
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"bench\": \"vm_steps\",\n"
+      << "  \"steps\": " << rep.steps << ",\n"
+      << "  \"cache_off_steps_per_sec\": " << rep.off_steps_per_sec << ",\n"
+      << "  \"cache_on_steps_per_sec\": " << rep.on_steps_per_sec << ",\n"
+      << "  \"speedup\": " << speedup << ",\n"
+      << "  \"cache_hits\": " << rep.cache_hits << ",\n"
+      << "  \"cache_misses\": " << rep.cache_misses << ",\n"
+      << "  \"cache_invalidations\": " << rep.cache_invalidations << ",\n"
+      << "  \"cached_pages\": " << rep.cached_pages << "\n"
+      << "}\n";
+  return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  uint64_t vm_steps = 0;
+  std::string vm_out = "BENCH_vm.json";
+  bool vm_mode = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strcmp(a, "--vm_steps") == 0) {
+      vm_mode = true;
+      vm_steps = 4'000'000;
+    } else if (std::strncmp(a, "--vm_steps=", 11) == 0) {
+      vm_mode = true;
+      vm_steps = std::stoull(a + 11);
+    } else if (std::strncmp(a, "--vm_out=", 9) == 0) {
+      vm_out = a + 9;
+    }
+  }
+  if (vm_mode) return run_vm_steps(vm_steps, vm_out);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -79,6 +79,10 @@ void restore(os::Os& os, int pid, const ProcessImage& img) {
   }
 
   p->mem = build_address_space(img);
+  // The whole address space was rebuilt: every decoded instruction the
+  // process cached is stale (the asid check would also catch this, but the
+  // explicit clear frees the dead pages immediately).
+  p->dcache.clear();
   p->cpu = img.core.cpu;
   p->sigactions = img.core.sigactions;
   p->signal_frames = img.core.signal_frames;

@@ -22,6 +22,10 @@ namespace dynacut::isa {
 inline constexpr int kNumRegs = 16;
 inline constexpr int kSpReg = 15;  ///< r15 is the stack pointer.
 
+/// Longest encoding in the ISA (kMovRI: opcode + reg + imm64). Fetchers and
+/// decode caches size speculative reads and page-edge checks with this.
+inline constexpr uint8_t kMaxInstrLength = 10;
+
 /// One-byte opcodes. Values are part of the binary format; do not renumber.
 enum class Op : uint8_t {
   kMovRI = 0x01,   ///< r1 = imm64

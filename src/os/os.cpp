@@ -234,17 +234,26 @@ void Os::run_ticks(uint64_t ticks) {
 void Os::run_quantum(Process& p, uint64_t budget, uint64_t& retired) {
   uint64_t quota = std::min<uint64_t>(kQuantum, budget);
   yielded_ = false;
-  for (uint64_t i = 0; i < quota; ++i) {
+  uint64_t done = 0;
+  while (done < quota) {
     if (p.state != Process::State::kRunnable) break;
     if (p.at_block_start && sink_ != nullptr) {
       sink_->on_block(p, p.cpu.ip);
     }
     p.at_block_start = false;
 
-    vm::StepResult r = vm::step(p.mem, p.cpu);
-    ++retired;
-    ++clock_;
-    ++p.instructions_retired;
+    // Execute through the decode cache a basic block (or the remaining
+    // quota, whichever ends first). `n` counts every attempted instruction
+    // — including one that trapped or faulted — matching the per-step
+    // accounting this loop used to do.
+    uint64_t n = 0;
+    vm::StepResult r =
+        vm::run_block(p.mem, p.cpu, &p.dcache, quota - done, n);
+    done += n;
+    retired += n;
+    clock_ += n;
+    p.instructions_retired += n;
+    if (n == 0) break;  // defensive: run_block always attempts >= 1
 
     switch (r.kind) {
       case vm::StepKind::kOk:

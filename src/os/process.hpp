@@ -13,6 +13,7 @@
 #include "os/syscall.hpp"
 #include "vm/addrspace.hpp"
 #include "vm/cpu.hpp"
+#include "vm/exec.hpp"
 
 namespace dynacut::os {
 
@@ -59,6 +60,11 @@ struct Process {
 
   vm::AddressSpace mem;
   vm::Cpu cpu;
+
+  /// Per-process decoded-instruction cache. Invalidation is automatic
+  /// (page generations + asid); checkpoint restore clears it explicitly
+  /// since the whole address space is rebuilt.
+  vm::DecodeCache dcache;
 
   std::map<int, FileDesc> fds;
   int next_fd = 3;

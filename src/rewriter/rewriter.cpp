@@ -14,6 +14,13 @@ namespace {
 constexpr uint64_t kInjectHint = 0x7f1d00000000;
 }  // namespace
 
+void ImageRewriter::touch_pages(uint64_t vaddr, uint64_t size) {
+  if (size == 0) return;  // page_ceil would over-count an empty edit
+  for (uint64_t p = page_floor(vaddr); p < vaddr + size; p += kPageSize) {
+    touched_pages_.insert(p);
+  }
+}
+
 PatchRecord ImageRewriter::write_bytes(uint64_t vaddr,
                                        std::span<const uint8_t> bytes) {
   PatchRecord rec;
@@ -21,8 +28,7 @@ PatchRecord ImageRewriter::write_bytes(uint64_t vaddr,
   rec.original = img_.read_bytes(vaddr, bytes.size());
   img_.write_bytes(vaddr, bytes);
   bytes_patched_ += bytes.size();
-  pages_touched_ +=
-      (page_ceil(vaddr + bytes.size()) - page_floor(vaddr)) / kPageSize;
+  touch_pages(vaddr, bytes.size());
   return rec;
 }
 
@@ -38,14 +44,17 @@ PatchRecord ImageRewriter::wipe(uint64_t vaddr, uint64_t size) {
 
 void ImageRewriter::undo(const PatchRecord& rec) {
   img_.write_bytes(rec.vaddr, rec.original);
-  bytes_patched_ += rec.original.size();
+  // An undo is not a new customization: it must not inflate bytes_patched
+  // (the cost model would double-charge every patch/undo cycle).
+  bytes_restored_ += rec.original.size();
+  touch_pages(rec.vaddr, rec.original.size());
 }
 
 void ImageRewriter::unmap_pages(uint64_t vaddr, uint64_t size) {
   uint64_t start = page_floor(vaddr);
   uint64_t end = page_ceil(vaddr + size);
   img_.drop_range(start, end - start);
-  pages_touched_ += (end - start) / kPageSize;
+  touch_pages(start, end - start);
 }
 
 void ImageRewriter::grow_vma(uint64_t vma_start, uint64_t extra) {
@@ -94,7 +103,7 @@ uint64_t ImageRewriter::inject_library(
                  lib->name + ":" + melf::section_name(sec.kind));
     if (!sec.bytes.empty()) {
       img_.write_bytes(base + sec.offset, sec.bytes);
-      pages_touched_ += page_ceil(sec.bytes.size()) / kPageSize;
+      touch_pages(base + sec.offset, sec.bytes.size());
     }
   }
 
@@ -114,14 +123,19 @@ uint64_t ImageRewriter::inject_library(
         // "Find the external libc function symbol offset from the libc
         // binary; add the runtime VMA base address of libc; write the new
         // address to the GOT of the signal handler library."
+        // Resolution is tracked with an explicit flag: a symbol can
+        // legitimately resolve to address 0 (st_value 0 in the module
+        // mapped at base 0 — the main executable).
+        bool found = false;
         for (const auto& m : img_.modules) {
           const melf::Symbol* s = m.binary->find_symbol(rel.symbol);
           if (s != nullptr && s->global) {
             value = m.base + s->value;
+            found = true;
             break;
           }
         }
-        if (value == 0) {
+        if (!found) {
           throw StateError("inject_library: unresolved import '" +
                            rel.symbol + "'");
         }

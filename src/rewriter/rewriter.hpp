@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <span>
 #include <string>
 #include <vector>
@@ -100,15 +101,23 @@ class ImageRewriter {
   uint64_t symbol_addr(const std::string& module_name,
                        const std::string& symbol) const;
 
-  /// Counters consumed by the cost model.
+  /// Counters consumed by the cost model. bytes_patched counts forward
+  /// edits only; undos accumulate in bytes_restored. pages_touched is the
+  /// number of *distinct* pages any edit landed on.
   size_t bytes_patched() const { return bytes_patched_; }
-  size_t pages_touched() const { return pages_touched_; }
+  size_t bytes_restored() const { return bytes_restored_; }
+  size_t pages_touched() const { return touched_pages_.size(); }
   size_t relocs_applied() const { return relocs_applied_; }
 
  private:
+  /// Records the pages covered by an edit of `size` bytes at `vaddr`.
+  /// Zero-length edits touch nothing.
+  void touch_pages(uint64_t vaddr, uint64_t size);
+
   image::ProcessImage& img_;
   size_t bytes_patched_ = 0;
-  size_t pages_touched_ = 0;
+  size_t bytes_restored_ = 0;
+  std::set<uint64_t> touched_pages_;
   size_t relocs_applied_ = 0;
 };
 

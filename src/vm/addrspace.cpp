@@ -1,11 +1,46 @@
 #include "vm/addrspace.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cstring>
 
 #include "common/hex.hpp"
 
 namespace dynacut::vm {
+
+uint64_t AddressSpace::next_asid() {
+  static std::atomic<uint64_t> counter{1};
+  return counter.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint64_t AddressSpace::page_generation(uint64_t page_addr) const {
+  auto it = page_gens_.find(page_floor(page_addr));
+  return it == page_gens_.end() ? 0 : it->second;
+}
+
+const uint64_t* AddressSpace::page_generation_slot(uint64_t page_addr) const {
+  return &page_gens_[page_floor(page_addr)];
+}
+
+void AddressSpace::bump_generations(uint64_t start, uint64_t end) {
+  for (uint64_t p = page_floor(start); p < end; p += kPageSize) {
+    ++page_gens_[p];
+  }
+}
+
+void AddressSpace::bump_exec_generations(uint64_t addr, uint64_t n) {
+  uint64_t end = addr + n;
+  uint64_t cur = addr;
+  while (cur < end) {
+    const Vma* v = vma_at(cur);
+    // vma_at never misses here: callers bump only after a checked write.
+    uint64_t vma_end = v == nullptr ? end : v->end;
+    if (v != nullptr && (v->prot & kProtExec) != 0) {
+      bump_generations(cur, std::min(end, vma_end));
+    }
+    cur = std::max(cur + 1, std::min(end, vma_end));
+  }
+}
 
 void AddressSpace::map(uint64_t start, uint64_t size, uint32_t prot,
                        const std::string& name) {
@@ -27,11 +62,13 @@ void AddressSpace::map(uint64_t start, uint64_t size, uint32_t prot,
                      hex_addr(it->second.start));
   }
   vmas_[start] = Vma{start, end, prot, name};
+  bump_generations(start, end);
   invalidate_caches();
 }
 
 void AddressSpace::unmap(uint64_t start, uint64_t size) {
   invalidate_caches();
+  bump_generations(start, start + page_ceil(size));
   DYNACUT_ASSERT(start == page_floor(start));
   size = page_ceil(size);
   uint64_t end = start + size;
@@ -69,6 +106,7 @@ void AddressSpace::protect(uint64_t start, uint64_t size, uint32_t prot) {
   DYNACUT_ASSERT(start == page_floor(start));
   size = page_ceil(size);
   uint64_t end = start + size;
+  bump_generations(start, end);
 
   std::vector<Vma> affected;
   for (auto it = vmas_.begin(); it != vmas_.end();) {
@@ -195,6 +233,7 @@ Access AddressSpace::write(uint64_t addr, const void* src, uint64_t n,
         cached_page_ = &ensure_page(page);
       }
       std::memcpy(cached_page_->data() + (addr - page), src, n);
+      if ((cached_vma_->prot & kProtExec) != 0) ++page_gens_[page];
       return {true, 0};
     }
   }
@@ -212,6 +251,7 @@ Access AddressSpace::write(uint64_t addr, const void* src, uint64_t n,
     cur += chunk;
     n -= chunk;
   }
+  bump_exec_generations(addr, cur - addr);
   return {true, 0};
 }
 
@@ -269,6 +309,7 @@ void AddressSpace::install_page(uint64_t page_addr,
   DYNACUT_ASSERT(bytes.size() == kPageSize);
   Page& p = ensure_page(page_addr);
   std::copy(bytes.begin(), bytes.end(), p.begin());
+  ++page_gens_[page_addr];
 }
 
 }  // namespace dynacut::vm

@@ -47,18 +47,29 @@ class AddressSpace {
  public:
   AddressSpace() = default;
   // Copies/moves must not carry cache pointers into another object's maps.
-  AddressSpace(const AddressSpace& o) : vmas_(o.vmas_), pages_(o.pages_) {}
+  // Copies take a fresh asid (decode caches keyed to the source must not
+  // trust the copy); moves keep the source's asid because the map nodes —
+  // and thus any generation-slot pointers handed out — move along with it.
+  AddressSpace(const AddressSpace& o)
+      : vmas_(o.vmas_), pages_(o.pages_), page_gens_(o.page_gens_) {}
   AddressSpace& operator=(const AddressSpace& o) {
     vmas_ = o.vmas_;
     pages_ = o.pages_;
+    page_gens_ = o.page_gens_;
+    asid_ = next_asid();
     invalidate_caches();
     return *this;
   }
   AddressSpace(AddressSpace&& o) noexcept
-      : vmas_(std::move(o.vmas_)), pages_(std::move(o.pages_)) {}
+      : vmas_(std::move(o.vmas_)),
+        pages_(std::move(o.pages_)),
+        page_gens_(std::move(o.page_gens_)),
+        asid_(o.asid_) {}
   AddressSpace& operator=(AddressSpace&& o) noexcept {
     vmas_ = std::move(o.vmas_);
     pages_ = std::move(o.pages_);
+    page_gens_ = std::move(o.page_gens_);
+    asid_ = o.asid_;
     invalidate_caches();
     o.invalidate_caches();
     return *this;
@@ -103,6 +114,26 @@ class AddressSpace {
 
   uint64_t vma_count() const { return vmas_.size(); }
 
+  // --- code-cache support ----------------------------------------------
+  /// Identity of this address-space instance. Decode caches record the asid
+  /// they indexed; a mismatch (the process memory was copy-assigned or
+  /// rebuilt by checkpoint restore) means every cached decode is stale.
+  uint64_t asid() const { return asid_; }
+
+  /// Monotonic modification counter for one page, the invalidation key of
+  /// decoded-instruction caches. Bumped by byte writes landing on pages of
+  /// executable VMAs, by install_page, and by map/protect/unmap over the
+  /// page (protection flips and re-mapping both change what a fetch sees).
+  /// Counters are never removed, so decoded entries keyed (page, gen) go
+  /// stale — they can never be revived by a counter reset.
+  uint64_t page_generation(uint64_t page_addr) const;
+
+  /// Stable pointer to the page's generation counter (created at 0 on first
+  /// use). Valid for this object's lifetime — entries are never erased and
+  /// std::map nodes don't move — letting caches poll invalidation with one
+  /// dereference per executed instruction.
+  const uint64_t* page_generation_slot(uint64_t page_addr) const;
+
  private:
   using Page = std::vector<uint8_t>;  // always kPageSize long
 
@@ -118,8 +149,24 @@ class AddressSpace {
   /// faulting address otherwise.
   Access check_range(uint64_t addr, uint64_t n, uint32_t need_prot) const;
 
+  static uint64_t next_asid();
+
+  /// Bumps the generation of every page overlapping [start, end) — used by
+  /// the VMA-layout mutators, which change what an instruction fetch sees
+  /// without necessarily touching page bytes.
+  void bump_generations(uint64_t start, uint64_t end);
+
+  /// Bumps generations for a byte write to [addr, addr+n) if it lands on
+  /// executable VMAs (data-page writes don't concern instruction caches).
+  void bump_exec_generations(uint64_t addr, uint64_t n);
+
   std::map<uint64_t, Vma> vmas_;        // keyed by start
   std::map<uint64_t, Page> pages_;      // keyed by page address
+
+  // Page modification counters (see page_generation). Bump-only; mutable so
+  // page_generation_slot can register a zero entry from const readers.
+  mutable std::map<uint64_t, uint64_t> page_gens_;
+  uint64_t asid_ = next_asid();
 
   // Hot-path caches (guest execution hits the same VMA/page repeatedly).
   // std::map nodes are pointer-stable across inserts, so these stay valid

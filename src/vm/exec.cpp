@@ -1,5 +1,6 @@
 #include "vm/exec.hpp"
 
+#include <algorithm>
 #include <cstring>
 
 namespace dynacut::vm {
@@ -9,12 +10,12 @@ namespace {
 using isa::Instr;
 using isa::Op;
 
-/// Fetches and decodes the instruction at cpu.ip. Returns fault info on
-/// unmapped/non-executable memory or an invalid encoding.
+/// Fetches and decodes the instruction at `ip` from raw page bytes. Returns
+/// fault info on unmapped/non-executable memory or an invalid encoding.
 StepResult fetch(const AddressSpace& mem, uint64_t ip, Instr& out) {
-  // Fast path: speculatively read a maximal instruction (10 bytes) in one
-  // go — almost always hits the cached page.
-  uint8_t fast[10];
+  // Fast path: speculatively read a maximal instruction in one go — almost
+  // always hits the cached page.
+  uint8_t fast[isa::kMaxInstrLength];
   if (mem.read(ip, fast, sizeof fast, kProtExec).ok) {
     auto ins = isa::try_decode(fast);
     if (!ins) return {StepKind::kFault, FaultType::kIll, ip, false};
@@ -41,13 +42,19 @@ StepResult fetch(const AddressSpace& mem, uint64_t ip, Instr& out) {
   return {StepKind::kOk, FaultType::kNone, 0, false};
 }
 
-void set_flags(Cpu& cpu, uint64_t a, uint64_t b) {
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((always_inline))
+#endif
+inline void set_flags(Cpu& cpu, uint64_t a, uint64_t b) {
   cpu.zf = a == b;
   cpu.lt_u = a < b;
   cpu.lt_s = static_cast<int64_t>(a) < static_cast<int64_t>(b);
 }
 
-bool branch_taken(const Cpu& cpu, Op op) {
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((always_inline))
+#endif
+inline bool branch_taken(const Cpu& cpu, Op op) {
   switch (op) {
     case Op::kJe:
       return cpu.zf;
@@ -70,13 +77,14 @@ bool branch_taken(const Cpu& cpu, Op op) {
   }
 }
 
-}  // namespace
-
-StepResult step(AddressSpace& mem, Cpu& cpu) {
-  Instr ins;
-  StepResult fr = fetch(mem, cpu.ip, ins);
-  if (fr.kind != StepKind::kOk) return fr;
-
+/// Executes one already-decoded instruction at cpu.ip. Force-inlined into
+/// the step/run_block loops: the call overhead is measurable at the
+/// instructions-per-second scale even in unoptimized builds.
+#if defined(__GNUC__) || defined(__clang__)
+__attribute__((always_inline))
+#endif
+inline StepResult
+execute(AddressSpace& mem, Cpu& cpu, const Instr& ins) {
   const uint64_t next_ip = cpu.ip + ins.length;
   auto& r = cpu.regs;
   StepResult result;
@@ -231,6 +239,181 @@ StepResult step(AddressSpace& mem, Cpu& cpu) {
 
   cpu.ip = next_ip;
   return result;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// DecodeCache
+// ---------------------------------------------------------------------------
+
+void DecodeCache::clear() {
+  pages_.clear();
+  last_page_ = ~0ull;
+  last_entry_ = nullptr;
+}
+
+void DecodeCache::sync(const AddressSpace& mem) {
+  if (asid_ != mem.asid()) {
+    clear();
+    asid_ = mem.asid();
+  }
+}
+
+DecodeCache::PageEntry* DecodeCache::entry_for(const AddressSpace& mem,
+                                               uint64_t page_addr) {
+  PageEntry* e;
+  if (page_addr == last_page_) {
+    e = last_entry_;
+  } else {
+    auto [it, inserted] = pages_.try_emplace(page_addr);
+    e = &it->second;
+    if (inserted) {
+      e->live_gen = mem.page_generation_slot(page_addr);
+      e->gen = *e->live_gen;
+      e->slots.resize(kPageSize);
+    }
+    last_page_ = page_addr;
+    last_entry_ = e;
+  }
+  if (*e->live_gen != e->gen) {
+    // The page (or its mapping) changed since the slots were decoded: wipe
+    // and adopt the new generation. Slots refill lazily against the new
+    // bytes.
+    std::fill(e->slots.begin(), e->slots.end(), Slot{});
+    e->gen = *e->live_gen;
+    ++invalidations_;
+  }
+  return e;
+}
+
+bool DecodeCache::fill_slot(const AddressSpace& mem, uint64_t ip, Slot& s) {
+  uint8_t buf[isa::kMaxInstrLength];
+  if (!mem.read(ip, buf, sizeof buf, kProtExec).ok) return false;
+  auto ins = isa::try_decode(buf);
+  if (!ins) {
+    s.state = kBad;
+  } else {
+    s.ins = *ins;
+    s.state = kValid;
+  }
+  return true;
+}
+
+StepResult DecodeCache::fetch(AddressSpace& mem, uint64_t ip,
+                              isa::Instr& out) {
+  sync(mem);
+  const uint64_t page = page_floor(ip);
+  const uint64_t off = ip - page;
+  if (off + isa::kMaxInstrLength > kPageSize) {
+    // Possible page-straddler: serve uncached (its decode would also depend
+    // on the next page's generation).
+    ++misses_;
+    return vm::fetch(mem, ip, out);
+  }
+  PageEntry* e = entry_for(mem, page);
+  Slot& s = e->slots[off];
+  if (s.state == kUnknown) {
+    ++misses_;
+    if (!fill_slot(mem, ip, s)) {
+      return vm::fetch(mem, ip, out);  // not executable: precise fault
+    }
+  } else {
+    ++hits_;
+  }
+  if (s.state == kBad) return {StepKind::kFault, FaultType::kIll, ip, false};
+  out = s.ins;
+  return {StepKind::kOk, FaultType::kNone, 0, false};
+}
+
+// ---------------------------------------------------------------------------
+// Stepping
+// ---------------------------------------------------------------------------
+
+StepResult step(AddressSpace& mem, Cpu& cpu) { return step(mem, cpu, nullptr); }
+
+StepResult step(AddressSpace& mem, Cpu& cpu, DecodeCache* cache) {
+  Instr ins;
+  StepResult fr = cache != nullptr ? cache->fetch(mem, cpu.ip, ins)
+                                   : fetch(mem, cpu.ip, ins);
+  if (fr.kind != StepKind::kOk) return fr;
+  return execute(mem, cpu, ins);
+}
+
+StepResult run_block(AddressSpace& mem, Cpu& cpu, DecodeCache* cache,
+                     uint64_t max_instr, uint64_t& retired) {
+  retired = 0;
+  StepResult r{};
+  if (max_instr == 0) return r;
+
+  if (cache == nullptr) {
+    while (retired < max_instr) {
+      r = step(mem, cpu);
+      ++retired;
+      if (r.kind != StepKind::kOk || r.block_end) break;
+    }
+    return r;
+  }
+
+  cache->sync(mem);
+  uint64_t n = 0;     // local retired counter (flushed on every exit)
+  uint64_t hits = 0;  // local stats accumulator — off the per-instr path
+  bool stop = false;
+  while (!stop) {
+    const uint64_t page = page_floor(cpu.ip);
+    DecodeCache::PageEntry* e =
+        cpu.ip - page + isa::kMaxInstrLength <= kPageSize
+            ? cache->entry_for(mem, page)
+            : nullptr;
+    const uint64_t n_at_entry = n;
+    if (e != nullptr) {
+      // Straight-line fast path: stay on this page's decoded array. One
+      // generation dereference per instruction keeps self-modifying stores
+      // (e.g. the verifier handler healing its own page) precise.
+      const uint64_t* live_gen = e->live_gen;
+      const uint64_t gen = e->gen;
+      DecodeCache::Slot* slots = e->slots.data();
+      while (n < max_instr && *live_gen == gen) {
+        const uint64_t off = cpu.ip - page;
+        if (off + isa::kMaxInstrLength > kPageSize) break;  // page edge
+        DecodeCache::Slot& s = slots[off];
+        if (s.state == DecodeCache::kValid) {
+          ++hits;
+        } else {
+          if (s.state == DecodeCache::kUnknown) {
+            ++cache->misses_;
+            if (!cache->fill_slot(mem, cpu.ip, s)) break;  // fault: slow path
+          } else {
+            ++hits;  // a known-bad slot is still a cache-served fetch
+          }
+          if (s.state == DecodeCache::kBad) {
+            r = {StepKind::kFault, FaultType::kIll, cpu.ip, false};
+            ++n;
+            stop = true;
+            break;
+          }
+        }
+        r = execute(mem, cpu, s.ins);
+        ++n;
+        if (r.kind != StepKind::kOk || r.block_end) {
+          stop = true;
+          break;
+        }
+      }
+    }
+    if (stop || n >= max_instr) break;
+    if (n == n_at_entry) {  // fast path made no progress this round
+      // Page-edge instruction, non-executable fetch, or a generation bump
+      // raced the entry lookup: take the generic single-step path so the
+      // loop always advances.
+      r = step(mem, cpu, cache);
+      ++n;
+      if (r.kind != StepKind::kOk || r.block_end || n >= max_instr) break;
+    }
+  }
+  cache->hits_ += hits;
+  retired = n;
+  return r;
 }
 
 BlockInfo block_at(const AddressSpace& mem, uint64_t addr,

@@ -2,10 +2,20 @@
 //
 // The executor is policy-free: syscalls, traps and faults are reported to
 // the caller (the OS simulator), which implements kernel behaviour.
+//
+// Hot-loop execution goes through a DecodeCache: per-page arrays of decoded
+// instructions keyed by (page address, page generation). AddressSpace bumps
+// a page's generation on every byte write to executable memory and on every
+// map/protect/unmap over it, so live rewrites — int3 patches, trap-handler
+// byte heals, block wipes, unmaps — take effect on the very next fetched
+// instruction; there is no window where a stale decode can execute.
 #pragma once
 
 #include <cstdint>
+#include <unordered_map>
+#include <vector>
 
+#include "isa/isa.hpp"
 #include "vm/addrspace.hpp"
 #include "vm/cpu.hpp"
 
@@ -25,9 +35,90 @@ struct StepResult {
   bool block_end = false;  ///< the retired instruction was a BB terminator
 };
 
+class DecodeCache;
+
 /// Executes exactly one instruction. Never throws on guest misbehaviour —
-/// all guest errors surface as kFault/kTrap results.
+/// all guest errors surface as kFault/kTrap results. With a cache, the
+/// fetch+decode is served from (and fills) the cache; without one it reads
+/// raw page bytes every time.
 StepResult step(AddressSpace& mem, Cpu& cpu);
+StepResult step(AddressSpace& mem, Cpu& cpu, DecodeCache* cache);
+
+/// Executes instructions until a basic-block terminator retires, a syscall/
+/// trap/fault surfaces, or `max_instr` instructions have been attempted.
+/// `retired` returns the number of attempts (faulting/trapping instructions
+/// count once, matching the per-step accounting of the OS scheduler).
+/// Straight-line spans inside one cached page run off the decoded array
+/// with a single generation check per instruction — no fetch, no decode.
+StepResult run_block(AddressSpace& mem, Cpu& cpu, DecodeCache* cache,
+                     uint64_t max_instr, uint64_t& retired);
+
+/// Per-page decoded-instruction cache. One per guest CPU/process; pass it
+/// to step()/run_block(). Correctness contract:
+///   * an entry is valid only while AddressSpace::page_generation(page)
+///     equals the generation recorded at fill time (checked per fetch);
+///   * the whole cache resets when it observes a different asid — the
+///     process memory was rebuilt, e.g. by checkpoint restore;
+///   * instructions that could straddle a page boundary (offset within
+///     kMaxInstrLength of the page end) are never cached.
+class DecodeCache {
+ public:
+  DecodeCache() = default;
+  // Non-copyable: entries hold generation-slot pointers into a specific
+  // AddressSpace and are meaningless for any other process image.
+  DecodeCache(const DecodeCache&) = delete;
+  DecodeCache& operator=(const DecodeCache&) = delete;
+
+  /// Drops every cached page (stats are kept). Called by checkpoint restore;
+  /// also self-triggers on an asid change.
+  void clear();
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t invalidations() const { return invalidations_; }
+  size_t cached_pages() const { return pages_.size(); }
+
+ private:
+  friend StepResult step(AddressSpace&, Cpu&, DecodeCache*);
+  friend StepResult run_block(AddressSpace&, Cpu&, DecodeCache*, uint64_t,
+                              uint64_t&);
+
+  struct Slot {
+    isa::Instr ins;
+    uint8_t state = 0;  ///< kUnknown / kValid / kBad
+  };
+  static constexpr uint8_t kUnknown = 0;  ///< offset not decoded yet
+  static constexpr uint8_t kValid = 1;    ///< ins holds the decode
+  static constexpr uint8_t kBad = 2;      ///< undecodable: fetch is SIGILL
+
+  struct PageEntry {
+    const uint64_t* live_gen = nullptr;  ///< the page's generation counter
+    uint64_t gen = 0;                    ///< generation the slots decode
+    std::vector<Slot> slots;             ///< one per byte offset in the page
+  };
+
+  /// Resets the cache if `mem` is not the address space it was filled from.
+  void sync(const AddressSpace& mem);
+
+  /// Returns the (validated, possibly freshly wiped) entry for a page.
+  PageEntry* entry_for(const AddressSpace& mem, uint64_t page_addr);
+
+  /// Decodes the instruction at `ip` into `s`. False if the bytes are not
+  /// readable as code (caller falls back to the uncached fetch for the
+  /// precise fault address).
+  bool fill_slot(const AddressSpace& mem, uint64_t ip, Slot& s);
+
+  /// Cache-served fetch+decode of the instruction at `ip`.
+  StepResult fetch(AddressSpace& mem, uint64_t ip, isa::Instr& out);
+
+  std::unordered_map<uint64_t, PageEntry> pages_;
+  uint64_t asid_ = 0;  ///< address space the entries were filled from
+  uint64_t last_page_ = ~0ull;      // one-entry lookup memo for hot pages
+  PageEntry* last_entry_ = nullptr;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t invalidations_ = 0;
+};
 
 /// Decodes the basic block starting at `addr`: its byte size (distance to
 /// the end of its terminator) and instruction count. Walks at most

@@ -81,6 +81,34 @@ TEST(Rewriter, WipeFillsWholeRangeWithTraps) {
   EXPECT_NE(fx.img.read_u8(addr), 0xCC);
 }
 
+TEST(Rewriter, UndoDoesNotInflatePatchStats) {
+  Fixture fx;
+  ImageRewriter rw(fx.img);
+  uint64_t addr = fx.sym("handle_b");
+  PatchRecord rec = rw.wipe(addr, 16);
+  EXPECT_EQ(rw.bytes_patched(), 16u);
+  EXPECT_EQ(rw.bytes_restored(), 0u);
+  rw.undo(rec);
+  // Undos accumulate in their own counter; a patch/undo cycle must not
+  // read as 32 bytes of customization.
+  EXPECT_EQ(rw.bytes_patched(), 16u);
+  EXPECT_EQ(rw.bytes_restored(), 16u);
+}
+
+TEST(Rewriter, PagesTouchedDedupesSamePage) {
+  Fixture fx;
+  ImageRewriter rw(fx.img);
+  uint64_t addr = fx.sym("handle_b");
+  rw.block_first_byte(addr);
+  rw.block_first_byte(addr + 2);
+  rw.wipe(addr + 4, 8);
+  // Three edits on one page: one distinct page touched.
+  EXPECT_EQ(rw.pages_touched(), 1u);
+  // A zero-length patch touches no page at all.
+  rw.write_bytes(addr + 1, {});
+  EXPECT_EQ(rw.pages_touched(), 1u);
+}
+
 TEST(Rewriter, PatchOutsideVmaThrows) {
   Fixture fx;
   ImageRewriter rw(fx.img);

@@ -225,6 +225,40 @@ TEST(TraceLog, DecodeRejectsDanglingModuleRef) {
   EXPECT_THROW(TraceLog::decode(bytes), DecodeError);
 }
 
+TEST(TraceLog, UnknownModuleBlocksRoundtrip) {
+  // Blocks attributed to the synthetic "[unknown]" module (base 0, size 0)
+  // must survive encode/decode like any real module's.
+  TraceLog log;
+  log.process_name = "synthetic";
+  log.pid = 7;
+  log.modules.push_back(ModuleRec{"app", 0x10000, 0x4000});
+  log.modules.push_back(ModuleRec{"[unknown]", 0, 0});
+  log.blocks.push_back(BlockRec{0, 0x120, 9});
+  log.blocks.push_back(BlockRec{1, 0x7f1d00000040, 5});  // absolute addr
+  log.blocks.push_back(BlockRec{0, 0x200, 3});
+
+  TraceLog back = TraceLog::decode(log.encode());
+  ASSERT_EQ(back.modules.size(), 2u);
+  EXPECT_EQ(back.modules[1].name, "[unknown]");
+  EXPECT_EQ(back.modules[1].base, 0u);
+  EXPECT_EQ(back.modules[1].size, 0u);
+  EXPECT_EQ(back.blocks, log.blocks);
+  ASSERT_NE(back.module_named("[unknown]"), nullptr);
+}
+
+TEST(TraceLog, DecodeRejectsTruncatedInput) {
+  TraceLog log;
+  log.process_name = "t";
+  log.modules.push_back(ModuleRec{"m", 0x1000, 0x1000});
+  log.blocks.push_back(BlockRec{0, 0x10, 4});
+  std::vector<uint8_t> bytes = log.encode();
+  // Every proper prefix must be rejected, never mis-decoded or crash.
+  for (size_t n = 0; n < bytes.size(); ++n) {
+    std::span<const uint8_t> prefix(bytes.data(), n);
+    EXPECT_THROW(TraceLog::decode(prefix), DecodeError) << "prefix " << n;
+  }
+}
+
 TEST(Tracer, DumpUnknownPidThrows) {
   os::Os vos;
   Tracer tracer(vos);

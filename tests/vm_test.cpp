@@ -448,5 +448,211 @@ TEST(Exec, BlockAtOnInvalidByteIsEmpty) {
   EXPECT_EQ(info.instr_count, 0u);
 }
 
+
+// ---------------------------------------------------------------------------
+// Page generations + decode cache
+// ---------------------------------------------------------------------------
+
+TEST(PageGeneration, ExecWritesBumpDataWritesDont) {
+  AddressSpace as;
+  as.map(0x1000, 0x1000, kProtRead | kProtWrite | kProtExec, "wx");
+  as.map(0x8000, 0x1000, kProtRead | kProtWrite, "data");
+  uint64_t g0 = as.page_generation(0x1000);
+
+  uint8_t b = 0x90;
+  ASSERT_TRUE(as.write(0x1010, &b, 1, kProtWrite).ok);
+  EXPECT_GT(as.page_generation(0x1000), g0);
+
+  uint64_t gd = as.page_generation(0x8000);
+  ASSERT_TRUE(as.write(0x8010, &b, 1, kProtWrite).ok);
+  EXPECT_EQ(as.page_generation(0x8000), gd);  // data page: no bump
+}
+
+TEST(PageGeneration, MapProtectUnmapBump) {
+  AddressSpace as;
+  uint64_t g0 = as.page_generation(0x1000);
+  as.map(0x1000, 0x2000, kProtRead | kProtExec, "code");
+  uint64_t g1 = as.page_generation(0x1000);
+  EXPECT_GT(g1, g0);
+  as.protect(0x1000, 0x1000, kProtRead);
+  uint64_t g2 = as.page_generation(0x1000);
+  EXPECT_GT(g2, g1);
+  EXPECT_EQ(as.page_generation(0x2000), g1 - g0 + as.page_generation(0x3000));
+  as.unmap(0x1000, 0x2000);
+  EXPECT_GT(as.page_generation(0x1000), g2);
+}
+
+TEST(PageGeneration, SlotPointerTracksLiveCounter) {
+  AddressSpace as;
+  as.map(0x1000, 0x1000, kProtRead | kProtWrite | kProtExec, "wx");
+  const uint64_t* slot = as.page_generation_slot(0x1000);
+  uint64_t before = *slot;
+  uint8_t b = 0x90;
+  ASSERT_TRUE(as.write(0x1000, &b, 1, kProtWrite).ok);
+  EXPECT_EQ(*slot, before + 1);
+}
+
+TEST(DecodeCache, CachedExecutionMatchesUncached) {
+  auto code = assemble([](Encoder& e) {
+    e.mov_ri(1, 3);
+    e.mov_ri(2, 4);
+    size_t top = e.offset();
+    e.add_rr(1, 2);
+    e.mul_rr(2, 1);
+    e.add_ri(0, 1);
+    e.cmp_ri(0, 5);
+    size_t j = e.branch(Op::kJlt, 0);
+    e.patch_rel32(j, static_cast<int32_t>(top - (j + 5)));
+    e.trap();
+  });
+  Machine plain(code);
+  StepResult rp = plain.run();
+
+  Machine cached(code);
+  DecodeCache cache;
+  StepResult rc;
+  for (int i = 0; i < 10000; ++i) {
+    rc = step(cached.mem, cached.cpu, &cache);
+    if (rc.kind != StepKind::kOk) break;
+  }
+  EXPECT_EQ(rc.kind, rp.kind);
+  EXPECT_EQ(cached.cpu.ip, plain.cpu.ip);
+  EXPECT_EQ(cached.cpu.regs, plain.cpu.regs);
+  EXPECT_GT(cache.hits(), 0u);  // the loop re-executed cached decodes
+}
+
+TEST(DecodeCache, PokedTrapObservedOnVeryNextStep) {
+  auto code = assemble([](Encoder& e) {
+    size_t top = e.offset();
+    e.add_ri(0, 1);
+    e.nop();
+    size_t j = e.branch(Op::kJmp, 0);
+    e.patch_rel32(j, static_cast<int32_t>(top - (j + 5)));
+  });
+  Machine m(code);
+  DecodeCache cache;
+  // Warm the cache through several loop iterations.
+  for (int i = 0; i < 30; ++i) {
+    ASSERT_EQ(step(m.mem, m.cpu, &cache).kind, StepKind::kOk);
+  }
+  ASSERT_GT(cache.hits(), 0u);
+
+  // Patch the instruction the cpu is about to execute (host poke, like the
+  // rewriter applying an int3 block). The very next step must trap — a
+  // stale cached decode here would execute the dead instruction.
+  uint8_t trap = 0xCC;
+  m.mem.poke(m.cpu.ip, &trap, 1);
+  StepResult r = step(m.mem, m.cpu, &cache);
+  EXPECT_EQ(r.kind, StepKind::kTrap);
+  EXPECT_EQ(r.fault_addr, m.cpu.ip);
+}
+
+TEST(DecodeCache, GuestSelfModifyObservedMidBlock) {
+  // The guest stores a TRAP byte over a later instruction of its own
+  // straight-line block; run_block must take the trap, not the stale decode.
+  std::vector<uint8_t> code;
+  Encoder e(code);
+  e.mov_ri(1, 0);        // r1 = store target (fixed up below)
+  e.mov_ri(2, 0xCC);     // r2 = TRAP byte
+  e.storeb(1, 0, 2);     // mem8[r1] = 0xCC  — patches `nop` below
+  e.nop();               // decoded before the store lands
+  size_t victim = e.offset();
+  e.nop();               // the store targets this byte
+  e.nop();
+  e.trap();
+  // Fix the store target now that the layout is known.
+  std::vector<uint8_t> fixed;
+  Encoder e2(fixed);
+  e2.mov_ri(1, 0x1000 + victim);
+  e2.mov_ri(2, 0xCC);
+  e2.storeb(1, 0, 2);
+  e2.nop();
+  e2.nop();
+  e2.nop();
+  e2.trap();
+
+  Machine m(fixed);
+  // Code page must be writable for the guest store.
+  m.mem.protect(0x1000, 0x1000, kProtRead | kProtWrite | kProtExec);
+  DecodeCache cache;
+  uint64_t retired = 0;
+  StepResult r = run_block(m.mem, m.cpu, &cache, 10000, retired);
+  EXPECT_EQ(r.kind, StepKind::kTrap);
+  EXPECT_EQ(r.fault_addr, 0x1000u + victim);
+  EXPECT_EQ(retired, 5u);  // movri, movri, storeb, nop, trap-attempt
+}
+
+TEST(DecodeCache, RunBlockStopsAtTerminatorAndBudget) {
+  auto code = assemble([](Encoder& e) {
+    e.mov_ri(1, 1);
+    e.add_rr(1, 1);
+    size_t j = e.branch(Op::kJmp, 0);
+    e.patch_rel32(j, 0);  // fall through to next instruction
+    e.nop();
+    e.trap();
+  });
+  Machine m(code);
+  DecodeCache cache;
+  uint64_t retired = 0;
+  StepResult r = run_block(m.mem, m.cpu, &cache, 10000, retired);
+  EXPECT_EQ(r.kind, StepKind::kOk);
+  EXPECT_TRUE(r.block_end);  // stopped at the jmp terminator
+  EXPECT_EQ(retired, 3u);
+
+  // Budget smaller than the block: stops mid-block with exact accounting.
+  Machine m2(code);
+  DecodeCache cache2;
+  retired = 0;
+  r = run_block(m2.mem, m2.cpu, &cache2, 2, retired);
+  EXPECT_EQ(r.kind, StepKind::kOk);
+  EXPECT_FALSE(r.block_end);
+  EXPECT_EQ(retired, 2u);
+}
+
+TEST(DecodeCache, InstructionStraddlingPageBoundary) {
+  // Place a 10-byte mov_ri so it crosses the 0x1000/0x2000 page edge; the
+  // cache must execute it correctly via the uncached path.
+  std::vector<uint8_t> prefix;
+  Encoder e(prefix);
+  while (prefix.size() < kPageSize - 5) e.nop();
+  size_t mov_at = e.offset();
+  e.mov_ri(7, 0x1122334455667788ull);  // bytes [kPageSize-5, kPageSize+5)
+  e.trap();
+
+  AddressSpace mem;
+  mem.map(0x1000, page_ceil(prefix.size()), kProtRead | kProtExec, "code");
+  mem.poke(0x1000, prefix.data(), prefix.size());
+  Cpu cpu;
+  cpu.ip = 0x1000;
+  DecodeCache cache;
+  uint64_t retired = 0;
+  StepResult r = run_block(mem, cpu, &cache, 2 * kPageSize, retired);
+  ASSERT_EQ(r.kind, StepKind::kTrap);
+  EXPECT_EQ(cpu.regs[7], 0x1122334455667788ull);
+  EXPECT_EQ(r.fault_addr, 0x1000 + mov_at + 10);
+}
+
+TEST(DecodeCache, CopyAssignedAddressSpaceInvalidatesByAsid) {
+  auto code = assemble([](Encoder& e) {
+    e.add_ri(0, 1);
+    e.trap();
+  });
+  Machine m(code);
+  DecodeCache cache;
+  ASSERT_EQ(step(m.mem, m.cpu, &cache).kind, StepKind::kOk);
+  ASSERT_GT(cache.cached_pages(), 0u);
+
+  // Rebuild the address space via copy-assign (what checkpoint restore
+  // does): the fresh asid must force the cache to drop everything.
+  AddressSpace rebuilt;
+  rebuilt.map(0x1000, 0x1000, kProtRead | kProtExec, "code2");
+  uint8_t trap = 0xCC;
+  rebuilt.poke(0x1000, &trap, 1);
+  m.mem = rebuilt;
+  m.cpu.ip = 0x1000;
+  StepResult r = step(m.mem, m.cpu, &cache);
+  EXPECT_EQ(r.kind, StepKind::kTrap);
+}
+
 }  // namespace
 }  // namespace dynacut::vm
