@@ -99,6 +99,23 @@ int main() {
   std::printf("before:   B -> %s", ask("B\n").c_str());
 
   core::DynaCut dc(vos, pid);
+
+  // Customizations are transactional: if anything fails mid-flight (here a
+  // deliberately injected fault in the library-injection step), the whole
+  // group rolls back untouched and a CustomizeError names the failing pid
+  // and stage. The server keeps running on the same connection.
+  core::FaultPlan fault =
+      core::FaultPlan::fail_at(core::FaultStage::kInject, 0);
+  dc.set_fault_plan(&fault);
+  try {
+    dc.disable_feature(feature_b, core::RemovalPolicy::kBlockFirstByte,
+                       core::TrapPolicy::kRedirect);
+  } catch (const core::CustomizeError& e) {
+    std::printf("aborted:  %s\n", e.what());
+    std::printf("          B -> %s", ask("B\n").c_str());  // still "beta"
+  }
+  dc.set_fault_plan(nullptr);
+
   core::CustomizeReport rep = dc.disable_feature(
       feature_b, core::RemovalPolicy::kBlockFirstByte,
       core::TrapPolicy::kRedirect);

@@ -89,6 +89,41 @@ bool DynaCut::feature_disabled(const std::string& name) const {
   return applied_.count(name) != 0;
 }
 
+std::vector<int> DynaCut::live_pids(const PerPidEdits* subset) const {
+  std::vector<int> out;
+  for (int pid : os_.process_group(root_pid_)) {
+    if (subset != nullptr && subset->count(pid) == 0) continue;
+    const os::Process* proc = os_.process(pid);
+    if (proc != nullptr && proc->state != os::Process::State::kExited) {
+      out.push_back(pid);
+    }
+  }
+  return out;
+}
+
+void DynaCut::stage_or_rollback(GroupTxn& txn, const std::string& feature,
+                                const std::vector<int>& pids,
+                                FaultStage& stage,
+                                const std::function<void(int)>& body) {
+  int cur_pid = root_pid_;
+  try {
+    for (int pid : pids) {
+      cur_pid = pid;
+      stage = FaultStage::kCheckpoint;
+      body(pid);
+    }
+  } catch (const InjectedFault& f) {
+    txn.abort();
+    throw CustomizeError(feature, f.stage(), cur_pid, f.what());
+  } catch (const CustomizeError&) {
+    txn.abort();
+    throw;
+  } catch (const Error& e) {
+    txn.abort();
+    throw CustomizeError(feature, stage, cur_pid, e.what());
+  }
+}
+
 CustomizeReport DynaCut::apply(const std::string& feature_name,
                                const std::vector<analysis::CovBlock>& blocks,
                                RemovalPolicy removal, TrapPolicy trap_policy,
@@ -99,18 +134,20 @@ CustomizeReport DynaCut::apply(const std::string& feature_name,
 
   CustomizeReport report;
   PerPidEdits per_pid;
+  std::vector<int> pids = live_pids();
 
-  for (int pid : os_.process_group(root_pid_)) {
-    const os::Process* proc = os_.process(pid);
-    if (proc == nullptr || proc->state == os::Process::State::kExited) {
-      continue;
-    }
-
-    image::ProcessImage img = image::checkpoint(os_, pid);
+  // Stage phase: freeze the whole group, checkpoint every process and
+  // rewrite every image. No live process is touched yet, so any failure
+  // aborts back to the untouched running group.
+  GroupTxn txn(os_, pids, store_);
+  FaultStage stage = FaultStage::kCheckpoint;
+  stage_or_rollback(txn, feature_name, pids, stage, [&](int pid) {
+    image::ProcessImage img = txn.dump(pid, faults_);
     report.timing.checkpoint_ns += model_.checkpoint_cost(img.pages.size());
     report.image_pages += img.pages.size();
 
-    rw::ImageRewriter rewriter(img);
+    stage = FaultStage::kRewrite;
+    rw::ImageRewriter rewriter(img, faults_);
     std::vector<AppliedEdit> edits;
     std::vector<std::pair<uint64_t, uint8_t>> originals;
     size_t patched_before = report.blocks_patched;
@@ -118,6 +155,7 @@ CustomizeReport DynaCut::apply(const std::string& feature_name,
     remove_blocks(rewriter, img, blocks, removal, edits, originals, report);
 
     if (!edits.empty()) {
+      stage = FaultStage::kInject;
       if (trap_policy == TrapPolicy::kRedirect) {
         install_redirects(rewriter, img, blocks, redirect_module,
                           redirect_offset, report);
@@ -129,16 +167,28 @@ CustomizeReport DynaCut::apply(const std::string& feature_name,
         model_.patch_cost(report.blocks_patched - patched_before,
                           report.pages_unmapped - unmapped_before);
 
-    // Persist the rewritten image (tmpfs) and restore from it.
-    store_.put(img.core.proc_name + "." + std::to_string(pid), img);
-    image::restore(os_, pid, img);
-    report.timing.restore_ns += model_.restore_cost(img.pages.size());
-
+    txn.stage(pid, std::move(img));
     per_pid[pid] = std::move(edits);
     ++report.processes;
+  });
+
+  // Commit phase: persist + restore every staged image; a failure here
+  // rolls the group back to the pristine images and throws CustomizeError.
+  txn.commit(feature_name, faults_, [&](const image::ProcessImage& img) {
+    report.timing.restore_ns += model_.restore_cost(img.pages.size());
+  });
+
+  // Record the edits only after commit, merging with any earlier rounds of
+  // the same feature (remove_init_code can trim repeatedly): replacing the
+  // record wholesale would leak the earlier rounds' stashed original bytes
+  // and leave the feature only partially restorable.
+  PerPidEdits& dst = applied_[feature_name];
+  for (auto& [pid, edits] : per_pid) {
+    auto& vec = dst[pid];
+    vec.insert(vec.end(), std::make_move_iterator(edits.begin()),
+               std::make_move_iterator(edits.end()));
   }
 
-  applied_[feature_name] = std::move(per_pid);
   os_.advance_clock(report.timing.total_ns());
   log_info("disabled '" + feature_name + "': " +
            std::to_string(report.blocks_patched) + " blocks patched, " +
@@ -308,15 +358,27 @@ void DynaCut::install_verifier(
     rw::ImageRewriter& rewriter, image::ProcessImage& img,
     const std::vector<std::pair<uint64_t, uint8_t>>& originals,
     CustomizeReport& report) {
-  size_t relocs_before = rewriter.relocs_applied();
-  rewriter.inject_library(
-      build_verifier_lib(originals.size(), /*log_capacity=*/1024));
-  report.timing.inject_ns +=
-      model_.inject_cost(rewriter.relocs_applied() - relocs_before);
+  // Inject once; a second verify-mode feature merges its originals into
+  // the existing table (mirrors the redirect path). The capacity headroom
+  // at first injection is what makes later merges possible.
+  if (img.module_named(kVerifyLibName) == nullptr) {
+    size_t relocs_before = rewriter.relocs_applied();
+    rewriter.inject_library(build_verifier_lib(
+        std::max<size_t>(originals.size(), 256), /*log_capacity=*/1024));
+    report.timing.inject_ns +=
+        model_.inject_cost(rewriter.relocs_applied() - relocs_before);
+  }
 
   uint64_t count_addr = rewriter.symbol_addr(kVerifyLibName, "orig_count");
   uint64_t table_addr = rewriter.symbol_addr(kVerifyLibName, "orig_table");
-  uint64_t n = 0;
+  const melf::Symbol* table_sym =
+      img.module_named(kVerifyLibName)->binary->find_symbol("orig_table");
+  uint64_t capacity = table_sym->size / 16;
+
+  uint64_t n = img.read_u64(count_addr);
+  if (n + originals.size() > capacity) {
+    throw StateError("verifier orig-table overflow");
+  }
   for (const auto& [addr, byte] : originals) {
     img.write_u64(table_addr + n * 16, addr);
     img.write_u64(table_addr + n * 16 + 8, byte);
@@ -340,16 +402,20 @@ CustomizeReport DynaCut::restore_feature(const std::string& name) {
   }
 
   CustomizeReport report;
-  for (auto& [pid, edits] : it->second) {
-    const os::Process* proc = os_.process(pid);
-    if (proc == nullptr || proc->state == os::Process::State::kExited) {
-      continue;
-    }
-    image::ProcessImage img = image::checkpoint(os_, pid);
+  std::vector<int> pids = live_pids(&it->second);
+
+  GroupTxn txn(os_, pids, store_);
+  FaultStage stage = FaultStage::kCheckpoint;
+  stage_or_rollback(txn, name, pids, stage, [&](int pid) {
+    image::ProcessImage img = txn.dump(pid, faults_);
     report.timing.checkpoint_ns += model_.checkpoint_cost(img.pages.size());
     report.image_pages += img.pages.size();
 
-    rw::ImageRewriter rewriter(img);
+    stage = FaultStage::kRewrite;
+    rw::ImageRewriter rewriter(img, faults_);
+    const std::vector<AppliedEdit>& edits = it->second.at(pid);
+    size_t patched_before = report.blocks_patched;
+    size_t unmapped_before = report.pages_unmapped;
     for (auto e = edits.rbegin(); e != edits.rend(); ++e) {
       if (e->unmapped) {
         img.add_vma(e->patch.vaddr, e->patch.original.size(), e->vma_prot,
@@ -361,14 +427,19 @@ CustomizeReport DynaCut::restore_feature(const std::string& name) {
         ++report.blocks_patched;
       }
     }
-    report.timing.code_update_ns += model_.patch_cost(
-        report.blocks_patched, report.pages_unmapped);
+    // Charge the per-pid delta, not the running totals: cumulative counts
+    // would over-charge code_update_ns for every process after the first.
+    report.timing.code_update_ns +=
+        model_.patch_cost(report.blocks_patched - patched_before,
+                          report.pages_unmapped - unmapped_before);
 
-    store_.put(img.core.proc_name + "." + std::to_string(pid), img);
-    image::restore(os_, pid, img);
-    report.timing.restore_ns += model_.restore_cost(img.pages.size());
+    txn.stage(pid, std::move(img));
     ++report.processes;
-  }
+  });
+
+  txn.commit(name, faults_, [&](const image::ProcessImage& img) {
+    report.timing.restore_ns += model_.restore_cost(img.pages.size());
+  });
 
   applied_.erase(it);
   os_.advance_clock(report.timing.total_ns());

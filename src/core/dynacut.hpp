@@ -12,6 +12,13 @@
 // that charge is the paper's "service interruption time". All code edits
 // keep undo records, so features can be re-enabled at any time
 // (bidirectional customization).
+//
+// Every customization is transactional across the whole process group
+// (core/txn.hpp): the group is frozen, every image checkpointed and
+// rewritten (stage), and only then are the rewritten images restored
+// (commit). A failure at any point rolls the group back to its pristine
+// images and throws CustomizeError — no process is ever left running a
+// partially customized group.
 #pragma once
 
 #include <cstdint>
@@ -23,6 +30,7 @@
 #include "analysis/coverage.hpp"
 #include "analysis/cutcheck/checker.hpp"
 #include "core/cost_model.hpp"
+#include "core/txn.hpp"
 #include "image/checkpoint.hpp"
 #include "image/image.hpp"
 #include "os/os.hpp"
@@ -77,21 +85,34 @@ class DynaCut {
   void set_check_mode(CheckMode mode) { check_mode_ = mode; }
   CheckMode check_mode() const { return check_mode_; }
 
+  /// Installs a deterministic fault-injection plan (non-owning; pass
+  /// nullptr to clear). Every subsequent customization threads it through
+  /// checkpoint, image rewriting, library injection and restore — the hook
+  /// tests/txn_test.cpp uses to prove group-atomicity under every failure
+  /// point.
+  void set_fault_plan(FaultPlan* plan) { faults_ = plan; }
+  FaultPlan* fault_plan() const { return faults_; }
+
   /// Runs the cutcheck verifier on a feature without touching any process —
   /// the same plans and rules apply() uses, exposed for tooling and benches.
   analysis::cutcheck::CheckReport preflight(const FeatureSpec& spec,
                                             RemovalPolicy removal,
                                             TrapPolicy trap_policy) const;
 
-  /// Disables a feature across every process of the group. Throws
-  /// StateError on policy violations (e.g. kRedirect with no block in the
+  /// Disables a feature across every process of the group, atomically:
+  /// either every process ends up customized or (on any failure) every
+  /// process is rolled back untouched and CustomizeError is thrown naming
+  /// the failing pid and stage. Throws StateError on policy violations
+  /// before any process is touched (e.g. kRedirect with no block in the
   /// error handler's function, kVerify without kBlockFirstByte).
   CustomizeReport disable_feature(const FeatureSpec& spec,
                                   RemovalPolicy removal,
                                   TrapPolicy trap_policy);
 
   /// Re-enables a previously disabled feature (restores bytes, re-maps
-  /// unmapped ranges from the original binary).
+  /// unmapped ranges from the original binary). Transactional like
+  /// disable_feature: an aborted restore leaves the feature fully disabled
+  /// and every process untouched.
   CustomizeReport restore_feature(const std::string& name);
 
   /// Drops initialization-only code (from analysis::init_only). Removed
@@ -124,6 +145,17 @@ class DynaCut {
                         RemovalPolicy removal, TrapPolicy trap_policy,
                         const std::string& redirect_module,
                         uint64_t redirect_offset);
+
+  /// Live (non-exited) pids of the managed group, restricted to `subset`
+  /// keys when given (restore_feature only touches recorded pids).
+  std::vector<int> live_pids(const PerPidEdits* subset = nullptr) const;
+
+  /// Wraps a staging loop: runs `body` per pid, converting any failure into
+  /// CustomizeError(feature, stage, pid) after aborting `txn`. `body` must
+  /// update `stage` as it crosses stage boundaries.
+  void stage_or_rollback(GroupTxn& txn, const std::string& feature,
+                         const std::vector<int>& pids, FaultStage& stage,
+                         const std::function<void(int)>& body);
 
   /// The cutcheck gate at the top of apply(): extracts per-module plans
   /// from the root process's loaded modules, runs the verifier and acts on
@@ -162,6 +194,7 @@ class DynaCut {
   int root_pid_;
   CostModel model_;
   CheckMode check_mode_ = CheckMode::kEnforce;
+  FaultPlan* faults_ = nullptr;
   image::ImageStore store_;
   std::map<std::string, PerPidEdits> applied_;
 };

@@ -1,0 +1,89 @@
+#include "core/txn.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "image/checkpoint.hpp"
+
+namespace dynacut::core {
+
+namespace {
+
+std::string image_key(const image::ProcessImage& img, int pid) {
+  return img.core.proc_name + "." + std::to_string(pid);
+}
+
+}  // namespace
+
+GroupTxn::GroupTxn(os::Os& os, std::vector<int> pids,
+                   image::ImageStore& store)
+    : os_(os), store_(store), pids_(std::move(pids)) {
+  os_.freeze_group(pids_);
+}
+
+GroupTxn::~GroupTxn() { abort(); }
+
+GroupTxn::Entry* GroupTxn::entry(int pid) {
+  for (auto& e : entries_) {
+    if (e.pid == pid) return &e;
+  }
+  return nullptr;
+}
+
+image::ProcessImage GroupTxn::dump(int pid, FaultPlan* faults) {
+  DYNACUT_ASSERT(!finished_ && entry(pid) == nullptr);
+  image::ProcessImage img = image::checkpoint(os_, pid, faults);
+  store_.put(image_key(img, pid) + ".pre", img);
+  entries_.push_back(Entry{pid, img, std::nullopt});
+  return img;
+}
+
+void GroupTxn::stage(int pid, image::ProcessImage img) {
+  Entry* e = entry(pid);
+  DYNACUT_ASSERT(e != nullptr && !e->staged.has_value());
+  e->staged = std::move(img);
+}
+
+void GroupTxn::commit(
+    const std::string& feature, FaultPlan* faults,
+    const std::function<void(const image::ProcessImage&)>& on_restored) {
+  DYNACUT_ASSERT(!finished_);
+  size_t restored = 0;
+  try {
+    for (auto& e : entries_) {
+      DYNACUT_ASSERT(e.staged.has_value());
+      store_.put(image_key(*e.staged, e.pid), *e.staged);
+      image::restore(os_, e.pid, *e.staged, faults);
+      if (on_restored) on_restored(*e.staged);
+      ++restored;
+    }
+  } catch (const Error& err) {
+    int pid = restored < entries_.size() ? entries_[restored].pid : -1;
+    rollback(restored);
+    finished_ = true;
+    throw CustomizeError(feature, FaultStage::kRestore, pid, err.what());
+  }
+  finished_ = true;
+}
+
+void GroupTxn::rollback(size_t restored) {
+  log_warn("customize rollback: re-staging " + std::to_string(restored) +
+           " restored process(es) from pristine images");
+  for (auto& e : entries_) {
+    os::Process* p = os_.process(e.pid);
+    if (p == nullptr || p->state == os::Process::State::kExited) continue;
+    if (p->state != os::Process::State::kFrozen) os_.freeze(e.pid);
+    // No fault plan here: rollback must not itself be injectable, or an
+    // aborted customization could be made to strand the group.
+    image::restore(os_, e.pid, e.pristine, nullptr);
+  }
+  // Pids frozen by the constructor but never dumped stay untouched; thaw.
+  os_.thaw_group(pids_);
+}
+
+void GroupTxn::abort() {
+  if (finished_) return;
+  os_.thaw_group(pids_);
+  finished_ = true;
+}
+
+}  // namespace dynacut::core

@@ -1,0 +1,121 @@
+// Transactional customization: the two-phase (stage/commit) protocol that
+// makes every DynaCut customization atomic across a whole process group.
+//
+// The paper's safety argument (§3.2) — rewriting happens on a frozen image
+// between dump and restore, so a process never observes half-edited code —
+// holds per process. GroupTxn extends it to the group:
+//
+//   stage phase   freeze *all* processes, checkpoint each one (the pristine
+//                 image is kept for rollback and filed in the tmpfs store
+//                 under "<name>.<pid>.pre"), rewrite each image. No live
+//                 process is touched; any failure aborts by thawing the
+//                 untouched group.
+//   commit phase  restore every staged image in order. If a restore fails,
+//                 the already-restored (patched) processes are re-frozen
+//                 and re-staged from their saved pristine images, so the
+//                 group comes back exactly as it was before the call.
+//
+// Failures surface as CustomizeError naming the feature, the failing stage
+// and the pid — the structured contract callers (and retry logic) key on.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/fault.hpp"
+#include "image/image.hpp"
+#include "os/os.hpp"
+
+namespace dynacut::core {
+
+using ::dynacut::FaultPlan;
+using ::dynacut::FaultStage;
+using ::dynacut::fault_stage_name;
+using ::dynacut::InjectedFault;
+using ::dynacut::kNumFaultStages;
+
+/// A customization failed part-way and was rolled back: no process of the
+/// group retains any of its edits. Derives from StateError so call sites
+/// that predate the transactional protocol keep catching what they caught.
+class CustomizeError : public StateError {
+ public:
+  CustomizeError(const std::string& feature, FaultStage stage, int pid,
+                 const std::string& why)
+      : StateError("customize '" + feature + "' failed at " +
+                   fault_stage_name(stage) + " of pid " +
+                   std::to_string(pid) + " (rolled back): " + why),
+        feature_(feature),
+        stage_(stage),
+        pid_(pid) {}
+
+  const std::string& feature() const { return feature_; }
+  FaultStage stage() const { return stage_; }
+  int pid() const { return pid_; }
+
+ private:
+  std::string feature_;
+  FaultStage stage_;
+  int pid_;
+};
+
+/// One stage/commit transaction over a fixed set of pids. Freezes the whole
+/// group on construction; the destructor aborts (thaw-back, no edits) if
+/// commit() was never reached.
+class GroupTxn {
+ public:
+  /// Freezes every pid (all-or-nothing). `store` receives the pristine
+  /// images at dump() time and the rewritten images at commit() time.
+  GroupTxn(os::Os& os, std::vector<int> pids, image::ImageStore& store);
+  ~GroupTxn();
+  GroupTxn(const GroupTxn&) = delete;
+  GroupTxn& operator=(const GroupTxn&) = delete;
+
+  const std::vector<int>& pids() const { return pids_; }
+
+  /// Checkpoints `pid` (already frozen by the constructor), keeps the
+  /// pristine image for rollback, files it under "<name>.<pid>.pre", and
+  /// returns a working copy for the rewriter.
+  image::ProcessImage dump(int pid, FaultPlan* faults);
+
+  /// Records the rewritten image to install for `pid` at commit time.
+  void stage(int pid, image::ProcessImage img);
+
+  /// Restores every staged image (in staging order) and thaws the group.
+  /// `on_restored` is invoked after each successful per-process restore
+  /// (cost-model accounting). On any failure the whole group is rolled
+  /// back to its pristine images and CustomizeError is thrown.
+  void commit(const std::string& feature, FaultPlan* faults,
+              const std::function<void(const image::ProcessImage&)>&
+                  on_restored = nullptr);
+
+  /// Aborts a transaction whose staging failed: thaws every process the
+  /// constructor froze. Memory was never touched (rewrites happen on
+  /// images), so thawing alone restores the pre-call world. Idempotent.
+  void abort();
+
+  bool finished() const { return finished_; }
+
+ private:
+  struct Entry {
+    int pid;
+    image::ProcessImage pristine;
+    std::optional<image::ProcessImage> staged;
+  };
+
+  Entry* entry(int pid);
+  /// Commit failed after `restored` processes were already running patched
+  /// code: re-freeze them and re-stage their pristine images; everything
+  /// not yet restored is still frozen and untouched, so re-stage those
+  /// pristine images too (covers a restore that died mid-installation).
+  void rollback(size_t restored);
+
+  os::Os& os_;
+  image::ImageStore& store_;
+  std::vector<int> pids_;
+  std::vector<Entry> entries_;
+  bool finished_ = false;
+};
+
+}  // namespace dynacut::core

@@ -39,10 +39,13 @@ vm::AddressSpace build_address_space(const ProcessImage& img) {
 
 }  // namespace
 
-ProcessImage checkpoint(os::Os& os, int pid) {
-  os.freeze(pid);
+ProcessImage checkpoint(os::Os& os, int pid, FaultPlan* faults) {
+  FaultPlan::fire(faults, FaultStage::kCheckpoint);
   os::Process* p = os.process(pid);
-  DYNACUT_ASSERT(p != nullptr);
+  if (p == nullptr || p->state == os::Process::State::kExited) {
+    throw StateError("checkpoint: no live process " + std::to_string(pid));
+  }
+  if (p->state != os::Process::State::kFrozen) os.freeze(pid);
 
   ProcessImage img;
   img.core.proc_name = p->name;
@@ -72,11 +75,13 @@ ProcessImage checkpoint(os::Os& os, int pid) {
   return img;
 }
 
-void restore(os::Os& os, int pid, const ProcessImage& img) {
+void restore(os::Os& os, int pid, const ProcessImage& img,
+             FaultPlan* faults) {
   os::Process* p = os.process(pid);
   if (p == nullptr || p->state != os::Process::State::kFrozen) {
     throw StateError("restore: process not frozen: " + std::to_string(pid));
   }
+  FaultPlan::fire(faults, FaultStage::kRestore);
 
   p->mem = build_address_space(img);
   // The whole address space was rebuilt: every decoded instruction the

@@ -4,19 +4,25 @@
 // connection survival.
 #pragma once
 
+#include "common/fault.hpp"
 #include "image/image.hpp"
 #include "os/os.hpp"
 
 namespace dynacut::image {
 
-/// Freezes `pid` and dumps its full state. The process stays frozen (and
-/// thus makes no progress) until restore() — that window is DynaCut's
-/// service-interruption time.
-ProcessImage checkpoint(os::Os& os, int pid);
+/// Freezes `pid` (a no-op if the group transaction already froze it) and
+/// dumps its full state. The process stays frozen (and thus makes no
+/// progress) until restore() — that window is DynaCut's
+/// service-interruption time. `faults` is the deterministic fault-injection
+/// hook (FaultStage::kCheckpoint fires before anything is touched).
+ProcessImage checkpoint(os::Os& os, int pid, FaultPlan* faults = nullptr);
 
 /// Replaces the frozen process's state with `img` and thaws it. Live socket
 /// objects referenced by the image's fd table are re-attached (TCP_REPAIR).
-void restore(os::Os& os, int pid, const ProcessImage& img);
+/// FaultStage::kRestore fires after validation but before any mutation, so
+/// an injected restore failure leaves the process frozen and untouched.
+void restore(os::Os& os, int pid, const ProcessImage& img,
+             FaultPlan* faults = nullptr);
 
 /// Restores an image as a brand-new process (e.g. booting from a stored
 /// post-init image instead of rerunning initialization). Listening sockets

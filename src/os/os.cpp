@@ -103,6 +103,23 @@ void Os::thaw(int pid) {
                  : Process::State::kBlocked;
 }
 
+void Os::freeze_group(const std::vector<int>& pids) {
+  size_t frozen = 0;
+  try {
+    for (; frozen < pids.size(); ++frozen) freeze(pids[frozen]);
+  } catch (...) {
+    for (size_t i = 0; i < frozen; ++i) thaw(pids[i]);
+    throw;
+  }
+}
+
+void Os::thaw_group(const std::vector<int>& pids) {
+  for (int pid : pids) {
+    Process* p = process(pid);
+    if (p != nullptr && p->state == Process::State::kFrozen) thaw(pid);
+  }
+}
+
 bool Os::all_exited() const {
   for (const auto& [pid, p] : procs_) {
     if (p->state != Process::State::kExited) return false;

@@ -74,6 +74,15 @@ class Os {
   void freeze(int pid);
   void thaw(int pid);
 
+  /// Freezes every pid in `pids` with the strong guarantee: if any freeze
+  /// fails (dead pid, already frozen), the ones frozen so far are thawed
+  /// back and the error rethrown. This is the stage window of DynaCut's
+  /// transactional customization — the whole group stops together.
+  void freeze_group(const std::vector<int>& pids);
+  /// Thaws every pid in `pids` that is currently frozen (exited or
+  /// already-thawed pids are skipped, so abort paths can call it blindly).
+  void thaw_group(const std::vector<int>& pids);
+
   // --- host networking -----------------------------------------------------
   /// Connects to a guest listener; throws StateError if no one listens.
   HostConn connect(uint16_t port);

@@ -23,6 +23,7 @@ void ImageRewriter::touch_pages(uint64_t vaddr, uint64_t size) {
 
 PatchRecord ImageRewriter::write_bytes(uint64_t vaddr,
                                        std::span<const uint8_t> bytes) {
+  FaultPlan::fire(faults_, FaultStage::kRewrite);
   PatchRecord rec;
   rec.vaddr = vaddr;
   rec.original = img_.read_bytes(vaddr, bytes.size());
@@ -43,6 +44,7 @@ PatchRecord ImageRewriter::wipe(uint64_t vaddr, uint64_t size) {
 }
 
 void ImageRewriter::undo(const PatchRecord& rec) {
+  FaultPlan::fire(faults_, FaultStage::kRewrite);
   img_.write_bytes(rec.vaddr, rec.original);
   // An undo is not a new customization: it must not inflate bytes_patched
   // (the cost model would double-charge every patch/undo cycle).
@@ -51,6 +53,7 @@ void ImageRewriter::undo(const PatchRecord& rec) {
 }
 
 void ImageRewriter::unmap_pages(uint64_t vaddr, uint64_t size) {
+  FaultPlan::fire(faults_, FaultStage::kRewrite);
   uint64_t start = page_floor(vaddr);
   uint64_t end = page_ceil(vaddr + size);
   img_.drop_range(start, end - start);
@@ -85,6 +88,7 @@ void ImageRewriter::set_sigaction(int signo, uint64_t handler,
 
 uint64_t ImageRewriter::inject_library(
     std::shared_ptr<const melf::Binary> lib, uint64_t base) {
+  FaultPlan::fire(faults_, FaultStage::kInject);
   if (img_.module_named(lib->name) != nullptr) {
     throw StateError("inject_library: module already present: " + lib->name);
   }

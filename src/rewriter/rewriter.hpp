@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "analysis/cutcheck/plan.hpp"
+#include "common/fault.hpp"
 #include "image/image.hpp"
 #include "melf/binary.hpp"
 
@@ -57,7 +58,12 @@ struct PatchRecord {
 
 class ImageRewriter {
  public:
-  explicit ImageRewriter(image::ProcessImage& img) : img_(img) {}
+  /// `faults` is the deterministic fault-injection hook: every code edit
+  /// (patch/wipe/undo/unmap) fires FaultStage::kRewrite before mutating the
+  /// image, and inject_library fires FaultStage::kInject — each *before*
+  /// its mutation, so an injected failure leaves the image consistent.
+  explicit ImageRewriter(image::ProcessImage& img, FaultPlan* faults = nullptr)
+      : img_(img), faults_(faults) {}
 
   // --- raw memory edits -------------------------------------------------
   /// Patches bytes and returns an undo record.
@@ -115,6 +121,7 @@ class ImageRewriter {
   void touch_pages(uint64_t vaddr, uint64_t size);
 
   image::ProcessImage& img_;
+  FaultPlan* faults_ = nullptr;
   size_t bytes_patched_ = 0;
   size_t bytes_restored_ = 0;
   std::set<uint64_t> touched_pages_;
