@@ -86,8 +86,8 @@ Row run_policy(const char* name, core::RemovalPolicy removal,
   core::DynaCut dc(vos, pid);
   // The same verification apply() performs in enforce mode, kept visible so
   // the ablation also contrasts what the linter says about each policy.
-  row.check = dc.preflight(spec, removal, trap);
-  row.rep = dc.disable_feature(spec, removal, trap);
+  row.check = dc.preflight({spec, removal, trap});
+  row.rep = dc.disable_feature({spec, removal, trap});
   row.gadgets_in_feature = feature_gadgets(vos, pid, spec.blocks);
 
   if (trap == core::TrapPolicy::kRedirect) {
@@ -139,7 +139,7 @@ int main() {
               "restore", "cc_err", "cc_warn", "gadget_d");
   for (const auto& r : rows) {
     std::printf("%-16s %10zu %9zu %10.3f %14llu %9s %9s %6zu %7zu %8lld\n",
-                r.name, r.rep.blocks_patched, r.rep.pages_unmapped,
+                r.name, r.rep.edits.blocks_patched, r.rep.edits.pages_unmapped,
                 r.rep.timing.total_seconds(),
                 (unsigned long long)r.gadgets_in_feature,
                 r.blocked_ok ? "yes" : "NO", r.restored_ok ? "yes" : "NO",

@@ -18,27 +18,14 @@
 #include "baselines/razor.hpp"
 #include "bench_common.hpp"
 #include "core/dynacut.hpp"
+#include "obs/bus.hpp"
+#include "obs/probes.hpp"
+#include "obs/timeline.hpp"
 
 namespace {
 
 using namespace dynacut;
 using bench::run_until;
-
-double live_pct(const os::Os& vos, int pid, const std::string& module,
-                const analysis::StaticCfg& cfg) {
-  const os::Process* p = vos.process(pid);
-  if (p == nullptr || p->state == os::Process::State::kExited) return 0.0;
-  const os::LoadedModule* m = p->module_named(module);
-  size_t live = 0;
-  for (const auto& [off, blk] : cfg.blocks) {
-    uint64_t addr = m->base + off;
-    uint8_t byte = 0;
-    if (!p->mem.read(addr, &byte, 1, kProtExec).ok) continue;  // unmapped
-    if (byte != 0xCC) ++live;
-  }
-  return 100.0 * static_cast<double>(live) /
-         static_cast<double>(cfg.block_count());
-}
 
 }  // namespace
 
@@ -113,26 +100,39 @@ int main() {
   // --- the live DynaCut timeline -------------------------------------------
   os::Os vos;
   int pid = vos.spawn(bin, {apps::build_libc()});
+
+  // The live-BB metric is pulled through the obs timeline recorder: the
+  // standard probe scans the worker's real memory, and the disabled-feature
+  // set rides on each sample straight from committed bus events.
+  obs::EventBus bus;
+  obs::TimelineRecorder recorder(bus);
+  recorder.set_live_probe(obs::make_live_bb_probe(vos, pid, module, cfg));
+  vos.set_event_bus(&bus);
+
   core::DynaCut dc(vos, pid);
-  dc.disable_feature(unwanted, core::RemovalPolicy::kBlockFirstByte,
-                     core::TrapPolicy::kTerminate);  // launch-time trim
+  dc.set_observer(&bus);
+  dc.disable_feature({.feature = unwanted,
+                      .removal = core::RemovalPolicy::kBlockFirstByte,
+                      .trap = core::TrapPolicy::kTerminate,
+                      .label = "never-needed"});  // launch-time trim
   run_until(vos, [&] { return vos.has_listener(apps::kMinihttpdPort); });
   auto conn = vos.connect(apps::kMinihttpdPort);
 
   std::vector<double> dyna(13, 0.0);
   std::vector<std::string> events(13);
 
-  dyna[0] = dyna[1] = live_pct(vos, pid, module, cfg);
+  dyna[0] = dyna[1] = recorder.sample().live_pct;
   events[1] = "boot + launch trim";
   bench::request(vos, conn, "GET /index\n");
 
   dc.remove_init_code(init_only, core::RemovalPolicy::kWipeBlocks);
-  dc.disable_feature(putdel, core::RemovalPolicy::kBlockFirstByte,
-                     core::TrapPolicy::kRedirect);
+  dc.disable_feature({.feature = putdel,
+                      .removal = core::RemovalPolicy::kBlockFirstByte,
+                      .trap = core::TrapPolicy::kRedirect});
   events[2] = "finish initialization (init code removed, PUT/DELETE off)";
   for (int t = 2; t < 8; ++t) {
     bench::request(vos, conn, "GET /index\n");
-    dyna[t] = live_pct(vos, pid, module, cfg);
+    dyna[t] = recorder.sample().live_pct;
   }
   // A disabled PUT answers 403 through the redirect handler.
   std::string blocked = bench::request(vos, conn, "PUT /f x\n");
@@ -140,17 +140,18 @@ int main() {
   dc.restore_feature("PUT/DELETE");
   events[8] = "enable HTTP PUT/DELETE (admin window)";
   std::string put_ok = bench::request(vos, conn, "PUT /f data\n");
-  dyna[8] = live_pct(vos, pid, module, cfg);
+  dyna[8] = recorder.sample().live_pct;
 
-  dc.disable_feature(putdel, core::RemovalPolicy::kBlockFirstByte,
-                     core::TrapPolicy::kRedirect);
+  dc.disable_feature({.feature = putdel,
+                      .removal = core::RemovalPolicy::kBlockFirstByte,
+                      .trap = core::TrapPolicy::kRedirect});
   events[9] = "PUT/DELETE disabled again";
   for (int t = 9; t < 12; ++t) {
     bench::request(vos, conn, "GET /index\n");
-    dyna[t] = live_pct(vos, pid, module, cfg);
+    dyna[t] = recorder.sample().live_pct;
   }
   vos.kill(pid);
-  dyna[12] = 0.0;
+  dyna[12] = recorder.sample().live_pct;  // exited process scores 0
   events[12] = "terminate program";
 
   std::printf("\n%4s %10s %10s %10s   %s\n", "t", "DynaCut%", "RAZOR%",
@@ -174,5 +175,9 @@ int main() {
       "Shape checks: DynaCut stays below both static baselines in every\n"
       "phase after initialization and adapts per phase; the baselines are\n"
       "flat lines — as in the paper.\n");
+  std::printf(
+      "obs timeline: %zu toggles, %zu live-BB samples recorded from bus "
+      "events\n",
+      recorder.toggles().size(), recorder.samples().size());
   return 0;
 }

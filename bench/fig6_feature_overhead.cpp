@@ -57,9 +57,9 @@ Row customize(const std::string& label,
   core::DynaCut dc(vos, pid);
   Row row;
   row.label = label;
-  row.rep = dc.disable_feature(spec, core::RemovalPolicy::kBlockFirstByte,
-                               core::TrapPolicy::kRedirect);
-  row.image_mb = bench::mb(row.rep.image_pages * kPageSize);
+  row.rep = dc.disable_feature({spec, core::RemovalPolicy::kBlockFirstByte,
+                               core::TrapPolicy::kRedirect});
+  row.image_mb = bench::mb(row.rep.edits.image_pages * kPageSize);
   row.paper_total_s = paper_total_s;
 
   // Functional check: the blocked feature now answers via the error path.
@@ -111,7 +111,7 @@ int main() {
     std::printf(
         "%-22s %9.2f %7zu %12.3f %11.3f %9.3f %9.3f %8.3f %8.3f %8.3f "
         "%12.3f\n",
-        r.label.c_str(), r.image_mb, r.rep.processes,
+        r.label.c_str(), r.image_mb, r.rep.edits.processes,
         t.inject_ns / 1e9, t.code_update_ns / 1e9, t.checkpoint_ns / 1e9,
         t.restore_ns / 1e9, stage_s, commit_s, t.total_seconds(),
         r.paper_total_s);

@@ -50,7 +50,7 @@ Row server_row(const std::string& label,
   Row row;
   row.label = label;
   row.code_kb = bench::kb(bench::text_bytes(*bin));
-  row.image_mb = bench::mb(rep.image_pages * kPageSize / rep.processes);
+  row.image_mb = bench::mb(rep.edits.image_pages * kPageSize / rep.edits.processes);
   row.init_blocks = init_only.size();
   row.timing = rep.timing;
   row.paper_code_kb = paper_code_kb;
@@ -91,7 +91,7 @@ Row spec_row(const apps::SpecBench& bench_def) {
   Row row;
   row.label = bench_def.name;
   row.code_kb = bench::kb(bench::text_bytes(*bin));
-  row.image_mb = bench::mb(rep.image_pages * kPageSize);
+  row.image_mb = bench::mb(rep.edits.image_pages * kPageSize);
   row.init_blocks = init_only.size();
   row.timing = rep.timing;
   row.paper_code_kb = bench_def.paper_code_size_kb;

@@ -12,6 +12,8 @@
 #include "apps/minikv.hpp"
 #include "bench_common.hpp"
 #include "core/dynacut.hpp"
+#include "obs/bus.hpp"
+#include "obs/timeline.hpp"
 
 namespace {
 
@@ -27,6 +29,10 @@ struct Timeline {
   std::vector<double> kreq_per_s;
   core::TimingBreakdown disable_timing;
   core::TimingBreakdown reenable_timing;
+  /// Toggle markers as observed on the event bus (not scripted): the
+  /// TimelineRecorder derives them from committed txn.commit events.
+  std::vector<obs::TimelineRecorder::Toggle> toggles;
+  uint64_t start = 0;
 };
 
 uint64_t read_ops(const os::Os& vos, int client) {
@@ -68,15 +74,24 @@ Timeline run_timeline(bool with_dynacut) {
     set_spec.redirect_offset = kv->find_symbol("dispatch_err")->value;
   }
 
+  // The toggle timeline is consumed from the obs layer, not kept by hand:
+  // the recorder sees only committed customizations.
+  obs::EventBus bus;
+  obs::TimelineRecorder recorder(bus);
+  vos.set_event_bus(&bus);
+
   core::DynaCut dc(vos, server);
+  dc.set_observer(&bus);
   Timeline out;
   uint64_t prev_ops = 0;
   const uint64_t start = vos.now();
+  out.start = start;
   for (int t = 0; t < kSeconds; ++t) {
     if (with_dynacut && t == kDisableAt) {
       out.disable_timing =
-          dc.disable_feature(set_spec, core::RemovalPolicy::kBlockFirstByte,
-                             core::TrapPolicy::kRedirect)
+          dc.disable_feature({.feature = set_spec,
+                              .removal = core::RemovalPolicy::kBlockFirstByte,
+                              .trap = core::TrapPolicy::kRedirect})
               .timing;
     }
     if (with_dynacut && t == kReenableAt) {
@@ -90,6 +105,7 @@ Timeline run_timeline(bool with_dynacut) {
     out.kreq_per_s.push_back(static_cast<double>(ops - prev_ops) / 1000.0);
     prev_ops = ops;
   }
+  out.toggles = recorder.toggles();
   return out;
 }
 
@@ -104,13 +120,21 @@ int main() {
   Timeline vanilla = run_timeline(false);
   Timeline dyna = run_timeline(true);
 
+  // Toggle markers come from the obs timeline, bucketed onto the virtual-
+  // second grid — the recorder observed the commits, nothing is scripted.
+  std::vector<std::string> markers(kSeconds);
+  for (const auto& tg : dyna.toggles) {
+    int bucket = static_cast<int>((tg.vclock - dyna.start) / kTick);
+    if (bucket < 0 || bucket >= kSeconds) continue;
+    markers[bucket] += "  <- ";
+    markers[bucket] += tg.disabled ? "disable " : "re-enable ";
+    markers[bucket] += tg.feature;
+  }
+
   std::printf("\n%6s %14s %14s\n", "t_s", "vanilla_kreq/s", "dynacut_kreq/s");
   for (int t = 0; t < kSeconds; ++t) {
-    const char* marker = t == kDisableAt    ? "  <- disable SET"
-                         : t == kReenableAt ? "  <- re-enable SET"
-                                            : "";
     std::printf("%6d %14.2f %14.2f%s\n", t, vanilla.kreq_per_s[t],
-                dyna.kreq_per_s[t], marker);
+                dyna.kreq_per_s[t], markers[t].c_str());
   }
 
   auto avg = [](const std::vector<double>& v, int from, int to) {
@@ -133,5 +157,20 @@ int main() {
   std::printf(
       "Shape checks: no termination, a sub-second dip at both rewrite\n"
       "points, and full recovery to the vanilla level — as in the paper.\n");
+
+  // The obs-derived toggle timeline must agree with the schedule the bench
+  // drove: one disable in the t=18 bucket, one re-enable in the t=48 bucket.
+  if (dyna.toggles.size() != 2 ||
+      static_cast<int>((dyna.toggles[0].vclock - dyna.start) / kTick) !=
+          kDisableAt ||
+      !dyna.toggles[0].disabled ||
+      static_cast<int>((dyna.toggles[1].vclock - dyna.start) / kTick) !=
+          kReenableAt ||
+      dyna.toggles[1].disabled) {
+    std::printf("FAIL: obs toggle timeline does not match the schedule\n");
+    return 1;
+  }
+  std::printf("obs timeline: %zu toggles, buckets match the schedule\n",
+              dyna.toggles.size());
   return 0;
 }

@@ -1,0 +1,234 @@
+// Observability smoke (CI gate): drives a full customization scenario —
+// disable, trap hits, restore, and a fault-injected abort — with the obs
+// layer attached, then checks the event-trace contract end to end:
+//
+//   * every JSONL line the sink wrote is valid JSON (RFC 8259 grammar),
+//   * every customization is bracketed by exactly one txn.commit, or by
+//     txn.abort + txn.rollback with all staged events retracted,
+//   * an aborted customization leaks no rewrite.*/checkpoint.* events to
+//     sinks and charges no success counters,
+//   * the registry snapshot is valid JSON.
+//
+// Writes the combined trace + metrics to BENCH_obs.json (or --out=PATH).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/coverage.hpp"
+#include "bench_common.hpp"
+#include "core/dynacut.hpp"
+#include "core/txn.hpp"
+#include "melf/builder.hpp"
+#include "obs/bus.hpp"
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+#include "obs/sinks.hpp"
+#include "obs/timeline.hpp"
+
+namespace {
+
+using namespace dynacut;
+using core::CustomizeError;
+using core::DynaCut;
+using core::FaultPlan;
+using core::FaultStage;
+using core::FeatureSpec;
+using core::RemovalPolicy;
+using core::TrapPolicy;
+
+/// A two-process guest whose workers call feat() in a loop, so a disabled
+/// feature actually takes trap hits.
+std::shared_ptr<const melf::Binary> guest() {
+  static std::shared_ptr<const melf::Binary> bin = [] {
+    namespace sys = os::sys;
+    melf::ProgramBuilder b("grp");
+    auto& f = b.func("feat");
+    for (int i = 0; i < 64; ++i) f.nop();
+    f.mov_ri(0, 7).ret();
+    f.label("err").mark("feat_err").mov_ri(0, 1).ret();
+    auto& m = b.func("main");
+    m.sys(sys::kFork);
+    m.label("loop")
+        .call("feat")
+        .mov_ri(1, 500)
+        .sys(sys::kNanosleep)
+        .jmp("loop");
+    b.set_entry("main");
+    return std::make_shared<melf::Binary>(b.link());
+  }();
+  return bin;
+}
+
+FeatureSpec feat_spec() {
+  auto bin = guest();
+  FeatureSpec s;
+  s.name = "feat";
+  s.blocks = {analysis::CovBlock{"grp", bin->find_symbol("feat")->value, 64}};
+  s.redirect_module = "grp";
+  s.redirect_offset = bin->find_symbol("feat_err")->value;
+  return s;
+}
+
+int failures = 0;
+
+void check(bool ok, const std::string& what) {
+  if (!ok) {
+    std::printf("!! FAIL: %s\n", what.c_str());
+    ++failures;
+  }
+}
+
+size_t count_prefix(const obs::RingBufferSink& ring, const char* prefix) {
+  size_t n = 0;
+  for (const auto& e : ring.events()) {
+    if (e.type.rfind(prefix, 0) == 0) ++n;
+  }
+  return n;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_obs.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+
+  bench::banner(
+      "obs smoke: event-trace contract over disable / trap / restore /\n"
+      "fault-injected abort (JSONL validity, txn bracketing, retraction)");
+
+  os::Os vos;
+  int pid = vos.spawn(guest());
+  vos.run(3000);
+
+  obs::EventBus bus;
+  obs::RingBufferSink ring;
+  std::ostringstream jsonl;
+  obs::JsonlSink jsonl_sink(jsonl);
+  obs::TimelineRecorder recorder(bus);
+  bus.add_sink(&ring);
+  bus.add_sink(&jsonl_sink);
+  vos.set_event_bus(&bus);
+
+  obs::Registry reg;
+  DynaCut dc(vos, pid, {}, core::CheckMode::kOff);
+  dc.set_observer(&bus, &reg);
+  const FeatureSpec spec = feat_spec();
+
+  // --- 1. a committed disable, with trap traffic -------------------------
+  auto rep = dc.disable_feature({.feature = spec,
+                                 .removal = RemovalPolicy::kBlockFirstByte,
+                                 .trap = TrapPolicy::kRedirect,
+                                 .tags = {{"scenario", "smoke"}}});
+  check(rep.obs.txn != 0, "committed disable carries a bus txn id");
+  check(rep.obs.events > 0, "committed disable delivered staged events");
+  check(ring.count(obs::ev::kTxnCommit) == 1, "one txn.commit after disable");
+  check(count_prefix(ring, "rewrite.") > 0, "rewrite events committed");
+  check(count_prefix(ring, "checkpoint.") > 0, "checkpoint events committed");
+
+  vos.run(60'000);  // workers keep calling feat() -> redirected trap hits
+  size_t trap_events = ring.count(obs::ev::kTrapHit);
+  check(trap_events > 0, "trap.hit events observed after disable");
+  check(reg.counter("trap.hits") == trap_events,
+        "trap.hits counter matches trap.hit events");
+  bool annotated = true;
+  for (const obs::Event* e : ring.of_type(obs::ev::kTrapHit)) {
+    annotated = annotated && e->attr_str("feature") == "feat" &&
+                !e->attr_str("policy").empty();
+  }
+  check(annotated, "every trap.hit annotated with feature + policy");
+
+  // --- 2. a committed restore --------------------------------------------
+  dc.restore_feature("feat");
+  check(ring.count(obs::ev::kTxnCommit) == 2, "one txn.commit after restore");
+  check(recorder.toggles().size() == 2 && !recorder.toggles()[1].disabled,
+        "timeline recorder saw disable + restore toggles");
+  check(recorder.disabled_features().empty(),
+        "recorder disabled-set empty after restore");
+
+  // --- 3. a fault-injected abort: staged events must be retracted --------
+  size_t rewrites_before = count_prefix(ring, "rewrite.");
+  size_t checkpoints_before = count_prefix(ring, "checkpoint.");
+  uint64_t commits_before = reg.counter("txn.commits");
+  FaultPlan plan = FaultPlan::fail_at(FaultStage::kRestore, 0);
+  dc.set_fault_plan(&plan);
+  bool aborted = false;
+  try {
+    dc.disable_feature({.feature = spec,
+                        .removal = RemovalPolicy::kBlockFirstByte,
+                        .trap = TrapPolicy::kTerminate});
+  } catch (const CustomizeError&) {
+    aborted = true;
+  }
+  dc.set_fault_plan(nullptr);
+  check(aborted, "injected restore fault aborted the customization");
+  check(ring.count(obs::ev::kTxnAbort) == 1, "abort emitted txn.abort");
+  check(ring.count(obs::ev::kTxnRollback) == 1, "abort emitted txn.rollback");
+  check(count_prefix(ring, "rewrite.") == rewrites_before,
+        "no rewrite event of the aborted txn reached a sink");
+  check(count_prefix(ring, "checkpoint.") == checkpoints_before,
+        "no checkpoint event of the aborted txn reached a sink");
+  check(bus.events_retracted() > 0, "staged events were retracted");
+  check(reg.counter("txn.commits") == commits_before,
+        "aborted txn charged no commit counter");
+  check(reg.counter("txn.aborts") == 1, "aborted txn charged txn.aborts");
+  check(recorder.toggles().size() == 2,
+        "aborted txn added no timeline toggle");
+
+  // --- 4. every JSONL line and the registry snapshot are valid JSON -----
+  size_t lines = 0;
+  std::string line;
+  std::istringstream in(jsonl.str());
+  while (std::getline(in, line)) {
+    ++lines;
+    std::string why;
+    if (!obs::json_valid(line, &why)) {
+      check(false, "invalid JSONL line " + std::to_string(lines) + " (" +
+                       why + "): " + line);
+    }
+  }
+  check(lines == jsonl_sink.lines(), "sink line count matches stream");
+  check(lines == bus.events_delivered(), "one JSONL line per delivered event");
+  std::string snapshot = reg.snapshot_json();
+  check(obs::json_valid(snapshot, nullptr), "registry snapshot is valid JSON");
+  check(obs::json_valid(recorder.json(), nullptr),
+        "timeline json is valid JSON");
+
+  // --- 5. artifact --------------------------------------------------------
+  std::string doc = "{\"events\":[";
+  {
+    std::istringstream again(jsonl.str());
+    bool first = true;
+    while (std::getline(again, line)) {
+      if (!first) doc += ",";
+      first = false;
+      doc += line;
+    }
+  }
+  doc += "],\"metrics\":";
+  doc += snapshot;
+  doc += ",\"timeline\":";
+  doc += recorder.json();
+  doc += "}";
+  check(obs::json_valid(doc, nullptr), "combined artifact is valid JSON");
+  std::ofstream out(out_path);
+  out << doc << "\n";
+  check(static_cast<bool>(out), "artifact written to " + out_path);
+
+  std::printf(
+      "%zu events delivered, %zu retracted, %zu JSONL lines validated, "
+      "%zu trap hits\n",
+      static_cast<size_t>(bus.events_delivered()),
+      static_cast<size_t>(bus.events_retracted()), lines, trap_events);
+  if (failures != 0) {
+    std::printf("\n%d obs contract violation(s)\n", failures);
+    return 1;
+  }
+  std::printf("All obs contract checks passed; artifact: %s\n",
+              out_path.c_str());
+  return 0;
+}

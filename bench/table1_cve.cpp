@@ -145,9 +145,9 @@ int main() {
     KvInstance guarded;
     for (const auto& r : e.setup_requests) guarded.request(r);
     core::DynaCut dc(guarded.vos, guarded.pid);
-    dc.disable_feature(feature_for(e.command, guarded.bin),
+    dc.disable_feature({feature_for(e.command, guarded.bin),
                        core::RemovalPolicy::kBlockFirstByte,
-                       core::TrapPolicy::kRedirect);
+                       core::TrapPolicy::kRedirect});
     std::string reply = guarded.request(e.attack_request);
     bool guarded_hit = e.corrupted(guarded);
     bool alive = guarded.request("PING\n") == "+PONG\n";

@@ -112,7 +112,7 @@ void run_combo(const Combo& combo, bool all_faults) {
     DynaCut dc(vos, pid, {}, core::CheckMode::kOff);
     FaultPlan counter;
     dc.set_fault_plan(&counter);
-    dc.disable_feature(spec, combo.removal, combo.trap);
+    dc.disable_feature({spec, combo.removal, combo.trap});
     for (size_t s = 0; s < kNumFaultStages; ++s) {
       totals[s] = counter.count(static_cast<FaultStage>(s));
     }
@@ -137,7 +137,7 @@ void run_combo(const Combo& combo, bool all_faults) {
                         fault_stage_name(fstage) + "#" +
                         std::to_string(i);
       try {
-        dc.disable_feature(spec, combo.removal, combo.trap);
+        dc.disable_feature({spec, combo.removal, combo.trap});
         check(false, tag + ": fault did not abort the customization");
       } catch (const CustomizeError&) {
         ++aborted;
@@ -152,7 +152,7 @@ void run_combo(const Combo& combo, bool all_faults) {
 
       dc.set_fault_plan(nullptr);
       try {
-        dc.disable_feature(spec, combo.removal, combo.trap);
+        dc.disable_feature({spec, combo.removal, combo.trap});
         check(dc.feature_disabled(spec.name), tag + ": retry not recorded");
         ++retried;
       } catch (const Error& e) {

@@ -84,7 +84,7 @@ bool attempt(core::DynaCut& dc, const char* what,
              core::TrapPolicy trap) {
   std::printf("--- attempt: %s\n", what);
   try {
-    dc.disable_feature(spec, removal, trap);
+    dc.disable_feature({spec, removal, trap});
     std::printf("    accepted\n\n");
     return true;
   } catch (const StateError& e) {
@@ -154,16 +154,16 @@ int main() {
   good.blocks = feature_blocks;
   good.redirect_module = "demo";
   good.redirect_offset = bin->find_symbol("error_path")->value;
-  auto report = dc.preflight(good, core::RemovalPolicy::kBlockFirstByte,
-                             core::TrapPolicy::kRedirect);
+  auto report = dc.preflight({good, core::RemovalPolicy::kBlockFirstByte,
+                             core::TrapPolicy::kRedirect});
   std::printf("--- repaired plan preflight: %zu error(s), %zu warning(s), "
               "%zu note(s), gadget delta %lld\n",
               report.errors(), report.warnings(), report.notes(),
               (long long)report.gadget_delta);
 
   std::printf("before:   B -> %s", ask("B\n").c_str());
-  dc.disable_feature(good, core::RemovalPolicy::kBlockFirstByte,
-                     core::TrapPolicy::kRedirect);
+  dc.disable_feature({good, core::RemovalPolicy::kBlockFirstByte,
+                     core::TrapPolicy::kRedirect});
   std::printf("disabled: B -> %s", ask("B\n").c_str());
   std::printf("          A -> %s", ask("A\n").c_str());
   dc.restore_feature("B");

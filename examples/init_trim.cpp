@@ -71,7 +71,7 @@ int main() {
   analysis::GadgetStats after = analysis::scan_gadgets(vos.process(pid)->mem);
 
   std::printf("wiped %zu init-only blocks in %.3f virtual seconds\n",
-              rep.blocks_patched, rep.timing.total_seconds());
+              rep.edits.blocks_patched, rep.timing.total_seconds());
   std::printf("ROP gadget starts: %llu -> %llu\n",
               (unsigned long long)before.gadget_starts,
               (unsigned long long)after.gadget_starts);

@@ -99,8 +99,8 @@ int main() {
   Kv kv;
   kv.ask("SET greeting hello\n");
   core::DynaCut dc(kv.vos, kv.pid);
-  dc.disable_feature(stralgo, core::RemovalPolicy::kBlockFirstByte,
-                     core::TrapPolicy::kRedirect);
+  dc.disable_feature({stralgo, core::RemovalPolicy::kBlockFirstByte,
+                     core::TrapPolicy::kRedirect});
 
   std::printf("   attack reply: %s", kv.ask(exploit).c_str());
   std::printf("   secret buffer intact: %s\n",
@@ -112,8 +112,8 @@ int main() {
   dc.restore_feature("STRALGO");
   std::printf("   STRALGO LCS ab cd -> %s",
               kv.ask("STRALGO LCS ab cd\n").c_str());
-  dc.disable_feature(stralgo, core::RemovalPolicy::kBlockFirstByte,
-                     core::TrapPolicy::kRedirect);
+  dc.disable_feature({stralgo, core::RemovalPolicy::kBlockFirstByte,
+                     core::TrapPolicy::kRedirect});
   std::printf("   STRALGO LCS ab cd -> %s",
               kv.ask("STRALGO LCS ab cd\n").c_str());
 

@@ -10,12 +10,15 @@
 //
 // Build & run:  cmake --build build && ./build/examples/quickstart
 #include <cstdio>
+#include <sstream>
 
 #include "analysis/coverage.hpp"
 #include "apps/libc.hpp"
 #include "common/log.hpp"
 #include "core/dynacut.hpp"
 #include "melf/builder.hpp"
+#include "obs/bus.hpp"
+#include "obs/sinks.hpp"
 #include "os/os.hpp"
 #include "trace/trace.hpp"
 
@@ -100,6 +103,16 @@ int main() {
 
   core::DynaCut dc(vos, pid);
 
+  // Optional: watch the pipeline through the obs layer — every stage emits
+  // a virtual-clock-stamped event as one JSON line, and a customization
+  // that aborts retracts everything it staged (DESIGN.md §9).
+  obs::EventBus bus;
+  std::ostringstream events;
+  obs::JsonlSink sink(events);
+  bus.add_sink(&sink);
+  vos.set_event_bus(&bus);
+  dc.set_observer(&bus);
+
   // Customizations are transactional: if anything fails mid-flight (here a
   // deliberately injected fault in the library-injection step), the whole
   // group rolls back untouched and a CustomizeError names the failing pid
@@ -108,19 +121,21 @@ int main() {
       core::FaultPlan::fail_at(core::FaultStage::kInject, 0);
   dc.set_fault_plan(&fault);
   try {
-    dc.disable_feature(feature_b, core::RemovalPolicy::kBlockFirstByte,
-                       core::TrapPolicy::kRedirect);
+    dc.disable_feature({.feature = feature_b,
+                        .removal = core::RemovalPolicy::kBlockFirstByte,
+                        .trap = core::TrapPolicy::kRedirect});
   } catch (const core::CustomizeError& e) {
     std::printf("aborted:  %s\n", e.what());
     std::printf("          B -> %s", ask("B\n").c_str());  // still "beta"
   }
   dc.set_fault_plan(nullptr);
 
-  core::CustomizeReport rep = dc.disable_feature(
-      feature_b, core::RemovalPolicy::kBlockFirstByte,
-      core::TrapPolicy::kRedirect);
+  core::CustomizeReport rep =
+      dc.disable_feature({.feature = feature_b,
+                          .removal = core::RemovalPolicy::kBlockFirstByte,
+                          .trap = core::TrapPolicy::kRedirect});
   std::printf("disabled feature B in %.3f virtual seconds (%zu blocks)\n",
-              rep.timing.total_seconds(), rep.blocks_patched);
+              rep.timing.total_seconds(), rep.edits.blocks_patched);
 
   // --- step 4: observe, then re-enable ------------------------------------
   std::printf("disabled: B -> %s", ask("B\n").c_str());  // "err"
@@ -128,6 +143,13 @@ int main() {
 
   dc.restore_feature("B");
   std::printf("restored: B -> %s", ask("B\n").c_str());  // "beta" again
+
+  std::printf(
+      "\nobs: %zu events delivered as JSONL (%zu retracted by the aborted\n"
+      "attempt); first line: %s",
+      static_cast<size_t>(bus.events_delivered()),
+      static_cast<size_t>(bus.events_retracted()),
+      events.str().substr(0, events.str().find('\n') + 1).c_str());
 
   std::printf("\nquickstart complete: dynamic disable + re-enable without\n"
               "restarting the process or dropping the connection.\n");

@@ -82,11 +82,11 @@ int main() {
   };
 
   core::DynaCut dc(vos, master);
-  core::CustomizeReport rep = dc.disable_feature(
+  core::CustomizeReport rep = dc.disable_feature({
       webdav_writes, core::RemovalPolicy::kBlockFirstByte,
-      core::TrapPolicy::kRedirect);
+      core::TrapPolicy::kRedirect});
   std::printf("   lockdown applied to %zu processes in %.3f virtual s\n",
-              rep.processes, rep.timing.total_seconds());
+              rep.edits.processes, rep.timing.total_seconds());
 
   std::printf("   GET /index   -> %s", ask("GET /index\n").c_str());
   std::printf("   PUT /web x   -> %s", ask("PUT /web x\n").c_str());
@@ -96,8 +96,8 @@ int main() {
   dc.restore_feature("webdav-writes");
   std::printf("   PUT /news v2 -> %s", ask("PUT /news v2\n").c_str());
   std::printf("   GET /news    -> %s", ask("GET /news\n").c_str());
-  dc.disable_feature(webdav_writes, core::RemovalPolicy::kBlockFirstByte,
-                     core::TrapPolicy::kRedirect);
+  dc.disable_feature({webdav_writes, core::RemovalPolicy::kBlockFirstByte,
+                     core::TrapPolicy::kRedirect});
   std::printf("   PUT /news v3 -> %s", ask("PUT /news v3\n").c_str());
   std::printf("   GET /news    -> %s", ask("GET /news\n").c_str());
 

@@ -16,37 +16,78 @@ DynaCut::DynaCut(os::Os& os, int root_pid, CostModel model, CheckMode check)
   }
 }
 
+DynaCut::~DynaCut() {
+  // The annotator closure captures `this`; leaving it installed would make
+  // the bus call into a dead object on the next trap.
+  if (bus_ != nullptr) bus_->set_annotator(nullptr);
+}
+
+void DynaCut::set_observer(obs::EventBus* bus, obs::Registry* metrics) {
+  if (bus_ != nullptr && bus_ != bus) bus_->set_annotator(nullptr);
+  bus_ = bus;
+  metrics_ = metrics;
+  if (bus_ != nullptr) {
+    if (!bus_->has_clock()) {
+      bus_->set_clock([this] { return os_.now(); });
+    }
+    bus_->set_annotator([this](obs::Event& e) { annotate(e); });
+  }
+}
+
+void DynaCut::annotate(obs::Event& e) {
+  if (e.type != obs::ev::kTrapHit) return;
+  if (metrics_ != nullptr) metrics_->add("trap.hits");
+  auto it = trap_sites_.find({e.pid, e.attr_u64("addr")});
+  if (it == trap_sites_.end()) return;
+  e.with("feature", it->second.feature).with("policy", it->second.policy);
+  if (metrics_ != nullptr) {
+    metrics_->add("trap.hits." + it->second.feature);
+  }
+}
+
 analysis::cutcheck::CheckReport DynaCut::run_check(
-    const std::vector<analysis::CovBlock>& blocks, RemovalPolicy removal,
-    TrapPolicy trap_policy, const std::string& feature_name,
-    const std::string& redirect_module, uint64_t redirect_offset) const {
+    const CutRequest& req) const {
   const os::Process* proc = os_.process(root_pid_);
   std::vector<rw::ModuleRef> mods;
   if (proc != nullptr) {
     mods.reserve(proc->modules.size());
     for (const auto& m : proc->modules) mods.push_back({m.name, m.binary});
   }
-  auto plans = rw::extract_plans(mods, feature_name, blocks, removal,
-                                 trap_policy, redirect_module,
-                                 redirect_offset);
+  auto plans = rw::extract_plans(mods, req.feature.name, req.feature.blocks,
+                                 req.removal, req.trap,
+                                 req.feature.redirect_module,
+                                 req.feature.redirect_offset);
   return analysis::cutcheck::check_plans(plans);
+}
+
+analysis::cutcheck::CheckReport DynaCut::preflight(
+    const CutRequest& req) const {
+  auto report = run_check(req);
+  if (bus_ != nullptr) {
+    for (const auto& d : report.diags) {
+      bus_->emit(obs::Event(obs::ev::kCutcheckFinding)
+                     .with("feature", req.feature.name)
+                     .with("rule", d.rule)
+                     .with("severity",
+                           analysis::cutcheck::severity_name(d.severity))
+                     .with("module", d.module)
+                     .with("offset", d.offset));
+    }
+  }
+  return report;
 }
 
 analysis::cutcheck::CheckReport DynaCut::preflight(
     const FeatureSpec& spec, RemovalPolicy removal,
     TrapPolicy trap_policy) const {
-  return run_check(spec.blocks, removal, trap_policy, spec.name,
-                   spec.redirect_module, spec.redirect_offset);
+  return preflight(
+      CutRequest{.feature = spec, .removal = removal, .trap = trap_policy});
 }
 
-void DynaCut::preflight_or_throw(const std::string& feature_name,
-                                 const std::vector<analysis::CovBlock>& blocks,
-                                 RemovalPolicy removal, TrapPolicy trap_policy,
-                                 const std::string& redirect_module,
-                                 uint64_t redirect_offset) const {
-  if (check_mode_ == CheckMode::kOff) return;
-  auto report = run_check(blocks, removal, trap_policy, feature_name,
-                          redirect_module, redirect_offset);
+void DynaCut::preflight_or_throw(const CutRequest& req) const {
+  CheckMode mode = req.check.value_or(check_mode_);
+  if (mode == CheckMode::kOff) return;
+  auto report = preflight(req);
   for (const auto& d : report.diags) {
     using analysis::cutcheck::Severity;
     if (d.severity == Severity::kNote) {
@@ -56,37 +97,52 @@ void DynaCut::preflight_or_throw(const std::string& feature_name,
     }
   }
   if (report.ok()) return;
-  if (check_mode_ == CheckMode::kEnforce) {
-    throw StateError("cutcheck rejected plan '" + feature_name + "':\n" +
+  if (mode == CheckMode::kEnforce) {
+    throw StateError("cutcheck rejected plan '" + req.feature.name + "':\n" +
                      report.format());
   }
-  log_warn("cutcheck: plan '" + feature_name + "' has " +
+  log_warn("cutcheck: plan '" + req.feature.name + "' has " +
            std::to_string(report.errors()) +
            " error(s); applying anyway (warn mode)");
+}
+
+CustomizeReport DynaCut::disable_feature(const CutRequest& req) {
+  if (applied_.count(req.feature.name) != 0) {
+    throw StateError("feature already disabled: " + req.feature.name);
+  }
+  if (req.trap == TrapPolicy::kVerify &&
+      req.removal != RemovalPolicy::kBlockFirstByte) {
+    throw StateError("verify mode requires the first-byte removal policy");
+  }
+  return apply(req);
 }
 
 CustomizeReport DynaCut::disable_feature(const FeatureSpec& spec,
                                          RemovalPolicy removal,
                                          TrapPolicy trap_policy) {
-  if (applied_.count(spec.name) != 0) {
-    throw StateError("feature already disabled: " + spec.name);
-  }
-  if (trap_policy == TrapPolicy::kVerify &&
-      removal != RemovalPolicy::kBlockFirstByte) {
-    throw StateError("verify mode requires the first-byte removal policy");
-  }
-  return apply(spec.name, spec.blocks, removal, trap_policy,
-               spec.redirect_module, spec.redirect_offset);
+  return disable_feature(
+      CutRequest{.feature = spec, .removal = removal, .trap = trap_policy});
 }
 
 CustomizeReport DynaCut::remove_init_code(
     const analysis::CoverageGraph& init_blocks, RemovalPolicy removal) {
-  return apply("__init__", init_blocks.blocks(), removal,
-               TrapPolicy::kTerminate, "", 0);
+  return apply(CutRequest{
+      .feature = FeatureSpec{.name = "__init__",
+                             .blocks = init_blocks.blocks()},
+      .removal = removal,
+      .trap = TrapPolicy::kTerminate,
+      .label = "__init__"});
 }
 
 bool DynaCut::feature_disabled(const std::string& name) const {
   return applied_.count(name) != 0;
+}
+
+std::vector<std::string> DynaCut::disabled_features() const {
+  std::vector<std::string> out;
+  out.reserve(applied_.size());
+  for (const auto& [name, edits] : applied_) out.push_back(name);
+  return out;
 }
 
 std::vector<int> DynaCut::live_pids(const PerPidEdits* subset) const {
@@ -114,24 +170,56 @@ void DynaCut::stage_or_rollback(GroupTxn& txn, const std::string& feature,
     }
   } catch (const InjectedFault& f) {
     txn.abort();
+    if (metrics_ != nullptr) metrics_->add("txn.aborts");
     throw CustomizeError(feature, f.stage(), cur_pid, f.what());
   } catch (const CustomizeError&) {
     txn.abort();
+    if (metrics_ != nullptr) metrics_->add("txn.aborts");
     throw;
   } catch (const Error& e) {
     txn.abort();
+    if (metrics_ != nullptr) metrics_->add("txn.aborts");
     throw CustomizeError(feature, stage, cur_pid, e.what());
   }
 }
 
-CustomizeReport DynaCut::apply(const std::string& feature_name,
-                               const std::vector<analysis::CovBlock>& blocks,
-                               RemovalPolicy removal, TrapPolicy trap_policy,
-                               const std::string& redirect_module,
-                               uint64_t redirect_offset) {
-  preflight_or_throw(feature_name, blocks, removal, trap_policy,
-                     redirect_module, redirect_offset);
+void DynaCut::finalize_obs(
+    CustomizeReport& report, const std::string& label,
+    const std::string& action,
+    const std::vector<std::pair<std::string, std::string>>& tags) {
+  report.obs.label = label;
+  if (bus_ != nullptr && bus_->in_txn()) {
+    report.obs.txn = bus_->current_txn();
+    std::vector<obs::Attr> attrs{
+        obs::Attr::s("action", action),
+        obs::Attr::u("processes", report.edits.processes),
+        obs::Attr::u("blocks_patched", report.edits.blocks_patched),
+        obs::Attr::u("pages_unmapped", report.edits.pages_unmapped),
+        obs::Attr::u("bytes_patched", report.edits.bytes_patched),
+        obs::Attr::u("image_pages", report.edits.image_pages),
+        obs::Attr::u("interruption_ns", report.timing.total_ns())};
+    for (const auto& [k, v] : tags) attrs.push_back(obs::Attr::s(k, v));
+    report.obs.events = bus_->commit_txn(std::move(attrs));
+  }
+  if (metrics_ != nullptr) {
+    metrics_->add("txn.commits");
+    metrics_->add("cut." + action + "s");
+    metrics_->add("cut.blocks_patched", report.edits.blocks_patched);
+    metrics_->add("cut.pages_unmapped", report.edits.pages_unmapped);
+    metrics_->add("cut.bytes_patched", report.edits.bytes_patched);
+    metrics_->histogram("cut.stage_ns")
+        .observe(report.timing.checkpoint_ns + report.timing.code_update_ns +
+                 report.timing.inject_ns);
+    metrics_->histogram("cut.commit_ns").observe(report.timing.restore_ns);
+    metrics_->histogram("cut.pages_dumped").observe(report.edits.image_pages);
+  }
+}
 
+CustomizeReport DynaCut::apply(const CutRequest& req) {
+  preflight_or_throw(req);
+
+  const std::string& feature_name = req.feature.name;
+  const std::string& label = req.obs_label();
   CustomizeReport report;
   PerPidEdits per_pid;
   std::vector<int> pids = live_pids();
@@ -139,44 +227,51 @@ CustomizeReport DynaCut::apply(const std::string& feature_name,
   // Stage phase: freeze the whole group, checkpoint every process and
   // rewrite every image. No live process is touched yet, so any failure
   // aborts back to the untouched running group.
-  GroupTxn txn(os_, pids, store_);
+  GroupTxn txn(os_, pids, store_, bus_, label, "disable");
   FaultStage stage = FaultStage::kCheckpoint;
   stage_or_rollback(txn, feature_name, pids, stage, [&](int pid) {
     image::ProcessImage img = txn.dump(pid, faults_);
     report.timing.checkpoint_ns += model_.checkpoint_cost(img.pages.size());
-    report.image_pages += img.pages.size();
+    report.edits.image_pages += img.pages.size();
 
     stage = FaultStage::kRewrite;
-    rw::ImageRewriter rewriter(img, faults_);
+    rw::ImageRewriter rewriter(img, faults_, bus_);
     std::vector<AppliedEdit> edits;
     std::vector<std::pair<uint64_t, uint8_t>> originals;
-    size_t patched_before = report.blocks_patched;
-    size_t unmapped_before = report.pages_unmapped;
-    remove_blocks(rewriter, img, blocks, removal, edits, originals, report);
+    size_t patched_before = report.edits.blocks_patched;
+    size_t unmapped_before = report.edits.pages_unmapped;
+    remove_blocks(rewriter, img, req.feature.blocks, req.removal, edits,
+                  originals, report);
 
     if (!edits.empty()) {
       stage = FaultStage::kInject;
-      if (trap_policy == TrapPolicy::kRedirect) {
-        install_redirects(rewriter, img, blocks, redirect_module,
-                          redirect_offset, report);
-      } else if (trap_policy == TrapPolicy::kVerify) {
+      if (req.trap == TrapPolicy::kRedirect) {
+        install_redirects(rewriter, img, req.feature.blocks,
+                          req.feature.redirect_module,
+                          req.feature.redirect_offset, report);
+      } else if (req.trap == TrapPolicy::kVerify) {
         install_verifier(rewriter, img, originals, report);
       }
     }
     report.timing.code_update_ns +=
-        model_.patch_cost(report.blocks_patched - patched_before,
-                          report.pages_unmapped - unmapped_before);
+        model_.patch_cost(report.edits.blocks_patched - patched_before,
+                          report.edits.pages_unmapped - unmapped_before);
 
     txn.stage(pid, std::move(img));
     per_pid[pid] = std::move(edits);
-    ++report.processes;
+    ++report.edits.processes;
   });
 
   // Commit phase: persist + restore every staged image; a failure here
   // rolls the group back to the pristine images and throws CustomizeError.
-  txn.commit(feature_name, faults_, [&](const image::ProcessImage& img) {
-    report.timing.restore_ns += model_.restore_cost(img.pages.size());
-  });
+  try {
+    txn.commit(feature_name, faults_, [&](const image::ProcessImage& img) {
+      report.timing.restore_ns += model_.restore_cost(img.pages.size());
+    });
+  } catch (const CustomizeError&) {
+    if (metrics_ != nullptr) metrics_->add("txn.aborts");
+    throw;
+  }
 
   // Record the edits only after commit, merging with any earlier rounds of
   // the same feature (remove_init_code can trim repeatedly): replacing the
@@ -184,16 +279,25 @@ CustomizeReport DynaCut::apply(const std::string& feature_name,
   // and leave the feature only partially restorable.
   PerPidEdits& dst = applied_[feature_name];
   for (auto& [pid, edits] : per_pid) {
+    for (const AppliedEdit& e : edits) {
+      if (!e.unmapped) {
+        trap_sites_[{pid, e.patch.vaddr}] =
+            TrapSite{feature_name, analysis::cutcheck::trap_name(req.trap)};
+      }
+    }
     auto& vec = dst[pid];
     vec.insert(vec.end(), std::make_move_iterator(edits.begin()),
                std::make_move_iterator(edits.end()));
   }
 
   os_.advance_clock(report.timing.total_ns());
+  finalize_obs(report, label, "disable", req.tags);
   log_info("disabled '" + feature_name + "': " +
-           std::to_string(report.blocks_patched) + " blocks patched, " +
-           std::to_string(report.pages_unmapped) + " pages unmapped across " +
-           std::to_string(report.processes) + " processes");
+           std::to_string(report.edits.blocks_patched) +
+           " blocks patched, " +
+           std::to_string(report.edits.pages_unmapped) +
+           " pages unmapped across " +
+           std::to_string(report.edits.processes) + " processes");
   return report;
 }
 
@@ -218,8 +322,9 @@ void DynaCut::remove_blocks(
         AppliedEdit e;
         e.patch = rewriter.block_first_byte(addr);
         originals.emplace_back(addr, e.patch.original[0]);
+        report.edits.bytes_patched += e.patch.original.size();
         edits.push_back(std::move(e));
-        ++report.blocks_patched;
+        ++report.edits.blocks_patched;
       }
       return;
 
@@ -228,8 +333,9 @@ void DynaCut::remove_blocks(
         AppliedEdit e;
         e.patch = rewriter.wipe(addr, size);
         originals.emplace_back(addr, e.patch.original[0]);
+        report.edits.bytes_patched += e.patch.original.size();
         edits.push_back(std::move(e));
-        ++report.blocks_patched;
+        ++report.edits.blocks_patched;
       }
       return;
 
@@ -263,12 +369,13 @@ void DynaCut::remove_blocks(
           if (!page_full(page)) {
             AppliedEdit e;
             e.patch = rewriter.wipe(cur, chunk);
+            report.edits.bytes_patched += e.patch.original.size();
             edits.push_back(std::move(e));
             patched = true;
           }
           cur += chunk;
         }
-        if (patched) ++report.blocks_patched;
+        if (patched) ++report.edits.blocks_patched;
         originals.emplace_back(addr, 0);  // unmap mode has no byte heal
       }
 
@@ -285,7 +392,7 @@ void DynaCut::remove_blocks(
         e.patch.original = img.read_bytes(page, kPageSize);
         rewriter.unmap_pages(page, kPageSize);
         edits.push_back(std::move(e));
-        ++report.pages_unmapped;
+        ++report.edits.pages_unmapped;
       }
       return;
     }
@@ -404,45 +511,59 @@ CustomizeReport DynaCut::restore_feature(const std::string& name) {
   CustomizeReport report;
   std::vector<int> pids = live_pids(&it->second);
 
-  GroupTxn txn(os_, pids, store_);
+  GroupTxn txn(os_, pids, store_, bus_, name, "restore");
   FaultStage stage = FaultStage::kCheckpoint;
   stage_or_rollback(txn, name, pids, stage, [&](int pid) {
     image::ProcessImage img = txn.dump(pid, faults_);
     report.timing.checkpoint_ns += model_.checkpoint_cost(img.pages.size());
-    report.image_pages += img.pages.size();
+    report.edits.image_pages += img.pages.size();
 
     stage = FaultStage::kRewrite;
-    rw::ImageRewriter rewriter(img, faults_);
+    rw::ImageRewriter rewriter(img, faults_, bus_);
     const std::vector<AppliedEdit>& edits = it->second.at(pid);
-    size_t patched_before = report.blocks_patched;
-    size_t unmapped_before = report.pages_unmapped;
+    size_t patched_before = report.edits.blocks_patched;
+    size_t unmapped_before = report.edits.pages_unmapped;
     for (auto e = edits.rbegin(); e != edits.rend(); ++e) {
       if (e->unmapped) {
         img.add_vma(e->patch.vaddr, e->patch.original.size(), e->vma_prot,
                     e->vma_name);
         img.write_bytes(e->patch.vaddr, e->patch.original);
-        ++report.pages_unmapped;
+        ++report.edits.pages_unmapped;
       } else {
         rewriter.undo(e->patch);
-        ++report.blocks_patched;
+        report.edits.bytes_patched += e->patch.original.size();
+        ++report.edits.blocks_patched;
       }
     }
     // Charge the per-pid delta, not the running totals: cumulative counts
     // would over-charge code_update_ns for every process after the first.
     report.timing.code_update_ns +=
-        model_.patch_cost(report.blocks_patched - patched_before,
-                          report.pages_unmapped - unmapped_before);
+        model_.patch_cost(report.edits.blocks_patched - patched_before,
+                          report.edits.pages_unmapped - unmapped_before);
 
     txn.stage(pid, std::move(img));
-    ++report.processes;
+    ++report.edits.processes;
   });
 
-  txn.commit(name, faults_, [&](const image::ProcessImage& img) {
-    report.timing.restore_ns += model_.restore_cost(img.pages.size());
-  });
+  try {
+    txn.commit(name, faults_, [&](const image::ProcessImage& img) {
+      report.timing.restore_ns += model_.restore_cost(img.pages.size());
+    });
+  } catch (const CustomizeError&) {
+    if (metrics_ != nullptr) metrics_->add("txn.aborts");
+    throw;
+  }
+
+  // The traps are gone from the code; stop attributing hits to them.
+  for (const auto& [pid, edits] : it->second) {
+    for (const AppliedEdit& e : edits) {
+      if (!e.unmapped) trap_sites_.erase({pid, e.patch.vaddr});
+    }
+  }
 
   applied_.erase(it);
   os_.advance_clock(report.timing.total_ns());
+  finalize_obs(report, name, "restore");
   log_info("restored feature '" + name + "'");
   return report;
 }
@@ -450,19 +571,24 @@ CustomizeReport DynaCut::restore_feature(const std::string& name) {
 std::vector<uint64_t> DynaCut::verifier_log(int pid) const {
   const os::Process* p = os_.process(pid);
   if (p == nullptr) throw StateError("verifier_log: no process");
-  const os::LoadedModule* lib = p->module_named(kVerifyLibName);
-  if (lib == nullptr) return {};
-  const melf::Symbol* count_sym = lib->binary->find_symbol("log_count");
-  const melf::Symbol* buf_sym = lib->binary->find_symbol("log_buf");
-  DYNACUT_ASSERT(count_sym != nullptr && buf_sym != nullptr);
-  uint64_t count = 0;
-  p->mem.peek(lib->base + count_sym->value, &count, 8);
-  count = std::min<uint64_t>(count, buf_sym->size / 8);
-  std::vector<uint64_t> out(count);
-  if (count > 0) {
-    p->mem.peek(lib->base + buf_sym->value, out.data(), count * 8);
+  VerifierLogRead read = read_verifier_log(*p);
+  if (read.clamped && bus_ != nullptr) {
+    bus_->emit(obs::Event(obs::ev::kWarning, pid)
+                   .with("what", "verifier log_count exceeds log capacity")
+                   .with("raw_count", read.raw_count)
+                   .with("capacity", read.capacity));
   }
-  return out;
+  // Surface entries not seen by a previous read as verifier.heal events.
+  uint64_t& seen = heals_seen_[pid];
+  for (uint64_t i = seen; i < read.addrs.size(); ++i) {
+    if (bus_ != nullptr) {
+      bus_->emit(obs::Event(obs::ev::kVerifierHeal, pid)
+                     .with("addr", read.addrs[i]));
+    }
+    if (metrics_ != nullptr) metrics_->add("verifier.heals");
+  }
+  seen = std::max<uint64_t>(seen, read.addrs.size());
+  return read.addrs;
 }
 
 }  // namespace dynacut::core

@@ -19,12 +19,20 @@
 // (commit). A failure at any point rolls the group back to its pristine
 // images and throws CustomizeError — no process is ever left running a
 // partially customized group.
+//
+// Customizations are described by a CutRequest (feature + policies + obs
+// labelling) and observed through the obs layer (DESIGN.md §9): attach an
+// obs::EventBus/obs::Registry via set_observer() and every customization
+// produces a bracketed event trace (txn.stage ... txn.commit, or
+// txn.abort + txn.rollback with the staged events retracted) plus metric
+// charges on success.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <optional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "analysis/coverage.hpp"
@@ -33,6 +41,8 @@
 #include "core/txn.hpp"
 #include "image/checkpoint.hpp"
 #include "image/image.hpp"
+#include "obs/bus.hpp"
+#include "obs/registry.hpp"
 #include "os/os.hpp"
 #include "rewriter/rewriter.hpp"
 
@@ -66,12 +76,55 @@ struct FeatureSpec {
   uint64_t redirect_offset = 0;
 };
 
+/// One customization request — the single options struct consumed by
+/// disable_feature() and preflight(). Designed for designated initializers:
+///
+///   dc.disable_feature({.feature = spec,
+///                       .removal = RemovalPolicy::kUnmapPages,
+///                       .trap = TrapPolicy::kRedirect,
+///                       .label = "cve-2021-xxxx"});
+///
+/// Replaces the old positional (spec, removal, trap) surface, which remains
+/// available as deprecated shims.
+struct CutRequest {
+  FeatureSpec feature;
+  RemovalPolicy removal = RemovalPolicy::kBlockFirstByte;
+  TrapPolicy trap = TrapPolicy::kTerminate;
+  /// Per-request override of the instance-wide CheckMode; unset uses
+  /// DynaCut::check_mode().
+  std::optional<CheckMode> check;
+  /// Label carried by this customization's obs transaction events; empty
+  /// defaults to feature.name.
+  std::string label;
+  /// Extra string attributes attached to the txn.commit event.
+  std::vector<std::pair<std::string, std::string>> tags;
+
+  /// The effective obs label (explicit label or the feature name).
+  const std::string& obs_label() const {
+    return label.empty() ? feature.name : label;
+  }
+};
+
+/// What a customization edited, summed across the process group.
+struct EditStats {
+  size_t processes = 0;       ///< processes customized
+  size_t blocks_patched = 0;  ///< blocks patched (blocked/wiped/restored)
+  size_t pages_unmapped = 0;  ///< whole pages unmapped (or re-mapped)
+  size_t bytes_patched = 0;   ///< code bytes actually written
+  uint64_t image_pages = 0;   ///< pages dumped across the group
+};
+
+/// The customization's footprint on the observability layer.
+struct ObsSummary {
+  std::string label;  ///< obs label the trace was emitted under
+  uint64_t txn = 0;   ///< bus transaction id (0 = no bus attached)
+  size_t events = 0;  ///< events committed inside the transaction
+};
+
 struct CustomizeReport {
-  TimingBreakdown timing;
-  size_t processes = 0;
-  size_t blocks_patched = 0;
-  size_t pages_unmapped = 0;
-  uint64_t image_pages = 0;  ///< pages dumped across the group
+  TimingBreakdown timing;  ///< virtual-time cost (service interruption)
+  EditStats edits;
+  ObsSummary obs;
 };
 
 class DynaCut {
@@ -81,9 +134,22 @@ class DynaCut {
   /// `check` (kEnforce rejects provably unsafe plans before any checkpoint).
   DynaCut(os::Os& os, int root_pid, CostModel model = {},
           CheckMode check = CheckMode::kEnforce);
+  ~DynaCut();
+  DynaCut(const DynaCut&) = delete;
+  DynaCut& operator=(const DynaCut&) = delete;
 
   void set_check_mode(CheckMode mode) { check_mode_ = mode; }
   CheckMode check_mode() const { return check_mode_; }
+
+  /// Attaches the observability layer (both optional, non-owning; nullptr
+  /// detaches). Every subsequent customization emits its bracketed event
+  /// trace on `bus` and, on success, charges `metrics`. DynaCut installs
+  /// itself as the bus annotator so raw OS `trap.hit` events gain
+  /// feature/policy attributes; if the bus has no clock yet it is wired to
+  /// this OS's virtual clock.
+  void set_observer(obs::EventBus* bus, obs::Registry* metrics = nullptr);
+  obs::EventBus* event_bus() const { return bus_; }
+  obs::Registry* metrics() const { return metrics_; }
 
   /// Installs a deterministic fault-injection plan (non-owning; pass
   /// nullptr to clear). Every subsequent customization threads it through
@@ -93,11 +159,11 @@ class DynaCut {
   void set_fault_plan(FaultPlan* plan) { faults_ = plan; }
   FaultPlan* fault_plan() const { return faults_; }
 
-  /// Runs the cutcheck verifier on a feature without touching any process —
-  /// the same plans and rules apply() uses, exposed for tooling and benches.
-  analysis::cutcheck::CheckReport preflight(const FeatureSpec& spec,
-                                            RemovalPolicy removal,
-                                            TrapPolicy trap_policy) const;
+  /// Runs the cutcheck verifier on a request without touching any process —
+  /// the same plans and rules disable_feature() uses, exposed for tooling
+  /// and benches. Emits one `cutcheck.finding` event per diagnostic when a
+  /// bus is attached.
+  analysis::cutcheck::CheckReport preflight(const CutRequest& req) const;
 
   /// Disables a feature across every process of the group, atomically:
   /// either every process ends up customized or (on any failure) every
@@ -105,6 +171,14 @@ class DynaCut {
   /// the failing pid and stage. Throws StateError on policy violations
   /// before any process is touched (e.g. kRedirect with no block in the
   /// error handler's function, kVerify without kBlockFirstByte).
+  CustomizeReport disable_feature(const CutRequest& req);
+
+  [[deprecated("use preflight(const CutRequest&)")]]
+  analysis::cutcheck::CheckReport preflight(const FeatureSpec& spec,
+                                            RemovalPolicy removal,
+                                            TrapPolicy trap_policy) const;
+
+  [[deprecated("use disable_feature(const CutRequest&)")]]
   CustomizeReport disable_feature(const FeatureSpec& spec,
                                   RemovalPolicy removal,
                                   TrapPolicy trap_policy);
@@ -122,8 +196,14 @@ class DynaCut {
 
   bool feature_disabled(const std::string& name) const;
 
+  /// The set of currently disabled features, sorted.
+  std::vector<std::string> disabled_features() const;
+
   /// Addresses healed by the verifier library in `pid` (reads the injected
-  /// library's log from live guest memory).
+  /// library's log from live guest memory). Newly seen entries are emitted
+  /// as `verifier.heal` events; a guest-scribbled out-of-range log count is
+  /// clamped and surfaced as an `obs.warning` event instead of driving an
+  /// over-read of guest memory.
   std::vector<uint64_t> verifier_log(int pid) const;
 
   /// The tmpfs-like store holding the most recent image of each process.
@@ -140,11 +220,13 @@ class DynaCut {
 
   using PerPidEdits = std::map<int, std::vector<AppliedEdit>>;
 
-  CustomizeReport apply(const std::string& feature_name,
-                        const std::vector<analysis::CovBlock>& blocks,
-                        RemovalPolicy removal, TrapPolicy trap_policy,
-                        const std::string& redirect_module,
-                        uint64_t redirect_offset);
+  /// What the annotator attaches to a trap at a known customized address.
+  struct TrapSite {
+    std::string feature;
+    const char* policy;  // cutcheck trap_name() string
+  };
+
+  CustomizeReport apply(const CutRequest& req);
 
   /// Live (non-exited) pids of the managed group, restricted to `subset`
   /// keys when given (restore_feature only touches recorded pids).
@@ -159,17 +241,11 @@ class DynaCut {
 
   /// The cutcheck gate at the top of apply(): extracts per-module plans
   /// from the root process's loaded modules, runs the verifier and acts on
-  /// check_mode_. Throws StateError in kEnforce mode on kError findings.
-  void preflight_or_throw(const std::string& feature_name,
-                          const std::vector<analysis::CovBlock>& blocks,
-                          RemovalPolicy removal, TrapPolicy trap_policy,
-                          const std::string& redirect_module,
-                          uint64_t redirect_offset) const;
+  /// the request's effective check mode. Throws StateError in kEnforce mode
+  /// on kError findings.
+  void preflight_or_throw(const CutRequest& req) const;
 
-  analysis::cutcheck::CheckReport run_check(
-      const std::vector<analysis::CovBlock>& blocks, RemovalPolicy removal,
-      TrapPolicy trap_policy, const std::string& feature_name,
-      const std::string& redirect_module, uint64_t redirect_offset) const;
+  analysis::cutcheck::CheckReport run_check(const CutRequest& req) const;
 
   /// Removal-policy application; fills `edits` and the redirect/original
   /// tables' raw entries.
@@ -190,13 +266,30 @@ class DynaCut {
       const std::vector<std::pair<uint64_t, uint8_t>>& originals,
       CustomizeReport& report);
 
+  /// Closes the bus transaction with the final edit statistics (filling
+  /// report.obs) and charges the registry — success paths only.
+  void finalize_obs(CustomizeReport& report, const std::string& label,
+                    const std::string& action,
+                    const std::vector<std::pair<std::string, std::string>>&
+                        tags = {});
+
+  /// Bus annotator: enriches `trap.hit` events with the feature/policy that
+  /// planted the trap and charges trap counters.
+  void annotate(obs::Event& e);
+
   os::Os& os_;
   int root_pid_;
   CostModel model_;
   CheckMode check_mode_ = CheckMode::kEnforce;
   FaultPlan* faults_ = nullptr;
+  obs::EventBus* bus_ = nullptr;
+  obs::Registry* metrics_ = nullptr;
   image::ImageStore store_;
   std::map<std::string, PerPidEdits> applied_;
+  /// (pid, trap addr) -> planted-by info, for trap.hit annotation.
+  std::map<std::pair<int, uint64_t>, TrapSite> trap_sites_;
+  /// Per-pid count of verifier-log entries already surfaced as events.
+  mutable std::map<int, uint64_t> heals_seen_;
 };
 
 }  // namespace dynacut::core

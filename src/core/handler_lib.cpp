@@ -1,5 +1,8 @@
 #include "core/handler_lib.hpp"
 
+#include <algorithm>
+
+#include "common/error.hpp"
 #include "melf/builder.hpp"
 #include "os/syscall.hpp"
 
@@ -110,6 +113,26 @@ std::shared_ptr<const melf::Binary> build_verifier_lib(size_t capacity,
 
   emit_restorer(b);
   return std::make_shared<melf::Binary>(b.link());
+}
+
+VerifierLogRead read_verifier_log(const os::Process& p) {
+  VerifierLogRead out;
+  const os::LoadedModule* lib = p.module_named(kVerifyLibName);
+  if (lib == nullptr) return out;
+  const melf::Symbol* count_sym = lib->binary->find_symbol("log_count");
+  const melf::Symbol* buf_sym = lib->binary->find_symbol("log_buf");
+  DYNACUT_ASSERT(count_sym != nullptr && buf_sym != nullptr);
+  out.capacity = buf_sym->size / 8;
+  p.mem.peek(lib->base + count_sym->value, &out.raw_count, 8);
+  // The guest owns log_count; trusting it would let a scribbled counter
+  // drive the peek loop arbitrarily far past log_buf.
+  uint64_t count = std::min<uint64_t>(out.raw_count, out.capacity);
+  out.clamped = count != out.raw_count;
+  out.addrs.resize(count);
+  if (count > 0) {
+    p.mem.peek(lib->base + buf_sym->value, out.addrs.data(), count * 8);
+  }
+  return out;
 }
 
 }  // namespace dynacut::core

@@ -8,9 +8,12 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "melf/binary.hpp"
+#include "os/process.hpp"
 
 namespace dynacut::core {
 
@@ -37,5 +40,20 @@ std::shared_ptr<const melf::Binary> build_redirect_lib(size_t capacity);
 /// orig_table, log_count, log_buf (log_capacity u64 slots).
 std::shared_ptr<const melf::Binary> build_verifier_lib(size_t capacity,
                                                        size_t log_capacity);
+
+/// The verifier library's heal log, read back from live guest memory.
+struct VerifierLogRead {
+  std::vector<uint64_t> addrs;  ///< healed addresses, oldest first
+  uint64_t raw_count = 0;       ///< in-guest log_count field, unclamped
+  uint64_t capacity = 0;        ///< log_buf capacity in entries
+  bool clamped = false;         ///< raw_count exceeded the buffer capacity
+};
+
+/// Reads `p`'s injected verifier library log. The in-guest count field is
+/// untrusted (the guest can scribble anything there); the read is clamped
+/// to the table's real capacity and `clamped` reports when that happened —
+/// the caller surfaces it as an obs warning instead of over-reading guest
+/// memory. Returns an empty read when the library is not injected.
+VerifierLogRead read_verifier_log(const os::Process& p);
 
 }  // namespace dynacut::core

@@ -15,9 +15,15 @@ std::string image_key(const image::ProcessImage& img, int pid) {
 }  // namespace
 
 GroupTxn::GroupTxn(os::Os& os, std::vector<int> pids,
-                   image::ImageStore& store)
-    : os_(os), store_(store), pids_(std::move(pids)) {
+                   image::ImageStore& store, obs::EventBus* bus,
+                   const std::string& label, const std::string& action)
+    : os_(os), store_(store), bus_(bus), pids_(std::move(pids)) {
   os_.freeze_group(pids_);
+  if (bus_ != nullptr) {
+    bus_->begin_txn(label,
+                    {obs::Attr::s("action", action),
+                     obs::Attr::u("pids", static_cast<uint64_t>(pids_.size()))});
+  }
 }
 
 GroupTxn::~GroupTxn() { abort(); }
@@ -31,7 +37,7 @@ GroupTxn::Entry* GroupTxn::entry(int pid) {
 
 image::ProcessImage GroupTxn::dump(int pid, FaultPlan* faults) {
   DYNACUT_ASSERT(!finished_ && entry(pid) == nullptr);
-  image::ProcessImage img = image::checkpoint(os_, pid, faults);
+  image::ProcessImage img = image::checkpoint(os_, pid, faults, bus_);
   store_.put(image_key(img, pid) + ".pre", img);
   entries_.push_back(Entry{pid, img, std::nullopt});
   return img;
@@ -52,16 +58,19 @@ void GroupTxn::commit(
     for (auto& e : entries_) {
       DYNACUT_ASSERT(e.staged.has_value());
       store_.put(image_key(*e.staged, e.pid), *e.staged);
-      image::restore(os_, e.pid, *e.staged, faults);
+      image::restore(os_, e.pid, *e.staged, faults, bus_);
       if (on_restored) on_restored(*e.staged);
       ++restored;
     }
   } catch (const Error& err) {
     int pid = restored < entries_.size() ? entries_[restored].pid : -1;
     rollback(restored);
+    if (bus_ != nullptr) bus_->abort_txn(err.what());
     finished_ = true;
     throw CustomizeError(feature, FaultStage::kRestore, pid, err.what());
   }
+  // The bus transaction stays open: the caller closes it with the final
+  // edit statistics once its own bookkeeping is done.
   finished_ = true;
 }
 
@@ -83,6 +92,7 @@ void GroupTxn::rollback(size_t restored) {
 void GroupTxn::abort() {
   if (finished_) return;
   os_.thaw_group(pids_);
+  if (bus_ != nullptr) bus_->abort_txn("staging aborted");
   finished_ = true;
 }
 

@@ -26,6 +26,7 @@
 
 #include "common/fault.hpp"
 #include "image/image.hpp"
+#include "obs/bus.hpp"
 #include "os/os.hpp"
 
 namespace dynacut::core {
@@ -67,7 +68,17 @@ class GroupTxn {
  public:
   /// Freezes every pid (all-or-nothing). `store` receives the pristine
   /// images at dump() time and the rewritten images at commit() time.
-  GroupTxn(os::Os& os, std::vector<int> pids, image::ImageStore& store);
+  ///
+  /// `bus` (optional) mirrors the transaction onto the observability layer:
+  /// construction opens a bus transaction (emitting `txn.stage` labelled
+  /// `label`, with `action` = "disable"/"restore"), every event emitted
+  /// during staging is buffered, and abort/rollback retracts them and emits
+  /// `txn.abort` + `txn.rollback`. A successful commit() leaves the bus
+  /// transaction open so the caller can close it via
+  /// EventBus::commit_txn with the final edit statistics attached.
+  GroupTxn(os::Os& os, std::vector<int> pids, image::ImageStore& store,
+           obs::EventBus* bus = nullptr, const std::string& label = {},
+           const std::string& action = {});
   ~GroupTxn();
   GroupTxn(const GroupTxn&) = delete;
   GroupTxn& operator=(const GroupTxn&) = delete;
@@ -113,6 +124,7 @@ class GroupTxn {
 
   os::Os& os_;
   image::ImageStore& store_;
+  obs::EventBus* bus_ = nullptr;
   std::vector<int> pids_;
   std::vector<Entry> entries_;
   bool finished_ = false;

@@ -39,7 +39,8 @@ vm::AddressSpace build_address_space(const ProcessImage& img) {
 
 }  // namespace
 
-ProcessImage checkpoint(os::Os& os, int pid, FaultPlan* faults) {
+ProcessImage checkpoint(os::Os& os, int pid, FaultPlan* faults,
+                        obs::EventBus* bus) {
   FaultPlan::fire(faults, FaultStage::kCheckpoint);
   os::Process* p = os.process(pid);
   if (p == nullptr || p->state == os::Process::State::kExited) {
@@ -72,11 +73,17 @@ ProcessImage checkpoint(os::Os& os, int pid, FaultPlan* faults) {
   for (const auto& m : p->modules) {
     img.modules.push_back(ModuleImage{m.name, m.base, m.size, m.binary});
   }
+  if (bus != nullptr) {
+    bus->emit(obs::Event(obs::ev::kCheckpointDump, pid)
+                  .with("pages", static_cast<uint64_t>(img.pages.size()))
+                  .with("vmas", static_cast<uint64_t>(img.vmas.size()))
+                  .with("modules", static_cast<uint64_t>(img.modules.size())));
+  }
   return img;
 }
 
 void restore(os::Os& os, int pid, const ProcessImage& img,
-             FaultPlan* faults) {
+             FaultPlan* faults, obs::EventBus* bus) {
   os::Process* p = os.process(pid);
   if (p == nullptr || p->state != os::Process::State::kFrozen) {
     throw StateError("restore: process not frozen: " + std::to_string(pid));
@@ -114,6 +121,10 @@ void restore(os::Os& os, int pid, const ProcessImage& img,
 
   p->at_block_start = true;
   os.thaw(pid);
+  if (bus != nullptr) {
+    bus->emit(obs::Event(obs::ev::kCheckpointRestore, pid)
+                  .with("pages", static_cast<uint64_t>(img.pages.size())));
+  }
 }
 
 int restore_new(os::Os& os, const ProcessImage& img) {

@@ -6,6 +6,7 @@
 
 #include "common/fault.hpp"
 #include "image/image.hpp"
+#include "obs/bus.hpp"
 #include "os/os.hpp"
 
 namespace dynacut::image {
@@ -14,15 +15,18 @@ namespace dynacut::image {
 /// dumps its full state. The process stays frozen (and thus makes no
 /// progress) until restore() — that window is DynaCut's
 /// service-interruption time. `faults` is the deterministic fault-injection
-/// hook (FaultStage::kCheckpoint fires before anything is touched).
-ProcessImage checkpoint(os::Os& os, int pid, FaultPlan* faults = nullptr);
+/// hook (FaultStage::kCheckpoint fires before anything is touched). `bus`
+/// (optional) receives a `checkpoint.dump` event once the dump succeeds.
+ProcessImage checkpoint(os::Os& os, int pid, FaultPlan* faults = nullptr,
+                        obs::EventBus* bus = nullptr);
 
 /// Replaces the frozen process's state with `img` and thaws it. Live socket
 /// objects referenced by the image's fd table are re-attached (TCP_REPAIR).
 /// FaultStage::kRestore fires after validation but before any mutation, so
 /// an injected restore failure leaves the process frozen and untouched.
+/// `bus` (optional) receives a `checkpoint.restore` event on success.
 void restore(os::Os& os, int pid, const ProcessImage& img,
-             FaultPlan* faults = nullptr);
+             FaultPlan* faults = nullptr, obs::EventBus* bus = nullptr);
 
 /// Restores an image as a brand-new process (e.g. booting from a stored
 /// post-init image instead of rerunning initialization). Listening sockets

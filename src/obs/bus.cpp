@@ -1,0 +1,151 @@
+#include "obs/bus.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "obs/json.hpp"
+
+namespace dynacut::obs {
+
+std::string Event::json() const {
+  // Built with sequential appends: `"literal" + <rvalue string>` trips a
+  // GCC 12 -Wrestrict false positive under -O2.
+  std::string out = "{\"seq\":";
+  out += std::to_string(seq);
+  out += ",\"t\":";
+  out += std::to_string(vclock);
+  out += ",\"type\":\"";
+  out += json_escape(type);
+  out += "\"";
+  if (pid >= 0) {
+    out += ",\"pid\":";
+    out += std::to_string(pid);
+  }
+  if (txn != 0) {
+    out += ",\"txn\":";
+    out += std::to_string(txn);
+  }
+  for (const auto& a : attrs) {
+    out += ",\"";
+    out += json_escape(a.key);
+    out += "\":";
+    if (a.is_num) {
+      out += std::to_string(a.num);
+    } else {
+      out += "\"";
+      out += json_escape(a.str);
+      out += "\"";
+    }
+  }
+  out += "}";
+  return out;
+}
+
+void EventBus::add_sink(Sink* s) {
+  DYNACUT_ASSERT(s != nullptr && !dispatching_);
+  if (std::find(sinks_.begin(), sinks_.end(), s) == sinks_.end()) {
+    sinks_.push_back(s);
+  }
+}
+
+void EventBus::remove_sink(Sink* s) {
+  DYNACUT_ASSERT(!dispatching_);
+  sinks_.erase(std::remove(sinks_.begin(), sinks_.end(), s), sinks_.end());
+}
+
+void EventBus::dispatch(Event e) {
+  if (dispatching_) {
+    // Emitted from inside a sink: queue, the outer dispatch drains it after
+    // the current event so every sink sees the same seq-consistent order.
+    pending_.push_back(std::move(e));
+    return;
+  }
+  dispatching_ = true;
+  for (Sink* s : sinks_) s->on_event(e);
+  ++delivered_;
+  while (!pending_.empty()) {
+    Event next = std::move(pending_.front());
+    pending_.pop_front();
+    for (Sink* s : sinks_) s->on_event(next);
+    ++delivered_;
+  }
+  dispatching_ = false;
+}
+
+uint64_t EventBus::deliver(Event e) {
+  if (annotator_) annotator_(e);
+  e.seq = ++seq_;
+  e.vclock = now();
+  uint64_t seq = e.seq;
+  dispatch(std::move(e));
+  return seq;
+}
+
+uint64_t EventBus::emit(Event e) {
+  if (txn_ != 0) {
+    if (annotator_) annotator_(e);
+    e.seq = ++seq_;
+    e.vclock = now();
+    e.txn = txn_;
+    uint64_t seq = e.seq;
+    staged_.push_back(std::move(e));
+    return seq;
+  }
+  return deliver(std::move(e));
+}
+
+uint64_t EventBus::begin_txn(const std::string& label,
+                             std::vector<Attr> attrs) {
+  DYNACUT_ASSERT(txn_ == 0);  // transactions do not nest
+  Event e(ev::kTxnStage);
+  e.with("label", label);
+  for (auto& a : attrs) e.attrs.push_back(std::move(a));
+  uint64_t id = deliver(std::move(e));
+  txn_ = id;
+  txn_label_ = label;
+  return id;
+}
+
+size_t EventBus::commit_txn(std::vector<Attr> attrs) {
+  if (txn_ == 0) return 0;
+  uint64_t id = txn_;
+  std::string label = std::move(txn_label_);
+  std::vector<Event> staged = std::move(staged_);
+  staged_.clear();
+  txn_ = 0;
+
+  // Flush in staging order — events keep their original seq/vclock stamps —
+  // then close the bracket.
+  for (auto& e : staged) dispatch(std::move(e));
+
+  Event commit(ev::kTxnCommit);
+  commit.txn = id;
+  commit.with("label", label)
+      .with("staged", static_cast<uint64_t>(staged.size()));
+  for (auto& a : attrs) commit.attrs.push_back(std::move(a));
+  deliver(std::move(commit));
+  return staged.size();
+}
+
+void EventBus::abort_txn(const std::string& why) {
+  if (txn_ == 0) return;
+  uint64_t id = txn_;
+  std::string label = std::move(txn_label_);
+  size_t dropped = staged_.size();
+  retracted_ += dropped;
+  staged_.clear();
+  txn_ = 0;
+
+  Event abort(ev::kTxnAbort);
+  abort.txn = id;
+  abort.with("label", label)
+      .with("why", why)
+      .with("retracted", static_cast<uint64_t>(dropped));
+  deliver(std::move(abort));
+  Event rb(ev::kTxnRollback);
+  rb.txn = id;
+  rb.with("label", label);
+  deliver(std::move(rb));
+}
+
+}  // namespace dynacut::obs

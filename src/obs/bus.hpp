@@ -1,0 +1,110 @@
+// The observability event bus (DESIGN.md §9).
+//
+// A single-threaded pub/sub hub for obs::Events. Emitters (core::DynaCut,
+// core::GroupTxn, image::checkpoint, rw::ImageRewriter, os::Os) push
+// events; pluggable Sinks (ring buffer for tests, JSONL writer for benches)
+// receive them stamped with a monotone sequence number and the virtual
+// clock.
+//
+// Transactions and retraction-on-abort: a customization opens a bus
+// transaction before staging (begin_txn emits `txn.stage`). Every event
+// emitted while the transaction is open is *staged*, not delivered — sinks
+// never observe a rewrite that might still be rolled back. commit_txn
+// flushes the staged events (original timestamps, fresh delivery) and
+// closes with `txn.commit`; abort_txn retracts the staged events
+// unseen and emits `txn.abort` + `txn.rollback`. An observer therefore
+// sees either the full bracketed trace of an applied customization or only
+// the stage/abort/rollback skeleton of one that never happened.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obs/event.hpp"
+
+namespace dynacut::obs {
+
+/// Receives delivered events. Implementations must not add or remove sinks
+/// from inside on_event; emitting further events from a sink is allowed
+/// (they are queued and delivered after the current one).
+class Sink {
+ public:
+  virtual ~Sink() = default;
+  virtual void on_event(const Event& e) = 0;
+};
+
+class EventBus {
+ public:
+  using Clock = std::function<uint64_t()>;
+  using Annotator = std::function<void(Event&)>;
+
+  EventBus() = default;
+  EventBus(const EventBus&) = delete;
+  EventBus& operator=(const EventBus&) = delete;
+
+  /// The virtual-clock source events are stamped with (os::Os wires its own
+  /// clock in when given the bus). Unset, events are stamped 0.
+  void set_clock(Clock c) { clock_ = std::move(c); }
+  bool has_clock() const { return static_cast<bool>(clock_); }
+  uint64_t now() const { return clock_ ? clock_() : 0; }
+
+  /// One pluggable enrichment hook, called on every event before stamping.
+  /// core::DynaCut uses it to attach feature/policy attributes to raw
+  /// `trap.hit` events the OS emits. Last setter wins; nullptr clears.
+  void set_annotator(Annotator a) { annotator_ = std::move(a); }
+
+  void add_sink(Sink* s);
+  void remove_sink(Sink* s);
+
+  /// Emits an event: annotate, stamp seq + vclock, then deliver — or stage,
+  /// if a transaction is open. Returns the assigned sequence number.
+  uint64_t emit(Event e);
+
+  // --- transactions -------------------------------------------------------
+  /// Opens a transaction and emits `txn.stage` (delivered immediately — the
+  /// stage marker survives an abort). Only one transaction may be open.
+  /// Returns the transaction id (the stage event's sequence number).
+  uint64_t begin_txn(const std::string& label, std::vector<Attr> attrs = {});
+
+  /// Flushes the staged events to the sinks and closes the bracket with
+  /// `txn.commit` (carrying `attrs`). Returns the number of staged events
+  /// committed. No-op returning 0 when no transaction is open.
+  size_t commit_txn(std::vector<Attr> attrs = {});
+
+  /// Retracts the staged events (sinks never see them) and emits
+  /// `txn.abort` + `txn.rollback`. No-op when no transaction is open, so
+  /// abort paths can call it blindly.
+  void abort_txn(const std::string& why);
+
+  bool in_txn() const { return txn_ != 0; }
+  uint64_t current_txn() const { return txn_; }
+
+  /// Events delivered to sinks / retracted by aborts since construction.
+  uint64_t events_delivered() const { return delivered_; }
+  uint64_t events_retracted() const { return retracted_; }
+
+ private:
+  /// Stamps and hands the event to every sink, queueing re-entrant emits.
+  uint64_t deliver(Event e);
+  /// Hands an already-stamped event to every sink.
+  void dispatch(Event e);
+
+  Clock clock_;
+  Annotator annotator_;
+  std::vector<Sink*> sinks_;
+  uint64_t seq_ = 0;
+  uint64_t delivered_ = 0;
+  uint64_t retracted_ = 0;
+
+  uint64_t txn_ = 0;  ///< open transaction id; 0 = none
+  std::string txn_label_;
+  std::vector<Event> staged_;
+
+  bool dispatching_ = false;
+  std::deque<Event> pending_;  ///< events emitted from inside a sink
+};
+
+}  // namespace dynacut::obs

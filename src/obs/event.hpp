@@ -1,0 +1,107 @@
+// Structured observability events (DESIGN.md §9).
+//
+// Every interesting thing DynaCut does to a process — staging a
+// transaction, dumping a checkpoint, patching a block, delivering a trap —
+// is described by one Event: a dotted taxonomy name, a virtual-clock
+// timestamp, the subject pid and a flat list of typed attributes. Events
+// are plain data; the EventBus (obs/bus.hpp) stamps and routes them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace dynacut::obs {
+
+/// The event taxonomy. Sinks key on these exact strings; new types must be
+/// added here and documented in DESIGN.md §9.
+namespace ev {
+inline constexpr const char* kTxnStage = "txn.stage";
+inline constexpr const char* kTxnCommit = "txn.commit";
+inline constexpr const char* kTxnAbort = "txn.abort";
+inline constexpr const char* kTxnRollback = "txn.rollback";
+inline constexpr const char* kCheckpointDump = "checkpoint.dump";
+inline constexpr const char* kCheckpointRestore = "checkpoint.restore";
+inline constexpr const char* kRewritePatch = "rewrite.patch";
+inline constexpr const char* kRewriteWipe = "rewrite.wipe";
+inline constexpr const char* kRewriteUnmap = "rewrite.unmap";
+inline constexpr const char* kRewriteInject = "rewrite.inject";
+inline constexpr const char* kTrapHit = "trap.hit";
+inline constexpr const char* kVerifierHeal = "verifier.heal";
+inline constexpr const char* kCutcheckFinding = "cutcheck.finding";
+inline constexpr const char* kWarning = "obs.warning";
+}  // namespace ev
+
+/// One event attribute: a key plus either a string or an unsigned number.
+struct Attr {
+  std::string key;
+  std::string str;
+  uint64_t num = 0;
+  bool is_num = false;
+
+  static Attr s(std::string k, std::string v) {
+    Attr a;
+    a.key = std::move(k);
+    a.str = std::move(v);
+    return a;
+  }
+  static Attr u(std::string k, uint64_t v) {
+    Attr a;
+    a.key = std::move(k);
+    a.num = v;
+    a.is_num = true;
+    return a;
+  }
+};
+
+struct Event {
+  std::string type;     ///< taxonomy name (ev::k*)
+  uint64_t vclock = 0;  ///< virtual-clock timestamp, stamped by the bus
+  uint64_t seq = 0;     ///< bus-assigned monotone sequence number
+  uint64_t txn = 0;     ///< enclosing bus transaction id; 0 = none
+  int pid = -1;         ///< subject process; -1 = none
+  std::vector<Attr> attrs;
+
+  Event() = default;
+  explicit Event(std::string t, int p = -1) : type(std::move(t)), pid(p) {}
+
+  Event& with(std::string key, std::string v) & {
+    attrs.push_back(Attr::s(std::move(key), std::move(v)));
+    return *this;
+  }
+  Event& with(std::string key, uint64_t v) & {
+    attrs.push_back(Attr::u(std::move(key), v));
+    return *this;
+  }
+  Event&& with(std::string key, std::string v) && {
+    attrs.push_back(Attr::s(std::move(key), std::move(v)));
+    return std::move(*this);
+  }
+  Event&& with(std::string key, uint64_t v) && {
+    attrs.push_back(Attr::u(std::move(key), v));
+    return std::move(*this);
+  }
+
+  const Attr* find(const std::string& key) const {
+    for (const auto& a : attrs) {
+      if (a.key == key) return &a;
+    }
+    return nullptr;
+  }
+  /// Attribute as a string ("" if absent or numeric).
+  std::string attr_str(const std::string& key) const {
+    const Attr* a = find(key);
+    return (a != nullptr && !a->is_num) ? a->str : std::string();
+  }
+  /// Attribute as a number (`fallback` if absent or a string).
+  uint64_t attr_u64(const std::string& key, uint64_t fallback = 0) const {
+    const Attr* a = find(key);
+    return (a != nullptr && a->is_num) ? a->num : fallback;
+  }
+
+  /// One JSON object with a stable key order: seq, t, type, [pid], [txn],
+  /// then the attributes in insertion order. Exactly the JSONL line format.
+  std::string json() const;
+};
+
+}  // namespace dynacut::obs

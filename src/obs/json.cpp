@@ -1,0 +1,220 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace dynacut::obs {
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent validator over the RFC 8259 grammar.
+class Validator {
+ public:
+  explicit Validator(std::string_view t) : t_(t) {}
+
+  bool run(std::string* why) {
+    skip_ws();
+    if (!value()) {
+      fail(why);
+      return false;
+    }
+    skip_ws();
+    if (pos_ != t_.size()) {
+      err_ = "trailing data";
+      fail(why);
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void fail(std::string* why) const {
+    if (why != nullptr) {
+      *why = err_.empty() ? "malformed JSON" : err_;
+      *why += " at offset " + std::to_string(pos_);
+    }
+  }
+
+  bool eof() const { return pos_ >= t_.size(); }
+  char peek() const { return eof() ? '\0' : t_[pos_]; }
+  bool eat(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  void skip_ws() {
+    while (!eof() && (t_[pos_] == ' ' || t_[pos_] == '\t' ||
+                      t_[pos_] == '\n' || t_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(std::string_view word) {
+    if (t_.substr(pos_, word.size()) != word) {
+      err_ = "bad literal";
+      return false;
+    }
+    pos_ += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (!eat('"')) {
+      err_ = "expected string";
+      return false;
+    }
+    while (!eof()) {
+      char c = t_[pos_++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) {
+        err_ = "raw control character in string";
+        return false;
+      }
+      if (c == '\\') {
+        if (eof()) break;
+        char e = t_[pos_++];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            if (eof() || std::isxdigit(static_cast<unsigned char>(t_[pos_])) == 0) {
+              err_ = "bad \\u escape";
+              return false;
+            }
+            ++pos_;
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          err_ = "bad escape";
+          return false;
+        }
+      }
+    }
+    err_ = "unterminated string";
+    return false;
+  }
+
+  bool digits() {
+    if (std::isdigit(static_cast<unsigned char>(peek())) == 0) return false;
+    while (std::isdigit(static_cast<unsigned char>(peek())) != 0) ++pos_;
+    return true;
+  }
+
+  bool number() {
+    eat('-');
+    if (peek() == '0') {
+      ++pos_;
+    } else if (!digits()) {
+      err_ = "bad number";
+      return false;
+    }
+    if (eat('.') && !digits()) {
+      err_ = "bad fraction";
+      return false;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      if (!digits()) {
+        err_ = "bad exponent";
+        return false;
+      }
+    }
+    return true;
+  }
+
+  bool object() {
+    ++pos_;  // '{'
+    skip_ws();
+    if (eat('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!eat(':')) {
+        err_ = "expected ':'";
+        return false;
+      }
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat('}')) return true;
+      if (!eat(',')) {
+        err_ = "expected ',' or '}'";
+        return false;
+      }
+    }
+  }
+
+  bool array() {
+    ++pos_;  // '['
+    skip_ws();
+    if (eat(']')) return true;
+    while (true) {
+      skip_ws();
+      if (!value()) return false;
+      skip_ws();
+      if (eat(']')) return true;
+      if (!eat(',')) {
+        err_ = "expected ',' or ']'";
+        return false;
+      }
+    }
+  }
+
+  bool value() {
+    if (depth_ > 128) {
+      err_ = "nesting too deep";
+      return false;
+    }
+    ++depth_;
+    bool ok = false;
+    switch (peek()) {
+      case '{': ok = object(); break;
+      case '[': ok = array(); break;
+      case '"': ok = string(); break;
+      case 't': ok = literal("true"); break;
+      case 'f': ok = literal("false"); break;
+      case 'n': ok = literal("null"); break;
+      default: ok = number(); break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  std::string_view t_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  std::string err_;
+};
+
+}  // namespace
+
+bool json_valid(std::string_view text, std::string* why) {
+  return Validator(text).run(why);
+}
+
+}  // namespace dynacut::obs

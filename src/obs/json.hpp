@@ -1,0 +1,20 @@
+// Minimal JSON utilities for the observability layer: string escaping for
+// the emitters and a full-grammar validator (no DOM) that the obs tests and
+// bench/obs_smoke use to assert every emitted line is well-formed JSON.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace dynacut::obs {
+
+/// Escapes `s` for embedding inside a JSON string literal (quotes not
+/// included): ", \, and control characters become escape sequences.
+std::string json_escape(std::string_view s);
+
+/// True iff `text` is exactly one syntactically valid JSON value (RFC 8259
+/// grammar) with nothing but whitespace around it. On failure, `why` (if
+/// non-null) receives a short description with the byte offset.
+bool json_valid(std::string_view text, std::string* why = nullptr);
+
+}  // namespace dynacut::obs

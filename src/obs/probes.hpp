@@ -1,0 +1,49 @@
+// Standard probes for the TimelineRecorder's pulled-sample timeline.
+//
+// Header-only on purpose: the obs library proper depends only on
+// dynacut_common (so os/image/rewriter can all link it), while these probes
+// read live process state and therefore need the os and analysis layers.
+// Consumers that use them (benches, tests) already link both.
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "analysis/cfg.hpp"
+#include "os/os.hpp"
+
+namespace dynacut::obs {
+
+/// Percentage of `cfg`'s basic blocks that are *live* in `pid`'s real
+/// memory: the block's page is mapped and its first byte is not a trap —
+/// the paper's Figure 10 metric. Exited/unknown pids score 0.
+inline double live_block_pct(const os::Os& vos, int pid,
+                             const std::string& module,
+                             const analysis::StaticCfg& cfg) {
+  const os::Process* p = vos.process(pid);
+  if (p == nullptr || p->state == os::Process::State::kExited) return 0.0;
+  const os::LoadedModule* m = p->module_named(module);
+  if (m == nullptr || cfg.block_count() == 0) return 0.0;
+  size_t live = 0;
+  for (const auto& [off, blk] : cfg.blocks) {
+    uint64_t addr = m->base + off;
+    uint8_t byte = 0;
+    if (!p->mem.read(addr, &byte, 1, kProtExec).ok) continue;  // unmapped
+    if (byte != 0xCC) ++live;
+  }
+  return 100.0 * static_cast<double>(live) /
+         static_cast<double>(cfg.block_count());
+}
+
+/// A live-BB probe bound to one process, ready for
+/// TimelineRecorder::set_live_probe. The referenced objects must outlive
+/// the returned closure.
+inline std::function<double()> make_live_bb_probe(
+    const os::Os& vos, int pid, std::string module,
+    const analysis::StaticCfg& cfg) {
+  return [&vos, pid, module = std::move(module), &cfg] {
+    return live_block_pct(vos, pid, module, cfg);
+  };
+}
+
+}  // namespace dynacut::obs

@@ -1,0 +1,15 @@
+#include "obs/sinks.hpp"
+
+#include "common/error.hpp"
+
+namespace dynacut::obs {
+
+JsonlSink::JsonlSink(const std::string& path)
+    : owned_(std::make_unique<std::ofstream>(path, std::ios::trunc)),
+      out_(owned_.get()) {
+  if (!owned_->is_open()) {
+    throw StateError("JsonlSink: cannot open " + path);
+  }
+}
+
+}  // namespace dynacut::obs

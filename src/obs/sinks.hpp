@@ -1,0 +1,74 @@
+// Standard event sinks: a bounded in-memory ring buffer (tests, ad-hoc
+// inspection) and a JSONL writer (benches, offline analysis).
+#pragma once
+
+#include <deque>
+#include <fstream>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "obs/bus.hpp"
+
+namespace dynacut::obs {
+
+/// Keeps the most recent `capacity` events.
+class RingBufferSink : public Sink {
+ public:
+  explicit RingBufferSink(size_t capacity = 4096) : capacity_(capacity) {}
+
+  void on_event(const Event& e) override {
+    ++total_;
+    events_.push_back(e);
+    if (events_.size() > capacity_) events_.pop_front();
+  }
+
+  const std::deque<Event>& events() const { return events_; }
+  /// Events received since construction/clear(), including evicted ones.
+  size_t total() const { return total_; }
+
+  /// Retained events of one taxonomy type, in arrival order.
+  std::vector<const Event*> of_type(const std::string& type) const {
+    std::vector<const Event*> out;
+    for (const auto& e : events_) {
+      if (e.type == type) out.push_back(&e);
+    }
+    return out;
+  }
+  size_t count(const std::string& type) const { return of_type(type).size(); }
+
+  void clear() {
+    events_.clear();
+    total_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  size_t total_ = 0;
+  std::deque<Event> events_;
+};
+
+/// Writes one JSON object per event, newline-terminated (JSON Lines).
+class JsonlSink : public Sink {
+ public:
+  /// Writes to a caller-owned stream (e.g. a std::ostringstream in tests).
+  explicit JsonlSink(std::ostream& out) : out_(&out) {}
+  /// Opens (truncates) `path` and writes there; throws on open failure.
+  explicit JsonlSink(const std::string& path);
+
+  void on_event(const Event& e) override {
+    *out_ << e.json() << '\n';
+    ++lines_;
+  }
+
+  size_t lines() const { return lines_; }
+  void flush() { out_->flush(); }
+
+ private:
+  std::unique_ptr<std::ofstream> owned_;
+  std::ostream* out_;
+  size_t lines_ = 0;
+};
+
+}  // namespace dynacut::obs

@@ -1,0 +1,77 @@
+#include "obs/timeline.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "obs/json.hpp"
+
+namespace dynacut::obs {
+
+void TimelineRecorder::on_event(const Event& e) {
+  if (e.type != ev::kTxnCommit) return;
+  std::string action = e.attr_str("action");
+  if (action != "disable" && action != "restore") return;
+  std::string feature = e.attr_str("label");
+  if (feature.empty()) return;
+  bool disabled = action == "disable";
+  if (disabled) {
+    disabled_.insert(feature);
+  } else {
+    disabled_.erase(feature);
+  }
+  toggles_.push_back(Toggle{e.vclock, feature, action, disabled});
+}
+
+const TimelineRecorder::Sample& TimelineRecorder::sample() {
+  Sample s;
+  s.vclock = bus_.now();
+  s.live_pct = probe_ ? probe_() : 0.0;
+  s.disabled = disabled_features();
+  samples_.push_back(std::move(s));
+  return samples_.back();
+}
+
+std::string TimelineRecorder::json() const {
+  // Sequential appends: `"literal" + <rvalue string>` trips a GCC 12
+  // -Wrestrict false positive under -O2.
+  std::string out = "{\"toggles\":[";
+  bool first = true;
+  for (const auto& t : toggles_) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"t\":";
+    out += std::to_string(t.vclock);
+    out += ",\"feature\":\"";
+    out += json_escape(t.feature);
+    out += "\",\"action\":\"";
+    out += json_escape(t.action);
+    out += "\"}";
+  }
+  out += "],\"samples\":[";
+  first = true;
+  for (const auto& s : samples_) {
+    if (!first) out += ",";
+    first = false;
+    char pct[40];
+    std::snprintf(pct, sizeof(pct), "%.17g",
+                  std::isfinite(s.live_pct) ? s.live_pct : 0.0);
+    out += "{\"t\":";
+    out += std::to_string(s.vclock);
+    out += ",\"live_pct\":";
+    out += pct;
+    out += ",\"disabled\":[";
+    bool f2 = true;
+    for (const auto& d : s.disabled) {
+      if (!f2) out += ",";
+      f2 = false;
+      out += "\"";
+      out += json_escape(d);
+      out += "\"";
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace dynacut::obs

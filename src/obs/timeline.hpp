@@ -1,0 +1,79 @@
+// Timeline recorder (DESIGN.md §9): the obs-layer primitive behind the
+// paper's Figure 8 (throughput/toggle timeline) and Figure 10 (live-BB
+// percentage over a program's lifetime).
+//
+// The recorder subscribes to an EventBus and derives the *toggle* timeline
+// — which features were disabled/restored and at what virtual time — from
+// committed `txn.commit` events, so benches no longer keep that bookkeeping
+// by hand. Aborted customizations never reach the recorder (the bus
+// retracts their events), so the disabled-feature set only ever reflects
+// customizations that actually happened.
+//
+// The *sample* timeline (live-BB percentage) is pulled, not pushed: the
+// caller installs a probe (see obs/probes.hpp for the standard live-BB one)
+// and calls sample() at its own cadence.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "obs/bus.hpp"
+
+namespace dynacut::obs {
+
+class TimelineRecorder : public Sink {
+ public:
+  /// One committed customization, as observed on the bus.
+  struct Toggle {
+    uint64_t vclock = 0;
+    std::string feature;   ///< the txn label
+    std::string action;    ///< "disable" | "restore"
+    bool disabled = false; ///< true when the action disables the feature
+  };
+
+  /// One pulled sample of the live state.
+  struct Sample {
+    uint64_t vclock = 0;
+    double live_pct = 0.0;
+    std::vector<std::string> disabled;  ///< sorted disabled-feature set
+  };
+
+  /// Subscribes to `bus` (unsubscribes on destruction).
+  explicit TimelineRecorder(EventBus& bus) : bus_(bus) { bus_.add_sink(this); }
+  ~TimelineRecorder() override { bus_.remove_sink(this); }
+  TimelineRecorder(const TimelineRecorder&) = delete;
+  TimelineRecorder& operator=(const TimelineRecorder&) = delete;
+
+  /// Probe returning the current live-BB percentage (or any scalar the
+  /// caller wants on the sample timeline). Unset, samples record 0.
+  void set_live_probe(std::function<double()> probe) {
+    probe_ = std::move(probe);
+  }
+
+  void on_event(const Event& e) override;
+
+  /// Probes now and appends (and returns) a sample.
+  const Sample& sample();
+
+  const std::vector<Toggle>& toggles() const { return toggles_; }
+  const std::vector<Sample>& samples() const { return samples_; }
+  /// The currently disabled features, sorted.
+  std::vector<std::string> disabled_features() const {
+    return {disabled_.begin(), disabled_.end()};
+  }
+
+  /// {"toggles":[...],"samples":[...]} — both timelines as one JSON object.
+  std::string json() const;
+
+ private:
+  EventBus& bus_;
+  std::function<double()> probe_;
+  std::set<std::string> disabled_;
+  std::vector<Toggle> toggles_;
+  std::vector<Sample> samples_;
+};
+
+}  // namespace dynacut::obs

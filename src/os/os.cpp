@@ -5,9 +5,17 @@
 #include "common/error.hpp"
 #include "common/hex.hpp"
 #include "common/log.hpp"
+#include "obs/bus.hpp"
 #include "vm/exec.hpp"
 
 namespace dynacut::os {
+
+void Os::set_event_bus(obs::EventBus* bus) {
+  bus_ = bus;
+  if (bus_ != nullptr && !bus_->has_clock()) {
+    bus_->set_clock([this] { return clock_; });
+  }
+}
 
 // ---------------------------------------------------------------------------
 // Process lifecycle
@@ -301,6 +309,16 @@ void Os::run_quantum(Process& p, uint64_t budget, uint64_t& retired) {
 
 void Os::deliver_signal(Process& p, int signo, uint64_t fault_addr) {
   const SigAction& act = p.sigactions[signo];
+  if (signo == sig::kSigTrap && bus_ != nullptr) {
+    // The DynaCut annotator (if installed) enriches this raw event with the
+    // owning feature and its trap policy; here the kernel-side view only
+    // knows the address and what the dispatch will do.
+    bus_->emit(obs::Event(obs::ev::kTrapHit, p.pid)
+                   .with("addr", fault_addr)
+                   .with("ip", p.cpu.ip)
+                   .with("action", act.handler == 0 ? std::string("kill")
+                                                   : std::string("handler")));
+  }
   if (act.handler == 0) {
     p.state = Process::State::kExited;
     p.term_signal = signo;

@@ -18,6 +18,10 @@
 #include "os/process.hpp"
 #include "os/socket.hpp"
 
+namespace dynacut::obs {
+class EventBus;
+}
+
 namespace dynacut::os {
 
 /// Receives basic-block entry events (the drcov tracer implements this).
@@ -114,6 +118,13 @@ class Os {
     syscall_hook_ = std::move(hook);
   }
 
+  /// Wires the observability event bus in (non-owning; nullptr detaches).
+  /// The OS emits `trap.hit` for every SIGTRAP it dispatches — pid, address
+  /// and whether a handler took it or the process was killed. If the bus has
+  /// no clock source yet, it is given this OS's virtual clock.
+  void set_event_bus(obs::EventBus* bus);
+  obs::EventBus* event_bus() const { return bus_; }
+
   SyscallCosts& costs() { return costs_; }
 
  private:
@@ -135,6 +146,7 @@ class Os {
   std::vector<std::pair<int, uint64_t>> nudges_;
   std::function<void(const Process&, uint64_t)> nudge_hook_;
   std::function<void(const Process&, uint64_t)> syscall_hook_;
+  obs::EventBus* bus_ = nullptr;
   SyscallCosts costs_;
   bool yielded_ = false;
 };

@@ -21,7 +21,7 @@ void ImageRewriter::touch_pages(uint64_t vaddr, uint64_t size) {
   }
 }
 
-PatchRecord ImageRewriter::write_bytes(uint64_t vaddr,
+PatchRecord ImageRewriter::apply_bytes(uint64_t vaddr,
                                        std::span<const uint8_t> bytes) {
   FaultPlan::fire(faults_, FaultStage::kRewrite);
   PatchRecord rec;
@@ -33,14 +33,32 @@ PatchRecord ImageRewriter::write_bytes(uint64_t vaddr,
   return rec;
 }
 
+PatchRecord ImageRewriter::write_bytes(uint64_t vaddr,
+                                       std::span<const uint8_t> bytes) {
+  PatchRecord rec = apply_bytes(vaddr, bytes);
+  emit(obs::Event(obs::ev::kRewritePatch, img_.core.pid)
+           .with("addr", vaddr)
+           .with("bytes", static_cast<uint64_t>(bytes.size())));
+  return rec;
+}
+
 PatchRecord ImageRewriter::block_first_byte(uint64_t vaddr) {
   const uint8_t trap = static_cast<uint8_t>(isa::Op::kTrap);
-  return write_bytes(vaddr, std::span(&trap, 1));
+  PatchRecord rec = apply_bytes(vaddr, std::span(&trap, 1));
+  emit(obs::Event(obs::ev::kRewritePatch, img_.core.pid)
+           .with("addr", vaddr)
+           .with("bytes", uint64_t{1})
+           .with("kind", std::string("block")));
+  return rec;
 }
 
 PatchRecord ImageRewriter::wipe(uint64_t vaddr, uint64_t size) {
   std::vector<uint8_t> traps(size, static_cast<uint8_t>(isa::Op::kTrap));
-  return write_bytes(vaddr, traps);
+  PatchRecord rec = apply_bytes(vaddr, traps);
+  emit(obs::Event(obs::ev::kRewriteWipe, img_.core.pid)
+           .with("addr", vaddr)
+           .with("bytes", size));
+  return rec;
 }
 
 void ImageRewriter::undo(const PatchRecord& rec) {
@@ -50,6 +68,10 @@ void ImageRewriter::undo(const PatchRecord& rec) {
   // (the cost model would double-charge every patch/undo cycle).
   bytes_restored_ += rec.original.size();
   touch_pages(rec.vaddr, rec.original.size());
+  emit(obs::Event(obs::ev::kRewritePatch, img_.core.pid)
+           .with("addr", rec.vaddr)
+           .with("bytes", static_cast<uint64_t>(rec.original.size()))
+           .with("kind", std::string("undo")));
 }
 
 void ImageRewriter::unmap_pages(uint64_t vaddr, uint64_t size) {
@@ -58,6 +80,9 @@ void ImageRewriter::unmap_pages(uint64_t vaddr, uint64_t size) {
   uint64_t end = page_ceil(vaddr + size);
   img_.drop_range(start, end - start);
   touch_pages(start, end - start);
+  emit(obs::Event(obs::ev::kRewriteUnmap, img_.core.pid)
+           .with("addr", start)
+           .with("bytes", end - start));
 }
 
 void ImageRewriter::grow_vma(uint64_t vma_start, uint64_t extra) {
@@ -149,6 +174,11 @@ uint64_t ImageRewriter::inject_library(
     img_.write_u64(base + rel.offset, value);
     ++relocs_applied_;
   }
+  emit(obs::Event(obs::ev::kRewriteInject, img_.core.pid)
+           .with("lib", lib->name)
+           .with("base", base)
+           .with("bytes", lib->image_size())
+           .with("relocs", static_cast<uint64_t>(lib->relocs.size())));
   return base;
 }
 

@@ -28,6 +28,7 @@
 #include "common/fault.hpp"
 #include "image/image.hpp"
 #include "melf/binary.hpp"
+#include "obs/bus.hpp"
 
 namespace dynacut::rw {
 
@@ -62,8 +63,12 @@ class ImageRewriter {
   /// (patch/wipe/undo/unmap) fires FaultStage::kRewrite before mutating the
   /// image, and inject_library fires FaultStage::kInject — each *before*
   /// its mutation, so an injected failure leaves the image consistent.
-  explicit ImageRewriter(image::ProcessImage& img, FaultPlan* faults = nullptr)
-      : img_(img), faults_(faults) {}
+  /// `bus` (optional) receives a `rewrite.*` event after each successful
+  /// edit; under an open bus transaction those events are staged and
+  /// retracted if the customization aborts.
+  explicit ImageRewriter(image::ProcessImage& img, FaultPlan* faults = nullptr,
+                         obs::EventBus* bus = nullptr)
+      : img_(img), faults_(faults), bus_(bus) {}
 
   // --- raw memory edits -------------------------------------------------
   /// Patches bytes and returns an undo record.
@@ -120,8 +125,18 @@ class ImageRewriter {
   /// Zero-length edits touch nothing.
   void touch_pages(uint64_t vaddr, uint64_t size);
 
+  /// The byte-edit core shared by write_bytes/block_first_byte/wipe; fires
+  /// the rewrite fault point and mutates the image but emits nothing (the
+  /// public wrappers each emit their own taxonomy type).
+  PatchRecord apply_bytes(uint64_t vaddr, std::span<const uint8_t> bytes);
+
+  void emit(obs::Event e) {
+    if (bus_ != nullptr) bus_->emit(std::move(e));
+  }
+
   image::ProcessImage& img_;
   FaultPlan* faults_ = nullptr;
+  obs::EventBus* bus_ = nullptr;
   size_t bytes_patched_ = 0;
   size_t bytes_restored_ = 0;
   std::set<uint64_t> touched_pages_;

@@ -736,8 +736,8 @@ TEST(DynaCutEnforceTest, RejectsMidInstructionPlan) {
   core::FeatureSpec spec;
   spec.name = "skewed";
   spec.blocks = {{"toysrv", t.bin->find_symbol("dispatch")->value + 1, 1}};
-  EXPECT_THROW(dc.disable_feature(spec, core::RemovalPolicy::kBlockFirstByte,
-                                  core::TrapPolicy::kTerminate),
+  EXPECT_THROW(dc.disable_feature({spec, core::RemovalPolicy::kBlockFirstByte,
+                                  core::TrapPolicy::kTerminate}),
                StateError);
   EXPECT_FALSE(dc.feature_disabled("skewed"));
 }
@@ -750,8 +750,8 @@ TEST(DynaCutEnforceTest, RejectsDoubleCountedUnmapPlan) {
   spec.name = "doubled";
   spec.blocks = {{"toysrv", d, 2048}, {"toysrv", d, 2048}};
   try {
-    dc.disable_feature(spec, core::RemovalPolicy::kUnmapPages,
-                       core::TrapPolicy::kTerminate);
+    dc.disable_feature({spec, core::RemovalPolicy::kUnmapPages,
+                       core::TrapPolicy::kTerminate});
     FAIL() << "plan should have been rejected";
   } catch (const StateError& e) {
     EXPECT_NE(std::string(e.what()).find(kRulePageSafety),
@@ -769,8 +769,8 @@ TEST(DynaCutEnforceTest, RejectsCrossFunctionRedirect) {
   spec.redirect_module = "toysrv";
   spec.redirect_offset = t.bin->find_symbol("dispatch_err")->value;
   try {
-    dc.disable_feature(spec, core::RemovalPolicy::kBlockFirstByte,
-                       core::TrapPolicy::kRedirect);
+    dc.disable_feature({spec, core::RemovalPolicy::kBlockFirstByte,
+                       core::TrapPolicy::kRedirect});
     FAIL() << "plan should have been rejected";
   } catch (const StateError& e) {
     EXPECT_NE(std::string(e.what()).find(kRuleRedirect), std::string::npos);
@@ -785,8 +785,8 @@ TEST(DynaCutCheckModeTest, WarnModeAppliesRejectablePlans) {
   core::FeatureSpec spec;
   spec.name = "skewed";
   spec.blocks = {{"toysrv", t.bin->find_symbol("dispatch")->value + 1, 1}};
-  dc.disable_feature(spec, core::RemovalPolicy::kBlockFirstByte,
-                     core::TrapPolicy::kTerminate);
+  dc.disable_feature({spec, core::RemovalPolicy::kBlockFirstByte,
+                     core::TrapPolicy::kTerminate});
   EXPECT_TRUE(dc.feature_disabled("skewed"));
   dc.restore_feature("skewed");
 }
@@ -797,8 +797,8 @@ TEST(DynaCutCheckModeTest, OffModeSkipsVerification) {
   core::FeatureSpec spec;
   spec.name = "skewed";
   spec.blocks = {{"toysrv", t.bin->find_symbol("dispatch")->value + 1, 1}};
-  dc.disable_feature(spec, core::RemovalPolicy::kBlockFirstByte,
-                     core::TrapPolicy::kTerminate);
+  dc.disable_feature({spec, core::RemovalPolicy::kBlockFirstByte,
+                     core::TrapPolicy::kTerminate});
   EXPECT_TRUE(dc.feature_disabled("skewed"));
   dc.restore_feature("skewed");
 }
@@ -812,8 +812,8 @@ TEST(DynaCutCheckModeTest, PreflightReportsWithoutTouchingTheProcess) {
   core::FeatureSpec spec;
   spec.name = "armA";
   for (uint64_t s : sites.at(ha)) spec.blocks.push_back({"toysrv", s, 1});
-  auto report = dc.preflight(spec, core::RemovalPolicy::kBlockFirstByte,
-                             core::TrapPolicy::kTerminate);
+  auto report = dc.preflight({spec, core::RemovalPolicy::kBlockFirstByte,
+                             core::TrapPolicy::kTerminate});
   EXPECT_TRUE(report.ok());
   EXPECT_GE(report.notes(), 1u);       // reach-amp + gadget notes
   EXPECT_FALSE(dc.feature_disabled("armA"));

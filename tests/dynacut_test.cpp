@@ -67,10 +67,10 @@ TEST(DynaCut, DisableWithRedirectReturnsErrorPath) {
   EXPECT_EQ(px.request("B\n"), "beta\n");  // enabled initially
 
   DynaCut dc(px.vos, px.pid);
-  CustomizeReport rep = dc.disable_feature(
-      px.feature_b, RemovalPolicy::kBlockFirstByte, TrapPolicy::kRedirect);
-  EXPECT_GT(rep.blocks_patched, 0u);
-  EXPECT_EQ(rep.processes, 1u);
+  CustomizeReport rep = dc.disable_feature({
+      px.feature_b, RemovalPolicy::kBlockFirstByte, TrapPolicy::kRedirect});
+  EXPECT_GT(rep.edits.blocks_patched, 0u);
+  EXPECT_EQ(rep.edits.processes, 1u);
   EXPECT_TRUE(dc.feature_disabled("B"));
 
   // Disabled feature answers through the app's own error path, service
@@ -84,12 +84,12 @@ TEST(DynaCut, DisableWithRedirectReturnsErrorPath) {
 TEST(DynaCut, RestoreFeatureReenables) {
   Pipeline px;
   DynaCut dc(px.vos, px.pid);
-  dc.disable_feature(px.feature_b, RemovalPolicy::kBlockFirstByte,
-                     TrapPolicy::kRedirect);
+  dc.disable_feature({px.feature_b, RemovalPolicy::kBlockFirstByte,
+                     TrapPolicy::kRedirect});
   EXPECT_EQ(px.request("B\n"), "err\n");
 
   CustomizeReport rep = dc.restore_feature("B");
-  EXPECT_GT(rep.blocks_patched, 0u);
+  EXPECT_GT(rep.edits.blocks_patched, 0u);
   EXPECT_FALSE(dc.feature_disabled("B"));
   EXPECT_EQ(px.request("B\n"), "beta\n");  // bidirectional customization
   EXPECT_EQ(px.request("A\n"), "alpha\n");
@@ -99,8 +99,8 @@ TEST(DynaCut, DisableRestoreCycleIsRepeatable) {
   Pipeline px;
   DynaCut dc(px.vos, px.pid);
   for (int round = 0; round < 3; ++round) {
-    dc.disable_feature(px.feature_b, RemovalPolicy::kBlockFirstByte,
-                       TrapPolicy::kRedirect);
+    dc.disable_feature({px.feature_b, RemovalPolicy::kBlockFirstByte,
+                       TrapPolicy::kRedirect});
     EXPECT_EQ(px.request("B\n"), "err\n") << "round " << round;
     dc.restore_feature("B");
     EXPECT_EQ(px.request("B\n"), "beta\n") << "round " << round;
@@ -110,9 +110,9 @@ TEST(DynaCut, DisableRestoreCycleIsRepeatable) {
 TEST(DynaCut, WipePolicyAlsoRedirects) {
   Pipeline px;
   DynaCut dc(px.vos, px.pid);
-  CustomizeReport rep = dc.disable_feature(
-      px.feature_b, RemovalPolicy::kWipeBlocks, TrapPolicy::kRedirect);
-  EXPECT_GT(rep.blocks_patched, 0u);
+  CustomizeReport rep = dc.disable_feature({
+      px.feature_b, RemovalPolicy::kWipeBlocks, TrapPolicy::kRedirect});
+  EXPECT_GT(rep.edits.blocks_patched, 0u);
   EXPECT_EQ(px.request("B\n"), "err\n");
   // Wipe is reversible too.
   dc.restore_feature("B");
@@ -122,8 +122,8 @@ TEST(DynaCut, WipePolicyAlsoRedirects) {
 TEST(DynaCut, WipedBlocksContainOnlyTraps) {
   Pipeline px;
   DynaCut dc(px.vos, px.pid);
-  dc.disable_feature(px.feature_b, RemovalPolicy::kWipeBlocks,
-                     TrapPolicy::kRedirect);
+  dc.disable_feature({px.feature_b, RemovalPolicy::kWipeBlocks,
+                     TrapPolicy::kRedirect});
   // Inspect live memory: every byte of handle_b's traced blocks is 0xCC
   // (no ROP gadgets left inside the wiped feature).
   const os::Process* p = px.vos.process(px.pid);
@@ -139,8 +139,8 @@ TEST(DynaCut, WipedBlocksContainOnlyTraps) {
 TEST(DynaCut, TerminatePolicyKillsOnAccess) {
   Pipeline px;
   DynaCut dc(px.vos, px.pid);
-  dc.disable_feature(px.feature_b, RemovalPolicy::kBlockFirstByte,
-                     TrapPolicy::kTerminate);
+  dc.disable_feature({px.feature_b, RemovalPolicy::kBlockFirstByte,
+                     TrapPolicy::kTerminate});
   EXPECT_EQ(px.request("A\n"), "alpha\n");  // alive until touched
   px.conn.send("B\n");
   px.vos.run();
@@ -157,7 +157,7 @@ TEST(DynaCut, VerifyModeHealsAndLogsFalsePositives) {
   bad.blocks = {CovBlock{"toysrv", ha->value, 1}};
 
   DynaCut dc(px.vos, px.pid);
-  dc.disable_feature(bad, RemovalPolicy::kBlockFirstByte, TrapPolicy::kVerify);
+  dc.disable_feature({bad, RemovalPolicy::kBlockFirstByte, TrapPolicy::kVerify});
 
   // First A request trips the verifier, which heals the byte and retries.
   EXPECT_EQ(px.request("A\n"), "alpha\n");
@@ -176,19 +176,19 @@ TEST(DynaCut, VerifyModeHealsAndLogsFalsePositives) {
 TEST(DynaCut, VerifyRequiresFirstBytePolicy) {
   Pipeline px;
   DynaCut dc(px.vos, px.pid);
-  EXPECT_THROW(dc.disable_feature(px.feature_b, RemovalPolicy::kWipeBlocks,
-                                  TrapPolicy::kVerify),
+  EXPECT_THROW(dc.disable_feature({px.feature_b, RemovalPolicy::kWipeBlocks,
+                                  TrapPolicy::kVerify}),
                StateError);
 }
 
 TEST(DynaCut, DoubleDisableThrows) {
   Pipeline px;
   DynaCut dc(px.vos, px.pid);
-  dc.disable_feature(px.feature_b, RemovalPolicy::kBlockFirstByte,
-                     TrapPolicy::kRedirect);
-  EXPECT_THROW(dc.disable_feature(px.feature_b,
+  dc.disable_feature({px.feature_b, RemovalPolicy::kBlockFirstByte,
+                     TrapPolicy::kRedirect});
+  EXPECT_THROW(dc.disable_feature({px.feature_b,
                                   RemovalPolicy::kBlockFirstByte,
-                                  TrapPolicy::kRedirect),
+                                  TrapPolicy::kRedirect}),
                StateError);
 }
 
@@ -203,8 +203,8 @@ TEST(DynaCut, RedirectOutsideAnyFunctionThrows) {
   FeatureSpec spec = px.feature_b;
   spec.redirect_offset = 0xfffff;  // not inside any function
   DynaCut dc(px.vos, px.pid);
-  EXPECT_THROW(dc.disable_feature(spec, RemovalPolicy::kBlockFirstByte,
-                                  TrapPolicy::kRedirect),
+  EXPECT_THROW(dc.disable_feature({spec, RemovalPolicy::kBlockFirstByte,
+                                  TrapPolicy::kRedirect}),
                StateError);
 }
 
@@ -219,8 +219,8 @@ TEST(DynaCut, RedirectWithNoSameFunctionBlockThrows) {
   spec.redirect_module = "toysrv";
   spec.redirect_offset = px.bin->find_symbol("dispatch_err")->value;
   DynaCut dc(px.vos, px.pid);
-  EXPECT_THROW(dc.disable_feature(spec, RemovalPolicy::kBlockFirstByte,
-                                  TrapPolicy::kRedirect),
+  EXPECT_THROW(dc.disable_feature({spec, RemovalPolicy::kBlockFirstByte,
+                                  TrapPolicy::kRedirect}),
                StateError);
 }
 
@@ -228,8 +228,8 @@ TEST(DynaCut, ServiceInterruptionChargedToClock) {
   Pipeline px;
   DynaCut dc(px.vos, px.pid);
   uint64_t before = px.vos.now();
-  CustomizeReport rep = dc.disable_feature(
-      px.feature_b, RemovalPolicy::kBlockFirstByte, TrapPolicy::kRedirect);
+  CustomizeReport rep = dc.disable_feature({
+      px.feature_b, RemovalPolicy::kBlockFirstByte, TrapPolicy::kRedirect});
   uint64_t elapsed = px.vos.now() - before;
   EXPECT_GE(elapsed, rep.timing.total_ns());
   EXPECT_GT(rep.timing.checkpoint_ns, 0u);
@@ -243,8 +243,8 @@ TEST(DynaCut, ServiceInterruptionChargedToClock) {
 TEST(DynaCut, ImageStoreHoldsRewrittenImage) {
   Pipeline px;
   DynaCut dc(px.vos, px.pid);
-  dc.disable_feature(px.feature_b, RemovalPolicy::kBlockFirstByte,
-                     TrapPolicy::kRedirect);
+  dc.disable_feature({px.feature_b, RemovalPolicy::kBlockFirstByte,
+                     TrapPolicy::kRedirect});
   std::string key = "toysrv." + std::to_string(px.pid);
   ASSERT_TRUE(dc.store().contains(key));
   image::ProcessImage img = dc.store().get(key);
@@ -274,7 +274,7 @@ TEST(DynaCut, InitCodeRemovalTrapsInitOnlyBlocks) {
   DynaCut dc(vos, pid);
   CustomizeReport rep =
       dc.remove_init_code(init_blocks, RemovalPolicy::kWipeBlocks);
-  EXPECT_EQ(rep.blocks_patched, init_blocks.size());
+  EXPECT_EQ(rep.edits.blocks_patched, init_blocks.size());
 
   conn.send("A\n");
   vos.run();
@@ -313,9 +313,9 @@ TEST(DynaCut, UnmapPolicyRemovesWholePagesAndRestores) {
   // Map the whole feature span as one block: ensure VMA is large enough.
   DynaCut dc(vos, pid);
   CustomizeReport rep =
-      dc.disable_feature(spec, RemovalPolicy::kUnmapPages,
-                         TrapPolicy::kTerminate);
-  EXPECT_GT(rep.pages_unmapped, 0u);
+      dc.disable_feature({spec, RemovalPolicy::kUnmapPages,
+                         TrapPolicy::kTerminate});
+  EXPECT_GT(rep.edits.pages_unmapped, 0u);
 
   const os::Process* p = vos.process(pid);
   uint64_t page = page_ceil(kAppBase + feat->value);  // first full page
@@ -349,10 +349,10 @@ TEST(DynaCut, MultiProcessGroupCustomizedTogether) {
   spec.name = "victim";
   spec.blocks = {CovBlock{"master", bin->find_symbol("victim")->value, 1}};
   DynaCut dc(vos, pid);
-  CustomizeReport rep = dc.disable_feature(
-      spec, RemovalPolicy::kBlockFirstByte, TrapPolicy::kTerminate);
-  EXPECT_EQ(rep.processes, 2u);
-  EXPECT_EQ(rep.blocks_patched, 2u);
+  CustomizeReport rep = dc.disable_feature({
+      spec, RemovalPolicy::kBlockFirstByte, TrapPolicy::kTerminate});
+  EXPECT_EQ(rep.edits.processes, 2u);
+  EXPECT_EQ(rep.edits.blocks_patched, 2u);
 
   uint64_t addr = kAppBase + bin->find_symbol("victim")->value;
   for (int p : vos.process_group(pid)) {

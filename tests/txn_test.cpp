@@ -124,7 +124,7 @@ std::array<size_t, kNumFaultStages> count_fault_points(const FeatureSpec& spec,
   DynaCut dc(rig.vos, rig.pid, {}, CheckMode::kOff);
   FaultPlan counter;
   dc.set_fault_plan(&counter);
-  dc.disable_feature(spec, removal, trap);
+  dc.disable_feature({spec, removal, trap});
   std::array<size_t, kNumFaultStages> totals{};
   for (size_t s = 0; s < kNumFaultStages; ++s) {
     totals[s] = counter.count(static_cast<FaultStage>(s));
@@ -157,7 +157,7 @@ void run_abort_matrix(RemovalPolicy removal, TrapPolicy trap) {
       dc.set_fault_plan(&plan);
       bool threw = false;
       try {
-        dc.disable_feature(spec, removal, trap);
+        dc.disable_feature({spec, removal, trap});
       } catch (const CustomizeError& e) {
         threw = true;
         EXPECT_EQ(e.feature(), spec.name);
@@ -183,8 +183,8 @@ void run_abort_matrix(RemovalPolicy removal, TrapPolicy trap) {
 
       // Retry without the fault succeeds end to end.
       dc.set_fault_plan(nullptr);
-      CustomizeReport rep = dc.disable_feature(spec, removal, trap);
-      EXPECT_EQ(rep.processes, 2u);
+      CustomizeReport rep = dc.disable_feature({spec, removal, trap});
+      EXPECT_EQ(rep.edits.processes, 2u);
       EXPECT_TRUE(dc.feature_disabled(spec.name));
     }
   }
@@ -232,8 +232,8 @@ TEST(Txn, RestorePhaseFailureRestagesAlreadyPatchedProcesses) {
   FeatureSpec spec = matrix_spec();
   bool threw = false;
   try {
-    dc.disable_feature(spec, RemovalPolicy::kBlockFirstByte,
-                       TrapPolicy::kTerminate);
+    dc.disable_feature({spec, RemovalPolicy::kBlockFirstByte,
+                       TrapPolicy::kTerminate});
   } catch (const CustomizeError& e) {
     threw = true;
     EXPECT_EQ(e.stage(), FaultStage::kRestore);
@@ -259,8 +259,8 @@ TEST(Txn, AbortedRestoreFeatureKeepsFeatureDisabled) {
   {
     GroupRig rig;
     DynaCut dc(rig.vos, rig.pid, {}, CheckMode::kOff);
-    dc.disable_feature(spec, RemovalPolicy::kBlockFirstByte,
-                       TrapPolicy::kTerminate);
+    dc.disable_feature({spec, RemovalPolicy::kBlockFirstByte,
+                       TrapPolicy::kTerminate});
     FaultPlan counter;
     dc.set_fault_plan(&counter);
     dc.restore_feature("feat");
@@ -277,8 +277,8 @@ TEST(Txn, AbortedRestoreFeatureKeepsFeatureDisabled) {
                    std::to_string(i));
       GroupRig rig;
       DynaCut dc(rig.vos, rig.pid, {}, CheckMode::kOff);
-      dc.disable_feature(spec, RemovalPolicy::kBlockFirstByte,
-                         TrapPolicy::kTerminate);
+      dc.disable_feature({spec, RemovalPolicy::kBlockFirstByte,
+                         TrapPolicy::kTerminate});
       std::vector<int> group = rig.group();
       auto patched = snapshot_group(rig.vos, group);
 
@@ -366,9 +366,9 @@ TEST(Txn, AbortedDisableKeepsServiceAndConnection) {
   DynaCut dc(srv.vos, srv.pid);
   FaultPlan plan = FaultPlan::fail_at(FaultStage::kInject, 0);
   dc.set_fault_plan(&plan);
-  EXPECT_THROW(dc.disable_feature(srv.feature_b,
+  EXPECT_THROW(dc.disable_feature({srv.feature_b,
                                   RemovalPolicy::kBlockFirstByte,
-                                  TrapPolicy::kRedirect),
+                                  TrapPolicy::kRedirect}),
                CustomizeError);
 
   // Rolled back: the feature still answers, over the same connection
@@ -378,8 +378,8 @@ TEST(Txn, AbortedDisableKeepsServiceAndConnection) {
 
   // The exact same customization succeeds once the fault is gone.
   dc.set_fault_plan(nullptr);
-  dc.disable_feature(srv.feature_b, RemovalPolicy::kBlockFirstByte,
-                     TrapPolicy::kRedirect);
+  dc.disable_feature({srv.feature_b, RemovalPolicy::kBlockFirstByte,
+                     TrapPolicy::kRedirect});
   EXPECT_EQ(srv.request("B\n"), "err\n");
   EXPECT_EQ(srv.request("A\n"), "alpha\n");
 }
@@ -390,9 +390,9 @@ TEST(Txn, CustomizeErrorIsAStateError) {
   DynaCut dc(rig.vos, rig.pid, {}, CheckMode::kOff);
   FaultPlan plan = FaultPlan::fail_at(FaultStage::kCheckpoint, 0);
   dc.set_fault_plan(&plan);
-  EXPECT_THROW(dc.disable_feature(matrix_spec(),
+  EXPECT_THROW(dc.disable_feature({matrix_spec(),
                                   RemovalPolicy::kBlockFirstByte,
-                                  TrapPolicy::kTerminate),
+                                  TrapPolicy::kTerminate}),
                StateError);
 }
 
@@ -410,12 +410,12 @@ TEST(Txn, RestoreFeatureChargesPerPidDeltas) {
   spec.name = "one";
   spec.blocks = {CovBlock{"grp", bin->find_symbol("feat")->value, 1}};
   DynaCut dc(rig.vos, rig.pid, {}, CheckMode::kOff);
-  dc.disable_feature(spec, RemovalPolicy::kBlockFirstByte,
-                     TrapPolicy::kTerminate);
+  dc.disable_feature({spec, RemovalPolicy::kBlockFirstByte,
+                     TrapPolicy::kTerminate});
 
   CustomizeReport rep = dc.restore_feature("one");
-  EXPECT_EQ(rep.processes, 2u);
-  EXPECT_EQ(rep.blocks_patched, 2u);
+  EXPECT_EQ(rep.edits.processes, 2u);
+  EXPECT_EQ(rep.edits.blocks_patched, 2u);
   CostModel model;
   EXPECT_EQ(rep.timing.code_update_ns, 2 * model.patch_cost(1, 0));
 }
@@ -428,8 +428,8 @@ TEST(Txn, SecondVerifyFeatureMergesIntoExistingVerifier) {
   FeatureSpec fb{"B_over", {CovBlock{"toysrv", hb->value, 1}}, "", 0};
 
   DynaCut dc(srv.vos, srv.pid);
-  dc.disable_feature(fa, RemovalPolicy::kBlockFirstByte, TrapPolicy::kVerify);
-  dc.disable_feature(fb, RemovalPolicy::kBlockFirstByte, TrapPolicy::kVerify);
+  dc.disable_feature({fa, RemovalPolicy::kBlockFirstByte, TrapPolicy::kVerify});
+  dc.disable_feature({fb, RemovalPolicy::kBlockFirstByte, TrapPolicy::kVerify});
 
   // One verifier library, not two: the second feature merged its originals.
   const os::Process* p = srv.vos.process(srv.pid);
