@@ -23,6 +23,9 @@ struct Row {
   std::string label;
   double image_mb = 0;
   core::CustomizeReport rep;
+  /// The warm re-enable toggle: rides the per-pid baseline, so its dump is
+  /// dirty-only and its restore in-place.
+  core::CustomizeReport warm;
   double paper_total_s = 0;
 };
 
@@ -68,6 +71,11 @@ Row customize(const std::string& label,
     std::printf("!! %s: blocked request answered '%s' (expected '%s')\n",
                 label.c_str(), got.c_str(), expect_blocked_reply.c_str());
   }
+
+  // Warm toggle: the requests above dirtied the serving path's working
+  // set; everything else of the image rides the baseline from the first
+  // customization.
+  row.warm = dc.restore_feature("unwanted");
   return row;
 }
 
@@ -121,5 +129,30 @@ int main() {
       "most (two processes to snapshot); per-app cost dominated by\n"
       "checkpoint+restore, int3 patching nearly constant — as in the paper.\n"
       "stage_s+commit_s equals total_s: staged commit adds no overhead.\n");
+
+  // Freeze-window breakdown of the warm (incremental) re-enable toggle:
+  // dirty-only dump + in-place restore against the cold toggle above.
+  std::printf(
+      "\n%-22s %8s %8s %9s %8s %8s %9s %9s %8s\n", "warm re-enable",
+      "dump_s", "patch_s", "restore_s", "total_s", "pg_dump", "pg_share",
+      "pg_restore", "cold_x");
+  for (const auto& r : rows) {
+    const auto& t = r.warm.timing;
+    double cold_x = static_cast<double>(r.rep.timing.checkpoint_ns +
+                                        r.rep.timing.restore_ns) /
+                    static_cast<double>(t.checkpoint_ns + t.restore_ns);
+    std::printf("%-22s %8.3f %8.3f %9.3f %8.3f %8llu %8llu %9llu %7.1fx\n",
+                r.label.c_str(), t.checkpoint_ns / 1e9,
+                t.code_update_ns / 1e9, t.restore_ns / 1e9,
+                t.total_seconds(),
+                static_cast<unsigned long long>(r.warm.edits.pages_dumped),
+                static_cast<unsigned long long>(r.warm.edits.pages_shared),
+                static_cast<unsigned long long>(r.warm.edits.pages_restored),
+                cold_x);
+  }
+  std::printf(
+      "\nShape check: the warm toggle's freeze window (dump+restore) is a\n"
+      "small multiple of the dirty working set, not of the image — the\n"
+      "incremental checkpoint path.\n");
   return 0;
 }

@@ -27,8 +27,8 @@ constexpr uint64_t kTick = 1'000'000'000;  // 1 virtual second
 
 struct Timeline {
   std::vector<double> kreq_per_s;
-  core::TimingBreakdown disable_timing;
-  core::TimingBreakdown reenable_timing;
+  core::CustomizeReport disable_rep;
+  core::CustomizeReport reenable_rep;
   /// Toggle markers as observed on the event bus (not scripted): the
   /// TimelineRecorder derives them from committed txn.commit events.
   std::vector<obs::TimelineRecorder::Toggle> toggles;
@@ -88,14 +88,16 @@ Timeline run_timeline(bool with_dynacut) {
   out.start = start;
   for (int t = 0; t < kSeconds; ++t) {
     if (with_dynacut && t == kDisableAt) {
-      out.disable_timing =
+      // Cold toggle: no baseline yet, so the dump is full.
+      out.disable_rep =
           dc.disable_feature({.feature = set_spec,
                               .removal = core::RemovalPolicy::kBlockFirstByte,
-                              .trap = core::TrapPolicy::kRedirect})
-              .timing;
+                              .trap = core::TrapPolicy::kRedirect});
     }
     if (with_dynacut && t == kReenableAt) {
-      out.reenable_timing = dc.restore_feature("SET").timing;
+      // Warm toggle: 30 virtual seconds of serving dirtied the working
+      // set; the incremental dump shares the rest from the baseline.
+      out.reenable_rep = dc.restore_feature("SET");
     }
     // Absolute schedule: the rewrite window (which advanced the clock while
     // the server was frozen) eats into its bucket — the throughput dip.
@@ -148,8 +150,26 @@ int main() {
   std::printf(
       "\nservice interruption: disable rewrite %.3f s, re-enable rewrite "
       "%.3f s\n",
-      dyna.disable_timing.total_seconds(),
-      dyna.reenable_timing.total_seconds());
+      dyna.disable_rep.timing.total_seconds(),
+      dyna.reenable_rep.timing.total_seconds());
+
+  // Freeze-window breakdown: the disable pays a full dump (no baseline),
+  // the re-enable rides the incremental path.
+  std::printf("\n%-12s %8s %8s %9s %8s %8s %9s %10s\n", "toggle", "dump_s",
+              "patch_s", "restore_s", "total_s", "pg_dump", "pg_share",
+              "pg_restore");
+  for (const auto& [name, rep] :
+       {std::pair<const char*, const core::CustomizeReport*>{
+            "disable", &dyna.disable_rep},
+        {"re-enable", &dyna.reenable_rep}}) {
+    const auto& tm = rep->timing;
+    std::printf("%-12s %8.3f %8.3f %9.3f %8.3f %8llu %8llu %9llu\n", name,
+                tm.checkpoint_ns / 1e9, tm.code_update_ns / 1e9,
+                tm.restore_ns / 1e9, tm.total_seconds(),
+                static_cast<unsigned long long>(rep->edits.pages_dumped),
+                static_cast<unsigned long long>(rep->edits.pages_shared),
+                static_cast<unsigned long long>(rep->edits.pages_restored));
+  }
   std::printf(
       "steady %.2f kreq/s -> dip bucket %.2f kreq/s -> recovered %.2f "
       "kreq/s\n",
@@ -172,5 +192,21 @@ int main() {
   }
   std::printf("obs timeline: %zu toggles, buckets match the schedule\n",
               dyna.toggles.size());
+
+  // The incremental path must shrink the freeze window (checkpoint +
+  // restore) of the warm toggle by at least 5x against the cold one.
+  double cold_freeze = (dyna.disable_rep.timing.checkpoint_ns +
+                        dyna.disable_rep.timing.restore_ns) /
+                       1e9;
+  double warm_freeze = (dyna.reenable_rep.timing.checkpoint_ns +
+                        dyna.reenable_rep.timing.restore_ns) /
+                       1e9;
+  if (warm_freeze * 5 > cold_freeze) {
+    std::printf("FAIL: warm freeze window %.3f s not 5x below cold %.3f s\n",
+                warm_freeze, cold_freeze);
+    return 1;
+  }
+  std::printf("freeze window: cold %.3f s -> warm %.3f s (%.1fx)\n",
+              cold_freeze, warm_freeze, cold_freeze / warm_freeze);
   return 0;
 }

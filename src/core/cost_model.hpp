@@ -23,6 +23,12 @@ struct CostModel {
   uint64_t restore_base_ns = 30'000'000;
   uint64_t restore_per_page_ns = 70'000;
 
+  // Incremental paths (soft-dirty dump, in-place delta restore): the fixed
+  // setup collapses — no full-image walk, no address-space rebuild — and
+  // the per-page terms apply only to pages actually dumped/written back.
+  uint64_t checkpoint_delta_base_ns = 4'000'000;  ///< 4 ms dirty-set scan
+  uint64_t restore_delta_base_ns = 4'000'000;     ///< 4 ms in-place reconcile
+
   // code update = per_block * blocks patched (+ per_page for unmaps)
   uint64_t patch_per_block_ns = 1'000'000;  ///< 1 ms/block (CRIT is Python)
   uint64_t unmap_per_page_ns = 50'000;
@@ -36,6 +42,12 @@ struct CostModel {
   }
   uint64_t restore_cost(uint64_t pages) const {
     return restore_base_ns + restore_per_page_ns * pages;
+  }
+  uint64_t checkpoint_delta_cost(uint64_t pages_dumped) const {
+    return checkpoint_delta_base_ns + checkpoint_per_page_ns * pages_dumped;
+  }
+  uint64_t restore_delta_cost(uint64_t pages_restored) const {
+    return restore_delta_base_ns + restore_per_page_ns * pages_restored;
   }
   uint64_t patch_cost(uint64_t blocks, uint64_t unmapped_pages) const {
     return patch_per_block_ns * blocks + unmap_per_page_ns * unmapped_pages;

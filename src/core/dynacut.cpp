@@ -197,6 +197,10 @@ void DynaCut::finalize_obs(
         obs::Attr::u("pages_unmapped", report.edits.pages_unmapped),
         obs::Attr::u("bytes_patched", report.edits.bytes_patched),
         obs::Attr::u("image_pages", report.edits.image_pages),
+        obs::Attr::u("pages_dumped", report.edits.pages_dumped),
+        obs::Attr::u("pages_shared", report.edits.pages_shared),
+        obs::Attr::u("pages_restored", report.edits.pages_restored),
+        obs::Attr::u("pages_touched", report.edits.pages_touched),
         obs::Attr::u("interruption_ns", report.timing.total_ns())};
     for (const auto& [k, v] : tags) attrs.push_back(obs::Attr::s(k, v));
     report.obs.events = bus_->commit_txn(std::move(attrs));
@@ -211,7 +215,7 @@ void DynaCut::finalize_obs(
         .observe(report.timing.checkpoint_ns + report.timing.code_update_ns +
                  report.timing.inject_ns);
     metrics_->histogram("cut.commit_ns").observe(report.timing.restore_ns);
-    metrics_->histogram("cut.pages_dumped").observe(report.edits.image_pages);
+    metrics_->histogram("cut.pages_dumped").observe(report.edits.pages_dumped);
   }
 }
 
@@ -227,12 +231,21 @@ CustomizeReport DynaCut::apply(const CutRequest& req) {
   // Stage phase: freeze the whole group, checkpoint every process and
   // rewrite every image. No live process is touched yet, so any failure
   // aborts back to the untouched running group.
-  GroupTxn txn(os_, pids, store_, bus_, label, "disable");
+  GroupTxn txn(os_, pids, store_, bus_, label, "disable",
+               ckpt_mode_ == CkptMode::kIncremental ? &baselines_ : nullptr,
+               ckpt_mode_ == CkptMode::kIncremental
+                   ? image::RestoreMode::kDelta
+                   : image::RestoreMode::kFull);
   FaultStage stage = FaultStage::kCheckpoint;
   stage_or_rollback(txn, feature_name, pids, stage, [&](int pid) {
-    image::ProcessImage img = txn.dump(pid, faults_);
-    report.timing.checkpoint_ns += model_.checkpoint_cost(img.pages.size());
+    image::CkptStats ckpt;
+    image::ProcessImage img = txn.dump(pid, faults_, &ckpt);
+    report.timing.checkpoint_ns +=
+        ckpt.incremental ? model_.checkpoint_delta_cost(ckpt.pages_dumped)
+                         : model_.checkpoint_cost(ckpt.pages_total);
     report.edits.image_pages += img.pages.size();
+    report.edits.pages_dumped += ckpt.pages_dumped;
+    report.edits.pages_shared += ckpt.pages_shared;
 
     stage = FaultStage::kRewrite;
     rw::ImageRewriter rewriter(img, faults_, bus_);
@@ -256,6 +269,7 @@ CustomizeReport DynaCut::apply(const CutRequest& req) {
     report.timing.code_update_ns +=
         model_.patch_cost(report.edits.blocks_patched - patched_before,
                           report.edits.pages_unmapped - unmapped_before);
+    report.edits.pages_touched += rewriter.pages_touched();
 
     txn.stage(pid, std::move(img));
     per_pid[pid] = std::move(edits);
@@ -265,9 +279,15 @@ CustomizeReport DynaCut::apply(const CutRequest& req) {
   // Commit phase: persist + restore every staged image; a failure here
   // rolls the group back to the pristine images and throws CustomizeError.
   try {
-    txn.commit(feature_name, faults_, [&](const image::ProcessImage& img) {
-      report.timing.restore_ns += model_.restore_cost(img.pages.size());
-    });
+    txn.commit(feature_name, faults_,
+               [&](const image::ProcessImage& img, const image::CkptStats&,
+                   const image::RestoreStats& rst) {
+                 report.timing.restore_ns +=
+                     rst.in_place
+                         ? model_.restore_delta_cost(rst.pages_restored)
+                         : model_.restore_cost(img.pages.size());
+                 report.edits.pages_restored += rst.pages_restored;
+               });
   } catch (const CustomizeError&) {
     if (metrics_ != nullptr) metrics_->add("txn.aborts");
     throw;
@@ -511,12 +531,21 @@ CustomizeReport DynaCut::restore_feature(const std::string& name) {
   CustomizeReport report;
   std::vector<int> pids = live_pids(&it->second);
 
-  GroupTxn txn(os_, pids, store_, bus_, name, "restore");
+  GroupTxn txn(os_, pids, store_, bus_, name, "restore",
+               ckpt_mode_ == CkptMode::kIncremental ? &baselines_ : nullptr,
+               ckpt_mode_ == CkptMode::kIncremental
+                   ? image::RestoreMode::kDelta
+                   : image::RestoreMode::kFull);
   FaultStage stage = FaultStage::kCheckpoint;
   stage_or_rollback(txn, name, pids, stage, [&](int pid) {
-    image::ProcessImage img = txn.dump(pid, faults_);
-    report.timing.checkpoint_ns += model_.checkpoint_cost(img.pages.size());
+    image::CkptStats ckpt;
+    image::ProcessImage img = txn.dump(pid, faults_, &ckpt);
+    report.timing.checkpoint_ns +=
+        ckpt.incremental ? model_.checkpoint_delta_cost(ckpt.pages_dumped)
+                         : model_.checkpoint_cost(ckpt.pages_total);
     report.edits.image_pages += img.pages.size();
+    report.edits.pages_dumped += ckpt.pages_dumped;
+    report.edits.pages_shared += ckpt.pages_shared;
 
     stage = FaultStage::kRewrite;
     rw::ImageRewriter rewriter(img, faults_, bus_);
@@ -540,15 +569,22 @@ CustomizeReport DynaCut::restore_feature(const std::string& name) {
     report.timing.code_update_ns +=
         model_.patch_cost(report.edits.blocks_patched - patched_before,
                           report.edits.pages_unmapped - unmapped_before);
+    report.edits.pages_touched += rewriter.pages_touched();
 
     txn.stage(pid, std::move(img));
     ++report.edits.processes;
   });
 
   try {
-    txn.commit(name, faults_, [&](const image::ProcessImage& img) {
-      report.timing.restore_ns += model_.restore_cost(img.pages.size());
-    });
+    txn.commit(name, faults_,
+               [&](const image::ProcessImage& img, const image::CkptStats&,
+                   const image::RestoreStats& rst) {
+                 report.timing.restore_ns +=
+                     rst.in_place
+                         ? model_.restore_delta_cost(rst.pages_restored)
+                         : model_.restore_cost(img.pages.size());
+                 report.edits.pages_restored += rst.pages_restored;
+               });
   } catch (const CustomizeError&) {
     if (metrics_ != nullptr) metrics_->add("txn.aborts");
     throw;

@@ -111,7 +111,17 @@ struct EditStats {
   size_t blocks_patched = 0;  ///< blocks patched (blocked/wiped/restored)
   size_t pages_unmapped = 0;  ///< whole pages unmapped (or re-mapped)
   size_t bytes_patched = 0;   ///< code bytes actually written
-  uint64_t image_pages = 0;   ///< pages dumped across the group
+  uint64_t image_pages = 0;   ///< total pages in the images (logical size)
+  uint64_t pages_dumped = 0;  ///< pages actually captured at checkpoint
+  uint64_t pages_shared = 0;  ///< pages shared from baselines in O(1)
+  uint64_t pages_restored = 0;  ///< pages actually written back at restore
+  uint64_t pages_touched = 0;   ///< distinct pages the rewriter edited
+};
+
+/// Checkpoint strategy for customizations (see image/checkpoint.hpp).
+enum class CkptMode {
+  kIncremental,  ///< dirty-only dumps + in-place delta restores; default
+  kFull,         ///< always full dump + full rebuild (bench/property baseline)
 };
 
 /// The customization's footprint on the observability layer.
@@ -140,6 +150,17 @@ class DynaCut {
 
   void set_check_mode(CheckMode mode) { check_mode_ = mode; }
   CheckMode check_mode() const { return check_mode_; }
+
+  /// Selects the checkpoint/restore strategy. kIncremental (default) keeps
+  /// a per-pid Baseline after every commit so the next toggle dumps only
+  /// dirty pages and restores only changed ones; kFull forces the original
+  /// full-dump/full-rebuild path (and drops the kept baselines) — the two
+  /// are observably equivalent, which tests/ckpt_delta_test.cpp asserts.
+  void set_ckpt_mode(CkptMode mode) {
+    ckpt_mode_ = mode;
+    if (mode == CkptMode::kFull) baselines_.clear();
+  }
+  CkptMode ckpt_mode() const { return ckpt_mode_; }
 
   /// Attaches the observability layer (both optional, non-owning; nullptr
   /// detaches). Every subsequent customization emits its bracketed event
@@ -281,6 +302,10 @@ class DynaCut {
   int root_pid_;
   CostModel model_;
   CheckMode check_mode_ = CheckMode::kEnforce;
+  CkptMode ckpt_mode_ = CkptMode::kIncremental;
+  /// Per-pid dump baselines maintained across customizations (incremental
+  /// mode): refreshed by every commit, erased by rollbacks.
+  image::BaselineMap baselines_;
   FaultPlan* faults_ = nullptr;
   obs::EventBus* bus_ = nullptr;
   obs::Registry* metrics_ = nullptr;

@@ -16,8 +16,14 @@ std::string image_key(const image::ProcessImage& img, int pid) {
 
 GroupTxn::GroupTxn(os::Os& os, std::vector<int> pids,
                    image::ImageStore& store, obs::EventBus* bus,
-                   const std::string& label, const std::string& action)
-    : os_(os), store_(store), bus_(bus), pids_(std::move(pids)) {
+                   const std::string& label, const std::string& action,
+                   image::BaselineMap* baselines, image::RestoreMode mode)
+    : os_(os),
+      store_(store),
+      bus_(bus),
+      baselines_(baselines),
+      mode_(mode),
+      pids_(std::move(pids)) {
   os_.freeze_group(pids_);
   if (bus_ != nullptr) {
     bus_->begin_txn(label,
@@ -35,11 +41,20 @@ GroupTxn::Entry* GroupTxn::entry(int pid) {
   return nullptr;
 }
 
-image::ProcessImage GroupTxn::dump(int pid, FaultPlan* faults) {
+image::ProcessImage GroupTxn::dump(int pid, FaultPlan* faults,
+                                   image::CkptStats* stats) {
   DYNACUT_ASSERT(!finished_ && entry(pid) == nullptr);
-  image::ProcessImage img = image::checkpoint(os_, pid, faults, bus_);
+  const image::Baseline* base = nullptr;
+  if (baselines_ != nullptr) {
+    auto it = baselines_->find(pid);
+    if (it != baselines_->end()) base = &it->second;
+  }
+  image::CkptStats st;
+  image::ProcessImage img = image::checkpoint(os_, pid, faults, bus_, base,
+                                              &st);
+  if (stats != nullptr) *stats = st;
   store_.put(image_key(img, pid) + ".pre", img);
-  entries_.push_back(Entry{pid, img, std::nullopt});
+  entries_.push_back(Entry{pid, img, st, std::nullopt});
   return img;
 }
 
@@ -49,17 +64,35 @@ void GroupTxn::stage(int pid, image::ProcessImage img) {
   e->staged = std::move(img);
 }
 
-void GroupTxn::commit(
-    const std::string& feature, FaultPlan* faults,
-    const std::function<void(const image::ProcessImage&)>& on_restored) {
+void GroupTxn::commit(const std::string& feature, FaultPlan* faults,
+                      const RestoredFn& on_restored) {
   DYNACUT_ASSERT(!finished_);
   size_t restored = 0;
   try {
     for (auto& e : entries_) {
       DYNACUT_ASSERT(e.staged.has_value());
       store_.put(image_key(*e.staged, e.pid), *e.staged);
-      image::restore(os_, e.pid, *e.staged, faults, bus_);
-      if (on_restored) on_restored(*e.staged);
+      image::RestoreStats rst =
+          image::restore(os_, e.pid, *e.staged, faults, bus_, mode_);
+      if (baselines_ != nullptr) {
+        // The staged image is now the process's authoritative state; the
+        // epoch is sampled *after* the restore so the pages the restore
+        // installed are clean against the new baseline — only what the
+        // guest writes from here on is dirty at the next dump.
+        (*baselines_)[e.pid] =
+            image::Baseline{*e.staged, os_.mem_epoch(e.pid)};
+      }
+      if (bus_ != nullptr) {
+        bus_->emit(
+            obs::Event(obs::ev::kCheckpointDelta, e.pid)
+                .with("pages_dumped", e.ckpt.pages_dumped)
+                .with("pages_shared", e.ckpt.pages_shared)
+                .with("pages_restored", rst.pages_restored)
+                .with("pages_kept", rst.pages_kept)
+                .with("incremental", static_cast<uint64_t>(e.ckpt.incremental))
+                .with("in_place", static_cast<uint64_t>(rst.in_place)));
+      }
+      if (on_restored) on_restored(*e.staged, e.ckpt, rst);
       ++restored;
     }
   } catch (const Error& err) {
@@ -78,6 +111,11 @@ void GroupTxn::rollback(size_t restored) {
   log_warn("customize rollback: re-staging " + std::to_string(restored) +
            " restored process(es) from pristine images");
   for (auto& e : entries_) {
+    // The baseline may already point at a staged image this rollback is
+    // about to overwrite; dirty tracking would still catch the rewrites
+    // (restores stamp every page they change), but a fresh full dump next
+    // time is the simpler invariant to reason about after a failure.
+    if (baselines_ != nullptr) baselines_->erase(e.pid);
     os::Process* p = os_.process(e.pid);
     if (p == nullptr || p->state == os::Process::State::kExited) continue;
     if (p->state != os::Process::State::kFrozen) os_.freeze(e.pid);

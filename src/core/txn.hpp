@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "common/fault.hpp"
+#include "image/checkpoint.hpp"
 #include "image/image.hpp"
 #include "obs/bus.hpp"
 #include "os/os.hpp"
@@ -76,9 +77,20 @@ class GroupTxn {
   /// `txn.abort` + `txn.rollback`. A successful commit() leaves the bus
   /// transaction open so the caller can close it via
   /// EventBus::commit_txn with the final edit statistics attached.
+  ///
+  /// `baselines` (optional, non-owning) switches the transaction to
+  /// incremental checkpointing: dump() consults the per-pid baseline for a
+  /// dirty-only dump, and commit() refreshes each entry with the restored
+  /// image plus a fresh memory epoch. Rollback erases the touched entries
+  /// (the group is back on its pristine images; the next dump re-baselines
+  /// with a full dump). `mode` selects delta (default) or full restores at
+  /// commit time — rollback always restores pristine images via the delta
+  /// path, which is observably identical and keeps the group warm.
   GroupTxn(os::Os& os, std::vector<int> pids, image::ImageStore& store,
            obs::EventBus* bus = nullptr, const std::string& label = {},
-           const std::string& action = {});
+           const std::string& action = {},
+           image::BaselineMap* baselines = nullptr,
+           image::RestoreMode mode = image::RestoreMode::kDelta);
   ~GroupTxn();
   GroupTxn(const GroupTxn&) = delete;
   GroupTxn& operator=(const GroupTxn&) = delete;
@@ -87,19 +99,29 @@ class GroupTxn {
 
   /// Checkpoints `pid` (already frozen by the constructor), keeps the
   /// pristine image for rollback, files it under "<name>.<pid>.pre", and
-  /// returns a working copy for the rewriter.
-  image::ProcessImage dump(int pid, FaultPlan* faults);
+  /// returns a working copy for the rewriter. The dump is incremental when
+  /// the transaction has a valid baseline for `pid`; `stats` (optional)
+  /// receives what the dump did.
+  image::ProcessImage dump(int pid, FaultPlan* faults,
+                           image::CkptStats* stats = nullptr);
 
   /// Records the rewritten image to install for `pid` at commit time.
   void stage(int pid, image::ProcessImage img);
 
+  /// Per-restore accounting callback: the staged image, what its dump did
+  /// and what its restore just did.
+  using RestoredFn = std::function<void(
+      const image::ProcessImage&, const image::CkptStats&,
+      const image::RestoreStats&)>;
+
   /// Restores every staged image (in staging order) and thaws the group.
   /// `on_restored` is invoked after each successful per-process restore
-  /// (cost-model accounting). On any failure the whole group is rolled
+  /// (cost-model accounting). Each restore refreshes the pid's baseline
+  /// (when attached) and emits a `checkpoint.delta` event pairing the dump
+  /// and restore page counts. On any failure the whole group is rolled
   /// back to its pristine images and CustomizeError is thrown.
   void commit(const std::string& feature, FaultPlan* faults,
-              const std::function<void(const image::ProcessImage&)>&
-                  on_restored = nullptr);
+              const RestoredFn& on_restored = nullptr);
 
   /// Aborts a transaction whose staging failed: thaws every process the
   /// constructor froze. Memory was never touched (rewrites happen on
@@ -112,6 +134,7 @@ class GroupTxn {
   struct Entry {
     int pid;
     image::ProcessImage pristine;
+    image::CkptStats ckpt;
     std::optional<image::ProcessImage> staged;
   };
 
@@ -125,6 +148,8 @@ class GroupTxn {
   os::Os& os_;
   image::ImageStore& store_;
   obs::EventBus* bus_ = nullptr;
+  image::BaselineMap* baselines_ = nullptr;
+  image::RestoreMode mode_ = image::RestoreMode::kDelta;
   std::vector<int> pids_;
   std::vector<Entry> entries_;
   bool finished_ = false;

@@ -1,5 +1,7 @@
 #include "image/checkpoint.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
 
 namespace dynacut::image {
@@ -30,17 +32,87 @@ vm::AddressSpace build_address_space(const ProcessImage& img) {
   for (const auto& v : img.vmas) {
     mem.map(v.start, v.end - v.start, v.prot, v.name);
   }
-  for (const auto& [addr, bytes] : img.pages) {
-    mem.install_page(addr, bytes);
+  for (const auto& [addr, block] : img.pages) {
+    // Share the image's block; the first write after restore clones it.
+    mem.install_page_block(addr, block);
   }
   return mem;
 }
 
+/// Reconciles the live address space with the image in place instead of
+/// rebuilding it: the asid survives, untouched pages keep their blocks and
+/// generation counters, and only real differences cost work.
+void delta_restore_mem(vm::AddressSpace& mem, const ProcessImage& img,
+                       RestoreStats& st) {
+  // --- VMA reconcile ----------------------------------------------------
+  // Targets keyed by start; a live VMA with the same extent and name is
+  // kept (re-protected if needed), anything else is unmapped, then missing
+  // targets are mapped. Unmapping discards the covered pages — the page
+  // pass below re-installs whatever the image holds there.
+  std::map<uint64_t, const VmaImage*> targets;
+  for (const auto& v : img.vmas) targets.emplace(v.start, &v);
+
+  std::vector<vm::Vma> live;
+  live.reserve(mem.vmas().size());
+  for (const auto& [start, v] : mem.vmas()) live.push_back(v);
+
+  for (const vm::Vma& v : live) {
+    auto it = targets.find(v.start);
+    if (it != targets.end() && it->second->end == v.end &&
+        it->second->name == v.name) {
+      if (it->second->prot != v.prot) {
+        mem.protect(v.start, v.size(), it->second->prot);
+        ++st.vmas_changed;
+      }
+      targets.erase(it);  // consumed: an exact-extent match
+    } else {
+      mem.unmap(v.start, v.size());
+      ++st.vmas_changed;
+    }
+  }
+  for (const auto& [start, v] : targets) {
+    mem.map(v->start, v->end - v->start, v->prot, v->name);
+    ++st.vmas_changed;
+  }
+
+  // --- Page reconcile ---------------------------------------------------
+  // Snapshot the live set before installing anything, then walk the image:
+  // same block pointer — nothing to do (the common case after an
+  // incremental dump, where the image shares live blocks); same bytes under
+  // a different identity — re-share the image's block without a generation
+  // bump (decoded code stays valid); different bytes — install, which bumps
+  // the generation so the decode cache drops exactly that page.
+  std::vector<uint64_t> live_pages = mem.populated_pages();
+  for (const auto& [addr, block] : img.pages) {
+    if (mem.page_live(addr)) {
+      vm::PageRef cur = mem.page_block(addr);
+      if (cur == block) {
+        ++st.pages_kept;
+      } else if (*cur == *block) {
+        mem.adopt_page_block(addr, block);
+        ++st.pages_kept;
+      } else {
+        mem.install_page_block(addr, block);
+        ++st.pages_restored;
+      }
+    } else {
+      mem.install_page_block(addr, block);
+      ++st.pages_restored;
+    }
+  }
+  for (uint64_t addr : live_pages) {
+    if (img.pages.count(addr) == 0) {
+      mem.drop_page(addr);
+      ++st.pages_dropped;
+    }
+  }
+}
 
 }  // namespace
 
 ProcessImage checkpoint(os::Os& os, int pid, FaultPlan* faults,
-                        obs::EventBus* bus) {
+                        obs::EventBus* bus, const Baseline* baseline,
+                        CkptStats* stats) {
   FaultPlan::fire(faults, FaultStage::kCheckpoint);
   os::Process* p = os.process(pid);
   if (p == nullptr || p->state == os::Process::State::kExited) {
@@ -59,14 +131,40 @@ ProcessImage checkpoint(os::Os& os, int pid, FaultPlan* faults,
   for (const auto& [start, vma] : p->mem.vmas()) {
     img.vmas.push_back(VmaImage{vma.start, vma.end, vma.prot, vma.name});
   }
+
   // Unlike stock CRIU we also dump file-backed executable pages — the
   // paper's criu/mem.c modification — which in this substrate simply means
-  // dumping every populated page.
-  for (uint64_t page : p->mem.populated_pages()) {
-    auto bytes = p->mem.page_bytes(page);
-    img.pages.emplace(page,
-                      std::vector<uint8_t>(bytes.begin(), bytes.end()));
+  // dumping every populated page. "Dumping" a page shares its refcounted
+  // block into the image (O(1)); the next live write clones it (COW).
+  CkptStats st;
+  std::optional<std::vector<uint64_t>> dirty;
+  if (baseline != nullptr) {
+    dirty = p->mem.dirty_pages_since(baseline->epoch);
   }
+  if (dirty.has_value()) {
+    // Incremental: start from the baseline's page table (pointer shares),
+    // then overlay just the dirty set. Dirty pages that are no longer live
+    // (dropped or unmapped since the baseline) leave the image too.
+    st.incremental = true;
+    img.pages = baseline->img.pages;
+    for (uint64_t page : *dirty) {
+      if (p->mem.page_live(page)) {
+        img.pages.put(page, p->mem.page_block(page));
+        ++st.pages_dumped;
+      } else {
+        st.pages_dropped += img.pages.erase(page);
+      }
+    }
+    st.pages_shared = img.pages.size() - st.pages_dumped;
+  } else {
+    for (uint64_t page : p->mem.populated_pages()) {
+      img.pages.put(page, p->mem.page_block(page));
+    }
+    st.pages_dumped = img.pages.size();
+  }
+  st.pages_total = img.pages.size();
+  if (stats != nullptr) *stats = st;
+
   for (const auto& [fd, desc] : p->fds) {
     img.fds.push_back(dump_fd(fd, desc));
   }
@@ -76,25 +174,39 @@ ProcessImage checkpoint(os::Os& os, int pid, FaultPlan* faults,
   if (bus != nullptr) {
     bus->emit(obs::Event(obs::ev::kCheckpointDump, pid)
                   .with("pages", static_cast<uint64_t>(img.pages.size()))
+                  .with("pages_dumped", st.pages_dumped)
+                  .with("pages_shared", st.pages_shared)
+                  .with("incremental", static_cast<uint64_t>(st.incremental))
                   .with("vmas", static_cast<uint64_t>(img.vmas.size()))
                   .with("modules", static_cast<uint64_t>(img.modules.size())));
   }
   return img;
 }
 
-void restore(os::Os& os, int pid, const ProcessImage& img,
-             FaultPlan* faults, obs::EventBus* bus) {
+RestoreStats restore(os::Os& os, int pid, const ProcessImage& img,
+                     FaultPlan* faults, obs::EventBus* bus, RestoreMode mode) {
   os::Process* p = os.process(pid);
   if (p == nullptr || p->state != os::Process::State::kFrozen) {
     throw StateError("restore: process not frozen: " + std::to_string(pid));
   }
   FaultPlan::fire(faults, FaultStage::kRestore);
 
-  p->mem = build_address_space(img);
-  // The whole address space was rebuilt: every decoded instruction the
-  // process cached is stale (the asid check would also catch this, but the
-  // explicit clear frees the dead pages immediately).
-  p->dcache.clear();
+  RestoreStats st;
+  st.pages_total = img.pages.size();
+  if (mode == RestoreMode::kFull) {
+    p->mem = build_address_space(img);
+    // The whole address space was rebuilt: every decoded instruction the
+    // process cached is stale (the asid check would also catch this, but
+    // the explicit clear frees the dead pages immediately).
+    p->dcache.clear();
+    st.pages_restored = img.pages.size();
+    st.vmas_changed = img.vmas.size();
+  } else {
+    // In-place delta: the asid survives, so decode-cache entries for pages
+    // the image didn't change stay valid — no dcache.clear().
+    delta_restore_mem(p->mem, img, st);
+    st.in_place = true;
+  }
   p->cpu = img.core.cpu;
   p->sigactions = img.core.sigactions;
   p->signal_frames = img.core.signal_frames;
@@ -123,8 +235,12 @@ void restore(os::Os& os, int pid, const ProcessImage& img,
   os.thaw(pid);
   if (bus != nullptr) {
     bus->emit(obs::Event(obs::ev::kCheckpointRestore, pid)
-                  .with("pages", static_cast<uint64_t>(img.pages.size())));
+                  .with("pages", static_cast<uint64_t>(img.pages.size()))
+                  .with("pages_restored", st.pages_restored)
+                  .with("pages_kept", st.pages_kept)
+                  .with("in_place", static_cast<uint64_t>(st.in_place)));
   }
+  return st;
 }
 
 int restore_new(os::Os& os, const ProcessImage& img) {
@@ -169,10 +285,21 @@ int restore_new(os::Os& os, const ProcessImage& img) {
   return os.adopt(std::move(p));
 }
 
-std::vector<ProcessImage> checkpoint_group(os::Os& os, int root_pid) {
+std::vector<ProcessImage> checkpoint_group(os::Os& os, int root_pid,
+                                           FaultPlan* faults,
+                                           obs::EventBus* bus,
+                                           const BaselineMap* baselines,
+                                           std::vector<CkptStats>* stats) {
   std::vector<ProcessImage> out;
   for (int pid : os.process_group(root_pid)) {
-    out.push_back(checkpoint(os, pid));
+    const Baseline* base = nullptr;
+    if (baselines != nullptr) {
+      auto it = baselines->find(pid);
+      if (it != baselines->end()) base = &it->second;
+    }
+    CkptStats st;
+    out.push_back(checkpoint(os, pid, faults, bus, base, &st));
+    if (stats != nullptr) stats->push_back(st);
   }
   return out;
 }

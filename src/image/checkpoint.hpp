@@ -2,14 +2,55 @@
 // `criu dump` / `criu restore` analogue, including the paper's modification
 // of dumping executable/file-backed pages (§3.3) and TCP_REPAIR-style
 // connection survival.
+//
+// Two optimizations shrink the freeze window on repeated customizations:
+//
+//   Incremental dump  — given a Baseline (the previous image plus the
+//   memory epoch it was taken at), checkpoint() copies the baseline's page
+//   table in O(pages) pointer shares and re-dumps only pages the
+//   soft-dirty analogue (vm::AddressSpace::dirty_pages_since) reports as
+//   modified. CRIU's pre-copy/soft-dirty trick.
+//
+//   Delta restore     — restore() diffs the image against live memory and
+//   writes back only pages that actually differ, preserving the address
+//   space instance (asid) and every decoded-instruction cache entry for
+//   untouched pages. The full-rebuild path remains available and
+//   observably equivalent (RestoreMode::kFull).
 #pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
 
 #include "common/fault.hpp"
 #include "image/image.hpp"
 #include "obs/bus.hpp"
 #include "os/os.hpp"
+#include "vm/addrspace.hpp"
 
 namespace dynacut::image {
+
+/// A dump baseline for incremental checkpointing: the image of a process
+/// plus the epoch its address space was at when the image was authoritative
+/// (sampled right after the image was restored or dumped). COW page blocks
+/// keep the pair O(metadata): unmodified live pages still share the
+/// baseline's blocks.
+struct Baseline {
+  ProcessImage img;
+  vm::MemEpoch epoch;
+};
+
+/// Per-pid baselines a customization engine keeps between toggles.
+using BaselineMap = std::map<int, Baseline>;
+
+/// What one checkpoint dump did (cost accounting + observability).
+struct CkptStats {
+  uint64_t pages_total = 0;    ///< pages in the resulting image
+  uint64_t pages_dumped = 0;   ///< pages captured from live memory
+  uint64_t pages_shared = 0;   ///< pages shared from the baseline in O(1)
+  uint64_t pages_dropped = 0;  ///< baseline pages no longer live
+  bool incremental = false;    ///< the dirty-tracking path was taken
+};
 
 /// Freezes `pid` (a no-op if the group transaction already froze it) and
 /// dumps its full state. The process stays frozen (and thus makes no
@@ -17,16 +58,46 @@ namespace dynacut::image {
 /// service-interruption time. `faults` is the deterministic fault-injection
 /// hook (FaultStage::kCheckpoint fires before anything is touched). `bus`
 /// (optional) receives a `checkpoint.dump` event once the dump succeeds.
+///
+/// With a `baseline` whose epoch still matches the live address space, the
+/// dump is incremental: only pages dirtied since the baseline epoch are
+/// captured, everything else is shared from the baseline image. A stale or
+/// missing baseline (rebuilt address space, restarted clock) silently falls
+/// back to a full dump — the result is identical either way.
 ProcessImage checkpoint(os::Os& os, int pid, FaultPlan* faults = nullptr,
-                        obs::EventBus* bus = nullptr);
+                        obs::EventBus* bus = nullptr,
+                        const Baseline* baseline = nullptr,
+                        CkptStats* stats = nullptr);
+
+enum class RestoreMode {
+  kDelta,  ///< write back only pages that differ from live memory
+  kFull,   ///< rebuild the address space from scratch (new asid, cold caches)
+};
+
+/// What one restore did (cost accounting + observability).
+struct RestoreStats {
+  uint64_t pages_total = 0;     ///< pages in the restored image
+  uint64_t pages_restored = 0;  ///< pages whose content actually changed
+  uint64_t pages_kept = 0;      ///< live pages already identical (kept warm)
+  uint64_t pages_dropped = 0;   ///< live-only pages depopulated
+  uint64_t vmas_changed = 0;    ///< VMAs mapped/unmapped/re-protected
+  bool in_place = false;        ///< delta path: asid and caches preserved
+};
 
 /// Replaces the frozen process's state with `img` and thaws it. Live socket
 /// objects referenced by the image's fd table are re-attached (TCP_REPAIR).
 /// FaultStage::kRestore fires after validation but before any mutation, so
 /// an injected restore failure leaves the process frozen and untouched.
 /// `bus` (optional) receives a `checkpoint.restore` event on success.
-void restore(os::Os& os, int pid, const ProcessImage& img,
-             FaultPlan* faults = nullptr, obs::EventBus* bus = nullptr);
+///
+/// RestoreMode::kDelta (the default) reconciles the image against live
+/// memory in place: VMAs are mapped/unmapped/re-protected to match, and
+/// only pages whose bytes differ are written back — pages the rewrite never
+/// touched keep their page generation, so the decode cache stays warm. The
+/// observable process state is identical to RestoreMode::kFull.
+RestoreStats restore(os::Os& os, int pid, const ProcessImage& img,
+                     FaultPlan* faults = nullptr, obs::EventBus* bus = nullptr,
+                     RestoreMode mode = RestoreMode::kDelta);
 
 /// Restores an image as a brand-new process (e.g. booting from a stored
 /// post-init image instead of rerunning initialization). Listening sockets
@@ -34,7 +105,14 @@ void restore(os::Os& os, int pid, const ProcessImage& img,
 /// their buffered bytes but a closed peer. Returns the new pid.
 int restore_new(os::Os& os, const ProcessImage& img);
 
-/// checkpoint() for a whole process group (Nginx master + workers).
-std::vector<ProcessImage> checkpoint_group(os::Os& os, int root_pid);
+/// checkpoint() for a whole process group (Nginx master + workers): every
+/// member goes through the same fault hook, per-member `checkpoint.dump`
+/// events, and — when `baselines` holds an entry for a member — the same
+/// incremental dirty-dump path as a single-process checkpoint. Per-member
+/// dump stats are appended to `stats` when provided, in group order.
+std::vector<ProcessImage> checkpoint_group(
+    os::Os& os, int root_pid, FaultPlan* faults = nullptr,
+    obs::EventBus* bus = nullptr, const BaselineMap* baselines = nullptr,
+    std::vector<CkptStats>* stats = nullptr);
 
 }  // namespace dynacut::image

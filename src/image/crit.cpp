@@ -104,12 +104,12 @@ std::string decode_text(const ProcessImage& img, bool include_pages) {
   out += show_core(img);
   out += show_mems(img);
 
-  for (const auto& [addr, bytes] : img.pages) {
+  for (const auto& [addr, block] : img.pages) {
     if (include_pages) {
-      out += "page " + hex_addr(addr) + " " + to_hex_blob(bytes) + "\n";
+      out += "page " + hex_addr(addr) + " " + to_hex_blob(*block) + "\n";
     } else {
       out += "page " + hex_addr(addr) + " <" +
-             std::to_string(bytes.size()) + " bytes>\n";
+             std::to_string(block->size()) + " bytes>\n";
     }
   }
 
@@ -183,7 +183,7 @@ ProcessImage encode_text(const std::string& text) {
       if (bytes.size() != kPageSize) {
         throw DecodeError("crit: page blob is not one page");
       }
-      img.pages.emplace(addr, std::move(bytes));
+      img.pages.put_bytes(addr, bytes);
     } else if (kind == "fd") {
       FdImage f;
       f.fd = static_cast<int>(parse_u64(toks.at(1)));

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <cstring>
+#include <memory>
+#include <set>
 
 #include "common/bytes.hpp"
 #include "common/error.hpp"
@@ -27,14 +29,6 @@ bool ProcessImage::mapped(uint64_t addr, uint64_t n) const {
   return true;
 }
 
-std::vector<uint8_t>& ProcessImage::ensure_page(uint64_t page_addr) {
-  auto it = pages.find(page_addr);
-  if (it == pages.end()) {
-    it = pages.emplace(page_addr, std::vector<uint8_t>(kPageSize, 0)).first;
-  }
-  return it->second;
-}
-
 std::vector<uint8_t> ProcessImage::read_bytes(uint64_t vaddr,
                                               uint64_t n) const {
   if (!mapped(vaddr, n)) {
@@ -49,7 +43,7 @@ std::vector<uint8_t> ProcessImage::read_bytes(uint64_t vaddr,
     uint64_t chunk = std::min<uint64_t>(n, kPageSize - off);
     auto it = pages.find(page);
     if (it != pages.end()) {
-      std::memcpy(dst, it->second.data() + off, chunk);
+      std::memcpy(dst, it->second->data() + off, chunk);
     } else {
       std::memset(dst, 0, chunk);
     }
@@ -72,7 +66,7 @@ void ProcessImage::write_bytes(uint64_t vaddr,
     uint64_t page = page_floor(cur);
     uint64_t off = cur - page;
     uint64_t chunk = std::min<uint64_t>(n, kPageSize - off);
-    std::memcpy(ensure_page(page).data() + off, src, chunk);
+    std::memcpy(pages.writable(page).data() + off, src, chunk);
     src += chunk;
     cur += chunk;
     n -= chunk;
@@ -210,9 +204,9 @@ std::vector<uint8_t> ProcessImage::encode() const {
 
   // pagemap + pages
   w.u32(static_cast<uint32_t>(pages.size()));
-  for (const auto& [addr, bytes] : pages) {
+  for (const auto& [addr, block] : pages) {
     w.u64(addr);
-    w.raw(bytes.data(), bytes.size());
+    w.raw(block->data(), block->size());
   }
 
   // files
@@ -270,9 +264,9 @@ ProcessImage ProcessImage::decode(std::span<const uint8_t> data) {
   uint32_t npages = r.u32();
   for (uint32_t i = 0; i < npages; ++i) {
     uint64_t addr = r.u64();
-    std::vector<uint8_t> bytes(kPageSize);
-    r.raw(bytes.data(), bytes.size());
-    img.pages.emplace(addr, std::move(bytes));
+    auto bytes = std::make_shared<std::vector<uint8_t>>(kPageSize);
+    r.raw(bytes->data(), bytes->size());
+    img.pages.put(addr, std::move(bytes));
   }
 
   uint32_t nfds = r.u32();
@@ -307,13 +301,18 @@ ProcessImage ProcessImage::decode(std::span<const uint8_t> data) {
 // ---------------------------------------------------------------------------
 
 void ImageStore::put(const std::string& key, const ProcessImage& img) {
-  files_[key] = img.encode();
+  // A COW copy: page blocks are shared, not serialized. Stripping the live
+  // socket handles preserves the semantics of the encode/decode round trip
+  // this replaced — a stored image must not keep connections alive.
+  ProcessImage stored = img;
+  for (auto& f : stored.fds) f.live.reset();
+  files_[key] = std::move(stored);
 }
 
 ProcessImage ImageStore::get(const std::string& key) const {
   auto it = files_.find(key);
   if (it == files_.end()) throw StateError("no image named " + key);
-  return ProcessImage::decode(it->second);
+  return it->second;  // COW copy: O(metadata), pages shared
 }
 
 bool ImageStore::contains(const std::string& key) const {
@@ -322,7 +321,14 @@ bool ImageStore::contains(const std::string& key) const {
 
 size_t ImageStore::bytes_used() const {
   size_t total = 0;
-  for (const auto& [k, v] : files_) total += v.size();
+  for (const auto& [k, img] : files_) total += img.pages_bytes();
+  return total;
+}
+
+size_t ImageStore::resident_bytes() const {
+  std::set<const void*> seen;
+  size_t total = 0;
+  for (const auto& [k, img] : files_) total += img.resident_pages_bytes(&seen);
   return total;
 }
 

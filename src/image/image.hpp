@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "image/page_store.hpp"
 #include "melf/binary.hpp"
 #include "os/process.hpp"
 #include "vm/cpu.hpp"
@@ -69,8 +70,8 @@ struct ModuleImage {
 class ProcessImage {
  public:
   CoreImage core;
-  std::vector<VmaImage> vmas;                        // mm image
-  std::map<uint64_t, std::vector<uint8_t>> pages;    // pagemap + pages
+  std::vector<VmaImage> vmas;  // mm image
+  PageStore pages;             // pagemap + pages (COW blocks)
   std::vector<FdImage> fds;
   std::vector<ModuleImage> modules;
 
@@ -100,28 +101,45 @@ class ProcessImage {
   const ModuleImage* module_named(const std::string& name) const;
   const ModuleImage* module_at(uint64_t addr) const;
 
-  /// Total dumped page payload (the paper's "image size" column in Fig. 7).
-  uint64_t pages_bytes() const { return pages.size() * kPageSize; }
+  /// Total dumped page payload (the paper's "image size" column in Fig. 7):
+  /// the logical size — every page counted, shared or not.
+  uint64_t pages_bytes() const { return pages.logical_bytes(); }
+
+  /// Payload actually resident for this image: pages whose blocks are not
+  /// already counted in `seen` (dedup by block identity across images).
+  uint64_t resident_pages_bytes(std::set<const void*>* seen = nullptr) const {
+    return pages.resident_bytes(seen);
+  }
 
   // --- serialization ------------------------------------------------------
   std::vector<uint8_t> encode() const;
   static ProcessImage decode(std::span<const uint8_t> data);
-
- private:
-  std::vector<uint8_t>& ensure_page(uint64_t page_addr);
 };
 
 /// tmpfs-like in-memory image store (the paper checkpoints into tmpfs to
 /// keep rewriting off the disk).
+///
+/// Entries are kept decoded with COW page blocks: put() shares the image's
+/// pages instead of serializing them, and get() hands back a shared copy
+/// in O(metadata) instead of re-decoding the whole byte stream per call.
+/// Live socket handles are stripped on put (exactly what serialization
+/// used to do), so a stored image never keeps a connection object alive.
 class ImageStore {
  public:
   void put(const std::string& key, const ProcessImage& img);
   ProcessImage get(const std::string& key) const;
   bool contains(const std::string& key) const;
+
+  /// Logical page payload across all entries — every page counted once per
+  /// image that holds it, shared or not.
   size_t bytes_used() const;
 
+  /// Actually-resident page payload: shared blocks counted once across the
+  /// whole store. The gap to bytes_used() is what COW sharing saves.
+  size_t resident_bytes() const;
+
  private:
-  std::map<std::string, std::vector<uint8_t>> files_;
+  std::map<std::string, ProcessImage> files_;
 };
 
 }  // namespace dynacut::image

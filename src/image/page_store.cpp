@@ -1,0 +1,56 @@
+#include "image/page_store.hpp"
+
+#include "common/error.hpp"
+#include "common/hex.hpp"
+
+namespace dynacut::image {
+
+const std::vector<uint8_t>& PageStore::at(uint64_t page_addr) const {
+  auto it = blocks_.find(page_addr);
+  if (it == blocks_.end()) {
+    throw StateError("image page not populated: " + hex_addr(page_addr));
+  }
+  return *it->second;
+}
+
+PageRef PageStore::block(uint64_t page_addr) const {
+  auto it = blocks_.find(page_addr);
+  return it == blocks_.end() ? nullptr : it->second;
+}
+
+void PageStore::put(uint64_t page_addr, PageRef block) {
+  DYNACUT_ASSERT(page_addr == page_floor(page_addr));
+  DYNACUT_ASSERT(block != nullptr && block->size() == kPageSize);
+  blocks_[page_addr] = std::move(block);
+}
+
+void PageStore::put_bytes(uint64_t page_addr, std::span<const uint8_t> bytes) {
+  DYNACUT_ASSERT(bytes.size() == kPageSize);
+  blocks_[page_addr] =
+      std::make_shared<std::vector<uint8_t>>(bytes.begin(), bytes.end());
+}
+
+std::vector<uint8_t>& PageStore::writable(uint64_t page_addr) {
+  auto it = blocks_.find(page_addr);
+  if (it == blocks_.end()) {
+    it = blocks_
+             .emplace(page_addr,
+                      std::make_shared<std::vector<uint8_t>>(kPageSize, 0))
+             .first;
+  } else if (it->second.use_count() > 1) {
+    it->second = std::make_shared<std::vector<uint8_t>>(*it->second);
+  }
+  return *it->second;
+}
+
+uint64_t PageStore::resident_bytes(std::set<const void*>* seen) const {
+  std::set<const void*> local;
+  std::set<const void*>& s = seen != nullptr ? *seen : local;
+  uint64_t total = 0;
+  for (const auto& [addr, block] : blocks_) {
+    if (s.insert(block.get()).second) total += block->size();
+  }
+  return total;
+}
+
+}  // namespace dynacut::image

@@ -1,0 +1,70 @@
+// Refcounted copy-on-write page storage for process images.
+//
+// A checkpoint no longer deep-copies page payloads: the image shares the
+// live address space's page blocks (vm::PageRef), and every downstream
+// copy — the txn layer's ".pre" pristine images, ImageStore entries, the
+// rewriter's working copies — shares them again in O(1). Mutation goes
+// through writable(), which clones a shared block first, so no holder can
+// observe another holder's edits (COW aliasing safety).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <span>
+#include <vector>
+
+#include "common/constants.hpp"
+#include "vm/addrspace.hpp"
+
+namespace dynacut::image {
+
+using vm::PageRef;
+
+class PageStore {
+ public:
+  using Map = std::map<uint64_t, PageRef>;
+  using const_iterator = Map::const_iterator;
+
+  bool empty() const { return blocks_.empty(); }
+  size_t size() const { return blocks_.size(); }
+  size_t count(uint64_t page_addr) const { return blocks_.count(page_addr); }
+  const_iterator begin() const { return blocks_.begin(); }
+  const_iterator end() const { return blocks_.end(); }
+  const_iterator find(uint64_t page_addr) const {
+    return blocks_.find(page_addr);
+  }
+
+  /// The page's bytes; throws StateError if the page is absent.
+  const std::vector<uint8_t>& at(uint64_t page_addr) const;
+
+  /// The page's refcounted block, or nullptr if absent. Sharing the
+  /// returned block is O(1); it must never be mutated (use writable()).
+  PageRef block(uint64_t page_addr) const;
+
+  /// Shares `block` as the page's content (O(1), no copy).
+  void put(uint64_t page_addr, PageRef block);
+
+  /// Copies `bytes` into a fresh block (a page-sized copy).
+  void put_bytes(uint64_t page_addr, std::span<const uint8_t> bytes);
+
+  /// The page's block, uniquely owned by this store: creates a zero page if
+  /// absent, clones if shared (copy-on-write). Every mutation funnels here.
+  std::vector<uint8_t>& writable(uint64_t page_addr);
+
+  size_t erase(uint64_t page_addr) { return blocks_.erase(page_addr); }
+  void clear() { blocks_.clear(); }
+
+  /// Dumped payload as the paper counts it: every page, once per image.
+  uint64_t logical_bytes() const { return size() * kPageSize; }
+
+  /// Actually-resident payload: bytes of blocks not yet counted in `seen`
+  /// (dedup by block identity). Pass one `seen` set across several stores
+  /// to measure what page sharing saves; nullptr dedups within this store.
+  uint64_t resident_bytes(std::set<const void*>* seen = nullptr) const;
+
+ private:
+  Map blocks_;
+};
+
+}  // namespace dynacut::image

@@ -22,6 +22,7 @@ inline constexpr const char* kTxnAbort = "txn.abort";
 inline constexpr const char* kTxnRollback = "txn.rollback";
 inline constexpr const char* kCheckpointDump = "checkpoint.dump";
 inline constexpr const char* kCheckpointRestore = "checkpoint.restore";
+inline constexpr const char* kCheckpointDelta = "checkpoint.delta";
 inline constexpr const char* kRewritePatch = "rewrite.patch";
 inline constexpr const char* kRewriteWipe = "rewrite.wipe";
 inline constexpr const char* kRewriteUnmap = "rewrite.unmap";

@@ -111,6 +111,24 @@ void Os::thaw(int pid) {
                  : Process::State::kBlocked;
 }
 
+vm::MemEpoch Os::mem_epoch(int pid) {
+  Process* p = process(pid);
+  if (p == nullptr || p->state == Process::State::kExited) {
+    throw StateError("mem_epoch: no live process " + std::to_string(pid));
+  }
+  return p->mem.snapshot_epoch();
+}
+
+std::optional<std::vector<uint64_t>> Os::dirty_pages_since(
+    int pid, const vm::MemEpoch& since) const {
+  const Process* p = process(pid);
+  if (p == nullptr || p->state == Process::State::kExited) {
+    throw StateError("dirty_pages_since: no live process " +
+                     std::to_string(pid));
+  }
+  return p->mem.dirty_pages_since(since);
+}
+
 void Os::freeze_group(const std::vector<int>& pids) {
   size_t frozen = 0;
   try {

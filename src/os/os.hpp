@@ -11,6 +11,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -77,6 +78,17 @@ class Os {
   // --- checkpoint support -------------------------------------------------
   void freeze(int pid);
   void thaw(int pid);
+
+  /// Takes a checkpoint epoch on `pid`'s address space — the soft-dirty
+  /// analogue of `echo 4 > /proc/pid/clear_refs`. Throws StateError if the
+  /// pid is not live.
+  vm::MemEpoch mem_epoch(int pid);
+
+  /// Pages of `pid` modified since `since` was taken, or nullopt when the
+  /// epoch no longer matches the live address space (it was rebuilt and its
+  /// clock restarted) — callers fall back to a full dump.
+  std::optional<std::vector<uint64_t>> dirty_pages_since(
+      int pid, const vm::MemEpoch& since) const;
 
   /// Freezes every pid in `pids` with the strong guarantee: if any freeze
   /// fails (dead pid, already frozen), the ones frozen so far are thawed

@@ -42,6 +42,25 @@ void AddressSpace::bump_exec_generations(uint64_t addr, uint64_t n) {
   }
 }
 
+MemEpoch AddressSpace::snapshot_epoch() {
+  // The write fast path stamps a page only when it (re)establishes its
+  // cache; crossing an epoch boundary must force a fresh stamp.
+  invalidate_caches();
+  return MemEpoch{asid_, epoch_++};
+}
+
+std::optional<std::vector<uint64_t>> AddressSpace::dirty_pages_since(
+    const MemEpoch& since) const {
+  if (!since.valid() || since.asid != asid_ || since.epoch >= epoch_) {
+    return std::nullopt;
+  }
+  std::vector<uint64_t> out;
+  for (const auto& [page, stamp] : page_stamps_) {
+    if (stamp > since.epoch) out.push_back(page);
+  }
+  return out;
+}
+
 void AddressSpace::map(uint64_t start, uint64_t size, uint32_t prot,
                        const std::string& name) {
   DYNACUT_ASSERT(start == page_floor(start));
@@ -97,8 +116,11 @@ void AddressSpace::unmap(uint64_t start, uint64_t size) {
       vmas_[end] = Vma{end, v.end, v.prot, v.name};
     }
   }
-  // Discard pages in the unmapped range.
-  for (uint64_t p = start; p < end; p += kPageSize) pages_.erase(p);
+  // Discard pages in the unmapped range; the discard is a content change
+  // the next delta dump must see.
+  for (uint64_t p = start; p < end; p += kPageSize) {
+    if (pages_.erase(p) != 0) page_stamps_[p] = epoch_;
+  }
 }
 
 void AddressSpace::protect(uint64_t start, uint64_t size, uint32_t prot) {
@@ -152,17 +174,29 @@ uint64_t AddressSpace::find_free(uint64_t size, uint64_t hint) const {
   return candidate;
 }
 
-AddressSpace::Page& AddressSpace::ensure_page(uint64_t page_addr) {
+AddressSpace::Page& AddressSpace::writable_page(uint64_t page_addr) {
   auto it = pages_.find(page_addr);
   if (it == pages_.end()) {
-    it = pages_.emplace(page_addr, Page(kPageSize, 0)).first;
+    it = pages_.emplace(page_addr, std::make_shared<Page>(kPageSize, 0))
+             .first;
+  } else if (it->second.use_count() > 1) {
+    // Copy-on-write: the block is visible through a checkpoint image (or a
+    // copied address space) — clone before mutating. The old raw cache
+    // pointer would now write into the shared block; drop it.
+    if (cached_page_addr_ == page_addr) {
+      cached_page_addr_ = ~0ull;
+      cached_page_ = nullptr;
+      cached_page_writable_ = false;
+    }
+    it->second = std::make_shared<Page>(*it->second);
   }
-  return it->second;
+  page_stamps_[page_addr] = epoch_;
+  return *it->second;
 }
 
 const AddressSpace::Page* AddressSpace::find_page(uint64_t page_addr) const {
   auto it = pages_.find(page_addr);
-  return it == pages_.end() ? nullptr : &it->second;
+  return it == pages_.end() ? nullptr : it->second.get();
 }
 
 Access AddressSpace::check_range(uint64_t addr, uint64_t n,
@@ -191,7 +225,8 @@ Access AddressSpace::read(uint64_t addr, void* out, uint64_t n,
         auto it = pages_.find(page);
         if (it != pages_.end()) {
           cached_page_addr_ = page;
-          cached_page_ = const_cast<Page*>(&it->second);
+          cached_page_ = it->second.get();
+          cached_page_writable_ = false;  // possibly shared: read-only view
         }
       }
       if (page == cached_page_addr_) {
@@ -228,9 +263,14 @@ Access AddressSpace::write(uint64_t addr, const void* src, uint64_t n,
       (cached_vma_->prot & need_prot) == need_prot) {
     uint64_t page = page_floor(addr);
     if (page == page_floor(addr + n - 1)) {
-      if (page != cached_page_addr_) {
+      // The raw pointer is only usable if the block is uniquely owned and
+      // already stamped this epoch; otherwise take the COW/stamp slow step
+      // once and cache the result.
+      if (page != cached_page_addr_ || !cached_page_writable_) {
+        Page& p = writable_page(page);
         cached_page_addr_ = page;
-        cached_page_ = &ensure_page(page);
+        cached_page_ = &p;
+        cached_page_writable_ = true;
       }
       std::memcpy(cached_page_->data() + (addr - page), src, n);
       if ((cached_vma_->prot & kProtExec) != 0) ++page_gens_[page];
@@ -246,7 +286,7 @@ Access AddressSpace::write(uint64_t addr, const void* src, uint64_t n,
     uint64_t page = page_floor(cur);
     uint64_t off = cur - page;
     uint64_t chunk = std::min<uint64_t>(n, kPageSize - off);
-    std::memcpy(ensure_page(page).data() + off, s, chunk);
+    std::memcpy(writable_page(page).data() + off, s, chunk);
     s += chunk;
     cur += chunk;
     n -= chunk;
@@ -307,8 +347,44 @@ void AddressSpace::install_page(uint64_t page_addr,
                                 std::span<const uint8_t> bytes) {
   DYNACUT_ASSERT(page_addr == page_floor(page_addr));
   DYNACUT_ASSERT(bytes.size() == kPageSize);
-  Page& p = ensure_page(page_addr);
+  Page& p = writable_page(page_addr);
   std::copy(bytes.begin(), bytes.end(), p.begin());
+  ++page_gens_[page_addr];
+}
+
+PageRef AddressSpace::page_block(uint64_t page_addr) const {
+  auto it = pages_.find(page_addr);
+  if (it == pages_.end()) {
+    throw StateError("page not populated: " + hex_addr(page_addr));
+  }
+  // The block is shared from here on: the write fast path must not keep
+  // scribbling into it through its raw pointer.
+  if (cached_page_addr_ == page_addr) cached_page_writable_ = false;
+  return it->second;
+}
+
+void AddressSpace::install_page_block(uint64_t page_addr, PageRef block) {
+  DYNACUT_ASSERT(page_addr == page_floor(page_addr));
+  DYNACUT_ASSERT(block != nullptr && block->size() == kPageSize);
+  invalidate_caches();
+  pages_[page_addr] = std::move(block);
+  page_stamps_[page_addr] = epoch_;
+  ++page_gens_[page_addr];
+}
+
+void AddressSpace::adopt_page_block(uint64_t page_addr, PageRef block) {
+  DYNACUT_ASSERT(page_addr == page_floor(page_addr));
+  DYNACUT_ASSERT(block != nullptr && block->size() == kPageSize);
+  invalidate_caches();
+  pages_[page_addr] = std::move(block);
+  // No generation bump, no dirty stamp: bytes are unchanged by contract.
+}
+
+void AddressSpace::drop_page(uint64_t page_addr) {
+  DYNACUT_ASSERT(page_addr == page_floor(page_addr));
+  if (pages_.erase(page_addr) == 0) return;
+  invalidate_caches();
+  page_stamps_[page_addr] = epoch_;
   ++page_gens_[page_addr];
 }
 

@@ -5,11 +5,18 @@
 // first write; reads inside a VMA of an unpopulated page observe zeros —
 // mirroring anonymous-memory semantics, and giving the checkpointer the
 // same "dump only populated pages" behaviour the paper relies on.
+//
+// Pages are refcounted blocks (PageRef): checkpointing shares the live
+// block into the image instead of copying it, and the first write after a
+// share clones the block (copy-on-write). A block referenced by more than
+// one owner is immutable by contract — every mutation path goes through
+// writable_page(), which clones a shared block before touching it.
 #pragma once
 
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <optional>
 #include <span>
 #include <string>
 #include <vector>
@@ -18,6 +25,10 @@
 #include "common/error.hpp"
 
 namespace dynacut::vm {
+
+/// One refcounted 4 KiB page block, shared between live address spaces and
+/// checkpoint images. Shared blocks (use_count > 1) are never mutated.
+using PageRef = std::shared_ptr<std::vector<uint8_t>>;
 
 /// A virtual memory area (page-aligned [start, end) range).
 struct Vma {
@@ -43,6 +54,18 @@ struct Access {
   uint64_t fault_addr = 0;
 };
 
+/// A checkpoint epoch: a point on one address space's modification clock.
+/// The soft-dirty-bit analogue — dirty_pages_since(epoch) names every page
+/// modified after the epoch was taken. The asid pins the epoch to the
+/// address-space *instance*: a rebuilt space (full restore, restore_new,
+/// copy-assignment) restarts its clock, so a stale epoch must never be
+/// trusted there — asid mismatch invalidates it.
+struct MemEpoch {
+  uint64_t asid = 0;
+  uint64_t epoch = 0;
+  bool valid() const { return asid != 0; }
+};
+
 class AddressSpace {
  public:
   AddressSpace() = default;
@@ -50,25 +73,40 @@ class AddressSpace {
   // Copies take a fresh asid (decode caches keyed to the source must not
   // trust the copy); moves keep the source's asid because the map nodes —
   // and thus any generation-slot pointers handed out — move along with it.
+  // A copy shares every page block with the source, so the source's write
+  // caches must drop their raw pointers (the blocks are no longer unique).
   AddressSpace(const AddressSpace& o)
-      : vmas_(o.vmas_), pages_(o.pages_), page_gens_(o.page_gens_) {}
+      : vmas_(o.vmas_),
+        pages_(o.pages_),
+        page_gens_(o.page_gens_),
+        page_stamps_(o.page_stamps_),
+        epoch_(o.epoch_) {
+    o.invalidate_caches();
+  }
   AddressSpace& operator=(const AddressSpace& o) {
     vmas_ = o.vmas_;
     pages_ = o.pages_;
     page_gens_ = o.page_gens_;
+    page_stamps_ = o.page_stamps_;
+    epoch_ = o.epoch_;
     asid_ = next_asid();
     invalidate_caches();
+    o.invalidate_caches();
     return *this;
   }
   AddressSpace(AddressSpace&& o) noexcept
       : vmas_(std::move(o.vmas_)),
         pages_(std::move(o.pages_)),
         page_gens_(std::move(o.page_gens_)),
+        page_stamps_(std::move(o.page_stamps_)),
+        epoch_(o.epoch_),
         asid_(o.asid_) {}
   AddressSpace& operator=(AddressSpace&& o) noexcept {
     vmas_ = std::move(o.vmas_);
     pages_ = std::move(o.pages_);
     page_gens_ = std::move(o.page_gens_);
+    page_stamps_ = std::move(o.page_stamps_);
+    epoch_ = o.epoch_;
     asid_ = o.asid_;
     invalidate_caches();
     o.invalidate_caches();
@@ -109,10 +147,51 @@ class AddressSpace {
   /// Raw content of one populated page; throws if not populated.
   std::span<const uint8_t> page_bytes(uint64_t page_addr) const;
 
-  /// Installs page content directly (used by restore).
+  /// Whether one page is populated AND still inside a VMA — the per-page
+  /// form of the populated_pages() filter, used when re-checking a dirty
+  /// set (dirty pages may have been dropped or unmapped since stamping).
+  bool page_live(uint64_t page_addr) const {
+    return pages_.count(page_addr) != 0 && vma_at(page_addr) != nullptr;
+  }
+
+  /// Installs page content directly (used by restore). Copies the bytes and
+  /// bumps the page generation (content changed).
   void install_page(uint64_t page_addr, std::span<const uint8_t> bytes);
 
+  // --- copy-on-write block sharing (checkpoint/restore hot path) --------
+  /// Shares out the refcounted block of one populated page (O(1), no copy);
+  /// throws if not populated. The block becomes shared: the next write to
+  /// the page clones it first, so holders see an immutable snapshot.
+  PageRef page_block(uint64_t page_addr) const;
+
+  /// Installs a shared block as the page's content in O(1). Counts as a
+  /// content change: bumps the page generation and dirty-stamps the page.
+  void install_page_block(uint64_t page_addr, PageRef block);
+
+  /// Re-shares a block whose bytes are identical to the page's current
+  /// content (delta restore re-canonicalizing identity against the staged
+  /// image). No generation bump — decoded code stays valid — and no dirty
+  /// stamp: the page is byte-for-byte what the new baseline says it is.
+  void adopt_page_block(uint64_t page_addr, PageRef block);
+
+  /// Depopulates one page (reads observe zeros again). Bumps the page
+  /// generation and dirty-stamps the page. No-op if not populated.
+  void drop_page(uint64_t page_addr);
+
   uint64_t vma_count() const { return vmas_.size(); }
+
+  // --- checkpoint epochs (dirty tracking) --------------------------------
+  /// Takes a checkpoint epoch: every later page modification is "dirty
+  /// since" the returned epoch. The soft-dirty analogue of CRIU's pre-copy.
+  MemEpoch snapshot_epoch();
+
+  /// Pages modified after `since` was taken, ascending. Returns nullopt if
+  /// the epoch belongs to another address-space instance (asid mismatch —
+  /// the space was rebuilt and its clock restarted), in which case callers
+  /// must fall back to a full dump. The dirty set may include pages that
+  /// were since depopulated or unmapped — callers re-check liveness.
+  std::optional<std::vector<uint64_t>> dirty_pages_since(
+      const MemEpoch& since) const;
 
   // --- code-cache support ----------------------------------------------
   /// Identity of this address-space instance. Decode caches record the asid
@@ -137,12 +216,16 @@ class AddressSpace {
  private:
   using Page = std::vector<uint8_t>;  // always kPageSize long
 
-  Page& ensure_page(uint64_t page_addr);
+  /// The page's block, uniquely owned: creates a zero page if absent,
+  /// clones if shared (copy-on-write), and dirty-stamps it. Every byte
+  /// mutation funnels through here.
+  Page& writable_page(uint64_t page_addr);
   const Page* find_page(uint64_t page_addr) const;
   void invalidate_caches() const {
     cached_vma_ = nullptr;
     cached_page_addr_ = ~0ull;
     cached_page_ = nullptr;
+    cached_page_writable_ = false;
   }
 
   /// Checks [addr, addr+n) lies inside VMAs with `need_prot`; returns the
@@ -160,20 +243,34 @@ class AddressSpace {
   /// executable VMAs (data-page writes don't concern instruction caches).
   void bump_exec_generations(uint64_t addr, uint64_t n);
 
-  std::map<uint64_t, Vma> vmas_;        // keyed by start
-  std::map<uint64_t, Page> pages_;      // keyed by page address
+  std::map<uint64_t, Vma> vmas_;      // keyed by start
+  std::map<uint64_t, PageRef> pages_;  // keyed by page address
 
   // Page modification counters (see page_generation). Bump-only; mutable so
   // page_generation_slot can register a zero entry from const readers.
   mutable std::map<uint64_t, uint64_t> page_gens_;
+
+  // Dirty tracking: the epoch each page was last modified in. Stamps are
+  // written at the current epoch_ by every content mutation (first write
+  // per page per epoch, install, drop, unmap-discard) and compared against
+  // snapshot_epoch() marks. Entries are never erased — a page that vanished
+  // is precisely one the delta dump must notice.
+  std::map<uint64_t, uint64_t> page_stamps_;
+  uint64_t epoch_ = 1;
+
   uint64_t asid_ = next_asid();
 
   // Hot-path caches (guest execution hits the same VMA/page repeatedly).
   // std::map nodes are pointer-stable across inserts, so these stay valid
   // until a VMA or page is removed; every structural change invalidates.
+  // cached_page_writable_ marks that the cached block is uniquely owned
+  // AND already dirty-stamped at the current epoch — only then may the
+  // write fast path scribble through the raw pointer. Sharing a block out
+  // (page_block, whole-space copy) or advancing the epoch clears it.
   mutable const Vma* cached_vma_ = nullptr;
   mutable uint64_t cached_page_addr_ = ~0ull;
   mutable Page* cached_page_ = nullptr;
+  mutable bool cached_page_writable_ = false;
 };
 
 }  // namespace dynacut::vm

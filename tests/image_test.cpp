@@ -267,9 +267,9 @@ TEST(ImageFormat, EncodeDecodeRoundtrip) {
     EXPECT_EQ(back.vmas[i].name, img.vmas[i].name);
   }
   ASSERT_EQ(back.pages.size(), img.pages.size());
-  for (const auto& [addr, bytes] : img.pages) {
+  for (const auto& [addr, block] : img.pages) {
     ASSERT_TRUE(back.pages.count(addr));
-    EXPECT_EQ(back.pages.at(addr), bytes);
+    EXPECT_EQ(back.pages.at(addr), *block);
   }
   ASSERT_EQ(back.fds.size(), img.fds.size());
   ASSERT_EQ(back.modules.size(), img.modules.size());
