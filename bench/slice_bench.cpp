@@ -1,0 +1,232 @@
+// Slicer smoke + gate bench.
+//
+// Part 1 (static sweep): runs the interprocedural slicer and the full
+// cutcheck rule set (CC001-CC012, uncut plan) over every src/apps guest.
+// Hard requirements: every indirect transfer resolves (PLT stub, jump
+// table or exact offset) and an uncut binary produces zero
+// CC007-indirect-escape findings — the rule's false-positive bar.
+//
+// Part 2 (expansion gate): profiles the minikv SET command and the miniweb
+// WebDAV writes the way the figure benches do (tracediff of an exercising
+// run against a baseline run), plans a coverage-only cut, expands it to the
+// static feature slice, and gates on the slice-closed plan removing >= 20%
+// more blocks than observed coverage alone while both plans verify clean
+// (no cutcheck errors).
+//
+// Writes BENCH_slice.json (or --out=PATH) with per-guest resolution stats,
+// rule-check wall times, and the per-app observed/slice block counts.
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/coverage.hpp"
+#include "analysis/cutcheck/checker.hpp"
+#include "analysis/slicer/slicer.hpp"
+#include "apps/minihttpd.hpp"
+#include "apps/minikv.hpp"
+#include "apps/miniweb.hpp"
+#include "apps/specgen.hpp"
+#include "bench_common.hpp"
+
+namespace {
+
+using namespace dynacut;
+namespace cutcheck = analysis::cutcheck;
+namespace slicer = analysis::slicer;
+
+int failures = 0;
+
+void check(bool ok, const std::string& what) {
+  std::printf("  [%s] %s\n", ok ? "ok" : "FAIL", what.c_str());
+  if (!ok) ++failures;
+}
+
+double ms_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+struct SweepRow {
+  std::string name;
+  size_t blocks = 0;
+  size_t sites = 0;
+  size_t plt = 0, table = 0, direct = 0, unresolved = 0;
+  double analyze_ms = 0;
+  double check_ms = 0;
+  size_t cc007 = 0;
+};
+
+SweepRow sweep(std::shared_ptr<const melf::Binary> bin) {
+  SweepRow row;
+  row.name = bin->name;
+  auto t0 = std::chrono::steady_clock::now();
+  slicer::SliceModel m = slicer::analyze(*bin);
+  row.analyze_ms = ms_since(t0);
+  row.blocks = m.cfg.block_count();
+  row.sites = m.indirect.size();
+  for (const auto& s : m.indirect) {
+    switch (s.kind) {
+      case slicer::IndirectSite::Kind::kPltImport: ++row.plt; break;
+      case slicer::IndirectSite::Kind::kTable: ++row.table; break;
+      case slicer::IndirectSite::Kind::kDirect: ++row.direct; break;
+      case slicer::IndirectSite::Kind::kUnresolved: ++row.unresolved; break;
+    }
+  }
+  // Full rule set over the uncut binary: must stay silent on CC007.
+  cutcheck::CutPlan plan;
+  plan.feature = "uncut";
+  plan.module = bin->name;
+  plan.binary = bin;
+  t0 = std::chrono::steady_clock::now();
+  cutcheck::CheckReport r = cutcheck::check_plan(plan);
+  row.check_ms = ms_since(t0);
+  row.cc007 = r.by_rule(cutcheck::kRuleIndirect).size();
+  return row;
+}
+
+struct GateRow {
+  std::string name;
+  size_t observed = 0;       ///< coverage-only plan blocks
+  size_t slice = 0;          ///< slice-closed plan blocks
+  double growth = 0;         ///< slice / observed
+  bool observed_clean = false;
+  bool slice_clean = false;
+  double check_ms = 0;       ///< rule-check wall time, slice-closed plan
+};
+
+GateRow gate(const std::string& name,
+             std::shared_ptr<const melf::Binary> bin, uint16_t port,
+             const std::string& module,
+             const std::vector<std::string>& undesired_reqs,
+             const std::vector<std::string>& wanted_reqs) {
+  bench::ServerPhases undesired =
+      bench::profile_server(bin, port, undesired_reqs);
+  bench::ServerPhases wanted = bench::profile_server(bin, port, wanted_reqs);
+  std::vector<analysis::CovBlock> observed =
+      analysis::feature_diff({undesired.serving_log}, {wanted.serving_log},
+                             module)
+          .blocks();
+
+  cutcheck::CutPlan plan;
+  plan.feature = "unwanted";
+  plan.module = module;
+  plan.binary = bin;
+  plan.blocks = observed;
+
+  GateRow row;
+  row.name = name;
+  row.observed = observed.size();
+  row.observed_clean = cutcheck::check_plan(plan).ok();
+
+  slicer::expand_plan(plan);
+  row.slice = plan.blocks.size();
+  row.growth = row.observed == 0
+                   ? 0.0
+                   : static_cast<double>(row.slice) /
+                         static_cast<double>(row.observed);
+  auto t0 = std::chrono::steady_clock::now();
+  cutcheck::CheckReport r = cutcheck::check_plan(plan);
+  row.check_ms = ms_since(t0);
+  row.slice_clean = r.ok();
+  if (!row.slice_clean) std::printf("%s", r.format().c_str());
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_slice.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
+
+  bench::banner(
+      "Slicer sweep (indirect resolution + CC001-CC012 over every guest)\n"
+      "and the slice-closed vs coverage-only expansion gate");
+
+  std::vector<std::shared_ptr<const melf::Binary>> guests = {
+      apps::build_minikv(), apps::build_miniweb(), apps::build_minihttpd(),
+      apps::build_kvbench(), apps::build_libc()};
+  for (const auto& sb : apps::spec_suite()) guests.push_back(apps::build_spec(sb));
+
+  std::printf("\n%-16s %8s %6s %5s %6s %7s %7s %11s %9s\n", "guest", "blocks",
+              "sites", "plt", "table", "direct", "unres", "analyze_ms",
+              "check_ms");
+  std::vector<SweepRow> rows;
+  for (const auto& bin : guests) {
+    SweepRow row = sweep(bin);
+    std::printf("%-16s %8zu %6zu %5zu %6zu %7zu %7zu %11.2f %9.2f\n",
+                row.name.c_str(), row.blocks, row.sites, row.plt, row.table,
+                row.direct, row.unresolved, row.analyze_ms, row.check_ms);
+    rows.push_back(row);
+  }
+  for (const auto& row : rows) {
+    check(row.unresolved == 0, row.name + ": all indirect sites resolve");
+    check(row.cc007 == 0, row.name + ": zero CC007 findings uncut");
+  }
+
+  std::printf("\n");
+  std::vector<GateRow> gates;
+  gates.push_back(gate("minikv-SET", apps::build_minikv(), apps::kMinikvPort,
+                       "minikv", {"SET k v\n", "GET k\n", "PING\n"},
+                       {"GET k\n", "PING\n", "DEL k\n"}));
+  gates.push_back(gate("miniweb-DAV", apps::build_miniweb(),
+                       apps::kMiniwebPort, "miniweb",
+                       {"GET /index\n", "PUT /a x\n", "DELETE /a\n"},
+                       {"GET /index\n", "HEAD /index\n"}));
+
+  std::printf("%-14s %9s %7s %8s %10s %9s\n", "feature", "observed", "slice",
+              "growth", "check_ms", "clean");
+  for (const auto& g : gates) {
+    std::printf("%-14s %9zu %7zu %7.2fx %10.2f %9s\n", g.name.c_str(),
+                g.observed, g.slice, g.growth, g.check_ms,
+                g.slice_clean ? "yes" : "NO");
+  }
+  std::printf("\n");
+  for (const auto& g : gates) {
+    check(g.observed_clean, g.name + ": coverage-only plan verifies clean");
+    check(g.slice_clean, g.name + ": slice-closed plan verifies clean");
+    check(g.growth >= 1.2,
+          g.name + ": slice removes >= 20% more blocks than coverage alone");
+  }
+
+  std::ostringstream json;
+  json << "{\n  \"guests\": [\n";
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SweepRow& r = rows[i];
+    json << "    {\"name\": \"" << r.name << "\", \"blocks\": " << r.blocks
+         << ", \"indirect_sites\": " << r.sites << ", \"plt\": " << r.plt
+         << ", \"table\": " << r.table << ", \"direct\": " << r.direct
+         << ", \"unresolved\": " << r.unresolved
+         << ", \"analyze_ms\": " << r.analyze_ms
+         << ", \"rule_check_ms\": " << r.check_ms
+         << ", \"cc007_uncut\": " << r.cc007 << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"expansion\": [\n";
+  for (size_t i = 0; i < gates.size(); ++i) {
+    const GateRow& g = gates[i];
+    json << "    {\"feature\": \"" << g.name
+         << "\", \"observed_blocks\": " << g.observed
+         << ", \"slice_blocks\": " << g.slice << ", \"growth\": " << g.growth
+         << ", \"rule_check_ms\": " << g.check_ms << ", \"clean\": "
+         << (g.slice_clean ? "true" : "false") << "}"
+         << (i + 1 < gates.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"gate_failures\": " << failures << "\n}\n";
+  std::ofstream out(out_path);
+  out << json.str();
+  std::printf("wrote %s\n", out_path.c_str());
+
+  if (failures != 0) {
+    std::printf("\n%d gate check(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("\nall gates passed\n");
+  return 0;
+}

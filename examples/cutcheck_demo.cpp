@@ -10,6 +10,10 @@
 //        c. redirect target in a different function   -> CC003-redirect
 //   3. preflight + apply the repaired plan, watch the feature answer
 //      through the error path, and re-enable it
+//   4. coverage seed -> closed slice: the tracediff seed misses a branch
+//      of the feature that never ran while profiling; CC008-partial-slice
+//      flags the dead-but-reachable remainder, and expand_to_slice grows
+//      the cut to the full static feature slice before applying it
 //
 // Build & run:  cmake --build build && ./build/examples/cutcheck_demo
 #include <cstdio>
@@ -35,11 +39,19 @@ std::shared_ptr<const melf::Binary> build_demo_server() {
   b.rodata_str("err", "err\n");
   b.bss("buf", 64);
 
+  // B's handler has a branch ("B!") no profiling run ever takes: coverage
+  // alone will seed a cut that misses it, which is what step 4 is about.
+  auto& hb = b.func("handle_b");
+  hb.mov_sym(6, "buf").loadb(7, 6, 1);
+  hb.cmp_ri(7, '!').je("loud");
+  hb.mov_sym(2, "beta").ret();
+  hb.label("loud").mov_sym(2, "beta").ret();
+
   auto& d = b.func("dispatch");
   d.mov_sym(6, "buf").loadb(7, 6, 0);
   d.cmp_ri(7, 'A').je("a").cmp_ri(7, 'B').je("b").jmp("e");
   d.label("a").mov_sym(2, "alpha").jmp("send");
-  d.label("b").mov_sym(2, "beta").jmp("send");
+  d.label("b").call("handle_b").jmp("send");
   d.label("e").mark("error_path").mov_sym(2, "err");
   d.label("send").mov_rr(1, 13).call_import("write_str").ret();
 
@@ -169,8 +181,35 @@ int main() {
   dc.restore_feature("B");
   std::printf("restored: B -> %s", ask("B\n").c_str());
 
+  // (4) Coverage seed -> closed slice. The profiling runs above never sent
+  // "B!", so handle_b's loud branch has no coverage: the seeded cut leaves
+  // it dead-but-reachable and CC008-partial-slice says so. Setting
+  // expand_to_slice closes the plan over the static feature slice
+  // (dominated blocks + exclusively-called callees) before the rewrite.
+  core::CutRequest seeded{good, core::RemovalPolicy::kBlockFirstByte,
+                          core::TrapPolicy::kRedirect};
+  seeded.feature.name = "B-slice";
+  auto seed_pf = dc.preflight(seeded);
+  std::printf("\n--- coverage-seeded plan, CC008:\n");
+  for (const auto* diag :
+       seed_pf.by_rule(analysis::cutcheck::kRulePartialSlice)) {
+    std::printf("    %s\n", diag->format().c_str());
+  }
+  seeded.expand_to_slice = true;
+  auto closed_pf = dc.preflight(seeded);
+  std::printf("--- slice-closed plan, CC008 findings: %zu\n",
+              closed_pf.by_rule(analysis::cutcheck::kRulePartialSlice).size());
+
+  auto cut = dc.disable_feature(seeded);
+  std::printf("expanded cut patched %zu blocks from a %zu-block seed\n",
+              cut.edits.blocks_patched, feature_blocks.size());
+  std::printf("disabled: B! -> %s", ask("B!\n").c_str());
+  dc.restore_feature("B-slice");
+  std::printf("restored: B! -> %s", ask("B!\n").c_str());
+
   std::printf("\ncutcheck_demo complete: three malformed plans rejected "
               "before any\nrewrite, the repaired plan verified and applied "
-              "live.\n");
+              "live, and the\ncoverage seed closed over the static feature "
+              "slice.\n");
   return 0;
 }

@@ -66,8 +66,11 @@ StaticCfg recover_cfg(const melf::Binary& bin) {
       }
     } else if (!isa::is_terminator(ins.op)) {
       work.push_back(next);
-    } else if (ins.op == isa::Op::kSyscall) {
-      // Syscalls fall through (except exit, which we can't know statically).
+    } else if (ins.op == isa::Op::kSyscall ||
+               ins.op == isa::Op::kCallR) {
+      // Syscalls fall through (except exit, which we can't know statically);
+      // register calls return to the next instruction like direct calls,
+      // even though their outgoing edge is only known to the slicer.
       leaders.insert(next);
       work.push_back(next);
     }
@@ -96,7 +99,7 @@ StaticCfg recover_cfg(const melf::Binary& bin) {
           blk.succs.push_back(ins.target(cur));
         }
         if (isa::is_cond_branch(ins.op) || ins.op == isa::Op::kCall ||
-            ins.op == isa::Op::kSyscall) {
+            ins.op == isa::Op::kSyscall || ins.op == isa::Op::kCallR) {
           blk.succs.push_back(next);
         }
         break;

@@ -3,8 +3,11 @@
 //
 // Recursive traversal from every function symbol: instruction-level
 // reachability first, then leaders (function entries, branch targets,
-// post-terminator fallthroughs) delimit basic blocks. Indirect transfer
-// targets are not resolved (same limitation as any static recovery).
+// post-terminator fallthroughs) delimit basic blocks. Register calls
+// (kCallR) get a fallthrough successor like direct calls; their outgoing
+// edge — and every other indirect target — is left unresolved here and
+// recovered, where possible, by the slicer's constant/offset propagation
+// (src/analysis/slicer).
 //
 // Beyond block counting, the recovered graph carries enough structure for
 // the cutcheck static verifier (src/analysis/cutcheck): the set of

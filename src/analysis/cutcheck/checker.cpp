@@ -9,6 +9,7 @@
 #include "analysis/cfg.hpp"
 #include "analysis/gadget.hpp"
 #include "analysis/plt.hpp"
+#include "analysis/slicer/slicer.hpp"
 #include "common/constants.hpp"
 #include "common/hex.hpp"
 #include "vm/addrspace.hpp"
@@ -28,12 +29,35 @@ bool in_exec_section(const melf::Binary& bin, uint64_t off) {
   return false;
 }
 
+/// Applies the per-rule option knobs and the function/range enrichment one
+/// diagnostic at a time. Returns false when the rule is suppressed.
+bool emit_diag(CheckReport& report, const CheckOptions& opts,
+               const melf::Binary* bin, const char* rule, Severity sev,
+               const std::string& module, uint64_t off, std::string msg,
+               std::string hint, uint64_t end = 0) {
+  if (opts.suppress.count(rule) != 0) return false;
+  if (auto it = opts.severity_override.find(rule);
+      it != opts.severity_override.end()) {
+    sev = it->second;
+  }
+  Diagnostic d{rule, sev, module, off, std::move(msg), std::move(hint)};
+  d.end_offset = end;
+  if (bin != nullptr) {
+    const melf::Symbol* fn = bin->symbol_containing(off);
+    if (fn != nullptr) d.function = fn->name;
+  }
+  report.add(std::move(d));
+  return true;
+}
+
 /// Everything the rules share, derived once per plan.
 struct Ctx {
-  Ctx(const CutPlan& p, const melf::Binary& b) : plan(p), bin(b) {}
+  Ctx(const CutPlan& p, const melf::Binary& b, const CheckOptions& o)
+      : plan(p), bin(b), opts(o) {}
 
   const CutPlan& plan;
   const melf::Binary& bin;
+  const CheckOptions& opts;
   StaticCfg cfg;
   std::vector<std::pair<uint64_t, uint64_t>> ranges;  // (offset, size)
   std::set<uint64_t> range_starts;
@@ -44,12 +68,20 @@ struct Ctx {
   CheckReport report;
 
   void add(const char* rule, Severity sev, uint64_t off, std::string msg,
-           std::string hint = "") {
-    report.add({rule, sev, plan.module, off, std::move(msg), std::move(hint)});
+           std::string hint = "", uint64_t end = 0) {
+    emit_diag(report, opts, &bin, rule, sev, plan.module, off, std::move(msg),
+              std::move(hint), end);
   }
 
   bool live_block(uint64_t block_start) const {
     return !dead.contains(block_start);
+  }
+
+  /// " (in 'dispatch')" for offsets inside a function, "" otherwise — used
+  /// to name the source of a stray edge inside messages.
+  std::string in_function(uint64_t off) const {
+    const melf::Symbol* fn = bin.symbol_containing(off);
+    return fn != nullptr ? " (in '" + fn->name + "')" : std::string();
   }
 };
 
@@ -126,8 +158,8 @@ void check_stray_edges(Ctx& c) {
       if (c.plan.removal == Removal::kUnmapPages &&
           c.dropped_set.count(page_floor(t)) != 0) {
         c.add(kRuleStrayEdge, Severity::kError, t,
-              "live block " + hex_addr(boff) + " transfers to " +
-                  hex_addr(t) +
+              "live block " + hex_addr(boff) + c.in_function(boff) +
+                  " transfers to " + hex_addr(t) +
                   " on a page the plan unmaps; reaching it raises SIGSEGV, "
                   "which no trap policy handles",
               "keep the page mapped (wipe-blocks) or cut the source block "
@@ -139,7 +171,7 @@ void check_stray_edges(Ctx& c) {
         Severity sev = c.plan.trap == Trap::kTerminate ? Severity::kWarning
                                                        : Severity::kError;
         c.add(kRuleStrayEdge, sev, t,
-              "live block " + hex_addr(boff) +
+              "live block " + hex_addr(boff) + c.in_function(boff) +
                   " branches into the interior of a removed range at " +
                   hex_addr(t) +
                   "; the trap handler only recognises block entry points",
@@ -240,6 +272,7 @@ void check_reach_amp(Ctx& c) {
 
     auto idom = dominator_tree(f);
     size_t amplified = 0;
+    uint64_t example = 0, example_dom = 0;
     for (uint64_t b : f.blocks) {
       if (b == entry || cut.count(b) != 0 || idom.count(b) == 0) continue;
       for (uint64_t cur = b; cur != entry;) {
@@ -247,6 +280,10 @@ void check_reach_amp(Ctx& c) {
         if (it == idom.end() || it->second == cur) break;
         cur = it->second;
         if (cut.count(cur) != 0) {
+          if (amplified == 0) {
+            example = b;
+            example_dom = cur;
+          }
           ++amplified;
           break;
         }
@@ -258,7 +295,9 @@ void check_reach_amp(Ctx& c) {
             std::to_string(amplified) + " live block(s) in '" +
                 (sym != nullptr ? sym->name : hex_addr(entry)) +
                 "' are dominated by removed blocks and become unreachable "
-                "with the cut",
+                "with the cut (e.g. " +
+                hex_addr(example) + " below removed block " +
+                hex_addr(example_dom) + ")",
             "grow the cut to the dominated region to reclaim more bytes");
     }
   }
@@ -272,10 +311,15 @@ void check_reach_amp(Ctx& c) {
     });
     if (all_cut) {
       const melf::Symbol* sym = c.bin.symbol_containing(entry);
+      std::string site_list;
+      for (uint64_t s : sites) {
+        if (!site_list.empty()) site_list += ", ";
+        site_list += hex_addr(s) + c.in_function(s);
+      }
       c.add(kRuleReachAmp, Severity::kNote, entry,
             "function '" + (sym != nullptr ? sym->name : hex_addr(entry)) +
-                "' is only reached through removed call sites; it is dead "
-                "after the cut",
+                "' is only reached through removed call sites (" + site_list +
+                "); it is dead after the cut",
             "consider adding the whole function to the plan");
     }
   }
@@ -438,26 +482,327 @@ void check_gadget_delta(Ctx& c, const CheckOptions& opts) {
   }
 }
 
+// --- CC007: indirect transfers escaping into removed code ---------------
+
+void check_indirect(Ctx& c, const slicer::SliceModel& m) {
+  for (const auto& site : m.indirect) {
+    if (!c.live_block(site.block)) continue;
+    const char* what = site.is_call ? "call" : "jump";
+    if (site.kind == slicer::IndirectSite::Kind::kPltImport) {
+      continue;  // resolves to an import in another module
+    }
+    if (site.kind == slicer::IndirectSite::Kind::kUnresolved) {
+      // Nothing is known about where this lands; flag it only when the plan
+      // actually removes something it could land on.
+      if (!c.dead.empty()) {
+        c.add(kRuleIndirect, Severity::kWarning, site.instr,
+              std::string("indirect ") + what + " in live block " +
+                  hex_addr(site.block) + c.in_function(site.block) +
+                  " cannot be resolved statically; it may land inside the "
+                  "removed region",
+              "cut the transfer's block too, or route the target through a "
+              "resolvable pointer table");
+      }
+      continue;
+    }
+    for (uint64_t t : site.targets) {
+      if (c.plan.removal == Removal::kUnmapPages &&
+          c.dropped_set.count(page_floor(t)) != 0) {
+        c.add(kRuleIndirect, Severity::kError, t,
+              std::string("indirect ") + what + " at " +
+                  hex_addr(site.instr) + c.in_function(site.instr) +
+                  " targets " + hex_addr(t) +
+                  " on a page the plan unmaps; reaching it raises SIGSEGV",
+              "cut the transfer's block or keep the page mapped");
+        continue;
+      }
+      if (c.dead.contains(t) && c.range_starts.count(t) == 0) {
+        Severity sev = c.plan.trap == Trap::kTerminate ? Severity::kWarning
+                                                       : Severity::kError;
+        c.add(kRuleIndirect, sev, t,
+              std::string("indirect ") + what + " at " +
+                  hex_addr(site.instr) + c.in_function(site.instr) +
+                  " escapes into the interior of a removed range at " +
+                  hex_addr(t) +
+                  "; the trap handler only recognises block entry points",
+              "start a plan block exactly at " + hex_addr(t) +
+                  " or cut the transfer's block");
+      }
+    }
+  }
+}
+
+// --- CC008: the plan cuts a strict subset of its slice ------------------
+
+void check_partial_slice(Ctx& c, const slicer::SliceModel& m) {
+  std::set<uint64_t> seeds;
+  for (uint64_t s : c.range_starts) {
+    const CfgBlock* blk = m.cfg.block_containing(s);
+    if (blk != nullptr) seeds.insert(blk->offset);
+  }
+  if (seeds.empty()) return;
+  slicer::SliceOptions sopts;
+  if (c.plan.trap == Trap::kRedirect && c.plan.has_redirect) {
+    const CfgBlock* rb = m.cfg.block_containing(c.plan.redirect_offset);
+    if (rb != nullptr) sopts.keep_blocks.insert(rb->offset);
+  }
+  slicer::FeatureSlice slice = slicer::feature_slice(m, seeds, sopts);
+  std::vector<const slicer::Witness*> extra;
+  for (const auto& w : slice.witnesses) {
+    if (w.kind != slicer::Witness::Kind::kSeed && !c.dead.contains(w.block)) {
+      extra.push_back(&w);
+    }
+  }
+  if (extra.empty()) return;
+  const slicer::Witness* ex = extra.front();
+  c.add(kRulePartialSlice, Severity::kNote, ex->block,
+        "the plan cuts " + std::to_string(seeds.size()) +
+            " block(s) of a " + std::to_string(slice.blocks.size()) +
+            "-block static slice; " + std::to_string(extra.size()) +
+            " dead-but-reachable block(s) remain (e.g. " +
+            hex_addr(ex->block) + ", " + ex->detail + ")",
+        "expand the plan to the slice (CutRequest.expand_to_slice) to "
+        "remove them");
+}
+
+// --- CC009: surviving data pointers into removed code -------------------
+
+void check_data_reach(Ctx& c) {
+  for (const auto& rel : c.bin.relocs) {
+    if (rel.kind != melf::RelocKind::kAbs64) continue;
+    // Code immediates are visible to the CFG/slicer rules; this rule owns
+    // the pointers living in data sections (vtable/jump-table style).
+    if (in_exec_section(c.bin, rel.offset)) continue;
+    uint64_t t = static_cast<uint64_t>(rel.addend);
+    if (!in_exec_section(c.bin, t)) continue;
+    if (c.plan.removal == Removal::kUnmapPages &&
+        c.dropped_set.count(page_floor(t)) != 0) {
+      c.add(kRuleDataReach, Severity::kError, rel.offset,
+            "data pointer at " + hex_addr(rel.offset) + " targets " +
+                hex_addr(t) + c.in_function(t) +
+                " on a page the plan unmaps; calling through it raises "
+                "SIGSEGV",
+            "retarget or clear the pointer, or keep the page mapped");
+      continue;
+    }
+    if (c.dead.contains(t) && c.range_starts.count(t) == 0) {
+      Severity sev = c.plan.trap == Trap::kTerminate ? Severity::kWarning
+                                                     : Severity::kError;
+      c.add(kRuleDataReach, sev, rel.offset,
+            "data pointer at " + hex_addr(rel.offset) +
+                " survives the cut but targets the interior of a removed "
+                "range at " +
+                hex_addr(t) + c.in_function(t),
+            "start a plan block exactly at " + hex_addr(t) +
+                " or cut the pointer's consumers");
+    }
+  }
+}
+
+// --- CC010: stack depth across redirects --------------------------------
+
+/// SP depth at `off` relative to its function entry; kUnknownDepth when the
+/// block-entry depth is unknown or SP escapes tracking on the way.
+int64_t sp_depth_at(const Ctx& c, const slicer::FuncDataflow& fd,
+                    uint64_t off) {
+  const CfgBlock* blk = c.cfg.block_containing(off);
+  if (blk == nullptr) return slicer::kUnknownDepth;
+  auto dit = fd.depth_in.find(blk->offset);
+  if (dit == fd.depth_in.end() || dit->second == slicer::kUnknownDepth) {
+    return slicer::kUnknownDepth;
+  }
+  int64_t depth = dit->second;
+  uint64_t cur = blk->offset;
+  isa::Instr ins;
+  while (cur < off && decode_at(c.bin, cur, ins)) {
+    switch (ins.op) {
+      case isa::Op::kPush: depth -= 8; break;
+      case isa::Op::kPop:
+        if (ins.r1 == isa::kSpReg) return slicer::kUnknownDepth;
+        depth += 8;
+        break;
+      case isa::Op::kAddRI:
+        if (ins.r1 == isa::kSpReg) depth += ins.imm;
+        break;
+      case isa::Op::kSubRI:
+        if (ins.r1 == isa::kSpReg) depth -= ins.imm;
+        break;
+      case isa::Op::kMovRI:
+      case isa::Op::kMovRR:
+      case isa::Op::kLea:
+      case isa::Op::kLoad:
+      case isa::Op::kLoadB:
+        if (ins.r1 == isa::kSpReg) return slicer::kUnknownDepth;
+        break;
+      default: break;
+    }
+    cur += ins.length;
+  }
+  return cur == off ? depth : slicer::kUnknownDepth;
+}
+
+void check_stack_imbalance(Ctx& c, const slicer::SliceModel& m) {
+  if (c.plan.trap != Trap::kRedirect || !c.plan.has_redirect) return;
+  uint64_t tgt = c.plan.redirect_offset;
+  const melf::Symbol* fn = c.bin.symbol_containing(tgt);
+  if (fn == nullptr) return;  // CC003 already rejects this
+  auto fit = m.fdf.find(fn->value);
+  if (fit == m.fdf.end()) return;
+  int64_t want = sp_depth_at(c, fit->second, tgt);
+
+  for (uint64_t s : c.range_starts) {
+    // Only same-function trap sites redirect; the rest terminate (CC003).
+    if (c.bin.symbol_containing(s) != fn) continue;
+    int64_t have = sp_depth_at(c, fit->second, s);
+    if (want == slicer::kUnknownDepth || have == slicer::kUnknownDepth) {
+      c.add(kRuleStackImbalance, Severity::kWarning, s,
+            "cannot prove the stack depth at trap site " + hex_addr(s) +
+                " matches the redirect target " + hex_addr(tgt) +
+                " (SP escapes static tracking or paths disagree)",
+            "keep pushes and pops balanced on every path through '" +
+                fn->name + "'");
+    } else if (have != want) {
+      c.add(kRuleStackImbalance, Severity::kError, s,
+            "redirecting from " + hex_addr(s) + " (stack depth " +
+                std::to_string(have) + ") to " + hex_addr(tgt) + " (depth " +
+                std::to_string(want) + ") unbalances the stack by " +
+                std::to_string(have - want) +
+                " byte(s); the error path would pop or leak a stale frame",
+            "cut at a matching depth or move the error stub past the "
+            "push/pop pairs");
+    }
+  }
+}
+
+// --- CC011: stores orphaned by the cut ----------------------------------
+
+void check_dead_store(Ctx& c, const slicer::SliceModel& m) {
+  // Heuristic (note severity): resolvable accesses only — an unresolved
+  // load through an escaped pointer is invisible here, so this is a shrink
+  // hint, never a rejection.
+  for (const auto& sym : c.bin.symbols) {
+    if (sym.is_function || sym.size == 0) continue;
+    if (sym.section == melf::SectionKind::kText ||
+        sym.section == melf::SectionKind::kPlt ||
+        sym.section == melf::SectionKind::kGot) {
+      continue;
+    }
+    std::set<uint64_t> readers, writers;
+    for (const auto& ref : m.mdf.mem_refs) {
+      if (ref.target < sym.value || ref.target >= sym.value + sym.size) {
+        continue;
+      }
+      (ref.is_store ? writers : readers).insert(ref.block);
+    }
+    if (readers.empty() || writers.empty()) continue;
+    bool readers_dead = std::all_of(
+        readers.begin(), readers.end(),
+        [&](uint64_t b) { return c.dead.contains(b); });
+    if (!readers_dead) continue;
+    std::vector<uint64_t> live_writers;
+    for (uint64_t w : writers) {
+      if (c.live_block(w)) live_writers.push_back(w);
+    }
+    if (live_writers.empty()) continue;
+    c.add(kRuleDeadStore, Severity::kNote, sym.value,
+          "every resolvable reader of '" + sym.name +
+              "' is removed, but " + std::to_string(live_writers.size()) +
+              " writer block(s) survive (e.g. " +
+              hex_addr(live_writers.front()) +
+              c.in_function(live_writers.front()) +
+              "); the surviving stores are dead",
+          "extend the cut to the writers to reclaim them",
+          sym.value + sym.size);
+  }
+}
+
+// --- CC012: redirect stub liveness and recoverability -------------------
+
+void check_stub_reach(Ctx& c) {
+  if (c.plan.trap != Trap::kRedirect || !c.plan.has_redirect) return;
+  uint64_t tgt = c.plan.redirect_offset;
+
+  if (c.plan.removal == Removal::kUnmapPages) {
+    c.add(kRuleStubReach, Severity::kError, tgt,
+          "redirect cannot recover code removed by unmap-pages: reaching a "
+          "dropped page raises SIGSEGV, not SIGTRAP, so the handler never "
+          "runs",
+          "use first-byte or wipe-blocks removal with the redirect policy");
+  }
+  if (c.dead.contains(tgt)) {
+    c.add(kRuleStubReach, Severity::kError, tgt,
+          "the redirect target is itself removed by the plan; every "
+          "redirected trap would land on another trap",
+          "keep the error stub's block out of the plan");
+    return;
+  }
+  const melf::Symbol* fn = c.bin.symbol_containing(tgt);
+  const CfgBlock* tb = c.cfg.block_containing(tgt);
+  if (fn == nullptr || tb == nullptr) return;  // CC003 covers these
+
+  // The stub must stay reachable from the function entry after the cut —
+  // either through live blocks, or through a removed same-function block
+  // whose trap redirects straight to the stub. A stub failing both is dead
+  // code the redirect table can never deliver control to.
+  std::set<uint64_t> seen;
+  std::deque<uint64_t> work{fn->value};
+  bool reached = false;
+  while (!work.empty() && !reached) {
+    uint64_t off = work.front();
+    work.pop_front();
+    if (!seen.insert(off).second) continue;
+    const CfgBlock* b = c.cfg.block_at(off);
+    if (b == nullptr) continue;
+    if (!c.live_block(off)) {
+      // Trapping here redirects to the stub (same-function restriction);
+      // any other removed block terminates and the walk stops.
+      if (c.range_starts.count(off) != 0 &&
+          c.bin.symbol_containing(off) == fn) {
+        reached = true;
+      }
+      continue;
+    }
+    if (off == tb->offset) {
+      reached = true;
+      break;
+    }
+    for (uint64_t t : b->succs) {
+      if (c.bin.symbol_containing(t) == fn) work.push_back(t);
+    }
+  }
+  if (!reached) {
+    c.add(kRuleStubReach, Severity::kError, tgt,
+          "error stub at " + hex_addr(tgt) + " is unreachable from '" +
+              fn->name +
+              "' after the cut: no live path and no redirecting trap leads "
+              "to it",
+          "keep a live path from the function entry to the stub, or pick a "
+          "reachable error path");
+  }
+}
+
 }  // namespace
 
 CheckReport check_plan(const CutPlan& plan, const CheckOptions& opts) {
   if (plan.binary == nullptr) {
     CheckReport r;
     if (plan.has_redirect) {
-      r.add({kRuleRedirect, Severity::kError, plan.module, 0,
-             "redirect module '" + plan.module + "' is not loaded",
-             "load the module or drop the redirect"});
+      emit_diag(r, opts, nullptr, kRuleRedirect, Severity::kError,
+                plan.module, 0,
+                "redirect module '" + plan.module + "' is not loaded",
+                "load the module or drop the redirect");
     } else {
-      r.add({kRuleBoundary, Severity::kWarning, plan.module, 0,
-             "module '" + plan.module +
-                 "' is not loaded; the rewriter will silently skip its " +
-                 std::to_string(plan.blocks.size()) + " block(s)",
-             "load the module or drop its blocks from the feature"});
+      emit_diag(r, opts, nullptr, kRuleBoundary, Severity::kWarning,
+                plan.module, 0,
+                "module '" + plan.module +
+                    "' is not loaded; the rewriter will silently skip its " +
+                    std::to_string(plan.blocks.size()) + " block(s)",
+                "load the module or drop its blocks from the feature");
     }
     return r;
   }
 
-  Ctx c{plan, *plan.binary};
+  Ctx c{plan, *plan.binary, opts};
   c.cfg = recover_cfg(c.bin);
   c.ranges = plan.ranges();
   for (const auto& [off, size] : c.ranges) {
@@ -487,6 +832,16 @@ CheckReport check_plan(const CutPlan& plan, const CheckOptions& opts) {
   check_reach_amp(c);
   check_page_safety(c);
   check_gadget_delta(c, opts);
+
+  // The slicer-backed rules share one model (dataflow fixpoint, dominators,
+  // indirect-site classification); reuse the CFG recovered above.
+  slicer::SliceModel model = slicer::analyze(c.bin, c.cfg);
+  check_indirect(c, model);
+  check_partial_slice(c, model);
+  check_data_reach(c);
+  check_stack_imbalance(c, model);
+  check_dead_store(c, model);
+  check_stub_reach(c);
   return std::move(c.report);
 }
 

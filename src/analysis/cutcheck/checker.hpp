@@ -10,15 +10,32 @@
 // (CheckMode::kEnforce) instead of debugging a corrupted guest later.
 //
 // Rules:
-//   CC001-boundary      block boundaries vs. decoded instruction starts
-//   CC002-stray-edge    live control flow into wiped interiors/dropped pages
-//   CC003-redirect      redirect-target validity (same-function restriction)
-//   CC004-reach-amp     dominator/call-graph reachability amplification
-//   CC005-page-safety   per-range page accounting vs. true byte coverage,
-//                       PLT stubs and GOT slots on dropped pages
-//   CC006-gadget-delta  simulated ROP-gadget-start change of the rewrite
+//   CC001-boundary         block boundaries vs. decoded instruction starts
+//   CC002-stray-edge       live control flow into wiped interiors/dropped
+//                          pages
+//   CC003-redirect         redirect-target validity (same-function
+//                          restriction)
+//   CC004-reach-amp        dominator/call-graph reachability amplification
+//   CC005-page-safety      per-range page accounting vs. true byte coverage,
+//                          PLT stubs and GOT slots on dropped pages
+//   CC006-gadget-delta     simulated ROP-gadget-start change of the rewrite
+//   CC007-indirect-escape  resolved indirect transfers landing in removed
+//                          code; unresolved ones next to any cut
+//   CC008-partial-slice    the plan cuts a strict subset of its static
+//                          feature slice (dead-but-reachable code remains)
+//   CC009-data-reach       data-section pointers into removed code survive
+//   CC010-stack-imbalance  redirect entry/target stack depths disagree
+//   CC011-dead-store       live writes whose every reader is cut
+//   CC012-stub-reach       redirect error stubs must stay live, reachable
+//                          and recoverable (no redirect over unmap)
+//
+// CC007–CC012 lean on the interprocedural slicer (src/analysis/slicer) for
+// indirect-target resolution, dominators, stack-depth and def-use facts.
 #pragma once
 
+#include <map>
+#include <set>
+#include <string>
 #include <vector>
 
 #include "analysis/cutcheck/diagnostics.hpp"
@@ -32,6 +49,12 @@ inline constexpr char kRuleRedirect[] = "CC003-redirect";
 inline constexpr char kRuleReachAmp[] = "CC004-reach-amp";
 inline constexpr char kRulePageSafety[] = "CC005-page-safety";
 inline constexpr char kRuleGadget[] = "CC006-gadget-delta";
+inline constexpr char kRuleIndirect[] = "CC007-indirect-escape";
+inline constexpr char kRulePartialSlice[] = "CC008-partial-slice";
+inline constexpr char kRuleDataReach[] = "CC009-data-reach";
+inline constexpr char kRuleStackImbalance[] = "CC010-stack-imbalance";
+inline constexpr char kRuleDeadStore[] = "CC011-dead-store";
+inline constexpr char kRuleStubReach[] = "CC012-stub-reach";
 
 struct CheckOptions {
   /// Simulate the rewrite and diff gadget-start counts (CC006). The
@@ -39,6 +62,13 @@ struct CheckOptions {
   /// disable for very hot paths.
   bool gadget_delta = true;
   int gadget_max_instrs = 5;  ///< scan_gadgets window
+
+  /// Rules (exact IDs, e.g. "CC007-indirect-escape") whose findings are
+  /// dropped entirely — per-fleet opt-outs while a rule is being tuned.
+  std::set<std::string> suppress;
+  /// Per-rule severity overrides — the staging knob: run a new rule
+  /// warn-only before letting it reject plans under CheckMode::kEnforce.
+  std::map<std::string, Severity> severity_override;
 };
 
 /// Verifies one module's cut plan. Never mutates anything; safe to call on

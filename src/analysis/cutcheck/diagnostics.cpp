@@ -19,8 +19,11 @@ const char* severity_name(Severity s) {
 }
 
 std::string Diagnostic::format() const {
+  std::string anchor = module + "+" + hex_addr(offset);
+  if (end_offset > offset) anchor += ".." + hex_addr(end_offset);
+  if (!function.empty()) anchor += " (in '" + function + "')";
   std::string line = std::string(severity_name(severity)) + " " + rule + " " +
-                     module + "+" + hex_addr(offset) + ": " + message;
+                     anchor + ": " + message;
   if (!fix_hint.empty()) line += " (fix: " + fix_hint + ")";
   return line;
 }

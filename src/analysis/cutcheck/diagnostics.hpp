@@ -28,8 +28,14 @@ struct Diagnostic {
   uint64_t offset = 0;  ///< module-relative anchor
   std::string message;
   std::string fix_hint;  ///< empty when no repair is suggested
+  /// Exclusive end of the anchored range; 0 (or <= offset) collapses the
+  /// range to the single anchor offset.
+  uint64_t end_offset = 0;
+  /// Function symbol enclosing the anchor; empty outside every function.
+  std::string function;
 
-  /// "error CC005-page-safety toysrv+0x1040: ... (fix: ...)"
+  /// "error CC005-page-safety toysrv+0x1040..0x1080 (in 'dispatch'): ...
+  ///  (fix: ...)" — the range and function parts appear only when known.
   std::string format() const;
 };
 

@@ -37,6 +37,14 @@ struct CostModel {
   uint64_t inject_base_ns = 25'000'000;  ///< parse ELF + build pages
   uint64_t inject_per_reloc_ns = 100'000;
 
+  // slice analysis = base + per_block over the module's static CFG
+  // (dataflow fixpoint + dominators + closure). Charged to
+  // TimingBreakdown::analysis_ns, which is *not* part of the service
+  // interruption: the slicer runs against the on-disk image before the
+  // group is frozen.
+  uint64_t slice_base_ns = 8'000'000;  ///< 8 ms model build
+  uint64_t slice_per_block_ns = 20'000;
+
   uint64_t checkpoint_cost(uint64_t pages) const {
     return checkpoint_base_ns + checkpoint_per_page_ns * pages;
   }
@@ -55,6 +63,9 @@ struct CostModel {
   uint64_t inject_cost(uint64_t relocs) const {
     return inject_base_ns + inject_per_reloc_ns * relocs;
   }
+  uint64_t slice_cost(uint64_t blocks) const {
+    return slice_base_ns + slice_per_block_ns * blocks;
+  }
 };
 
 /// Timing breakdown of one customization, in virtual ns (the categories of
@@ -64,6 +75,10 @@ struct TimingBreakdown {
   uint64_t code_update_ns = 0;
   uint64_t inject_ns = 0;
   uint64_t restore_ns = 0;
+  /// Offline slice analysis (CutRequest.expand_to_slice). Excluded from
+  /// total_ns(): it happens before the group freezes, so it never counts
+  /// toward the paper's service-interruption figures.
+  uint64_t analysis_ns = 0;
 
   uint64_t total_ns() const {
     return checkpoint_ns + code_update_ns + inject_ns + restore_ns;
@@ -75,6 +90,7 @@ struct TimingBreakdown {
     code_update_ns += o.code_update_ns;
     inject_ns += o.inject_ns;
     restore_ns += o.restore_ns;
+    analysis_ns += o.analysis_ns;
     return *this;
   }
 };

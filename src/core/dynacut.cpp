@@ -57,12 +57,50 @@ analysis::cutcheck::CheckReport DynaCut::run_check(
                                  req.removal, req.trap,
                                  req.feature.redirect_module,
                                  req.feature.redirect_offset);
-  return analysis::cutcheck::check_plans(plans);
+  return analysis::cutcheck::check_plans(plans, req.check_options);
+}
+
+CutRequest DynaCut::expanded_request(const CutRequest& req,
+                                     rw::SliceExpansion* stats) const {
+  if (!req.expand_to_slice) return req;
+
+  const os::Process* proc = os_.process(root_pid_);
+  std::vector<rw::ModuleRef> mods;
+  if (proc != nullptr) {
+    mods.reserve(proc->modules.size());
+    for (const auto& m : proc->modules) mods.push_back({m.name, m.binary});
+  }
+  auto plans = rw::extract_plans(mods, req.feature.name, req.feature.blocks,
+                                 req.removal, req.trap,
+                                 req.feature.redirect_module,
+                                 req.feature.redirect_offset);
+
+  // A module's functions imported by any other loaded module are entered
+  // from outside its CFG; pin them against call closure.
+  analysis::slicer::SliceOptions sopts;
+  for (const auto& m : mods) {
+    if (m.binary == nullptr) continue;
+    for (const auto& imp : m.binary->imports) {
+      sopts.keep_functions.insert(imp);
+    }
+  }
+
+  rw::SliceExpansion exp = rw::expand_plans_to_slice(plans, sopts);
+  if (stats != nullptr) *stats = exp;
+
+  CutRequest out = req;
+  out.expand_to_slice = false;
+  out.feature.blocks.clear();
+  for (const auto& plan : plans) {
+    out.feature.blocks.insert(out.feature.blocks.end(), plan.blocks.begin(),
+                              plan.blocks.end());
+  }
+  return out;
 }
 
 analysis::cutcheck::CheckReport DynaCut::preflight(
     const CutRequest& req) const {
-  auto report = run_check(req);
+  auto report = run_check(expanded_request(req));
   if (bus_ != nullptr) {
     for (const auto& d : report.diags) {
       bus_->emit(obs::Event(obs::ev::kCutcheckFinding)
@@ -219,7 +257,9 @@ void DynaCut::finalize_obs(
   }
 }
 
-CustomizeReport DynaCut::apply(const CutRequest& req) {
+CustomizeReport DynaCut::apply(const CutRequest& request) {
+  rw::SliceExpansion slice;
+  const CutRequest req = expanded_request(request, &slice);
   preflight_or_throw(req);
 
   const std::string& feature_name = req.feature.name;
@@ -227,6 +267,20 @@ CustomizeReport DynaCut::apply(const CutRequest& req) {
   CustomizeReport report;
   PerPidEdits per_pid;
   std::vector<int> pids = live_pids();
+
+  if (request.expand_to_slice) {
+    // Offline work before the group freezes: charged outside total_ns().
+    report.timing.analysis_ns += model_.slice_cost(slice.expanded);
+    if (bus_ != nullptr) {
+      bus_->emit(obs::Event(obs::ev::kSliceExpand)
+                     .with("feature", feature_name)
+                     .with("seed_blocks", static_cast<uint64_t>(slice.seeds))
+                     .with("slice_blocks",
+                           static_cast<uint64_t>(slice.expanded))
+                     .with("witnesses",
+                           static_cast<uint64_t>(slice.witnesses)));
+    }
+  }
 
   // Stage phase: freeze the whole group, checkpoint every process and
   // rewrite every image. No live process is touched yet, so any failure

@@ -93,6 +93,18 @@ struct CutRequest {
   /// Per-request override of the instance-wide CheckMode; unset uses
   /// DynaCut::check_mode().
   std::optional<CheckMode> check;
+  /// Per-rule cutcheck knobs (suppression, severity overrides); applied to
+  /// preflight() and the enforce gate alike.
+  analysis::cutcheck::CheckOptions check_options;
+  /// Grow the feature's blocks to their static slice before planning
+  /// (analysis::slicer::feature_slice): blocks dominated by the cut and
+  /// functions only the cut calls join the plan, so the cut removes the
+  /// feature's whole call tree instead of just the traced blocks. The
+  /// slicer's cost is charged to TimingBreakdown::analysis_ns (offline,
+  /// not service interruption) and a `slice.expand` event reports the
+  /// growth. Expansion is skipped for modules with unresolved indirect
+  /// transfers — the plan then applies as observed.
+  bool expand_to_slice = false;
   /// Label carried by this customization's obs transaction events; empty
   /// defaults to feature.name.
   std::string label;
@@ -267,6 +279,13 @@ class DynaCut {
   void preflight_or_throw(const CutRequest& req) const;
 
   analysis::cutcheck::CheckReport run_check(const CutRequest& req) const;
+
+  /// Resolves CutRequest.expand_to_slice: returns the request with its
+  /// feature blocks grown to the slice closure (and the flag cleared), or
+  /// the request unchanged when expansion is off. `stats`, when given,
+  /// receives the aggregate expansion counters.
+  CutRequest expanded_request(const CutRequest& req,
+                              rw::SliceExpansion* stats = nullptr) const;
 
   /// Removal-policy application; fills `edits` and the redirect/original
   /// tables' raw entries.

@@ -30,6 +30,7 @@ inline constexpr const char* kRewriteInject = "rewrite.inject";
 inline constexpr const char* kTrapHit = "trap.hit";
 inline constexpr const char* kVerifierHeal = "verifier.heal";
 inline constexpr const char* kCutcheckFinding = "cutcheck.finding";
+inline constexpr const char* kSliceExpand = "slice.expand";
 inline constexpr const char* kWarning = "obs.warning";
 }  // namespace ev
 

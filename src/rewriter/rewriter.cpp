@@ -255,4 +255,18 @@ std::vector<analysis::cutcheck::CutPlan> extract_plans(
   return plans;
 }
 
+SliceExpansion expand_plans_to_slice(
+    std::vector<analysis::cutcheck::CutPlan>& plans,
+    const analysis::slicer::SliceOptions& opts) {
+  SliceExpansion total;
+  for (auto& plan : plans) {
+    analysis::slicer::PlanExpansion e = analysis::slicer::expand_plan(plan,
+                                                                      opts);
+    total.seeds += e.seed_blocks;
+    total.expanded += e.slice_blocks;
+    total.witnesses += e.witnesses;
+  }
+  return total;
+}
+
 }  // namespace dynacut::rw

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "analysis/cutcheck/plan.hpp"
+#include "analysis/slicer/slicer.hpp"
 #include "common/fault.hpp"
 #include "image/image.hpp"
 #include "melf/binary.hpp"
@@ -50,6 +51,21 @@ std::vector<analysis::cutcheck::CutPlan> extract_plans(
     const std::vector<analysis::CovBlock>& blocks,
     analysis::cutcheck::Removal removal, analysis::cutcheck::Trap trap,
     const std::string& redirect_module = {}, uint64_t redirect_offset = 0);
+
+/// Aggregate of slicer::expand_plan over a feature's per-module plans.
+struct SliceExpansion {
+  size_t seeds = 0;      ///< blocks the plans named before expansion
+  size_t expanded = 0;   ///< blocks after expansion
+  size_t witnesses = 0;  ///< non-seed inclusions across all plans
+};
+
+/// Grows every loaded-module plan in place to its static feature slice
+/// (analysis::slicer::expand_plan); plans with a null binary pass through
+/// untouched. `opts.keep_functions` typically carries the imports of the
+/// *other* loaded modules, so cross-module entry points survive closure.
+SliceExpansion expand_plans_to_slice(
+    std::vector<analysis::cutcheck::CutPlan>& plans,
+    const analysis::slicer::SliceOptions& opts = {});
 
 /// Undo record for one code edit.
 struct PatchRecord {

@@ -6,6 +6,7 @@
 #include "analysis/gadget.hpp"
 #include "analysis/plt.hpp"
 #include "apps/libc.hpp"
+#include "isa/encode.hpp"
 #include "apps/minikv.hpp"
 #include "apps/miniweb.hpp"
 #include "melf/builder.hpp"
@@ -119,6 +120,157 @@ TEST(Cfg, StaticBlocksSupersetOfTracedBlocks) {
     EXPECT_LT(blk.offset, it->second.offset + it->second.size)
         << "traced block at " << blk.offset << " not covered statically";
   }
+}
+
+// ---------------------------------------------------------------------------
+// Dominators and recovery corner cases (slicer prerequisites)
+// ---------------------------------------------------------------------------
+
+/// A single-.text binary from hand-assembled bytes, for layouts the
+/// ProgramBuilder cannot express (cross-function jumps, overlapping
+/// decodings).
+Binary raw_binary(std::vector<uint8_t> text,
+                  std::vector<melf::Symbol> symbols) {
+  Binary bin;
+  bin.name = "hand";
+  melf::Section sec;
+  sec.kind = melf::SectionKind::kText;
+  sec.offset = 0;
+  sec.size = text.size();
+  sec.bytes = std::move(text);
+  bin.sections.push_back(std::move(sec));
+  bin.symbols = std::move(symbols);
+  return bin;
+}
+
+melf::Symbol func_symbol(const std::string& name, uint64_t value,
+                         uint64_t size) {
+  melf::Symbol s;
+  s.name = name;
+  s.value = value;
+  s.size = size;
+  s.global = true;
+  s.is_function = true;
+  return s;
+}
+
+TEST(Cfg, DominatorsOfIrreducibleLoop) {
+  // entry -> {l1, l2}; l1 <-> l2: a two-entry (irreducible) loop. Neither
+  // loop block dominates the other; both are immediately dominated by the
+  // entry, and each exit block by the loop block that reaches it.
+  ProgramBuilder b("irr");
+  auto& f = b.func("f");
+  f.cmp_ri(1, 0).je("l2");
+  f.label("l1").add_ri(1, 1).cmp_ri(1, 10).jlt("l2").ret();
+  f.label("l2").add_ri(1, 2).cmp_ri(1, 20).jlt("l1").ret();
+  Binary bin = b.link();
+  StaticCfg cfg = recover_cfg(bin);
+  auto funcs = split_functions(cfg, bin);
+  ASSERT_EQ(funcs.size(), 1u);
+  const FuncCfg& fc = funcs.begin()->second;
+  auto idom = dominator_tree(fc);
+  ASSERT_EQ(idom.size(), fc.blocks.size());
+
+  uint64_t entry = fc.entry;
+  uint64_t l1 = entry + 11;  // cmp(6) + je(5)
+  uint64_t ret1 = l1 + 17;   // add(6) + cmp(6) + jlt(5)
+  uint64_t l2 = ret1 + 1;
+  uint64_t ret2 = l2 + 17;
+  ASSERT_TRUE(fc.blocks.count(l1) && fc.blocks.count(l2) &&
+              fc.blocks.count(ret1) && fc.blocks.count(ret2));
+  EXPECT_EQ(idom.at(entry), entry);
+  EXPECT_EQ(idom.at(l1), entry);  // reachable around the loop both ways
+  EXPECT_EQ(idom.at(l2), entry);
+  EXPECT_EQ(idom.at(ret1), l1);
+  EXPECT_EQ(idom.at(ret2), l2);
+}
+
+TEST(Cfg, MultiEntrySubgraphKeepsDominatorsPartial) {
+  // Function f's tail block is only entered by a jump from g: inside f's
+  // subgraph it has no predecessors, so the dominator tree (rooted at f's
+  // entry) must omit it rather than invent a dominator.
+  std::vector<uint8_t> code;
+  isa::Encoder enc(code);
+  enc.ret();            // f entry: returns immediately
+  enc.mov_ri(1, 2);     // f tail, offset 1: only reachable from g
+  enc.ret();            // offset 11
+  enc.branch(isa::Op::kJmp, -16);  // g at 12: target 12+5-16 = 1
+  Binary bin = raw_binary(code, {func_symbol("f", 0, 12),
+                                 func_symbol("g", 12, code.size() - 12)});
+  StaticCfg cfg = recover_cfg(bin);
+  ASSERT_TRUE(cfg.block_at(1) != nullptr);
+
+  auto funcs = split_functions(cfg, bin);
+  ASSERT_EQ(funcs.size(), 2u);
+  const FuncCfg& fc = funcs.at(0);
+  EXPECT_TRUE(fc.blocks.count(1));  // owned by f's symbol...
+  auto idom = dominator_tree(fc);
+  EXPECT_EQ(idom.count(1), 0u);  // ...but not dominated by f's entry
+  EXPECT_EQ(idom.at(0), 0u);
+}
+
+TEST(Cfg, JumpIntoImmediateDecodesBothStreams) {
+  // je +2 jumps into the byte 7..8 *inside* the mov's imm64: the traversal
+  // must decode both the outer instruction stream and the overlapping inner
+  // one, and instr_starts must carry offsets from both.
+  std::vector<uint8_t> code;
+  isa::Encoder enc(code);
+  enc.branch(isa::Op::kJe, 2);  // 0: -> 7 or fallthrough 5
+  enc.mov_ri(1, 0x1E90);       // 5: imm bytes 7.. decode as nop, ret
+  enc.ret();                    // 15
+  Binary bin = raw_binary(code, {func_symbol("f", 0, code.size())});
+  StaticCfg cfg = recover_cfg(bin);
+
+  EXPECT_TRUE(cfg.is_instr_start(5));   // outer mov
+  EXPECT_TRUE(cfg.is_instr_start(7));   // inner nop
+  EXPECT_TRUE(cfg.is_instr_start(8));   // inner ret
+  EXPECT_FALSE(cfg.is_instr_start(6));  // never decoded at
+  const CfgBlock* outer = cfg.block_at(5);
+  const CfgBlock* inner = cfg.block_at(7);
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->size, 11u);  // mov + ret: overlaps inner's bytes
+  EXPECT_EQ(inner->size, 2u);   // nop + ret
+  EXPECT_EQ(cfg.block_containing(8), inner);
+}
+
+TEST(Cfg, FallthroughOnlySplitEndsWithNopTerminator) {
+  // The block before a backward-branch target ends only because the next
+  // instruction is a leader: its terminator must be the kNop sentinel and
+  // its single successor the leader.
+  ProgramBuilder b("fall");
+  auto& f = b.func("f");
+  f.mov_ri(1, 0).label("mid").add_ri(1, 1).cmp_ri(1, 5).jlt("mid").ret();
+  Binary bin = b.link();
+  StaticCfg cfg = recover_cfg(bin);
+  uint64_t entry = bin.find_symbol("f")->value;
+  const CfgBlock* head = cfg.block_at(entry);
+  ASSERT_NE(head, nullptr);
+  EXPECT_EQ(head->term, isa::Op::kNop);
+  ASSERT_EQ(head->succs.size(), 1u);
+  EXPECT_EQ(head->succs[0], entry + 10);  // mid
+  EXPECT_NE(cfg.block_at(entry + 10), nullptr);
+}
+
+TEST(Cfg, RegisterCallGetsFallthroughEdge) {
+  // kCallR returns to the next instruction like a direct call: the block
+  // must end at the callr with exactly the fallthrough successor (the
+  // callee edge is only known to the slicer).
+  ProgramBuilder b("rcall");
+  b.func("target").ret();
+  auto& f = b.func("f");
+  f.lea_sym(1, "target").callr(1).mov_ri(2, 1).ret();
+  Binary bin = b.link();
+  StaticCfg cfg = recover_cfg(bin);
+  uint64_t entry = bin.find_symbol("f")->value;
+  const CfgBlock* head = cfg.block_at(entry);
+  ASSERT_NE(head, nullptr);
+  EXPECT_EQ(head->term, isa::Op::kCallR);
+  ASSERT_EQ(head->succs.size(), 1u);
+  EXPECT_EQ(head->succs[0], entry + head->size);
+  const CfgBlock* fall = cfg.block_at(entry + head->size);
+  ASSERT_NE(fall, nullptr);
+  EXPECT_EQ(fall->term, isa::Op::kRet);
 }
 
 // ---------------------------------------------------------------------------
