@@ -23,6 +23,7 @@
 #include "rewriter/rewriter.hpp"
 #include "trace/trace.hpp"
 #include "vm/exec.hpp"
+#include "vm/superblock.hpp"
 
 namespace {
 
@@ -156,19 +157,35 @@ void BM_GuestExecution(benchmark::State& state) {
 BENCHMARK(BM_GuestExecution);
 
 // ---------------------------------------------------------------------------
-// --vm_steps mode: raw guest execution throughput (steps/sec), decode cache
-// off vs on, over a straight-line arithmetic loop — the workload where the
-// cache's fetch/decode elision shows up undiluted by syscalls or I/O.
+// --vm_steps mode: raw guest execution throughput (steps/sec) across the
+// three execution engines — bare interpreter, decode cache, superblock
+// (fused-trace) cache — over a serving-style arithmetic loop, the workload
+// where fetch/decode/dispatch elision shows up undiluted by syscalls or
+// I/O. Gates CI on the superblock engine clearing >=3x over the decode
+// cache (ROADMAP open item 1).
 // ---------------------------------------------------------------------------
+
+constexpr double kSbGateSpeedup = 3.0;
+
+// Each engine is timed best-of-N with fresh caches per repetition:
+// background load on a shared CI runner only ever slows a run down, so the
+// max over repetitions is the least-noisy throughput estimate, and the
+// gate ratio compares engines at their respective bests.
+constexpr int kVmStepsReps = 3;
 
 struct VmStepsReport {
   uint64_t steps = 0;
   double off_steps_per_sec = 0;
   double on_steps_per_sec = 0;
+  double sb_steps_per_sec = 0;
   uint64_t cache_hits = 0;
   uint64_t cache_misses = 0;
   uint64_t cache_invalidations = 0;
   uint64_t cached_pages = 0;
+  uint64_t sb_builds = 0;
+  uint64_t sb_retires = 0;
+  uint64_t sb_entries = 0;
+  uint64_t sb_instrs = 0;
 };
 
 constexpr uint64_t kVmCodeBase = 0x1000;
@@ -197,17 +214,19 @@ void build_vm_loop(vm::AddressSpace& mem, vm::Cpu& cpu) {
   cpu.ip = kVmCodeBase;
 }
 
-double measure_steps_per_sec(uint64_t steps, vm::DecodeCache* cache) {
+double measure_steps_per_sec(uint64_t steps, vm::DecodeCache* cache,
+                             vm::SuperblockCache* sbc = nullptr) {
   vm::AddressSpace mem;
   vm::Cpu cpu;
   build_vm_loop(mem, cpu);
 
   const auto t0 = std::chrono::steady_clock::now();
   uint64_t retired = 0;
-  if (cache != nullptr) {
+  if (cache != nullptr || sbc != nullptr) {
     while (retired < steps) {
       uint64_t n = 0;
-      vm::StepResult r = vm::run_block(mem, cpu, cache, steps - retired, n);
+      vm::StepResult r =
+          vm::run_block(mem, cpu, cache, sbc, steps - retired, n);
       retired += n;
       if (r.kind != vm::StepKind::kOk) break;  // unexpected: trap/fault
     }
@@ -226,26 +245,63 @@ double measure_steps_per_sec(uint64_t steps, vm::DecodeCache* cache) {
 int run_vm_steps(uint64_t steps, const std::string& out_path) {
   VmStepsReport rep;
   rep.steps = steps;
-  rep.off_steps_per_sec = measure_steps_per_sec(steps, nullptr);
-  vm::DecodeCache cache;
-  rep.on_steps_per_sec = measure_steps_per_sec(steps, &cache);
-  rep.cache_hits = cache.hits();
-  rep.cache_misses = cache.misses();
-  rep.cache_invalidations = cache.invalidations();
-  rep.cached_pages = cache.cached_pages();
+  for (int i = 0; i < kVmStepsReps; ++i) {
+    const double s = measure_steps_per_sec(steps, nullptr);
+    if (s > rep.off_steps_per_sec) rep.off_steps_per_sec = s;
+  }
+  for (int i = 0; i < kVmStepsReps; ++i) {
+    vm::DecodeCache cache;
+    const double s = measure_steps_per_sec(steps, &cache);
+    // Cache behavior is deterministic per run (fresh cache, identical
+    // guest), so the stats are identical across repetitions; keep the
+    // best rep's for the report.
+    if (s > rep.on_steps_per_sec) {
+      rep.on_steps_per_sec = s;
+      rep.cache_hits = cache.hits();
+      rep.cache_misses = cache.misses();
+      rep.cache_invalidations = cache.invalidations();
+      rep.cached_pages = cache.cached_pages();
+    }
+  }
+  // Superblock row: decode cache underneath (it serves the cold instructions
+  // before the trace goes hot), fused-trace dispatch on top — the engine
+  // stack the OS scheduler runs.
+  for (int i = 0; i < kVmStepsReps; ++i) {
+    vm::DecodeCache sb_dcache;
+    vm::SuperblockCache sbcache;
+    const double s = measure_steps_per_sec(steps, &sb_dcache, &sbcache);
+    if (s > rep.sb_steps_per_sec) {
+      rep.sb_steps_per_sec = s;
+      rep.sb_builds = sbcache.builds();
+      rep.sb_retires = sbcache.retires();
+      rep.sb_entries = sbcache.entries();
+      rep.sb_instrs = sbcache.sb_instrs();
+    }
+  }
   const double speedup = rep.on_steps_per_sec / rep.off_steps_per_sec;
+  const double sb_speedup = rep.sb_steps_per_sec / rep.off_steps_per_sec;
+  const double sb_vs_cache = rep.sb_steps_per_sec / rep.on_steps_per_sec;
+  const bool pass = sb_vs_cache >= kSbGateSpeedup;
 
   std::printf("vm_steps: %llu instructions/run\n",
               static_cast<unsigned long long>(rep.steps));
-  std::printf("  cache off: %.3e steps/sec\n", rep.off_steps_per_sec);
-  std::printf("  cache on:  %.3e steps/sec (%.2fx)\n", rep.on_steps_per_sec,
-              speedup);
+  std::printf("  interpreter: %.3e steps/sec\n", rep.off_steps_per_sec);
+  std::printf("  decode cache: %.3e steps/sec (%.2fx)\n",
+              rep.on_steps_per_sec, speedup);
+  std::printf("  superblock:  %.3e steps/sec (%.2fx, %.2fx vs cache)\n",
+              rep.sb_steps_per_sec, sb_speedup, sb_vs_cache);
   std::printf("  cache: %llu hits, %llu misses, %llu invalidations, "
               "%llu pages\n",
               static_cast<unsigned long long>(rep.cache_hits),
               static_cast<unsigned long long>(rep.cache_misses),
               static_cast<unsigned long long>(rep.cache_invalidations),
               static_cast<unsigned long long>(rep.cached_pages));
+  std::printf("  superblocks: %llu built, %llu retired, %llu entries, "
+              "%llu instrs in-trace\n",
+              static_cast<unsigned long long>(rep.sb_builds),
+              static_cast<unsigned long long>(rep.sb_retires),
+              static_cast<unsigned long long>(rep.sb_entries),
+              static_cast<unsigned long long>(rep.sb_instrs));
 
   std::ofstream out(out_path);
   if (!out) {
@@ -257,12 +313,28 @@ int run_vm_steps(uint64_t steps, const std::string& out_path) {
       << "  \"steps\": " << rep.steps << ",\n"
       << "  \"cache_off_steps_per_sec\": " << rep.off_steps_per_sec << ",\n"
       << "  \"cache_on_steps_per_sec\": " << rep.on_steps_per_sec << ",\n"
+      << "  \"sb_steps_per_sec\": " << rep.sb_steps_per_sec << ",\n"
       << "  \"speedup\": " << speedup << ",\n"
+      << "  \"sb_speedup\": " << sb_speedup << ",\n"
+      << "  \"sb_speedup_vs_cache\": " << sb_vs_cache << ",\n"
       << "  \"cache_hits\": " << rep.cache_hits << ",\n"
       << "  \"cache_misses\": " << rep.cache_misses << ",\n"
       << "  \"cache_invalidations\": " << rep.cache_invalidations << ",\n"
-      << "  \"cached_pages\": " << rep.cached_pages << "\n"
+      << "  \"cached_pages\": " << rep.cached_pages << ",\n"
+      << "  \"sb_builds\": " << rep.sb_builds << ",\n"
+      << "  \"sb_retires\": " << rep.sb_retires << ",\n"
+      << "  \"sb_entries\": " << rep.sb_entries << ",\n"
+      << "  \"sb_instrs\": " << rep.sb_instrs << ",\n"
+      << "  \"gate_min_sb_speedup\": " << kSbGateSpeedup << ",\n"
+      << "  \"pass\": " << (pass ? "true" : "false") << "\n"
       << "}\n";
+  if (!pass) {
+    std::fprintf(stderr,
+                 "FAIL: superblock engine did not clear the %.0fx gate over "
+                 "the decode cache (got %.2fx)\n",
+                 kSbGateSpeedup, sb_vs_cache);
+    return 1;
+  }
   return 0;
 }
 

@@ -199,11 +199,16 @@ RestoreStats restore(os::Os& os, int pid, const ProcessImage& img,
     // process cached is stale (the asid check would also catch this, but
     // the explicit clear frees the dead pages immediately).
     p->dcache.clear();
+    // Fused traces hold generation-slot pointers into the old address
+    // space; drop them with it.
+    p->sbcache.clear();
     st.pages_restored = img.pages.size();
     st.vmas_changed = img.vmas.size();
   } else {
     // In-place delta: the asid survives, so decode-cache entries for pages
-    // the image didn't change stay valid — no dcache.clear().
+    // the image didn't change stay valid — no dcache.clear(). Superblocks
+    // likewise retire lazily: any trace spanning a page the delta rewrote
+    // fails its generation check at the next lookup/dispatch.
     delta_restore_mem(p->mem, img, st);
     st.in_place = true;
   }

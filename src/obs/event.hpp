@@ -28,6 +28,9 @@ inline constexpr const char* kRewriteWipe = "rewrite.wipe";
 inline constexpr const char* kRewriteUnmap = "rewrite.unmap";
 inline constexpr const char* kRewriteInject = "rewrite.inject";
 inline constexpr const char* kTrapHit = "trap.hit";
+inline constexpr const char* kSbBuild = "sb.build";
+inline constexpr const char* kSbRetire = "sb.retire";
+inline constexpr const char* kSbDeopt = "sb.deopt";
 inline constexpr const char* kVerifierHeal = "verifier.heal";
 inline constexpr const char* kCutcheckFinding = "cutcheck.finding";
 inline constexpr const char* kSliceExpand = "slice.expand";

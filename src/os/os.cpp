@@ -285,17 +285,23 @@ void Os::run_quantum(Process& p, uint64_t budget, uint64_t& retired) {
     }
     p.at_block_start = false;
 
-    // Execute through the decode cache a basic block (or the remaining
-    // quota, whichever ends first). `n` counts every attempted instruction
-    // — including one that trapped or faulted — matching the per-step
-    // accounting this loop used to do.
+    // Execute through the decode cache — and, on hot paths, the superblock
+    // cache, where one call can retire a multi-block fused trace. `n`
+    // counts every attempted instruction — including one that trapped or
+    // faulted — matching the per-step accounting this loop used to do:
+    // both engines charge per attempt, so instructions_retired is
+    // identical with superblocks on or off. Superblocks are bypassed while
+    // a sink is attached (coverage needs an event per basic block).
+    vm::SuperblockCache* sbc =
+        (superblocks_ && sink_ == nullptr) ? &p.sbcache : nullptr;
     uint64_t n = 0;
     vm::StepResult r =
-        vm::run_block(p.mem, p.cpu, &p.dcache, quota - done, n);
+        vm::run_block(p.mem, p.cpu, &p.dcache, sbc, quota - done, n);
     done += n;
     retired += n;
     clock_ += n;
     p.instructions_retired += n;
+    if (p.sbcache.events_pending()) drain_sb_events(p);
     if (n == 0) break;  // defensive: run_block always attempts >= 1
 
     switch (r.kind) {
@@ -318,6 +324,32 @@ void Os::run_quantum(Process& p, uint64_t budget, uint64_t& retired) {
       }
     }
     if (yielded_) break;
+  }
+}
+
+void Os::drain_sb_events(Process& p) {
+  // The vm layer queues superblock lifecycle records (it must not depend on
+  // obs); the kernel drains them onto the bus after each run_block call.
+  auto events = p.sbcache.take_events();
+  if (bus_ == nullptr) return;
+  for (const auto& e : events) {
+    switch (e.kind) {
+      case vm::SuperblockCache::SbEvent::kBuild:
+        bus_->emit(obs::Event(obs::ev::kSbBuild, p.pid)
+                       .with("entry", e.entry)
+                       .with("instrs", e.detail));
+        break;
+      case vm::SuperblockCache::SbEvent::kRetire:
+        bus_->emit(obs::Event(obs::ev::kSbRetire, p.pid)
+                       .with("entry", e.entry)
+                       .with("instrs", e.detail));
+        break;
+      case vm::SuperblockCache::SbEvent::kDeopt:
+        bus_->emit(obs::Event(obs::ev::kSbDeopt, p.pid)
+                       .with("entry", e.entry)
+                       .with("resume_ip", e.detail));
+        break;
+    }
   }
 }
 

@@ -112,6 +112,18 @@ class Os {
 
   // --- instrumentation ----------------------------------------------------
   void set_block_sink(BlockSink* sink) { sink_ = sink; }
+
+  /// Enables/disables superblock (fused-trace) execution. On by default;
+  /// automatically bypassed while a block sink is attached, because
+  /// coverage tracing needs an event per basic block and a fused trace
+  /// retires many blocks without surfacing. Tests that pin down pure
+  /// interpreter/decode-cache behaviour turn it off explicitly.
+  void set_superblocks(bool enabled) { superblocks_ = enabled; }
+  bool superblocks_enabled() const { return superblocks_; }
+
+  /// Scheduler quantum in instructions — exposed for accounting tests
+  /// (a trap on the quantum boundary must be charged once per attempt).
+  static constexpr uint64_t kQuantum = 256;
   /// (pid, code) markers emitted by the kNudge syscall.
   const std::vector<std::pair<int, uint64_t>>& nudges() const {
     return nudges_;
@@ -140,9 +152,8 @@ class Os {
   SyscallCosts& costs() { return costs_; }
 
  private:
-  static constexpr uint64_t kQuantum = 256;
-
   void run_quantum(Process& p, uint64_t budget, uint64_t& retired);
+  void drain_sb_events(Process& p);
   void do_syscall(Process& p);
   void deliver_signal(Process& p, int signo, uint64_t fault_addr);
   void do_sigreturn(Process& p);
@@ -161,6 +172,7 @@ class Os {
   obs::EventBus* bus_ = nullptr;
   SyscallCosts costs_;
   bool yielded_ = false;
+  bool superblocks_ = true;
 };
 
 }  // namespace dynacut::os

@@ -14,6 +14,7 @@
 #include "vm/addrspace.hpp"
 #include "vm/cpu.hpp"
 #include "vm/exec.hpp"
+#include "vm/superblock.hpp"
 
 namespace dynacut::os {
 
@@ -65,6 +66,12 @@ struct Process {
   /// (page generations + asid); checkpoint restore clears it explicitly
   /// since the whole address space is rebuilt.
   vm::DecodeCache dcache;
+
+  /// Per-process superblock (fused-trace) cache layered above the decode
+  /// cache. Same invalidation currency; full restore clears it explicitly.
+  /// Unused (no traces built) while a tracer sink is attached — coverage
+  /// needs per-basic-block events.
+  vm::SuperblockCache sbcache;
 
   std::map<int, FileDesc> fds;
   int next_fd = 3;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "vm/superblock.hpp"
+
 namespace dynacut::vm {
 
 namespace {
@@ -42,40 +44,8 @@ StepResult fetch(const AddressSpace& mem, uint64_t ip, Instr& out) {
   return {StepKind::kOk, FaultType::kNone, 0, false};
 }
 
-#if defined(__GNUC__) || defined(__clang__)
-__attribute__((always_inline))
-#endif
-inline void set_flags(Cpu& cpu, uint64_t a, uint64_t b) {
-  cpu.zf = a == b;
-  cpu.lt_u = a < b;
-  cpu.lt_s = static_cast<int64_t>(a) < static_cast<int64_t>(b);
-}
-
-#if defined(__GNUC__) || defined(__clang__)
-__attribute__((always_inline))
-#endif
-inline bool branch_taken(const Cpu& cpu, Op op) {
-  switch (op) {
-    case Op::kJe:
-      return cpu.zf;
-    case Op::kJne:
-      return !cpu.zf;
-    case Op::kJlt:
-      return cpu.lt_s;
-    case Op::kJle:
-      return cpu.lt_s || cpu.zf;
-    case Op::kJgt:
-      return !cpu.lt_s && !cpu.zf;
-    case Op::kJge:
-      return !cpu.lt_s;
-    case Op::kJb:
-      return cpu.lt_u;
-    case Op::kJae:
-      return !cpu.lt_u;
-    default:
-      return true;  // kJmp
-  }
-}
+// set_flags / branch_taken live in cpu.hpp, shared with the superblock
+// dispatcher so the two engines can never disagree on branch semantics.
 
 /// Executes one already-decoded instruction at cpu.ip. Force-inlined into
 /// the step/run_block loops: the call overhead is measurable at the
@@ -381,8 +351,12 @@ StepResult run_block(AddressSpace& mem, Cpu& cpu, DecodeCache* cache,
           ++hits;
         } else {
           if (s.state == DecodeCache::kUnknown) {
-            ++cache->misses_;
+            // Count the miss only if the fill succeeds: on a failed fill the
+            // slot stays kUnknown and the no-progress fallback step() below
+            // re-enters DecodeCache::fetch, which counts that same attempt
+            // exactly once (and faults precisely).
             if (!cache->fill_slot(mem, cpu.ip, s)) break;  // fault: slow path
+            ++cache->misses_;
           } else {
             ++hits;  // a known-bad slot is still a cache-served fetch
           }
@@ -416,6 +390,46 @@ StepResult run_block(AddressSpace& mem, Cpu& cpu, DecodeCache* cache,
   return r;
 }
 
+StepResult run_block(AddressSpace& mem, Cpu& cpu, DecodeCache* cache,
+                     SuperblockCache* sbc, uint64_t max_instr,
+                     uint64_t& retired) {
+  if (sbc == nullptr) return run_block(mem, cpu, cache, max_instr, retired);
+
+  retired = 0;
+  StepResult r{};
+  if (max_instr == 0) return r;
+
+  uint64_t n = 0;
+  while (n < max_instr) {
+    SuperblockCache::Ref ref = sbc->lookup(mem, cpu.ip);
+    if (ref.sb != nullptr) {
+      SbExit why = SbExit::kBranch;
+      r = sbc->dispatch(mem, cpu, ref, max_instr - n, n, why);
+      if (why == SbExit::kBudget) break;
+      if (why != SbExit::kDeopt) {
+        // kEvent / kBranch: surface exactly like the interpreter path would.
+        retired = n;
+        return r;
+      }
+      // kDeopt: the trace went stale mid-dispatch. cpu.ip is at the next
+      // unstarted instruction; finish the round on the interpreter path,
+      // which re-fetches (and so re-validates) precisely.
+      if (n >= max_instr) break;
+    }
+    uint64_t sub = 0;
+    r = run_block(mem, cpu, cache, max_instr - n, sub);
+    n += sub;
+    if (r.kind != StepKind::kOk || r.block_end) {
+      retired = n;
+      return r;
+    }
+    // kOk without block_end: the interpreter round spent the remaining
+    // budget; the loop condition ends us.
+  }
+  retired = n;
+  return r;
+}
+
 BlockInfo block_at(const AddressSpace& mem, uint64_t addr,
                    uint64_t max_bytes) {
   BlockInfo info;
@@ -431,7 +445,10 @@ BlockInfo block_at(const AddressSpace& mem, uint64_t addr,
     if (!ins) break;
     info.size = cur + len - addr;
     info.instr_count += 1;
-    if (isa::is_terminator(ins->op)) break;
+    if (isa::is_terminator(ins->op)) {
+      info.terminated = true;
+      break;
+    }
     cur += len;
   }
   return info;

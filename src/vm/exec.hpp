@@ -36,6 +36,7 @@ struct StepResult {
 };
 
 class DecodeCache;
+class SuperblockCache;
 
 /// Executes exactly one instruction. Never throws on guest misbehaviour —
 /// all guest errors surface as kFault/kTrap results. With a cache, the
@@ -52,6 +53,19 @@ StepResult step(AddressSpace& mem, Cpu& cpu, DecodeCache* cache);
 /// with a single generation check per instruction — no fetch, no decode.
 StepResult run_block(AddressSpace& mem, Cpu& cpu, DecodeCache* cache,
                      uint64_t max_instr, uint64_t& retired);
+
+/// Superblock-aware variant: hot entries execute as fused threaded-code
+/// traces (vm/superblock.hpp) and may retire *many* basic blocks before
+/// returning — internal direct branches re-enter the trace without
+/// surfacing. The call still returns on the first terminator that leaves
+/// every trace, on syscalls/traps/faults, and when the budget is spent;
+/// `retired` keeps the exact per-attempt accounting of the 5-arg form. A
+/// mid-trace deoptimization (page generation bump) transparently resumes
+/// on the interpreter path within the same call. `sbc == nullptr` behaves
+/// exactly like the 5-arg overload.
+StepResult run_block(AddressSpace& mem, Cpu& cpu, DecodeCache* cache,
+                     SuperblockCache* sbc, uint64_t max_instr,
+                     uint64_t& retired);
 
 /// Per-page decoded-instruction cache. One per guest CPU/process; pass it
 /// to step()/run_block(). Correctness contract:
@@ -82,6 +96,8 @@ class DecodeCache {
   friend StepResult step(AddressSpace&, Cpu&, DecodeCache*);
   friend StepResult run_block(AddressSpace&, Cpu&, DecodeCache*, uint64_t,
                               uint64_t&);
+  friend StepResult run_block(AddressSpace&, Cpu&, DecodeCache*,
+                              SuperblockCache*, uint64_t, uint64_t&);
 
   struct Slot {
     isa::Instr ins;
@@ -123,9 +139,14 @@ class DecodeCache {
 /// Decodes the basic block starting at `addr`: its byte size (distance to
 /// the end of its terminator) and instruction count. Walks at most
 /// `max_bytes`. Returns 0 size if the first instruction is undecodable.
+/// `terminated` distinguishes a complete block (the walk retired a real
+/// terminator) from a scan that stopped at `max_bytes`, an undecodable
+/// byte, or unreadable memory — a partial prefix that consumers like the
+/// superblock builder must refuse to treat as a block.
 struct BlockInfo {
   uint64_t size = 0;
   uint32_t instr_count = 0;
+  bool terminated = false;
 };
 BlockInfo block_at(const AddressSpace& mem, uint64_t addr,
                    uint64_t max_bytes = 4096);

@@ -6,6 +6,8 @@
 #include "apps/libc.hpp"
 #include "common/error.hpp"
 #include "melf/builder.hpp"
+#include "obs/bus.hpp"
+#include "obs/sinks.hpp"
 #include "os/os.hpp"
 #include "os/syscall.hpp"
 
@@ -481,6 +483,111 @@ TEST(Os, UnknownSyscallKillsProcess) {
   int pid = os.spawn(make(b));
   os.run();
   EXPECT_EQ(os.process(pid)->term_signal, 31);
+}
+
+TEST(Os, TrapOnQuantumBoundaryChargedOncePerAttempt) {
+  // kQuantum-1 nops then a trap: the trap is the quantum's last attempt and
+  // must be charged to instructions_retired exactly once — on both the
+  // interpreter and superblock execution paths.
+  for (bool sb : {false, true}) {
+    ProgramBuilder b("qtrap");
+    auto& f = b.func("main");
+    for (uint64_t i = 0; i + 1 < Os::kQuantum; ++i) f.nop();
+    f.trap();
+    b.set_entry("main");
+    Os os;
+    os.set_superblocks(sb);
+    int pid = os.spawn(make(b));
+    os.run();
+    EXPECT_EQ(os.process(pid)->term_signal, sig::kSigTrap);
+    EXPECT_EQ(os.process(pid)->instructions_retired, Os::kQuantum);
+  }
+}
+
+TEST(Os, SuperblockAccountingMatchesInterpreter) {
+  // A serving loop long enough to get traced and to cross many quantum
+  // boundaries: per-instruction accounting must be identical with and
+  // without superblocks.
+  uint64_t retired[2] = {0, 0};
+  for (int sb = 0; sb < 2; ++sb) {
+    ProgramBuilder b("sbloop");
+    auto& f = b.func("main");
+    f.mov_ri(2, 0);
+    f.label("top").add_ri(2, 1).cmp_ri(2, 5000).jlt("top");
+    f.mov_ri(1, 42).sys(sys::kExit);
+    b.set_entry("main");
+    Os os;
+    os.set_superblocks(sb == 1);
+    int pid = os.spawn(make(b));
+    os.run();
+    ASSERT_TRUE(os.all_exited());
+    EXPECT_EQ(os.process(pid)->exit_code, 42);
+    retired[sb] = os.process(pid)->instructions_retired;
+  }
+  EXPECT_GT(retired[0], Os::kQuantum);  // really crossed quanta
+  EXPECT_EQ(retired[0], retired[1]);
+}
+
+TEST(Os, PatchRetiresSuperblockAndEmitsEvents) {
+  // A spinning guest gets its hot loop fused; the host then pokes a trap
+  // byte at the guest's next instruction (the rewriter's int3). The stale
+  // trace must retire before the next quantum retires anything from it,
+  // and the bus must see the sb.build / sb.retire lifecycle.
+  ProgramBuilder b("spin");
+  b.func("main").label("s").add_ri(1, 1).jmp("s");
+  b.set_entry("main");
+  obs::EventBus bus;
+  obs::RingBufferSink ring;
+  bus.add_sink(&ring);
+  Os os;
+  os.set_event_bus(&bus);
+  int pid = os.spawn(make(b));
+  os.run(20 * Os::kQuantum);
+  Process* p = os.process(pid);
+  ASSERT_GT(p->sbcache.builds(), 0u);
+  bool saw_build = false;
+  for (const auto& ev : ring.events()) {
+    saw_build = saw_build || ev.type == obs::ev::kSbBuild;
+  }
+  EXPECT_TRUE(saw_build);
+
+  uint8_t trap = 0xCC;
+  uint64_t target = p->cpu.ip;
+  p->mem.poke(target, &trap, 1);
+  uint64_t before = p->instructions_retired;
+  os.run();
+  EXPECT_EQ(p->term_signal, sig::kSigTrap);
+  EXPECT_EQ(p->instructions_retired, before + 1);  // only the trap attempt
+  bool saw_retire = false;
+  for (const auto& ev : ring.events()) {
+    saw_retire = saw_retire || ev.type == obs::ev::kSbRetire;
+  }
+  EXPECT_TRUE(saw_retire);
+}
+
+struct CountingSink : BlockSink {
+  uint64_t blocks = 0;
+  void on_block(const Process&, uint64_t) override { ++blocks; }
+};
+
+TEST(Os, BlockSinkKeepsPerBlockCoverage) {
+  // Coverage tracing needs an event per basic block; while a sink is
+  // attached the scheduler must bypass superblocks (a fused trace retires
+  // many blocks without surfacing any of them).
+  ProgramBuilder b("cover");
+  auto& f = b.func("main");
+  f.mov_ri(2, 0);
+  f.label("top").add_ri(2, 1).cmp_ri(2, 100).jlt("top");
+  f.mov_ri(1, 0).sys(sys::kExit);
+  b.set_entry("main");
+  Os os;
+  CountingSink sink;
+  os.set_block_sink(&sink);
+  int pid = os.spawn(make(b));
+  os.run();
+  ASSERT_TRUE(os.all_exited());
+  EXPECT_GE(sink.blocks, 100u);  // one event per iteration, not per trace
+  EXPECT_EQ(os.process(pid)->sbcache.builds(), 0u);
 }
 
 TEST(Loader, ResolveSymbolAcrossModules) {

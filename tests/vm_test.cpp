@@ -2,11 +2,14 @@
 // protections, faults) and the VX64 executor.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/constants.hpp"
 #include "isa/encode.hpp"
 #include "vm/addrspace.hpp"
 #include "vm/cpu.hpp"
 #include "vm/exec.hpp"
+#include "vm/superblock.hpp"
 
 namespace dynacut::vm {
 namespace {
@@ -430,6 +433,7 @@ TEST(Exec, BlockAtMeasuresBasicBlock) {
   BlockInfo info = block_at(m.mem, 0x1000);
   EXPECT_EQ(info.size, 21u);
   EXPECT_EQ(info.instr_count, 3u);
+  EXPECT_TRUE(info.terminated);
 }
 
 TEST(Exec, BlockAtOnTrapIsOneByte) {
@@ -438,6 +442,7 @@ TEST(Exec, BlockAtOnTrapIsOneByte) {
   BlockInfo info = block_at(m.mem, 0x1000);
   EXPECT_EQ(info.size, 1u);
   EXPECT_EQ(info.instr_count, 1u);
+  EXPECT_TRUE(info.terminated);
 }
 
 TEST(Exec, BlockAtOnInvalidByteIsEmpty) {
@@ -446,6 +451,24 @@ TEST(Exec, BlockAtOnInvalidByteIsEmpty) {
   BlockInfo info = block_at(m.mem, 0x1000);
   EXPECT_EQ(info.size, 0u);
   EXPECT_EQ(info.instr_count, 0u);
+  EXPECT_FALSE(info.terminated);
+}
+
+TEST(Exec, BlockAtReportsTermination) {
+  // A scan capped by max_bytes is a partial prefix, not a block: consumers
+  // like the superblock builder must be able to tell the two apart.
+  auto code = assemble([](Encoder& e) {
+    for (int i = 0; i < 8; ++i) e.nop();
+    e.trap();
+  });
+  Machine m(code);
+  BlockInfo full = block_at(m.mem, 0x1000);
+  EXPECT_TRUE(full.terminated);
+  EXPECT_EQ(full.instr_count, 9u);
+  BlockInfo capped = block_at(m.mem, 0x1000, 4);
+  EXPECT_FALSE(capped.terminated);
+  EXPECT_EQ(capped.instr_count, 4u);
+  EXPECT_EQ(capped.size, 4u);
 }
 
 
@@ -652,6 +675,435 @@ TEST(DecodeCache, CopyAssignedAddressSpaceInvalidatesByAsid) {
   m.cpu.ip = 0x1000;
   StepResult r = step(m.mem, m.cpu, &cache);
   EXPECT_EQ(r.kind, StepKind::kTrap);
+}
+
+TEST(DecodeCache, StatsInvariantAcrossFaultMatrix) {
+  // Every cache-served fetch attempt must count exactly one hit or miss —
+  // hits() + misses() == attempted instructions. The fast path used to
+  // double-count a miss when its slot fill failed (non-executable fetch):
+  // the no-progress fallback re-entered DecodeCache::fetch, which counted
+  // the same attempt again.
+  {
+    // Warm loop, then a jump into the non-executable stack: the faulting
+    // fetch at 0x8000 is one attempt and must be exactly one miss.
+    auto code = assemble([](Encoder& e) {
+      size_t top = e.offset();
+      e.add_ri(0, 1);
+      e.cmp_ri(0, 20);
+      size_t j = e.branch(Op::kJlt, 0);
+      e.patch_rel32(j,
+                    static_cast<int32_t>(top) - static_cast<int32_t>(j + 5));
+      e.mov_ri(1, 0x8000);
+      e.jmpr(1);
+    });
+    Machine m(code);
+    DecodeCache cache;
+    uint64_t attempts = 0;
+    StepResult r{};
+    for (int i = 0; i < 1000 && r.kind == StepKind::kOk; ++i) {
+      uint64_t n = 0;
+      r = run_block(m.mem, m.cpu, &cache, 10000, n);
+      attempts += n;
+    }
+    EXPECT_EQ(r.kind, StepKind::kFault);
+    EXPECT_EQ(r.fault_addr, 0x8000u);
+    EXPECT_EQ(cache.hits() + cache.misses(), attempts);
+  }
+  {
+    // Undecodable byte: the first attempt fills a kBad slot (one miss);
+    // repeated attempts are cache-served SIGILLs (hits).
+    std::vector<uint8_t> code{0x00};
+    Machine m(code);
+    DecodeCache cache;
+    uint64_t attempts = 0;
+    for (int i = 0; i < 3; ++i) {
+      uint64_t n = 0;
+      StepResult r = run_block(m.mem, m.cpu, &cache, 10, n);
+      EXPECT_EQ(r.kind, StepKind::kFault);
+      EXPECT_EQ(r.fault, FaultType::kIll);
+      attempts += n;
+    }
+    EXPECT_EQ(attempts, 3u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits() + cache.misses(), attempts);
+  }
+  {
+    // Page-straddling instruction: never cached, one miss per attempt.
+    std::vector<uint8_t> code;
+    Encoder e(code);
+    while (code.size() < kPageSize - 5) e.nop();
+    e.mov_ri(7, 1);  // straddles the page edge
+    e.trap();
+    AddressSpace mem;
+    mem.map(0x1000, page_ceil(code.size()), kProtRead | kProtExec, "code");
+    mem.poke(0x1000, code.data(), code.size());
+    Cpu cpu;
+    cpu.ip = 0x1000;
+    DecodeCache cache;
+    uint64_t attempts = 0;
+    StepResult r{};
+    while (r.kind == StepKind::kOk) {
+      uint64_t n = 0;
+      r = run_block(mem, cpu, &cache, 100000, n);
+      attempts += n;
+    }
+    EXPECT_EQ(r.kind, StepKind::kTrap);
+    EXPECT_EQ(cpu.regs[7], 1u);
+    EXPECT_EQ(cache.hits() + cache.misses(), attempts);
+  }
+}
+
+TEST(DecodeCache, RunBlockObservesPokeAtBlockEntry) {
+  // A generation bump between run_block rounds invalidates the cached page
+  // even though the slot array still holds the stale decode: the fast path
+  // re-checks the live generation and must take the trap with exactly one
+  // attempted instruction.
+  auto code = assemble([](Encoder& e) {
+    size_t top = e.offset();
+    e.add_ri(0, 1);
+    e.nop();
+    size_t j = e.branch(Op::kJmp, 0);
+    e.patch_rel32(j, static_cast<int32_t>(top) - static_cast<int32_t>(j + 5));
+  });
+  Machine m(code);
+  DecodeCache cache;
+  for (int i = 0; i < 10; ++i) {
+    uint64_t n = 0;
+    ASSERT_EQ(run_block(m.mem, m.cpu, &cache, 3, n).kind, StepKind::kOk);
+  }
+  ASSERT_GT(cache.hits(), 0u);
+  uint8_t trap = 0xCC;
+  m.mem.poke(m.cpu.ip, &trap, 1);
+  uint64_t n = 0;
+  StepResult r = run_block(m.mem, m.cpu, &cache, 100, n);
+  EXPECT_EQ(r.kind, StepKind::kTrap);
+  EXPECT_EQ(r.fault_addr, m.cpu.ip);
+  EXPECT_EQ(n, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Superblock cache
+// ---------------------------------------------------------------------------
+
+/// Drives the superblock-aware run_block the way the scheduler does: one
+/// call per quantum until a non-kOk result or `limit` total attempts.
+StepResult run_sb(Machine& m, DecodeCache& dc, SuperblockCache& sbc,
+                  uint64_t quantum, uint64_t limit, uint64_t& attempts) {
+  StepResult r{};
+  attempts = 0;
+  while (attempts < limit) {
+    uint64_t budget = std::min(quantum, limit - attempts);
+    uint64_t n = 0;
+    r = run_block(m.mem, m.cpu, &dc, &sbc, budget, n);
+    attempts += n;
+    if (r.kind != StepKind::kOk) return r;
+    if (n == 0) break;
+  }
+  return r;
+}
+
+TEST(Superblock, MatchesInterpreterOnServingLoop) {
+  auto code = assemble([](Encoder& e) {
+    size_t top = e.offset();
+    e.add_ri(1, 1);
+    e.add_rr(2, 1);
+    e.cmp_ri(1, 500);
+    size_t j = e.branch(Op::kJlt, 0);
+    e.patch_rel32(j, static_cast<int32_t>(top) - static_cast<int32_t>(j + 5));
+    e.trap();
+  });
+  Machine plain(code);
+  StepResult rp = plain.run(100000);
+
+  Machine fused(code);
+  DecodeCache dc;
+  SuperblockCache sbc;
+  uint64_t attempts = 0;
+  StepResult rf = run_sb(fused, dc, sbc, 256, 100000, attempts);
+  EXPECT_EQ(rf.kind, rp.kind);
+  EXPECT_EQ(rf.kind, StepKind::kTrap);
+  EXPECT_EQ(fused.cpu.ip, plain.cpu.ip);
+  EXPECT_EQ(fused.cpu.regs, plain.cpu.regs);
+  EXPECT_EQ(attempts, 2001u);  // 500 iterations x 4 + the trap attempt
+  EXPECT_GT(sbc.builds(), 0u);
+  EXPECT_GT(sbc.sb_instrs(), 0u);
+}
+
+TEST(Superblock, MatchesInterpreterAcrossCallRet) {
+  std::vector<uint8_t> code;
+  Encoder e(code);
+  e.mov_ri(1, 0);
+  size_t top = e.offset();
+  size_t c = e.branch(Op::kCall, 0);
+  e.add_ri(1, 1);
+  e.cmp_ri(1, 50);
+  size_t j = e.branch(Op::kJlt, 0);
+  e.patch_rel32(j, static_cast<int32_t>(top) - static_cast<int32_t>(j + 5));
+  e.syscall();
+  size_t callee = e.offset();
+  e.add_ri(2, 3);
+  e.ret();
+  e.patch_rel32(c, static_cast<int32_t>(callee) - static_cast<int32_t>(c + 5));
+
+  Machine plain(code);
+  StepResult rp = plain.run(100000);
+  Machine fused(code);
+  DecodeCache dc;
+  SuperblockCache sbc;
+  uint64_t attempts = 0;
+  StepResult rf = run_sb(fused, dc, sbc, 256, 100000, attempts);
+  EXPECT_EQ(rf.kind, StepKind::kSyscall);
+  EXPECT_EQ(rf.kind, rp.kind);
+  EXPECT_EQ(fused.cpu.ip, plain.cpu.ip);
+  EXPECT_EQ(fused.cpu.regs, plain.cpu.regs);
+  EXPECT_EQ(fused.cpu.sp(), plain.cpu.sp());
+}
+
+TEST(Superblock, BuildsAfterThreshold) {
+  auto code = assemble([](Encoder& e) {
+    e.add_ri(1, 1);
+    e.nop();
+    e.trap();
+  });
+  Machine m(code);
+  DecodeCache dc;
+  SuperblockCache sbc;
+  for (uint32_t i = 0; i < SuperblockCache::kHotThreshold + 2; ++i) {
+    m.cpu.ip = 0x1000;
+    uint64_t n = 0;
+    StepResult r = run_block(m.mem, m.cpu, &dc, &sbc, 256, n);
+    ASSERT_EQ(r.kind, StepKind::kTrap);
+    ASSERT_EQ(n, 3u);
+    if (i + 1 < SuperblockCache::kHotThreshold) {
+      EXPECT_EQ(sbc.builds(), 0u);  // still warming
+    }
+  }
+  EXPECT_EQ(sbc.builds(), 1u);
+  EXPECT_EQ(sbc.superblocks(), 1u);
+  EXPECT_GT(sbc.entries(), 0u);
+}
+
+TEST(Superblock, TrapChargedOncePerAttemptOnBudgetBoundary) {
+  // Six nops then a trap. With budget 6 the trap is NOT attempted (kOk, ip
+  // parked on it, six charged); re-entry charges the trap exactly once.
+  // Must hold identically on the interpreter and superblock paths.
+  auto code = assemble([](Encoder& e) {
+    for (int i = 0; i < 6; ++i) e.nop();
+    e.trap();
+  });
+  {
+    Machine m(code);
+    DecodeCache dc;
+    uint64_t n = 0;
+    StepResult r = run_block(m.mem, m.cpu, &dc, 6, n);
+    EXPECT_EQ(r.kind, StepKind::kOk);
+    EXPECT_EQ(n, 6u);
+    EXPECT_EQ(m.cpu.ip, 0x1006u);
+    r = run_block(m.mem, m.cpu, &dc, 100, n);
+    EXPECT_EQ(r.kind, StepKind::kTrap);
+    EXPECT_EQ(r.fault_addr, 0x1006u);
+    EXPECT_EQ(n, 1u);
+  }
+  {
+    Machine m(code);
+    DecodeCache dc;
+    SuperblockCache sbc;
+    for (uint32_t i = 0; i < SuperblockCache::kHotThreshold + 1; ++i) {
+      m.cpu.ip = 0x1000;
+      uint64_t n = 0;
+      ASSERT_EQ(run_block(m.mem, m.cpu, &dc, &sbc, 256, n).kind,
+                StepKind::kTrap);
+    }
+    ASSERT_GT(sbc.superblocks(), 0u);
+    m.cpu.ip = 0x1000;
+    uint64_t n = 0;
+    StepResult r = run_block(m.mem, m.cpu, &dc, &sbc, 6, n);
+    EXPECT_EQ(r.kind, StepKind::kOk);
+    EXPECT_EQ(n, 6u);
+    EXPECT_EQ(m.cpu.ip, 0x1006u);  // budget exit mid-trace
+    r = run_block(m.mem, m.cpu, &dc, &sbc, 100, n);  // re-enters mid-trace
+    EXPECT_EQ(r.kind, StepKind::kTrap);
+    EXPECT_EQ(r.fault_addr, 0x1006u);
+    EXPECT_EQ(n, 1u);
+  }
+}
+
+TEST(Superblock, PatchRetiresTraceBeforeNextInstruction) {
+  // The acceptance contract: patch a page a hot trace spans (the rewriter's
+  // int3 poke) and the patch must be visible on the very next executed
+  // instruction — the stale trace retires instead of running.
+  auto code = assemble([](Encoder& e) {
+    size_t top = e.offset();
+    e.add_ri(1, 1);
+    e.cmp_ri(1, 1000000);
+    size_t j = e.branch(Op::kJlt, 0);
+    e.patch_rel32(j, static_cast<int32_t>(top) - static_cast<int32_t>(j + 5));
+    e.trap();
+  });
+  Machine m(code);
+  DecodeCache dc;
+  SuperblockCache sbc;
+  for (int q = 0; q < 20; ++q) {
+    uint64_t n = 0;
+    ASSERT_EQ(run_block(m.mem, m.cpu, &dc, &sbc, 256, n).kind, StepKind::kOk);
+  }
+  ASSERT_GT(sbc.builds(), 0u);
+  ASSERT_GT(sbc.sb_instrs(), 0u);
+
+  uint64_t retires_before = sbc.retires();
+  uint8_t trap = 0xCC;
+  uint64_t target = m.cpu.ip;  // mid-loop, inside the trace
+  m.mem.poke(target, &trap, 1);
+  uint64_t n = 0;
+  StepResult r = run_block(m.mem, m.cpu, &dc, &sbc, 256, n);
+  EXPECT_EQ(r.kind, StepKind::kTrap);
+  EXPECT_EQ(r.fault_addr, target);
+  EXPECT_EQ(n, 1u);  // nothing retired from the stale trace
+  EXPECT_EQ(sbc.retires(), retires_before + 1);
+}
+
+TEST(Superblock, SelfModifyingStoreDeoptsMidTrace) {
+  // The guest patches an instruction of its own hot loop; the store retires
+  // inside the trace, then dispatch must deoptimize so the interpreter
+  // refetches the patched byte as the very next instruction.
+  constexpr uint64_t kPatchIter = SuperblockCache::kHotThreshold + 2;
+  std::vector<uint8_t> probe;
+  Encoder pe(probe);
+  pe.mov_ri(2, 0);
+  pe.mov_ri(3, 0xCC);
+  size_t top = pe.offset();
+  pe.add_ri(1, 1);
+  pe.cmp_ri(1, kPatchIter);
+  size_t skip = pe.branch(Op::kJne, 0);
+  pe.storeb(2, 0, 3);  // patches the nop below on iteration kPatchIter
+  size_t victim = pe.offset();
+  pe.patch_rel32(skip,
+                 static_cast<int32_t>(victim) - static_cast<int32_t>(skip + 5));
+  pe.nop();
+  pe.cmp_ri(1, 1000000);
+  size_t back = pe.branch(Op::kJlt, 0);
+  pe.patch_rel32(back,
+                 static_cast<int32_t>(top) - static_cast<int32_t>(back + 5));
+  pe.trap();
+  // Second pass with the store target resolved.
+  std::vector<uint8_t> code;
+  Encoder e(code);
+  e.mov_ri(2, 0x1000 + victim);
+  e.mov_ri(3, 0xCC);
+  e.add_ri(1, 1);
+  e.cmp_ri(1, kPatchIter);
+  size_t skip2 = e.branch(Op::kJne, 0);
+  e.storeb(2, 0, 3);
+  e.patch_rel32(skip2,
+                static_cast<int32_t>(victim) - static_cast<int32_t>(skip2 + 5));
+  e.nop();
+  e.cmp_ri(1, 1000000);
+  size_t back2 = e.branch(Op::kJlt, 0);
+  e.patch_rel32(back2,
+                static_cast<int32_t>(top) - static_cast<int32_t>(back2 + 5));
+  e.trap();
+
+  Machine m(code);
+  m.mem.protect(0x1000, 0x1000, kProtRead | kProtWrite | kProtExec);
+  DecodeCache dc;
+  SuperblockCache sbc;
+  uint64_t attempts = 0;
+  StepResult r = run_sb(m, dc, sbc, 256, 1000000, attempts);
+  EXPECT_EQ(r.kind, StepKind::kTrap);
+  EXPECT_EQ(r.fault_addr, 0x1000 + victim);
+  EXPECT_EQ(m.cpu.regs[1], kPatchIter);  // stopped on the patching iteration
+  EXPECT_GT(sbc.builds(), 0u);
+  EXPECT_EQ(sbc.deopts(), 1u);
+}
+
+TEST(Superblock, TraceSpansPageStraddlingInstruction) {
+  // A hot loop whose body straddles the page boundary: the builder fuses
+  // across the straddling instruction (the decode cache never serves it)
+  // and the trace depends on BOTH spanned pages' generations.
+  std::vector<uint8_t> code;
+  Encoder e(code);
+  size_t j0 = e.branch(Op::kJmp, 0);
+  while (code.size() < kPageSize - 20) e.nop();
+  size_t top = e.offset();
+  e.patch_rel32(j0, static_cast<int32_t>(top) - static_cast<int32_t>(j0 + 5));
+  e.add_ri(1, 1);                       // [P-20, P-14)
+  e.cmp_ri(1, 40);                      // [P-14, P-8)
+  e.mov_ri(7, 0x1122334455667788ull);   // [P-8, P+2): straddles the edge
+  size_t j = e.branch(Op::kJlt, 0);
+  e.patch_rel32(j, static_cast<int32_t>(top) - static_cast<int32_t>(j + 5));
+  size_t trap_at = e.offset();
+  e.trap();
+
+  Machine m(code);
+  DecodeCache dc;
+  SuperblockCache sbc;
+  uint64_t attempts = 0;
+  StepResult r = run_sb(m, dc, sbc, 256, 100000, attempts);
+  EXPECT_EQ(r.kind, StepKind::kTrap);
+  EXPECT_EQ(m.cpu.regs[1], 40u);
+  EXPECT_EQ(m.cpu.regs[7], 0x1122334455667788ull);
+  ASSERT_EQ(sbc.superblocks(), 1u);
+
+  // A write to the SECOND page alone must invalidate the trace.
+  uint64_t retires_before = sbc.retires();
+  uint8_t trap = 0xCC;
+  m.mem.poke(0x1000 + trap_at, &trap, 1);  // page 2; same byte, still a write
+  m.cpu.ip = 0x1000 + top;
+  m.cpu.regs[1] = 0;
+  r = run_sb(m, dc, sbc, 256, 100000, attempts);
+  EXPECT_EQ(r.kind, StepKind::kTrap);
+  EXPECT_EQ(m.cpu.regs[1], 40u);
+  EXPECT_EQ(sbc.retires(), retires_before + 1);
+}
+
+TEST(Superblock, RefusesUnterminatedEntry) {
+  // A page of nops with no terminator: the block scan comes back
+  // unterminated and the builder must refuse to fuse the partial prefix.
+  std::vector<uint8_t> code(kPageSize, 0x90);
+  Machine m(code);
+  DecodeCache dc;
+  SuperblockCache sbc;
+  for (int i = 0; i < 20; ++i) {
+    m.cpu.ip = 0x1000;
+    uint64_t n = 0;
+    StepResult r = run_block(m.mem, m.cpu, &dc, &sbc, 100000, n);
+    ASSERT_EQ(r.kind, StepKind::kFault);  // ran off the mapping
+  }
+  EXPECT_EQ(sbc.builds(), 0u);
+  EXPECT_EQ(sbc.superblocks(), 0u);
+}
+
+TEST(Superblock, AddressSpaceRebuildDropsTraces) {
+  auto code = assemble([](Encoder& e) {
+    size_t top = e.offset();
+    e.add_ri(1, 1);
+    e.cmp_ri(1, 1000000);
+    size_t j = e.branch(Op::kJlt, 0);
+    e.patch_rel32(j, static_cast<int32_t>(top) - static_cast<int32_t>(j + 5));
+    e.trap();
+  });
+  Machine m(code);
+  DecodeCache dc;
+  SuperblockCache sbc;
+  for (int q = 0; q < 20; ++q) {
+    uint64_t n = 0;
+    ASSERT_EQ(run_block(m.mem, m.cpu, &dc, &sbc, 256, n).kind, StepKind::kOk);
+  }
+  ASSERT_GT(sbc.superblocks(), 0u);
+
+  // Rebuild the address space via copy-assign (checkpoint restore): the
+  // fresh asid must drop every trace before anything dereferences stale
+  // generation-slot pointers.
+  AddressSpace rebuilt;
+  rebuilt.map(0x1000, 0x1000, kProtRead | kProtExec, "code2");
+  uint8_t trap = 0xCC;
+  rebuilt.poke(0x1000, &trap, 1);
+  m.mem = rebuilt;
+  m.cpu.ip = 0x1000;
+  uint64_t n = 0;
+  StepResult r = run_block(m.mem, m.cpu, &dc, &sbc, 256, n);
+  EXPECT_EQ(r.kind, StepKind::kTrap);
+  EXPECT_EQ(sbc.superblocks(), 0u);
 }
 
 }  // namespace
