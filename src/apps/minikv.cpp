@@ -483,7 +483,7 @@ void emit_dispatch(ProgramBuilder& b) {
   d.mov_sym(2, "s_err").call("reply").mov_ri(0, 0).ret();
 }
 
-void emit_serve(ProgramBuilder& b) {
+void emit_serve(ProgramBuilder& b, uint16_t port) {
   auto& h = b.func("handle_conn");
   h.label("loop")
       .mov_rr(1, 13)
@@ -504,7 +504,7 @@ void emit_serve(ProgramBuilder& b) {
   m.call("init_config").call("init_table").call("init_heap").call(
       "init_log");
   m.call_import("socket").mov_rr(12, 0);
-  m.mov_rr(1, 12).mov_ri(2, kMinikvPort).call_import("bind");
+  m.mov_rr(1, 12).mov_ri(2, port).call_import("bind");
   m.mov_rr(1, 12).call_import("listen");
   m.label("accept_loop")
       .mov_rr(1, 12)
@@ -517,11 +517,12 @@ void emit_serve(ProgramBuilder& b) {
 
 }  // namespace
 
-std::shared_ptr<const melf::Binary> build_minikv() {
+std::shared_ptr<const melf::Binary> build_minikv(uint16_t port,
+                                                 uint32_t heap_kb) {
   ProgramBuilder b("minikv");
   emit_data(b);
   emit_init(b);
-  emit_memory_toucher(b, "init_heap", "heapmem", 4000 * 1024);
+  emit_memory_toucher(b, "init_heap", "heapmem", heap_kb * 1024);
   emit_tokenize(b);
   emit_reply_helpers(b);
   emit_reply_num(b);
@@ -534,11 +535,11 @@ std::shared_ptr<const melf::Binary> build_minikv() {
   emit_cmd_stralgo(b);
   emit_cmd_config(b);
   emit_dispatch(b);
-  emit_serve(b);
+  emit_serve(b, port);
   return std::make_shared<melf::Binary>(b.link());
 }
 
-std::shared_ptr<const melf::Binary> build_kvbench() {
+std::shared_ptr<const melf::Binary> build_kvbench(uint16_t port) {
   ProgramBuilder b("kvbench");
   b.rodata_str("s_set", "SET bench hello\n");
   b.rodata_str("s_get", "GET bench\n");
@@ -547,7 +548,7 @@ std::shared_ptr<const melf::Binary> build_kvbench() {
 
   auto& m = b.func("main");
   m.sys(sys::kSocket).mov_rr(12, 0);
-  m.mov_rr(1, 12).mov_ri(2, kMinikvPort).sys(sys::kConnect);
+  m.mov_rr(1, 12).mov_ri(2, port).sys(sys::kConnect);
   m.mov_rr(1, 12).mov_sym(2, "s_set").call_import("write_str");
   m.mov_rr(1, 12).mov_sym(2, "buf").mov_ri(3, 128).call_import("recv_line");
   m.label("loop")

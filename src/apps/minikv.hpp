@@ -37,12 +37,17 @@ namespace dynacut::apps {
 
 inline constexpr uint16_t kMinikvPort = 6379;
 
-std::shared_ptr<const melf::Binary> build_minikv();
+/// Builds the server. `port` and `heap_kb` (size of the heap region the
+/// init phase touches) are parameterized so fleet benchmarks can spawn
+/// hundreds of instances on distinct ports with small heaps; the defaults
+/// reproduce the single-instance binary used by the paper experiments.
+std::shared_ptr<const melf::Binary> build_minikv(uint16_t port = kMinikvPort,
+                                                 uint32_t heap_kb = 4000);
 
 /// Guest benchmark client (the redis-benchmark analogue): connects to
 /// minikv, issues one "SET bench hello", then loops "GET bench" forever,
 /// incrementing the bss u64 counter "ops" after each reply — sampled by the
 /// host to compute throughput (Fig. 8).
-std::shared_ptr<const melf::Binary> build_kvbench();
+std::shared_ptr<const melf::Binary> build_kvbench(uint16_t port = kMinikvPort);
 
 }  // namespace dynacut::apps

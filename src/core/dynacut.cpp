@@ -364,7 +364,11 @@ CustomizeReport DynaCut::apply(const CutRequest& request) {
                std::make_move_iterator(edits.end()));
   }
 
-  os_.advance_clock(report.timing.total_ns());
+  // The rewrite window is billed to the freeze set: on a multi-core osim
+  // only the customized processes stall while the rest of the fleet keeps
+  // serving; with one core the whole machine stalls (historical fig8
+  // semantics).
+  os_.charge_downtime(pids, report.timing.total_ns());
   finalize_obs(report, label, "disable", req.tags);
   log_info("disabled '" + feature_name + "': " +
            std::to_string(report.edits.blocks_patched) +
@@ -652,7 +656,7 @@ CustomizeReport DynaCut::restore_feature(const std::string& name) {
   }
 
   applied_.erase(it);
-  os_.advance_clock(report.timing.total_ns());
+  os_.charge_downtime(pids, report.timing.total_ns());
   finalize_obs(report, name, "restore");
   log_info("restored feature '" + name + "'");
   return report;

@@ -28,6 +28,7 @@ inline constexpr const char* kRewriteWipe = "rewrite.wipe";
 inline constexpr const char* kRewriteUnmap = "rewrite.unmap";
 inline constexpr const char* kRewriteInject = "rewrite.inject";
 inline constexpr const char* kTrapHit = "trap.hit";
+inline constexpr const char* kSchedSteal = "sched.steal";
 inline constexpr const char* kSbBuild = "sb.build";
 inline constexpr const char* kSbRetire = "sb.retire";
 inline constexpr const char* kSbDeopt = "sb.deopt";

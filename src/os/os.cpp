@@ -1,6 +1,7 @@
 #include "os/os.hpp"
 
 #include <algorithm>
+#include <cassert>
 
 #include "common/error.hpp"
 #include "common/hex.hpp"
@@ -10,10 +11,14 @@
 
 namespace dynacut::os {
 
+namespace {
+constexpr uint64_t kNoDeadline = ~0ull;
+}  // namespace
+
 void Os::set_event_bus(obs::EventBus* bus) {
   bus_ = bus;
   if (bus_ != nullptr && !bus_->has_clock()) {
-    bus_->set_clock([this] { return clock_; });
+    bus_->set_clock([this] { return now(); });
   }
 }
 
@@ -30,6 +35,7 @@ int Os::spawn(std::shared_ptr<const melf::Binary> app,
   auto p = std::make_unique<Process>();
   p->pid = next_pid_++;
   p->name = name.empty() ? app->name : name;
+  p->core = assign_core();
 
   uint64_t lib_base = kLibcBase;
   for (auto& lib : libs) {
@@ -154,18 +160,106 @@ bool Os::all_exited() const {
 }
 
 // ---------------------------------------------------------------------------
+// Virtual cores
+// ---------------------------------------------------------------------------
+
+void Os::set_cores(size_t n) {
+  if (n == 0) throw StateError("set_cores: need at least one core");
+  const uint64_t t = now();
+  cores_.assign(n, Core{});
+  for (auto& c : cores_) c.clock = t;
+  // Re-shard live processes round-robin in pid order — deterministic and
+  // independent of their previous placement.
+  assign_next_ = 0;
+  for (auto& [pid, p] : procs_) {
+    p->queued = false;  // the old queues are gone
+    if (p->state == Process::State::kExited) continue;
+    p->core = assign_core();
+  }
+}
+
+size_t Os::assign_core() { return assign_next_++ % cores_.size(); }
+
+Os::CoreStats Os::core_stats(size_t core) const {
+  if (core >= cores_.size()) {
+    throw StateError("core_stats: no core " + std::to_string(core));
+  }
+  const Core& c = cores_[core];
+  return CoreStats{c.clock, c.retired, c.steals};
+}
+
+int Os::core_of(int pid) const {
+  const Process* p = process(pid);
+  return p == nullptr ? -1 : static_cast<int>(p->core);
+}
+
+void Os::pin(int pid, size_t core) {
+  if (core >= cores_.size()) {
+    throw StateError("pin: no core " + std::to_string(core));
+  }
+  Process* p = process(pid);
+  if (p == nullptr) throw StateError("pin: no process " + std::to_string(pid));
+  if (p->queued && p->core != core) {
+    auto& dq = cores_[p->core].ready;
+    dq.erase(std::remove(dq.begin(), dq.end(), pid), dq.end());
+    p->queued = false;
+  }
+  p->core = core;
+}
+
+uint64_t Os::total_retired() const {
+  uint64_t sum = 0;
+  for (const auto& c : cores_) sum += c.retired;
+  return sum;
+}
+
+uint64_t Os::now() const {
+  if (running_core_ >= 0) return cores_[static_cast<size_t>(running_core_)].clock;
+  uint64_t mx = 0;
+  for (const auto& c : cores_) mx = std::max(mx, c.clock);
+  return mx;
+}
+
+uint64_t Os::min_core_clock() const {
+  uint64_t mn = ~0ull;
+  for (const auto& c : cores_) mn = std::min(mn, c.clock);
+  return mn;
+}
+
+void Os::advance_clock(uint64_t ticks) {
+  for (auto& c : cores_) c.clock += ticks;
+}
+
+void Os::charge_downtime(const std::vector<int>& pids, uint64_t ticks) {
+  if (cores_.size() == 1) {
+    // The lone core is the one doing the rewrite: the whole machine stalls.
+    // This is the historical single-core fig8 semantics.
+    cores_[0].clock += ticks;
+    return;
+  }
+  const uint64_t until = now() + ticks;
+  for (int pid : pids) {
+    if (Process* p = process(pid)) {
+      p->not_before = std::max(p->not_before, until);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Host networking
 // ---------------------------------------------------------------------------
 
 bool Os::has_listener(uint16_t port) const {
-  auto it = listeners_.find(port);
-  return it != listeners_.end() && !it->second.expired();
+  const auto& shard = listeners_[port % kNetShards];
+  auto it = shard.find(port);
+  return it != shard.end() && !it->second.expired();
 }
 
 HostConn Os::connect(uint16_t port) {
-  auto it = listeners_.find(port);
+  auto& shard = listeners_[port % kNetShards];
+  auto it = shard.find(port);
   std::shared_ptr<Socket> listener =
-      it == listeners_.end() ? nullptr : it->second.lock();
+      it == shard.end() ? nullptr : it->second.lock();
   if (listener == nullptr || listener->kind != Socket::Kind::kListen) {
     throw StateError("connect: no listener on port " + std::to_string(port));
   }
@@ -178,11 +272,13 @@ void Os::register_listener(const std::shared_ptr<Socket>& sock) {
   if (sock == nullptr || sock->kind != Socket::Kind::kListen) {
     throw StateError("register_listener: not a listening socket");
   }
-  listeners_[sock->port] = sock;
+  listeners_[sock->port % kNetShards][sock->port] = sock;
 }
 
 int Os::adopt(std::unique_ptr<Process> p) {
   p->pid = next_pid_++;
+  p->core = assign_core();
+  p->queued = false;
   int pid = p->pid;
   procs_[pid] = std::move(p);
   return pid;
@@ -190,6 +286,25 @@ int Os::adopt(std::unique_ptr<Process> p) {
 
 // ---------------------------------------------------------------------------
 // Scheduler
+//
+// N virtual cores, each with a rotating ready deque and its own clock.
+// Execution proceeds in bounded-skew rounds:
+//
+//   1. scan: unblock waiters whose condition cleared, enqueue every
+//      eligible runnable pid on its core (a pid is in at most one deque;
+//      entries are removed only by popping, so Process::queued is exact).
+//   2. steal: a core with an empty deque takes one pid from the back of
+//      the most-loaded deque (>= 2 entries); victim ties are broken by the
+//      seeded RNG — the only non-structural scheduling decision.
+//   3. frontier: the minimum clock among cores with work. Cores with no
+//      work fast-forward to it (idle time passes for them too).
+//   4. execute: each core pops and runs quanta until its clock passes
+//      frontier + kSkewWindow, rotating finished processes to the back.
+//
+// The skew window keeps per-core clocks comparable (cross-core latency
+// differences are bounded by kSkewWindow + one quantum), which is what
+// makes "the furthest clock" a meaningful machine-wide time. With one core
+// this specializes to strict round-robin with a persistent rotation point.
 // ---------------------------------------------------------------------------
 
 bool Os::try_unblock(Process& p) {
@@ -218,7 +333,7 @@ bool Os::try_unblock(Process& p) {
       return false;
     }
     case Process::BlockKind::kSleep:
-      if (clock_ >= p.wake_at) {
+      if (cores_[p.core].clock >= p.wake_at) {
         p.block_kind = Process::BlockKind::kNone;
         return true;
       }
@@ -227,12 +342,52 @@ bool Os::try_unblock(Process& p) {
   return true;
 }
 
+void Os::steal_work() {
+  if (cores_.size() < 2) return;
+  for (size_t thief = 0; thief < cores_.size(); ++thief) {
+    if (!cores_[thief].ready.empty()) continue;
+    // Victim: the most-loaded core with at least two queued pids; ties
+    // broken by reservoir sampling on the seeded RNG so the choice is
+    // deterministic per seed but not structurally biased to low cores.
+    size_t victim = thief;
+    size_t victim_size = 1;
+    uint64_t ties = 0;
+    for (size_t vi = 0; vi < cores_.size(); ++vi) {
+      if (vi == thief) continue;
+      size_t sz = cores_[vi].ready.size();
+      if (sz < 2) continue;
+      if (sz > victim_size) {
+        victim = vi;
+        victim_size = sz;
+        ties = 1;
+      } else if (sz == victim_size) {
+        ++ties;
+        if (rng_.below(ties) == 0) victim = vi;
+      }
+    }
+    if (victim == thief) continue;
+    int pid = cores_[victim].ready.back();
+    cores_[victim].ready.pop_back();
+    cores_[thief].ready.push_back(pid);
+    cores_[thief].steals++;
+    if (Process* p = process(pid)) p->core = thief;
+    if (bus_ != nullptr) {
+      bus_->emit(obs::Event(obs::ev::kSchedSteal, pid)
+                     .with("from", static_cast<uint64_t>(victim))
+                     .with("to", static_cast<uint64_t>(thief)));
+    }
+  }
+}
+
 uint64_t Os::run(uint64_t max_instr) {
+  return run_bounded(max_instr, kNoDeadline);
+}
+
+uint64_t Os::run_bounded(uint64_t max_instr, uint64_t tick_deadline) {
   uint64_t retired = 0;
   while (retired < max_instr) {
-    bool ran = false;
-    uint64_t earliest_wake = ~0ull;
-
+    // --- 1. scan: unblock + enqueue --------------------------------------
+    uint64_t earliest_wake = kNoDeadline;
     for (auto& [pid, p] : procs_) {
       if (p->state == Process::State::kBlocked) {
         if (try_unblock(*p)) {
@@ -241,45 +396,104 @@ uint64_t Os::run(uint64_t max_instr) {
           earliest_wake = std::min(earliest_wake, p->wake_at);
         }
       }
-    }
-
-    for (auto& [pid, p] : procs_) {
       if (p->state != Process::State::kRunnable) continue;
-      run_quantum(*p, max_instr - retired, retired);
-      ran = true;
-      if (retired >= max_instr) break;
+      Core& c = cores_[p->core];
+      if (c.clock < p->not_before) {
+        // Downtime-charged: acts like a sleeper until its core clock
+        // catches up with the charge.
+        earliest_wake = std::min(earliest_wake, p->not_before);
+      } else if (!p->queued) {
+        c.ready.push_back(pid);
+        p->queued = true;
+      }
     }
 
-    if (!ran) {
-      if (earliest_wake != ~0ull && earliest_wake > clock_) {
-        clock_ = earliest_wake;  // idle until the next timer
-        continue;
+    // --- 2. steal ---------------------------------------------------------
+    steal_work();
+
+    // --- 3. frontier ------------------------------------------------------
+    uint64_t frontier = kNoDeadline;
+    for (const auto& c : cores_) {
+      if (!c.ready.empty() && c.clock < tick_deadline) {
+        frontier = std::min(frontier, c.clock);
       }
-      break;  // deadlocked or waiting on external input
+    }
+
+    if (frontier == kNoDeadline) {
+      // No core has schedulable work under the deadline.
+      bool work_past_deadline = false;
+      for (const auto& c : cores_) work_past_deadline |= !c.ready.empty();
+      if (work_past_deadline) break;  // run_ticks: deadline reached
+      if (earliest_wake == kNoDeadline) break;  // deadlock / external input
+      // Fully idle: jump to the next timer, clamped to the deadline so a
+      // distant sleeper cannot drag run_ticks past its window.
+      const uint64_t target = std::min(earliest_wake, tick_deadline);
+      for (auto& c : cores_) c.clock = std::max(c.clock, target);
+      if (target == earliest_wake) continue;  // the sleeper is now due
+      break;                                  // deadline reached first
+    }
+
+    // Idle cores experience the passage of time too: pull them up to the
+    // frontier so stolen or newly woken work starts at a coherent clock.
+    for (auto& c : cores_) {
+      if (c.ready.empty() && c.clock < frontier) c.clock = frontier;
+    }
+
+    // --- 4. execute one bounded-skew window per core -----------------------
+    const uint64_t window_end = frontier > kNoDeadline - kSkewWindow
+                                    ? kNoDeadline
+                                    : frontier + kSkewWindow;
+    for (size_t ci = 0; ci < cores_.size() && retired < max_instr; ++ci) {
+      Core& c = cores_[ci];
+      running_core_ = static_cast<int>(ci);
+      while (!c.ready.empty() && c.clock < window_end &&
+             c.clock < tick_deadline && retired < max_instr) {
+        int pid = c.ready.front();
+        c.ready.pop_front();
+        auto it = procs_.find(pid);
+        if (it == procs_.end()) continue;
+        Process& p = *it->second;
+        if (!p.queued || p.core != ci) continue;  // stale entry
+        p.queued = false;
+        if (p.state != Process::State::kRunnable) continue;
+        if (c.clock < p.not_before) continue;  // re-enqueued once eligible
+        run_quantum(p, max_instr - retired, retired, tick_deadline);
+        if (p.state == Process::State::kRunnable) {
+          c.ready.push_back(pid);  // rotate to the back
+          p.queued = true;
+        }
+      }
+      running_core_ = -1;
     }
   }
   return retired;
 }
 
 void Os::run_ticks(uint64_t ticks) {
-  const uint64_t deadline = clock_ + ticks;
-  while (clock_ < deadline) {
-    uint64_t before = clock_;
-    // Bound each inner run so we re-check the deadline frequently.
-    uint64_t retired = run(kQuantum * 16);
-    if (retired == 0 && clock_ == before) {
-      clock_ = deadline;  // fully idle: jump forward
-      break;
-    }
+  const uint64_t deadline = now() + ticks;
+  while (min_core_clock() < deadline) {
+    const uint64_t before = min_core_clock();
+    const uint64_t retired = run_bounded(~0ull, deadline);
+    if (retired == 0 && min_core_clock() == before) break;
   }
+  // Cores that went idle before the deadline simply experience it passing.
+  for (auto& c : cores_) c.clock = std::max(c.clock, deadline);
+  // The deadline is enforced per operation inside run_quantum: a core stops
+  // issuing once its clock reaches it, so pure compute lands exactly on the
+  // deadline and the only possible overshoot is the cost of one syscall
+  // that *started* before it.
+  assert(min_core_clock() >= deadline);
 }
 
-void Os::run_quantum(Process& p, uint64_t budget, uint64_t& retired) {
+void Os::run_quantum(Process& p, uint64_t budget, uint64_t& retired,
+                     uint64_t tick_deadline) {
+  Core& c = cores_[p.core];
   uint64_t quota = std::min<uint64_t>(kQuantum, budget);
   yielded_ = false;
   uint64_t done = 0;
   while (done < quota) {
     if (p.state != Process::State::kRunnable) break;
+    if (c.clock >= tick_deadline) break;
     if (p.at_block_start && sink_ != nullptr) {
       sink_->on_block(p, p.cpu.ip);
     }
@@ -294,12 +508,20 @@ void Os::run_quantum(Process& p, uint64_t budget, uint64_t& retired) {
     // a sink is attached (coverage needs an event per basic block).
     vm::SuperblockCache* sbc =
         (superblocks_ && sink_ == nullptr) ? &p.sbcache : nullptr;
+    // Each instruction costs >= 1 tick, so clamping the attempt budget to
+    // the remaining ticks makes compute land exactly on a run_ticks
+    // deadline instead of overshooting by the rest of the quantum.
+    uint64_t chunk = quota - done;
+    if (tick_deadline != kNoDeadline) {
+      chunk = std::min(chunk, tick_deadline - c.clock);
+    }
     uint64_t n = 0;
     vm::StepResult r =
-        vm::run_block(p.mem, p.cpu, &p.dcache, sbc, quota - done, n);
+        vm::run_block(p.mem, p.cpu, &p.dcache, sbc, chunk, n);
     done += n;
     retired += n;
-    clock_ += n;
+    c.clock += n;
+    c.retired += n;
     p.instructions_retired += n;
     if (p.sbcache.events_pending()) drain_sb_events(p);
     if (n == 0) break;  // defensive: run_block always attempts >= 1
@@ -366,8 +588,9 @@ void Os::deliver_signal(Process& p, int signo, uint64_t fault_addr) {
     bus_->emit(obs::Event(obs::ev::kTrapHit, p.pid)
                    .with("addr", fault_addr)
                    .with("ip", p.cpu.ip)
+                   .with("core", static_cast<uint64_t>(p.core))
                    .with("action", act.handler == 0 ? std::string("kill")
-                                                   : std::string("handler")));
+                                                    : std::string("handler")));
   }
   if (act.handler == 0) {
     p.state = Process::State::kExited;
@@ -455,11 +678,12 @@ uint64_t Os::do_fork(Process& parent) {
   child->sigactions = parent.sigactions;
   child->signal_frames = parent.signal_frames;
   child->modules = parent.modules;
+  child->core = assign_core();
   child->cpu.regs[0] = 0;  // child's fork() return value
   child->at_block_start = true;
   int pid = child->pid;
   procs_[pid] = std::move(child);
-  clock_ += costs_.fork_extra;
+  cores_[parent.core].clock += costs_.fork_extra;
   return static_cast<uint64_t>(pid);
 }
 
@@ -468,7 +692,8 @@ void Os::do_syscall(Process& p) {
   const uint64_t num = r[0];
   if (syscall_hook_) syscall_hook_(p, num);
   const uint64_t a1 = r[1], a2 = r[2], a3 = r[3];
-  clock_ += costs_.base;
+  Core& core = cores_[p.core];
+  core.clock += costs_.base;
 
   auto ret = [&](uint64_t v) { r[0] = v; };
 
@@ -486,7 +711,7 @@ void Os::do_syscall(Process& p) {
       if (!p.mem.read(a2, buf.data(), a3, kProtRead).ok) {
         return ret(sys::kErr);
       }
-      clock_ += a3 / costs_.per_io_byte_div;
+      core.clock += a3 / costs_.per_io_byte_div;
       if (it->second.kind == FileDesc::Kind::kConsole) {
         p.stdout_buf.append(buf.begin(), buf.end());
         return ret(a3);
@@ -519,7 +744,7 @@ void Os::do_syscall(Process& p) {
         return ret(sys::kErr);
       }
       q.erase(q.begin(), q.begin() + static_cast<long>(n));
-      clock_ += n / costs_.per_io_byte_div;
+      core.clock += n / costs_.per_io_byte_div;
       return ret(n);
     }
 
@@ -546,7 +771,7 @@ void Os::do_syscall(Process& p) {
       }
       auto& sock = it->second.sock;
       sock->kind = Socket::Kind::kListen;
-      listeners_[sock->port] = sock;
+      listeners_[sock->port % kNetShards][sock->port] = sock;
       return ret(0);
     }
 
@@ -567,7 +792,7 @@ void Os::do_syscall(Process& p) {
       listener.backlog.pop_front();
       int fd = p.next_fd++;
       p.fds[fd] = FileDesc{FileDesc::Kind::kSocket, conn_sock};
-      clock_ += costs_.accept_extra;
+      core.clock += costs_.accept_extra;
       return ret(static_cast<uint64_t>(fd));
     }
 
@@ -576,9 +801,10 @@ void Os::do_syscall(Process& p) {
       if (it == p.fds.end() || it->second.sock == nullptr) {
         return ret(sys::kErr);
       }
-      auto lit = listeners_.find(static_cast<uint16_t>(a2));
+      auto& shard = listeners_[static_cast<uint16_t>(a2) % kNetShards];
+      auto lit = shard.find(static_cast<uint16_t>(a2));
       std::shared_ptr<Socket> listener =
-          lit == listeners_.end() ? nullptr : lit->second.lock();
+          lit == shard.end() ? nullptr : lit->second.lock();
       if (listener == nullptr) return ret(sys::kErr);
       auto conn = std::make_shared<Conn>();
       listener->backlog.push_back(SockEnd{conn, /*side_a=*/false});
@@ -613,7 +839,7 @@ void Os::do_syscall(Process& p) {
     case sys::kNanosleep:
       p.state = Process::State::kBlocked;
       p.block_kind = Process::BlockKind::kSleep;
-      p.wake_at = clock_ + a1;
+      p.wake_at = core.clock + a1;
       return ret(0);
 
     case sys::kMmap: {
@@ -655,7 +881,7 @@ void Os::do_syscall(Process& p) {
       return ret(0);
 
     case sys::kClock:
-      return ret(clock_);
+      return ret(core.clock);
 
     default:
       // Unknown syscall: SIGSYS-like default — kill the process.

@@ -1,13 +1,22 @@
 // osim: the userspace OS simulator hosting guest processes.
 //
-// Single-core round-robin scheduler with a virtual clock (1 tick per retired
-// instruction plus per-syscall costs). Blocking syscalls park the process
-// and transparently re-execute when the condition clears. Signals are
-// delivered through guest-stack frames with an rt_sigreturn-style unwind —
-// the substrate DynaCut's trap-handling and redirection run on.
+// A deterministic multi-core scheduler with per-core virtual clocks (1 tick
+// per retired instruction plus per-syscall costs). Each virtual core owns a
+// rotating ready queue; cores advance in bounded-skew rounds so their clocks
+// stay comparable, and idle cores steal work from the most loaded core
+// (victim ties broken by a seeded RNG — the only scheduling decision that is
+// not structurally forced, so one seed pins the whole schedule). Blocking
+// syscalls park the process and transparently re-execute when the condition
+// clears. Signals are delivered through guest-stack frames with an
+// rt_sigreturn-style unwind — the substrate DynaCut's trap-handling and
+// redirection run on. With one core (the default) the scheduler specializes
+// to a single rotating ready queue: strict round-robin that keeps its
+// position across run() calls, so budget-sliced driving cannot starve
+// high-pid processes.
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
@@ -15,6 +24,7 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
 #include "os/loader.hpp"
 #include "os/process.hpp"
 #include "os/socket.hpp"
@@ -61,19 +71,60 @@ class Os {
   std::vector<int> process_group(int root) const;
   void kill(int pid);
 
+  // --- virtual cores -----------------------------------------------------
+  /// Reconfigures the machine to `n` virtual cores (n >= 1; default 1).
+  /// Live processes are re-sharded round-robin in pid order, every core
+  /// clock starts at now(), and per-core counters reset. Deterministic:
+  /// the same spawn/run/set_cores call sequence with the same seed always
+  /// produces the same schedule.
+  void set_cores(size_t n);
+  size_t num_cores() const { return cores_.size(); }
+
+  /// Seeds the work-stealing victim choice — the only scheduling decision
+  /// not structurally forced. Same seed => bit-identical schedules, retired
+  /// counts and obs timelines.
+  void set_seed(uint64_t seed) { rng_ = Rng(seed); }
+
+  /// Per-core scheduler counters (bench/obs surface).
+  struct CoreStats {
+    uint64_t clock = 0;    ///< this core's virtual clock
+    uint64_t retired = 0;  ///< instructions retired on this core
+    uint64_t steals = 0;   ///< pids stolen *into* this core
+  };
+  CoreStats core_stats(size_t core) const;
+  /// The core `pid` is currently scheduled on (-1 if no such pid).
+  int core_of(int pid) const;
+  /// Moves `pid` to `core` (takes effect at the next scheduling round).
+  void pin(int pid, size_t core);
+  /// Instructions retired machine-wide since construction.
+  uint64_t total_retired() const;
+
   // --- scheduling & time -------------------------------------------------
   /// Runs until every process is exited/blocked/frozen or `max_instr`
   /// instructions retire. Returns instructions retired.
   uint64_t run(uint64_t max_instr = ~0ull);
 
-  /// Runs until the virtual clock advances by `ticks` (idle gaps with only
-  /// sleepers skip forward; fully idle systems jump to the deadline).
+  /// Runs until every core's clock advances past now() + `ticks` (idle gaps
+  /// with only sleepers skip forward; fully idle systems jump to the
+  /// deadline). The deadline is honored per operation: a core stops issuing
+  /// as soon as its clock reaches it, so the overshoot is bounded by one
+  /// operation's cost (zero for pure compute), never a whole run() budget.
   void run_ticks(uint64_t ticks);
 
   bool all_exited() const;
-  uint64_t now() const { return clock_; }
-  /// Charges externally-imposed downtime (e.g. DynaCut's rewrite window).
-  void advance_clock(uint64_t ticks) { clock_ += ticks; }
+  /// The virtual clock: the executing core's clock during execution (this
+  /// is what the event bus stamps), otherwise the furthest core clock.
+  uint64_t now() const;
+  /// Charges externally-imposed downtime to every core (a machine-wide
+  /// stall). For freeze-set-scoped downtime use charge_downtime().
+  void advance_clock(uint64_t ticks);
+
+  /// Charges DynaCut's rewrite window to exactly the processes that were
+  /// frozen: each pid cannot run again before its core clock reaches
+  /// now + ticks, while every other process keeps executing. With a single
+  /// core the whole machine stalls instead (the lone core is busy doing the
+  /// rewrite) — the historical fig8 semantics.
+  void charge_downtime(const std::vector<int>& pids, uint64_t ticks);
 
   // --- checkpoint support -------------------------------------------------
   void freeze(int pid);
@@ -93,7 +144,8 @@ class Os {
   /// Freezes every pid in `pids` with the strong guarantee: if any freeze
   /// fails (dead pid, already frozen), the ones frozen so far are thawed
   /// back and the error rethrown. This is the stage window of DynaCut's
-  /// transactional customization — the whole group stops together.
+  /// transactional customization — the freeze set stops together while
+  /// every process outside it keeps running.
   void freeze_group(const std::vector<int>& pids);
   /// Thaws every pid in `pids` that is currently frozen (exited or
   /// already-thawed pids are skipped, so abort paths can call it blindly).
@@ -124,6 +176,12 @@ class Os {
   /// Scheduler quantum in instructions — exposed for accounting tests
   /// (a trap on the quantum boundary must be charged once per attempt).
   static constexpr uint64_t kQuantum = 256;
+  /// Bounded-skew window in ticks: per scheduling round, a core executes
+  /// until its clock passes the round frontier (the minimum clock among
+  /// cores with work) by this much. Keeps per-core clocks comparable so
+  /// cross-core latencies are meaningful.
+  static constexpr uint64_t kSkewWindow = kQuantum * 4;
+
   /// (pid, code) markers emitted by the kNudge syscall.
   const std::vector<std::pair<int, uint64_t>>& nudges() const {
     return nudges_;
@@ -143,16 +201,31 @@ class Os {
   }
 
   /// Wires the observability event bus in (non-owning; nullptr detaches).
-  /// The OS emits `trap.hit` for every SIGTRAP it dispatches — pid, address
-  /// and whether a handler took it or the process was killed. If the bus has
-  /// no clock source yet, it is given this OS's virtual clock.
+  /// The OS emits `trap.hit` for every SIGTRAP it dispatches — pid, address,
+  /// owning core and whether a handler took it or the process was killed —
+  /// and `sched.steal` for every work-stealing migration. If the bus has no
+  /// clock source yet, it is given this OS's virtual clock (per-core during
+  /// execution, so event timestamps are core-local).
   void set_event_bus(obs::EventBus* bus);
   obs::EventBus* event_bus() const { return bus_; }
 
   SyscallCosts& costs() { return costs_; }
 
  private:
-  void run_quantum(Process& p, uint64_t budget, uint64_t& retired);
+  /// One virtual core: its clock, rotating ready queue and counters.
+  struct Core {
+    uint64_t clock = 0;
+    uint64_t retired = 0;
+    uint64_t steals = 0;
+    std::deque<int> ready;  ///< runnable pids, rotated per quantum
+  };
+
+  uint64_t run_bounded(uint64_t max_instr, uint64_t tick_deadline);
+  void run_quantum(Process& p, uint64_t budget, uint64_t& retired,
+                   uint64_t tick_deadline);
+  void steal_work();
+  size_t assign_core();
+  uint64_t min_core_clock() const;
   void drain_sb_events(Process& p);
   void do_syscall(Process& p);
   void deliver_signal(Process& p, int signo, uint64_t fault_addr);
@@ -163,8 +236,14 @@ class Os {
 
   std::map<int, std::unique_ptr<Process>> procs_;
   int next_pid_ = 100;
-  uint64_t clock_ = 0;
-  std::map<uint16_t, std::weak_ptr<Socket>> listeners_;
+  std::vector<Core> cores_{1};
+  int running_core_ = -1;  ///< core executing right now; -1 outside run
+  size_t assign_next_ = 0;
+  Rng rng_{0};
+  /// Listener table, sharded by port hash so fleets with hundreds of
+  /// listening servers don't funnel through one map.
+  static constexpr size_t kNetShards = 16;
+  std::map<uint16_t, std::weak_ptr<Socket>> listeners_[kNetShards];
   BlockSink* sink_ = nullptr;
   std::vector<std::pair<int, uint64_t>> nudges_;
   std::function<void(const Process&, uint64_t)> nudge_hook_;

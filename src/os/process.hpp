@@ -85,6 +85,18 @@ struct Process {
   int block_fd = -1;
   uint64_t wake_at = 0;  ///< for kSleep
 
+  /// Virtual core this process is scheduled on. Scheduler-owned; work
+  /// stealing and Os::pin move it.
+  size_t core = 0;
+  /// True while the pid sits in a core's ready queue. Scheduler-owned —
+  /// queue entries are removed only by popping, so this flag is the single
+  /// source of truth for membership.
+  bool queued = false;
+  /// Earliest core-clock tick this process may run again. DynaCut charges
+  /// its rewrite window here (Os::charge_downtime) so downtime is billed to
+  /// the frozen set only, not the whole machine.
+  uint64_t not_before = 0;
+
   std::string stdout_buf;  ///< bytes written to fd 1, host-observable
 
   int exit_code = 0;

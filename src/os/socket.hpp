@@ -62,30 +62,45 @@ class HostConn {
   /// Drains all currently buffered bytes.
   std::string recv_all() {
     auto& q = end_.rx();
-    std::string out(q.begin(), q.end());
+    std::string out(q.begin() + static_cast<long>(consumed_), q.end());
     q.clear();
+    consumed_ = scanned_ = 0;
     return out;
   }
 
-  /// Pops one '\n'-terminated line if complete, else empty.
+  /// Pops one '\n'-terminated line if complete, else empty. Consumed bytes
+  /// are tracked as an offset and drained in bulk, and the newline scan
+  /// resumes where the last one stopped, so popping a pipelined batch of N
+  /// lines is O(bytes) total instead of O(bytes * N).
   std::string recv_line() {
     auto& q = end_.rx();
-    for (size_t i = 0; i < q.size(); ++i) {
-      if (q[i] == '\n') {
-        std::string line(q.begin(), q.begin() + static_cast<long>(i) + 1);
-        q.erase(q.begin(), q.begin() + static_cast<long>(i) + 1);
+    scanned_ = std::max(scanned_, consumed_);
+    for (; scanned_ < q.size(); ++scanned_) {
+      if (q[scanned_] == '\n') {
+        std::string line(q.begin() + static_cast<long>(consumed_),
+                         q.begin() + static_cast<long>(scanned_) + 1);
+        consumed_ = ++scanned_;
+        if (consumed_ == q.size()) {
+          q.clear();
+          consumed_ = scanned_ = 0;
+        }
         return line;
       }
     }
     return {};
   }
 
-  size_t pending() const { return end_.rx().size(); }
+  size_t pending() const { return end_.rx().size() - consumed_; }
   bool peer_open() const { return end_.peer_open(); }
   void close() { end_.close(); }
 
  private:
   SockEnd end_;
+  /// Bytes at the front of rx() already returned by recv_line but not yet
+  /// erased from the deque (erased in bulk once the buffer fully drains).
+  size_t consumed_ = 0;
+  /// Scan resume point: rx() bytes before this hold no unconsumed '\n'.
+  size_t scanned_ = 0;
 };
 
 }  // namespace dynacut::os

@@ -3,6 +3,8 @@
 // redirection DynaCut's fault handlers rely on), loader/PLT linkage.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "apps/libc.hpp"
 #include "common/error.hpp"
 #include "melf/builder.hpp"
@@ -588,6 +590,240 @@ TEST(Os, BlockSinkKeepsPerBlockCoverage) {
   ASSERT_TRUE(os.all_exited());
   EXPECT_GE(sink.blocks, 100u);  // one event per iteration, not per trace
   EXPECT_EQ(os.process(pid)->sbcache.builds(), 0u);
+}
+
+std::shared_ptr<const Binary> make_spinner(const char* name, int body_adds) {
+  ProgramBuilder b(name);
+  auto& f = b.func("main");
+  f.label("spin");
+  for (int i = 0; i < body_adds; ++i) f.add_ri(2, 1);
+  f.jmp("spin");
+  b.set_entry("main");
+  return make(b);
+}
+
+TEST(Os, SchedulerRotationAvoidsPidOrderStarvation) {
+  // Budget-sliced driving (run(kQuantum) in a loop) used to restart the
+  // ready scan at the lowest pid every call, so one hot low-pid spinner
+  // could absorb every slice. The rotating ready queue must share slices
+  // across all runnable pids regardless of pid order.
+  Os os;
+  auto spin = make_spinner("fair", 1);
+  std::vector<int> pids;
+  for (int i = 0; i < 4; ++i) pids.push_back(os.spawn(spin));
+  for (int i = 0; i < 64; ++i) os.run(Os::kQuantum);
+  uint64_t lo = ~0ull, hi = 0;
+  for (int pid : pids) {
+    uint64_t r = os.process(pid)->instructions_retired;
+    lo = std::min(lo, r);
+    hi = std::max(hi, r);
+  }
+  EXPECT_GT(lo, 0u) << "a runnable pid was starved";
+  EXPECT_LE(hi, 2 * lo) << "slices not shared fairly across pids";
+}
+
+TEST(Os, RunTicksLandsComputeExactlyOnDeadline) {
+  // The deadline must be honored per operation: a pure-compute workload
+  // (1 tick per instruction) lands exactly on the deadline instead of
+  // overshooting by up to a whole scheduling round.
+  Os os;
+  int pid = os.spawn(make_spinner("exact", 3));
+  os.run_ticks(10'000);
+  EXPECT_EQ(os.now(), 10'000u);
+  EXPECT_EQ(os.process(pid)->instructions_retired, 10'000u);
+  os.run_ticks(3'333);  // a second slice continues from the same clock
+  EXPECT_EQ(os.now(), 13'333u);
+}
+
+TEST(Os, RunTicksIdleJumpIsExact) {
+  // With nothing schedulable the clock jumps to the deadline, not past it.
+  Os os;
+  os.run_ticks(12'345);
+  EXPECT_EQ(os.now(), 12'345u);
+  os.set_cores(4);
+  os.run_ticks(1'000);
+  EXPECT_EQ(os.now(), 13'345u);
+  for (size_t c = 0; c < 4; ++c) EXPECT_EQ(os.core_stats(c).clock, 13'345u);
+}
+
+TEST(Os, HostConnRecvLineDrainsPipelinedBatch) {
+  // recv_line over a pipelined batch: every line comes back intact and in
+  // order, a partial tail stays buffered (pending, not dropped), and the
+  // consumed-offset bookkeeping stays consistent with recv_all.
+  auto wire = std::make_shared<Conn>();
+  HostConn host(SockEnd{wire, true});
+  HostConn peer(SockEnd{wire, false});
+
+  std::string batch;
+  for (int i = 0; i < 100; ++i) batch += "line " + std::to_string(i) + "\n";
+  peer.send(batch);
+  peer.send("tail");  // incomplete final line
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(host.recv_line(), "line " + std::to_string(i) + "\n");
+  }
+  EXPECT_EQ(host.recv_line(), "");  // no complete line yet
+  EXPECT_EQ(host.pending(), 4u);    // "tail" buffered, not dropped
+  peer.send("\n");
+  EXPECT_EQ(host.recv_line(), "tail\n");
+  EXPECT_EQ(host.pending(), 0u);
+
+  peer.send("x\nyz");
+  EXPECT_EQ(host.recv_line(), "x\n");
+  EXPECT_EQ(host.recv_all(), "yz");  // recv_all honors the consumed offset
+  EXPECT_EQ(host.pending(), 0u);
+}
+
+TEST(Os, MultiCoreSpreadsLoadAcrossCores) {
+  Os os;
+  os.set_cores(4);
+  auto spin = make_spinner("mc", 2);
+  std::vector<int> pids;
+  for (int i = 0; i < 8; ++i) pids.push_back(os.spawn(spin));
+  os.run(80'000);
+  uint64_t per_core_sum = 0, per_pid_sum = 0;
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_GT(os.core_stats(c).retired, 0u) << "core " << c << " idle";
+    per_core_sum += os.core_stats(c).retired;
+  }
+  for (int pid : pids) per_pid_sum += os.process(pid)->instructions_retired;
+  EXPECT_EQ(per_core_sum, os.total_retired());
+  EXPECT_EQ(per_pid_sum, os.total_retired());
+}
+
+TEST(Os, WorkStealingRebalancesPinnedBacklog) {
+  // Pin every spinner onto core 0: the idle cores must steal work instead
+  // of spinning their clocks forward, and the bus must see sched.steal.
+  obs::EventBus bus;
+  obs::RingBufferSink ring;
+  bus.add_sink(&ring);
+  Os os;
+  os.set_event_bus(&bus);
+  os.set_cores(2);
+  os.set_seed(1);
+  auto spin = make_spinner("steal", 2);
+  std::vector<int> pids;
+  for (int i = 0; i < 4; ++i) pids.push_back(os.spawn(spin));
+  for (int pid : pids) os.pin(pid, 0);
+  os.run(40'000);
+  EXPECT_GT(os.core_stats(1).steals, 0u);
+  EXPECT_GT(os.core_stats(1).retired, 0u);
+  EXPECT_GT(ring.count(obs::ev::kSchedSteal), 0u);
+}
+
+TEST(Os, MultiCoreSameSeedIsDeterministic) {
+  // Two runs with the same spawn sequence and seed must produce identical
+  // schedules: per-pid retired counts and per-core clock/retired/steal
+  // counters all match bit-for-bit.
+  auto run_once = [](std::vector<uint64_t>& out) {
+    Os os;
+    os.set_cores(4);
+    os.set_seed(99);
+    std::vector<int> pids;
+    for (int i = 0; i < 6; ++i) {
+      pids.push_back(os.spawn(make_spinner("det", 1 + i % 3)));
+    }
+    ProgramBuilder s("sleeper");
+    s.func("main").label("z").mov_ri(1, 50).sys(sys::kNanosleep).jmp("z");
+    s.set_entry("main");
+    pids.push_back(os.spawn(make(s)));
+    os.run(120'000);
+    for (int pid : pids) out.push_back(os.process(pid)->instructions_retired);
+    for (size_t c = 0; c < 4; ++c) {
+      out.push_back(os.core_stats(c).clock);
+      out.push_back(os.core_stats(c).retired);
+      out.push_back(os.core_stats(c).steals);
+    }
+    out.push_back(os.total_retired());
+  };
+  std::vector<uint64_t> a, b2;
+  run_once(a);
+  run_once(b2);
+  EXPECT_EQ(a, b2);
+}
+
+TEST(Os, FreezeGroupFailureRollsBackWhileOtherCoresRetire) {
+  // A freeze_group that fails mid-list (dead pid) must thaw everything it
+  // already froze; a successful freeze of one pid must not stop processes
+  // on other cores from retiring instructions.
+  Os os;
+  os.set_cores(2);
+  auto spin = make_spinner("grp", 1);
+  int a = os.spawn(spin);  // round-robin: core 0
+  int b = os.spawn(spin);  // core 1
+  os.run(4'000);
+
+  EXPECT_THROW(os.freeze_group({a, 999}), StateError);
+  EXPECT_EQ(os.process(a)->state, Process::State::kRunnable);  // rolled back
+  uint64_t ra = os.process(a)->instructions_retired;
+  uint64_t rb = os.process(b)->instructions_retired;
+  os.run(4'000);
+  EXPECT_GT(os.process(a)->instructions_retired, ra);
+  EXPECT_GT(os.process(b)->instructions_retired, rb);
+
+  os.freeze_group({a});
+  ra = os.process(a)->instructions_retired;
+  rb = os.process(b)->instructions_retired;
+  os.run(4'000);
+  EXPECT_EQ(os.process(a)->instructions_retired, ra);  // frozen: no progress
+  EXPECT_GT(os.process(b)->instructions_retired, rb);  // other core serves
+  os.thaw_group({a});
+  os.run(4'000);
+  EXPECT_GT(os.process(a)->instructions_retired, ra);
+}
+
+TEST(Os, FrozenServerConnectionsBufferBytesUntilThaw) {
+  // Bytes sent to a frozen server's connection must sit in the socket
+  // buffer (not be dropped); after thaw the server drains and answers them.
+  ProgramBuilder b("echoloop");
+  b.bss("buf", 128);
+  auto& f = b.func("main");
+  f.sys(sys::kSocket).mov_rr(12, 0);
+  f.mov_rr(1, 12).mov_ri(2, 21).sys(sys::kBind);
+  f.mov_rr(1, 12).sys(sys::kListen);
+  f.mov_rr(1, 12).sys(sys::kAccept).mov_rr(13, 0);
+  f.label("loop");
+  f.mov_rr(1, 13).mov_sym(2, "buf").mov_ri(3, 128).call_import("recv_line");
+  f.mov_rr(3, 0);
+  f.mov_rr(1, 13).mov_sym(2, "buf").sys(sys::kSend);
+  f.jmp("loop");
+  b.set_entry("main");
+
+  Os os;
+  int pid = os.spawn(make(b), {build_libc()});
+  os.run();  // blocked in accept
+  HostConn conn = os.connect(21);
+  conn.send("a\n");
+  os.run();
+  EXPECT_EQ(conn.recv_all(), "a\n");  // serving normally
+
+  os.freeze(pid);
+  conn.send("b\n");
+  conn.send("c\n");
+  os.run(50'000);
+  EXPECT_EQ(conn.recv_all(), "");  // frozen: no replies yet
+
+  os.thaw(pid);
+  os.run(50'000);
+  EXPECT_EQ(conn.recv_all(), "b\nc\n");  // buffered bytes served after thaw
+}
+
+TEST(Os, ChargeDowntimeGatesOnlyListedPids) {
+  // Freeze-set-scoped downtime: the listed pid is gated until its core
+  // clock reaches now + ticks, while other processes keep retiring.
+  Os os;
+  os.set_cores(2);
+  auto spin = make_spinner("gate", 1);
+  int a = os.spawn(spin);  // core 0
+  int b = os.spawn(spin);  // core 1
+  os.run(2'000);
+  os.charge_downtime({a}, 50'000);
+  uint64_t ra = os.process(a)->instructions_retired;
+  uint64_t rb = os.process(b)->instructions_retired;
+  os.run(20'000);
+  EXPECT_EQ(os.process(a)->instructions_retired, ra);  // still inside window
+  EXPECT_GT(os.process(b)->instructions_retired, rb);  // unaffected
+  os.run_ticks(80'000);  // advances core clocks past the gate
+  EXPECT_GT(os.process(a)->instructions_retired, ra);
 }
 
 TEST(Loader, ResolveSymbolAcrossModules) {
