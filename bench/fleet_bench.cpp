@@ -18,6 +18,16 @@
 //   3. determinism — the same seeded scenario (4 cores, guest load, two
 //                    toggles) twice; per-core retired-instruction counts
 //                    and the obs event digest must match bit-for-bit.
+//   4. spawn storm — one template minikv is booted, customized (SET
+//                    disabled) and its image filed in the store; 100
+//                    workers (24 in --light) are then forked from that
+//                    image via Os::spawn_from_image and each answers a
+//                    PING. Gates: machine-wide resident bytes stay at
+//                    ~one shared image plus a small per-pid delta (the
+//                    content-addressed BlockStore dedups identical
+//                    pages; dedup ratio >= 3x), host-side spawn latency
+//                    beats a full spawn+boot+customize replay, and the
+//                    whole storm run twice same-seed is bit-identical.
 //
 // Latency is measured in virtual ticks and quantized at the poll slice:
 // the host observes replies only between run_ticks() calls, so a healthy
@@ -28,10 +38,12 @@
 // --light shrinks the toggle walk and the scaling window for the
 // sanitizer CI job; --out=PATH overrides the JSON destination.
 #include <algorithm>
+#include <chrono>
 #include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -386,6 +398,142 @@ DetRun run_deterministic(const core::FeatureSpec& spec, uint64_t window) {
   return out;
 }
 
+// --------------------------------------------------------------------------
+// Phase 4: spawn storm — instant scale-out from a customized image
+// --------------------------------------------------------------------------
+
+constexpr uint16_t kStormBasePort = 7400;
+constexpr int kReplaySample = 4;
+/// Per-pid resident allowance after one served PING: the pages a worker
+/// dirties on its own (stack, touched globals) plus slack. Everything else
+/// must stay shared with the template image through the BlockStore.
+constexpr uint64_t kDeltaCapPages = 24;
+
+struct StormResult {
+  int workers = 0;
+  uint64_t image_logical_bytes = 0;   ///< one customized image, counted full
+  uint64_t fleet_logical_bytes = 0;   ///< every worker's pages counted full
+  uint64_t fleet_resident_bytes = 0;  ///< seen-threaded: store + live fleet
+  double dedup_ratio = 0.0;
+  double mean_spawn_ns = 0.0;    ///< host ns per Os::spawn_from_image
+  double mean_replay_ns = 0.0;   ///< host ns per spawn + boot + customize
+  size_t pings_answered = 0;
+  uint64_t total_retired = 0;
+  uint64_t digest = 0;
+  uint64_t events = 0;
+  bool ok = true;
+  std::string why;
+};
+
+double host_ns(std::chrono::steady_clock::time_point a,
+               std::chrono::steady_clock::time_point b) {
+  return static_cast<double>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(b - a).count());
+}
+
+StormResult run_storm(const core::FeatureSpec& spec, int workers) {
+  StormResult out;
+  out.workers = workers;
+  os::Os vos;
+  vos.set_seed(11);
+  vos.set_cores(4);
+  obs::EventBus bus;
+  DigestSink sink;
+  bus.add_sink(&sink);
+  vos.set_event_bus(&bus);
+  auto libc = apps::build_libc();
+
+  // Template: boot one instance, disable SET, pull the committed image out
+  // of the DynaCut store under its typed key {pid, "SET"}.
+  int tpid = vos.spawn(apps::build_minikv(kStormBasePort, kFleetHeapKb), {libc});
+  if (!run_until(vos, [&] { return vos.has_listener(kStormBasePort); })) {
+    out.ok = false;
+    out.why = "storm template failed to boot";
+    return out;
+  }
+  core::DynaCut dc(vos, tpid, fleet_cost_model());
+  dc.set_observer(&bus);
+  dc.disable_feature({.feature = spec,
+                      .removal = core::RemovalPolicy::kBlockFirstByte,
+                      .trap = core::TrapPolicy::kRedirect});
+  image::ProcessImage img = dc.store().get(dc.image_key(tpid));
+
+  // The storm: fork the whole serving fleet from the stored image. No
+  // guest instruction runs during the spawns — fresh pid/port, shared
+  // pages.
+  std::vector<int> wpids;
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < workers; ++i) {
+    wpids.push_back(vos.spawn_from_image(
+        img, {.listen_port = static_cast<uint16_t>(kStormBasePort + 1 + i)}));
+  }
+  const auto t1 = std::chrono::steady_clock::now();
+  out.mean_spawn_ns = host_ns(t0, t1) / workers;
+
+  // Every worker answers a PING: proof each fork is a live server, and the
+  // realistic per-pid dirty delta the resident gate charges for.
+  std::vector<os::HostConn> conns;
+  for (int i = 0; i < workers; ++i) {
+    conns.push_back(vos.connect(static_cast<uint16_t>(kStormBasePort + 1 + i)));
+  }
+  for (auto& c : conns) c.send("PING\n");
+  std::vector<bool> got(static_cast<size_t>(workers), false);
+  for (int s = 0; s < 200 && out.pings_answered < conns.size(); ++s) {
+    vos.run_ticks(kSlice);
+    for (size_t i = 0; i < conns.size(); ++i) {
+      if (!got[i] && !conns[i].recv_line().empty()) {
+        got[i] = true;
+        ++out.pings_answered;
+      }
+    }
+  }
+
+  // Accounting while the Os holds exactly template + storm workers. The
+  // `seen` set threads through every live address space and the image
+  // store, so a content-addressed block counts once machine-wide.
+  out.image_logical_bytes =
+      vos.process(wpids[0])->mem.populated_pages().size() * kPageSize;
+  out.fleet_logical_bytes = dc.store().bytes_used();
+  for (int pid : wpids) {
+    out.fleet_logical_bytes +=
+        vos.process(pid)->mem.populated_pages().size() * kPageSize;
+  }
+  std::set<const void*> seen;
+  out.fleet_resident_bytes =
+      vos.resident_pages_bytes(&seen) + dc.store().resident_bytes(&seen);
+  out.dedup_ratio =
+      out.fleet_resident_bytes == 0
+          ? 0.0
+          : static_cast<double>(out.fleet_logical_bytes) /
+                static_cast<double>(out.fleet_resident_bytes);
+
+  // Replay baseline: what scale-out costs without the image — spawn from
+  // the binary, boot to the listener, re-run the customization. Sampled on
+  // a few workers; the gate compares host-side means.
+  const auto t2 = std::chrono::steady_clock::now();
+  for (int j = 0; j < kReplaySample; ++j) {
+    uint16_t port = static_cast<uint16_t>(kStormBasePort + 1 + workers + j);
+    int rp = vos.spawn(apps::build_minikv(port, kFleetHeapKb), {libc});
+    if (!run_until(vos, [&] { return vos.has_listener(port); })) {
+      out.ok = false;
+      out.why = "replay-baseline worker failed to boot";
+      return out;
+    }
+    core::DynaCut rdc(vos, rp, fleet_cost_model());
+    rdc.set_observer(&bus);
+    rdc.disable_feature({.feature = spec,
+                         .removal = core::RemovalPolicy::kBlockFirstByte,
+                         .trap = core::TrapPolicy::kRedirect});
+  }
+  const auto t3 = std::chrono::steady_clock::now();
+  out.mean_replay_ns = host_ns(t2, t3) / kReplaySample;
+
+  out.total_retired = vos.total_retired();
+  out.digest = sink.digest();
+  out.events = sink.events();
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -398,8 +546,8 @@ int main(int argc, char** argv) {
 
   bench::banner(
       "Fleet bench (fig8 fleet mode): multi-core osim scaling, rolling\n"
-      "DynaCut toggle across a 112-process minikv fleet, and same-seed\n"
-      "determinism.");
+      "DynaCut toggle across a 112-process minikv fleet, same-seed\n"
+      "determinism, and a spawn storm forked from one customized image.");
 
   int failures = 0;
 
@@ -506,6 +654,68 @@ int main(int argc, char** argv) {
     ++failures;
   }
 
+  // --- Phase 4: spawn storm --------------------------------------------------
+  const int storm_workers = light ? 24 : 100;
+  StormResult st = run_storm(det_spec, storm_workers);
+  StormResult st2 = run_storm(det_spec, storm_workers);
+  if (!st.ok) {
+    std::printf("FAIL: %s\n", st.why.c_str());
+    ++failures;
+  } else {
+    std::printf(
+        "\nspawn storm: %d workers forked from one customized image\n",
+        st.workers);
+    std::printf(
+        "  fleet logical %.2f MB, resident %.2f MB (image %.2f MB) — "
+        "dedup %.1fx, per-worker delta %.1f pages\n",
+        st.fleet_logical_bytes / 1048576.0, st.fleet_resident_bytes / 1048576.0,
+        st.image_logical_bytes / 1048576.0, st.dedup_ratio,
+        st.fleet_resident_bytes <= st.image_logical_bytes
+            ? 0.0
+            : static_cast<double>(st.fleet_resident_bytes -
+                                  st.image_logical_bytes) /
+                  (kPageSize * st.workers));
+    std::printf("  spawn_from_image %.0f ns/worker vs full replay %.0f "
+                "ns/worker (host time)\n",
+                st.mean_spawn_ns, st.mean_replay_ns);
+    std::printf("  %zu/%d workers answered PING\n", st.pings_answered,
+                st.workers);
+    if (st.pings_answered != static_cast<size_t>(st.workers)) {
+      std::printf("FAIL: not every spawned worker served a request\n");
+      ++failures;
+    }
+    const uint64_t resid_cap =
+        st.image_logical_bytes +
+        static_cast<uint64_t>(st.workers + 1) * kDeltaCapPages * kPageSize;
+    if (st.fleet_resident_bytes > resid_cap) {
+      std::printf("FAIL: fleet resident %" PRIu64 " exceeds O(1 image + "
+                  "per-pid delta) cap %" PRIu64 "\n",
+                  st.fleet_resident_bytes, resid_cap);
+      ++failures;
+    }
+    if (st.dedup_ratio < 3.0) {
+      std::printf("FAIL: dedup ratio %.2f below the 3x gate\n",
+                  st.dedup_ratio);
+      ++failures;
+    }
+    if (st.mean_spawn_ns >= st.mean_replay_ns) {
+      std::printf("FAIL: spawn_from_image (%.0f ns) not faster than full "
+                  "replay (%.0f ns)\n",
+                  st.mean_spawn_ns, st.mean_replay_ns);
+      ++failures;
+    }
+    const bool storm_det = st.total_retired == st2.total_retired &&
+                           st.digest == st2.digest && st.events == st2.events;
+    std::printf("  same-seed storm runs: retired %" PRIu64 "/%" PRIu64
+                ", digest %016" PRIx64 "/%016" PRIx64 " — %s\n",
+                st.total_retired, st2.total_retired, st.digest, st2.digest,
+                storm_det ? "identical" : "DIVERGED");
+    if (!storm_det) {
+      std::printf("FAIL: same-seed storm runs diverged\n");
+      ++failures;
+    }
+  }
+
   // --- JSON -------------------------------------------------------------------
   std::ostringstream json;
   json << "{\n  \"light\": " << (light ? "true" : "false")
@@ -538,6 +748,18 @@ int main(int argc, char** argv) {
        << ",\n    \"events_a\": " << a.events
        << ",\n    \"events_b\": " << b.events
        << ",\n    \"identical\": " << (det_ok ? "true" : "false")
+       << "\n  },\n  \"storm\": {\n    \"workers\": " << st.workers
+       << ",\n    \"image_logical_bytes\": " << st.image_logical_bytes
+       << ",\n    \"fleet_logical_bytes\": " << st.fleet_logical_bytes
+       << ",\n    \"fleet_resident_bytes\": " << st.fleet_resident_bytes
+       << ",\n    \"dedup_ratio\": " << st.dedup_ratio
+       << ",\n    \"mean_spawn_ns\": " << st.mean_spawn_ns
+       << ",\n    \"mean_replay_ns\": " << st.mean_replay_ns
+       << ",\n    \"pings_answered\": " << st.pings_answered
+       << ",\n    \"retired_a\": " << st.total_retired
+       << ",\n    \"retired_b\": " << st2.total_retired
+       << ",\n    \"digest_a\": \"" << std::hex << st.digest
+       << "\",\n    \"digest_b\": \"" << st2.digest << "\"" << std::dec
        << "\n  },\n  \"gate_failures\": " << failures << "\n}\n";
   std::ofstream out(out_path);
   out << json.str();

@@ -49,7 +49,9 @@ KvFixture& fixture() {
 void BM_Checkpoint(benchmark::State& state) {
   KvFixture& fx = fixture();
   for (auto _ : state) {
-    image::ProcessImage img = image::checkpoint(fx.vos, fx.pid);
+    image::ProcessImage img =
+        image::checkpoint(fx.vos, {.pid = fx.pid}).img;
+
     benchmark::DoNotOptimize(img.pages.size());
     fx.vos.thaw(fx.pid);
   }
@@ -60,15 +62,17 @@ BENCHMARK(BM_Checkpoint);
 void BM_CheckpointRestore(benchmark::State& state) {
   KvFixture& fx = fixture();
   for (auto _ : state) {
-    image::ProcessImage img = image::checkpoint(fx.vos, fx.pid);
-    image::restore(fx.vos, fx.pid, img);
+    image::ProcessImage img =
+        image::checkpoint(fx.vos, {.pid = fx.pid}).img;
+
+    image::restore(fx.vos, {.pid = fx.pid, .img = &img});
   }
 }
 BENCHMARK(BM_CheckpointRestore);
 
 void BM_Int3PatchBlock(benchmark::State& state) {
   KvFixture& fx = fixture();
-  image::ProcessImage img = image::checkpoint(fx.vos, fx.pid);
+  image::ProcessImage img = image::checkpoint(fx.vos, {.pid = fx.pid}).img;
   fx.vos.thaw(fx.pid);
   rw::ImageRewriter rewriter(img);
   uint64_t addr = rewriter.symbol_addr("minikv", "cmd_set");
@@ -81,7 +85,7 @@ BENCHMARK(BM_Int3PatchBlock);
 
 void BM_WipeBlock64(benchmark::State& state) {
   KvFixture& fx = fixture();
-  image::ProcessImage img = image::checkpoint(fx.vos, fx.pid);
+  image::ProcessImage img = image::checkpoint(fx.vos, {.pid = fx.pid}).img;
   fx.vos.thaw(fx.pid);
   rw::ImageRewriter rewriter(img);
   uint64_t addr = rewriter.symbol_addr("minikv", "cmd_set");
@@ -97,7 +101,7 @@ void BM_InjectHandlerLibrary(benchmark::State& state) {
   auto lib = core::build_redirect_lib(256);
   for (auto _ : state) {
     state.PauseTiming();
-    image::ProcessImage img = image::checkpoint(fx.vos, fx.pid);
+    image::ProcessImage img = image::checkpoint(fx.vos, {.pid = fx.pid}).img;
     fx.vos.thaw(fx.pid);
     rw::ImageRewriter rewriter(img);
     state.ResumeTiming();
@@ -108,7 +112,7 @@ BENCHMARK(BM_InjectHandlerLibrary);
 
 void BM_ImageEncodeDecode(benchmark::State& state) {
   KvFixture& fx = fixture();
-  image::ProcessImage img = image::checkpoint(fx.vos, fx.pid);
+  image::ProcessImage img = image::checkpoint(fx.vos, {.pid = fx.pid}).img;
   fx.vos.thaw(fx.pid);
   for (auto _ : state) {
     auto bytes = img.encode();
@@ -383,10 +387,10 @@ int run_ckpt_bench(uint64_t extra_pages, const std::string& out_path) {
   auto t0 = std::chrono::steady_clock::now();
   for (int k = 0; k < kCycles; ++k) {
     dirty_working_set();
-    image::ProcessImage img = image::checkpoint(vos, pid, nullptr, nullptr,
-                                                nullptr, &full_ckpt);
-    full_rst = image::restore(vos, pid, img, nullptr, nullptr,
-                              image::RestoreMode::kFull);
+    auto [img, st] = image::checkpoint(vos, {.pid = pid});
+    full_ckpt = st;
+    full_rst = image::restore(
+        vos, {.pid = pid, .img = &img, .mode = image::RestoreMode::kFull});
   }
   double full_host_s = seconds_since(t0) / kCycles;
 
@@ -394,19 +398,20 @@ int run_ckpt_bench(uint64_t extra_pages, const std::string& out_path) {
   // dump shares everything but the working set, the restore reconciles in
   // place. The baseline is not refreshed, so each cycle sees the same
   // dirty set — a steady-state toggle.
-  image::ProcessImage base_img = image::checkpoint(vos, pid);
+  image::ProcessImage base_img = image::checkpoint(vos, {.pid = pid}).img;
   image::Baseline baseline{base_img, vos.mem_epoch(pid)};
-  image::restore(vos, pid, base_img);
+  image::restore(vos, {.pid = pid, .img = &base_img});
 
   image::CkptStats delta_ckpt;
   image::RestoreStats delta_rst;
   t0 = std::chrono::steady_clock::now();
   for (int k = 0; k < kCycles; ++k) {
     dirty_working_set();
-    image::ProcessImage img = image::checkpoint(vos, pid, nullptr, nullptr,
-                                                &baseline, &delta_ckpt);
-    delta_rst = image::restore(vos, pid, img, nullptr, nullptr,
-                               image::RestoreMode::kDelta);
+    auto [img, st] =
+        image::checkpoint(vos, {.pid = pid, .baseline = &baseline});
+    delta_ckpt = st;
+    delta_rst = image::restore(
+        vos, {.pid = pid, .img = &img, .mode = image::RestoreMode::kDelta});
   }
   double delta_host_s = seconds_since(t0) / kCycles;
 

@@ -83,14 +83,16 @@ int main() {
               conn.recv_all().c_str());
 
   // --- footnote 5: boot the next instance from the trimmed image ----------
-  image::ProcessImage img = image::checkpoint(vos, pid);
+  image::ProcessImage img = image::checkpoint(vos, {.pid = pid}).img;
   image::ImageStore store;
-  store.put("minihttpd.trimmed", img);
+  const image::ImageKey trimmed_key{pid, "trimmed"};
+  store.put(trimmed_key, img);
   vos.kill(pid);
   std::printf("\nstored trimmed post-init image (%.2f MB) to the tmpfs store\n",
               static_cast<double>(store.bytes_used()) / (1024 * 1024));
 
-  int pid2 = image::restore_new(vos, store.get("minihttpd.trimmed"));
+  image::ProcessImage trimmed = store.get(trimmed_key);
+  int pid2 = vos.spawn_from_image(trimmed, {.warm_code = true});
   run_until(vos, [&] { return vos.has_listener(apps::kMinihttpdPort); });
   auto conn2 = vos.connect(apps::kMinihttpdPort);
   conn2.send("GET /index\n");

@@ -1,6 +1,7 @@
 #include "core/dynacut.hpp"
 
 #include <algorithm>
+#include <set>
 
 #include "common/error.hpp"
 #include "common/hex.hpp"
@@ -183,6 +184,22 @@ std::vector<std::string> DynaCut::disabled_features() const {
   return out;
 }
 
+std::string DynaCut::tag_with(const std::string& add,
+                              const std::string& remove) const {
+  std::set<std::string> names;
+  for (const auto& [name, edits] : applied_) names.insert(name);
+  if (!add.empty()) names.insert(add);
+  if (!remove.empty()) names.erase(remove);
+  std::string tag;
+  for (const auto& name : names) {
+    if (!tag.empty()) tag += '+';
+    tag += name;
+  }
+  return tag;
+}
+
+std::string DynaCut::feature_set_tag() const { return tag_with({}, {}); }
+
 std::vector<int> DynaCut::live_pids(const PerPidEdits* subset) const {
   std::vector<int> out;
   for (int pid : os_.process_group(root_pid_)) {
@@ -289,7 +306,8 @@ CustomizeReport DynaCut::apply(const CutRequest& request) {
                ckpt_mode_ == CkptMode::kIncremental ? &baselines_ : nullptr,
                ckpt_mode_ == CkptMode::kIncremental
                    ? image::RestoreMode::kDelta
-                   : image::RestoreMode::kFull);
+                   : image::RestoreMode::kFull,
+               tag_with(feature_name, {}));
   FaultStage stage = FaultStage::kCheckpoint;
   stage_or_rollback(txn, feature_name, pids, stage, [&](int pid) {
     image::CkptStats ckpt;
@@ -593,7 +611,8 @@ CustomizeReport DynaCut::restore_feature(const std::string& name) {
                ckpt_mode_ == CkptMode::kIncremental ? &baselines_ : nullptr,
                ckpt_mode_ == CkptMode::kIncremental
                    ? image::RestoreMode::kDelta
-                   : image::RestoreMode::kFull);
+                   : image::RestoreMode::kFull,
+               tag_with({}, name));
   FaultStage stage = FaultStage::kCheckpoint;
   stage_or_rollback(txn, name, pids, stage, [&](int pid) {
     image::CkptStats ckpt;

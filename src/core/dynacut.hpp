@@ -232,6 +232,19 @@ class DynaCut {
   /// The set of currently disabled features, sorted.
   std::vector<std::string> disabled_features() const;
 
+  /// The current feature-set tag: the sorted '+'-joined disabled-feature
+  /// set ("" = pristine). Every commit files its images in store() under
+  /// image::ImageKey{pid, the tag as of that commit}, so a fleet
+  /// orchestrator can fetch "the image of pid with exactly these cuts" and
+  /// Os::spawn_from_image it.
+  std::string feature_set_tag() const;
+
+  /// The store key of `pid`'s most recently committed image under the
+  /// current feature set.
+  image::ImageKey image_key(int pid) const {
+    return image::ImageKey{pid, feature_set_tag()};
+  }
+
   /// Addresses healed by the verifier library in `pid` (reads the injected
   /// library's log from live guest memory). Newly seen entries are emitted
   /// as `verifier.heal` events; a guest-scribbled out-of-range log count is
@@ -260,6 +273,12 @@ class DynaCut {
   };
 
   CustomizeReport apply(const CutRequest& req);
+
+  /// feature_set_tag() of the prospective set: the current disabled set
+  /// with `add` added and `remove` removed (either may be empty) — what
+  /// the set will be once the in-flight commit lands.
+  std::string tag_with(const std::string& add,
+                       const std::string& remove) const;
 
   /// Live (non-exited) pids of the managed group, restricted to `subset`
   /// keys when given (restore_feature only touches recorded pids).

@@ -6,23 +6,17 @@
 
 namespace dynacut::core {
 
-namespace {
-
-std::string image_key(const image::ProcessImage& img, int pid) {
-  return img.core.proc_name + "." + std::to_string(pid);
-}
-
-}  // namespace
-
 GroupTxn::GroupTxn(os::Os& os, std::vector<int> pids,
                    image::ImageStore& store, obs::EventBus* bus,
                    const std::string& label, const std::string& action,
-                   image::BaselineMap* baselines, image::RestoreMode mode)
+                   image::BaselineMap* baselines, image::RestoreMode mode,
+                   std::string commit_tag)
     : os_(os),
       store_(store),
       bus_(bus),
       baselines_(baselines),
       mode_(mode),
+      commit_tag_(std::move(commit_tag)),
       pids_(std::move(pids)) {
   os_.freeze_group(pids_);
   if (bus_ != nullptr) {
@@ -44,18 +38,14 @@ GroupTxn::Entry* GroupTxn::entry(int pid) {
 image::ProcessImage GroupTxn::dump(int pid, FaultPlan* faults,
                                    image::CkptStats* stats) {
   DYNACUT_ASSERT(!finished_ && entry(pid) == nullptr);
-  const image::Baseline* base = nullptr;
-  if (baselines_ != nullptr) {
-    auto it = baselines_->find(pid);
-    if (it != baselines_->end()) base = &it->second;
-  }
-  image::CkptStats st;
-  image::ProcessImage img = image::checkpoint(os_, pid, faults, bus_, base,
-                                              &st);
-  if (stats != nullptr) *stats = st;
-  store_.put(image_key(img, pid) + ".pre", img);
-  entries_.push_back(Entry{pid, img, st, std::nullopt});
-  return img;
+  image::CkptReport rep = image::checkpoint(
+      os_, image::CkptRequest{
+               .pid = pid, .faults = faults, .bus = bus_,
+               .baselines = baselines_});
+  if (stats != nullptr) *stats = rep.stats;
+  store_.put(image::ImageKey{pid, image::ImageKey::kPreTag}, rep.img);
+  entries_.push_back(Entry{pid, rep.img, rep.stats, std::nullopt});
+  return std::move(rep.img);
 }
 
 void GroupTxn::stage(int pid, image::ProcessImage img) {
@@ -71,9 +61,13 @@ void GroupTxn::commit(const std::string& feature, FaultPlan* faults,
   try {
     for (auto& e : entries_) {
       DYNACUT_ASSERT(e.staged.has_value());
-      store_.put(image_key(*e.staged, e.pid), *e.staged);
-      image::RestoreStats rst =
-          image::restore(os_, e.pid, *e.staged, faults, bus_, mode_);
+      store_.put(image::ImageKey{e.pid, commit_tag_}, *e.staged);
+      image::RestoreStats rst = image::restore(
+          os_, image::RestoreRequest{.pid = e.pid,
+                                     .img = &*e.staged,
+                                     .mode = mode_,
+                                     .faults = faults,
+                                     .bus = bus_});
       if (baselines_ != nullptr) {
         // The staged image is now the process's authoritative state; the
         // epoch is sampled *after* the restore so the pages the restore
@@ -121,7 +115,8 @@ void GroupTxn::rollback(size_t restored) {
     if (p->state != os::Process::State::kFrozen) os_.freeze(e.pid);
     // No fault plan here: rollback must not itself be injectable, or an
     // aborted customization could be made to strand the group.
-    image::restore(os_, e.pid, e.pristine, nullptr);
+    image::restore(os_, image::RestoreRequest{.pid = e.pid,
+                                              .img = &e.pristine});
   }
   // Pids frozen by the constructor but never dumped stay untouched; thaw.
   os_.thaw_group(pids_);

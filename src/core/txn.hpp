@@ -7,7 +7,7 @@
 //
 //   stage phase   freeze *all* processes, checkpoint each one (the pristine
 //                 image is kept for rollback and filed in the tmpfs store
-//                 under "<name>.<pid>.pre"), rewrite each image. No live
+//                 under ImageKey{pid, "pre"}), rewrite each image. No live
 //                 process is touched; any failure aborts by thawing the
 //                 untouched group.
 //   commit phase  restore every staged image in order. If a restore fails,
@@ -86,11 +86,17 @@ class GroupTxn {
   /// with a full dump). `mode` selects delta (default) or full restores at
   /// commit time — rollback always restores pristine images via the delta
   /// path, which is observably identical and keeps the group warm.
+  ///
+  /// `commit_tag` is the feature_set_tag committed images are filed under
+  /// in `store` (image::ImageKey{pid, commit_tag}) — the sorted
+  /// '+'-joined disabled-feature set the group runs after this commit;
+  /// empty means the pristine baseline set.
   GroupTxn(os::Os& os, std::vector<int> pids, image::ImageStore& store,
            obs::EventBus* bus = nullptr, const std::string& label = {},
            const std::string& action = {},
            image::BaselineMap* baselines = nullptr,
-           image::RestoreMode mode = image::RestoreMode::kDelta);
+           image::RestoreMode mode = image::RestoreMode::kDelta,
+           std::string commit_tag = {});
   ~GroupTxn();
   GroupTxn(const GroupTxn&) = delete;
   GroupTxn& operator=(const GroupTxn&) = delete;
@@ -98,10 +104,10 @@ class GroupTxn {
   const std::vector<int>& pids() const { return pids_; }
 
   /// Checkpoints `pid` (already frozen by the constructor), keeps the
-  /// pristine image for rollback, files it under "<name>.<pid>.pre", and
-  /// returns a working copy for the rewriter. The dump is incremental when
-  /// the transaction has a valid baseline for `pid`; `stats` (optional)
-  /// receives what the dump did.
+  /// pristine image for rollback, files it under
+  /// ImageKey{pid, ImageKey::kPreTag}, and returns a working copy for the
+  /// rewriter. The dump is incremental when the transaction has a valid
+  /// baseline for `pid`; `stats` (optional) receives what the dump did.
   image::ProcessImage dump(int pid, FaultPlan* faults,
                            image::CkptStats* stats = nullptr);
 
@@ -150,6 +156,7 @@ class GroupTxn {
   obs::EventBus* bus_ = nullptr;
   image::BaselineMap* baselines_ = nullptr;
   image::RestoreMode mode_ = image::RestoreMode::kDelta;
+  std::string commit_tag_;
   std::vector<int> pids_;
   std::vector<Entry> entries_;
   bool finished_ = false;

@@ -108,11 +108,32 @@ void delta_restore_mem(vm::AddressSpace& mem, const ProcessImage& img,
   }
 }
 
+/// Resolves the request's effective baseline: an explicit one wins, then
+/// the per-pid map; null means a full dump.
+const Baseline* effective_baseline(const CkptRequest& req) {
+  if (req.baseline != nullptr) return req.baseline;
+  if (req.baselines != nullptr) {
+    auto it = req.baselines->find(req.pid);
+    if (it != req.baselines->end()) return &it->second;
+  }
+  return nullptr;
+}
+
+obs::Event& label_event(obs::Event& e, const std::string& label,
+                        const std::vector<std::pair<std::string, std::string>>&
+                            tags) {
+  if (!label.empty()) e.with("label", label);
+  for (const auto& [k, v] : tags) e.with(k, v);
+  return e;
+}
+
 }  // namespace
 
-ProcessImage checkpoint(os::Os& os, int pid, FaultPlan* faults,
-                        obs::EventBus* bus, const Baseline* baseline,
-                        CkptStats* stats) {
+CkptReport checkpoint(os::Os& os, const CkptRequest& req) {
+  const int pid = req.pid;
+  FaultPlan* faults = req.faults;
+  obs::EventBus* bus = req.bus;
+  const Baseline* baseline = effective_baseline(req);
   FaultPlan::fire(faults, FaultStage::kCheckpoint);
   os::Process* p = os.process(pid);
   if (p == nullptr || p->state == os::Process::State::kExited) {
@@ -163,7 +184,6 @@ ProcessImage checkpoint(os::Os& os, int pid, FaultPlan* faults,
     st.pages_dumped = img.pages.size();
   }
   st.pages_total = img.pages.size();
-  if (stats != nullptr) *stats = st;
 
   for (const auto& [fd, desc] : p->fds) {
     img.fds.push_back(dump_fd(fd, desc));
@@ -172,19 +192,35 @@ ProcessImage checkpoint(os::Os& os, int pid, FaultPlan* faults,
     img.modules.push_back(ModuleImage{m.name, m.base, m.size, m.binary});
   }
   if (bus != nullptr) {
-    bus->emit(obs::Event(obs::ev::kCheckpointDump, pid)
-                  .with("pages", static_cast<uint64_t>(img.pages.size()))
-                  .with("pages_dumped", st.pages_dumped)
-                  .with("pages_shared", st.pages_shared)
-                  .with("incremental", static_cast<uint64_t>(st.incremental))
-                  .with("vmas", static_cast<uint64_t>(img.vmas.size()))
-                  .with("modules", static_cast<uint64_t>(img.modules.size())));
+    obs::Event e(obs::ev::kCheckpointDump, pid);
+    e.with("pages", static_cast<uint64_t>(img.pages.size()))
+        .with("pages_dumped", st.pages_dumped)
+        .with("pages_shared", st.pages_shared)
+        .with("incremental", static_cast<uint64_t>(st.incremental))
+        .with("vmas", static_cast<uint64_t>(img.vmas.size()))
+        .with("modules", static_cast<uint64_t>(img.modules.size()));
+    bus->emit(std::move(label_event(e, req.label, req.tags)));
   }
-  return img;
+  return CkptReport{std::move(img), st};
 }
 
-RestoreStats restore(os::Os& os, int pid, const ProcessImage& img,
-                     FaultPlan* faults, obs::EventBus* bus, RestoreMode mode) {
+ProcessImage checkpoint(os::Os& os, int pid, FaultPlan* faults,
+                        obs::EventBus* bus, const Baseline* baseline,
+                        CkptStats* stats) {
+  CkptReport rep = checkpoint(
+      os, CkptRequest{
+              .pid = pid, .faults = faults, .bus = bus, .baseline = baseline});
+  if (stats != nullptr) *stats = rep.stats;
+  return std::move(rep.img);
+}
+
+RestoreStats restore(os::Os& os, const RestoreRequest& req) {
+  DYNACUT_ASSERT(req.img != nullptr);
+  const int pid = req.pid;
+  const ProcessImage& img = *req.img;
+  FaultPlan* faults = req.faults;
+  obs::EventBus* bus = req.bus;
+  const RestoreMode mode = req.mode;
   os::Process* p = os.process(pid);
   if (p == nullptr || p->state != os::Process::State::kFrozen) {
     throw StateError("restore: process not frozen: " + std::to_string(pid));
@@ -239,55 +275,27 @@ RestoreStats restore(os::Os& os, int pid, const ProcessImage& img,
   p->at_block_start = true;
   os.thaw(pid);
   if (bus != nullptr) {
-    bus->emit(obs::Event(obs::ev::kCheckpointRestore, pid)
-                  .with("pages", static_cast<uint64_t>(img.pages.size()))
-                  .with("pages_restored", st.pages_restored)
-                  .with("pages_kept", st.pages_kept)
-                  .with("in_place", static_cast<uint64_t>(st.in_place)));
+    obs::Event e(obs::ev::kCheckpointRestore, pid);
+    e.with("pages", static_cast<uint64_t>(img.pages.size()))
+        .with("pages_restored", st.pages_restored)
+        .with("pages_kept", st.pages_kept)
+        .with("in_place", static_cast<uint64_t>(st.in_place));
+    bus->emit(std::move(label_event(e, req.label, req.tags)));
   }
   return st;
 }
 
+RestoreStats restore(os::Os& os, int pid, const ProcessImage& img,
+                     FaultPlan* faults, obs::EventBus* bus, RestoreMode mode) {
+  return restore(os, RestoreRequest{.pid = pid,
+                                    .img = &img,
+                                    .mode = mode,
+                                    .faults = faults,
+                                    .bus = bus});
+}
+
 int restore_new(os::Os& os, const ProcessImage& img) {
-  auto p = std::make_unique<os::Process>();
-  p->name = img.core.proc_name;
-  p->ppid = 0;
-  p->mem = build_address_space(img);
-  p->cpu = img.core.cpu;
-  p->sigactions = img.core.sigactions;
-  p->signal_frames = img.core.signal_frames;
-  p->at_block_start = true;
-
-  int max_fd = 2;
-  for (const auto& f : img.fds) {
-    os::FileDesc desc;
-    desc.kind = f.kind;
-    if (f.kind == os::FileDesc::Kind::kSocket) {
-      auto sock = std::make_shared<os::Socket>();
-      sock->kind = static_cast<os::Socket::Kind>(f.sock_kind);
-      sock->port = f.port;
-      if (sock->kind == os::Socket::Kind::kStream) {
-        // Recreate the connection with its buffered inbound bytes; the old
-        // peer is gone, so mark the remote side closed.
-        auto conn = std::make_shared<os::Conn>();
-        conn->to_b.assign(f.rx_bytes.begin(), f.rx_bytes.end());
-        conn->a_open = false;
-        sock->end = os::SockEnd{conn, /*side_a=*/false};
-      }
-      desc.sock = sock;
-      if (sock->kind == os::Socket::Kind::kListen) {
-        os.register_listener(sock);
-      }
-    }
-    p->fds[f.fd] = desc;
-    max_fd = std::max(max_fd, f.fd);
-  }
-  p->next_fd = max_fd + 1;
-
-  for (const auto& m : img.modules) {
-    p->modules.push_back(os::LoadedModule{m.name, m.base, m.size, m.binary});
-  }
-  return os.adopt(std::move(p));
+  return os.spawn_from_image(img);
 }
 
 std::vector<ProcessImage> checkpoint_group(os::Os& os, int root_pid,
@@ -297,16 +305,77 @@ std::vector<ProcessImage> checkpoint_group(os::Os& os, int root_pid,
                                            std::vector<CkptStats>* stats) {
   std::vector<ProcessImage> out;
   for (int pid : os.process_group(root_pid)) {
-    const Baseline* base = nullptr;
-    if (baselines != nullptr) {
-      auto it = baselines->find(pid);
-      if (it != baselines->end()) base = &it->second;
-    }
-    CkptStats st;
-    out.push_back(checkpoint(os, pid, faults, bus, base, &st));
-    if (stats != nullptr) stats->push_back(st);
+    CkptReport rep = checkpoint(os, CkptRequest{.pid = pid,
+                                                .faults = faults,
+                                                .bus = bus,
+                                                .baselines = baselines});
+    out.push_back(std::move(rep.img));
+    if (stats != nullptr) stats->push_back(rep.stats);
   }
   return out;
 }
 
 }  // namespace dynacut::image
+
+namespace dynacut::os {
+
+// Defined here rather than in os.cpp: the image layer links above the OS
+// (dynacut_image depends on dynacut_os), so the member that consumes
+// image::ProcessImage lives in the image library.
+int Os::spawn_from_image(const image::ProcessImage& img,
+                         const SpawnOpts& opts) {
+  auto p = std::make_unique<Process>();
+  p->name = opts.name.empty() ? img.core.proc_name : opts.name;
+  p->ppid = 0;
+  p->mem = image::build_address_space(img);
+  p->cpu = img.core.cpu;
+  p->sigactions = img.core.sigactions;
+  p->signal_frames = img.core.signal_frames;
+  p->at_block_start = true;
+
+  int max_fd = 2;
+  for (const auto& f : img.fds) {
+    FileDesc desc;
+    desc.kind = f.kind;
+    if (f.kind == FileDesc::Kind::kSocket) {
+      auto sock = std::make_shared<Socket>();
+      sock->kind = static_cast<Socket::Kind>(f.sock_kind);
+      sock->port = f.port;
+      if (sock->kind == Socket::Kind::kListen && opts.listen_port) {
+        // Scale-out rebind: the guest's bind already ran before the image
+        // was dumped, so the new port takes effect at socket re-creation.
+        sock->port = *opts.listen_port;
+      }
+      if (sock->kind == Socket::Kind::kStream) {
+        // Recreate the connection with its buffered inbound bytes; the old
+        // peer is gone, so mark the remote side closed.
+        auto conn = std::make_shared<Conn>();
+        conn->to_b.assign(f.rx_bytes.begin(), f.rx_bytes.end());
+        conn->a_open = false;
+        sock->end = SockEnd{conn, /*side_a=*/false};
+      }
+      desc.sock = sock;
+      if (sock->kind == Socket::Kind::kListen) {
+        register_listener(sock);
+      }
+    }
+    p->fds[f.fd] = desc;
+    max_fd = std::max(max_fd, f.fd);
+  }
+  p->next_fd = max_fd + 1;
+
+  for (const auto& m : img.modules) {
+    p->modules.push_back(LoadedModule{m.name, m.base, m.size, m.binary});
+  }
+
+  if (opts.warm_code) {
+    for (const auto& [start, vma] : p->mem.vmas()) {
+      if ((vma.prot & kProtExec) != 0) {
+        p->dcache.warm(p->mem, vma.start, vma.end);
+      }
+    }
+  }
+  return adopt(std::move(p));
+}
+
+}  // namespace dynacut::os

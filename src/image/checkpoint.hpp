@@ -52,18 +52,52 @@ struct CkptStats {
   bool incremental = false;    ///< the dirty-tracking path was taken
 };
 
-/// Freezes `pid` (a no-op if the group transaction already froze it) and
-/// dumps its full state. The process stays frozen (and thus makes no
-/// progress) until restore() — that window is DynaCut's
-/// service-interruption time. `faults` is the deterministic fault-injection
-/// hook (FaultStage::kCheckpoint fires before anything is touched). `bus`
-/// (optional) receives a `checkpoint.dump` event once the dump succeeds.
+/// One checkpoint dump, described as data — the options struct consumed by
+/// checkpoint(). Designed for designated initializers, mirroring
+/// core::CutRequest:
 ///
-/// With a `baseline` whose epoch still matches the live address space, the
+///   auto [img, stats] = image::checkpoint(os, {.pid = pid,
+///                                              .baselines = &baselines,
+///                                              .label = "pre-toggle"});
+///
+/// Replaces the positional (os, pid, faults, bus, baseline, stats) surface,
+/// which remains available as a deprecated shim.
+struct CkptRequest {
+  int pid = 0;
+  /// Deterministic fault-injection hook (FaultStage::kCheckpoint fires
+  /// before anything is touched).
+  FaultPlan* faults = nullptr;
+  /// Receives a `checkpoint.dump` event once the dump succeeds.
+  obs::EventBus* bus = nullptr;
+  /// Incremental-dump baseline: an explicit `baseline` wins; otherwise
+  /// `baselines` is consulted by pid. Either may be null.
+  const Baseline* baseline = nullptr;
+  const BaselineMap* baselines = nullptr;
+  /// Obs labelling: attached to the `checkpoint.dump` event as string
+  /// attributes (label, then each tag pair).
+  std::string label;
+  std::vector<std::pair<std::string, std::string>> tags;
+};
+
+/// What checkpoint() returns: the image plus what the dump did.
+struct CkptReport {
+  ProcessImage img;
+  CkptStats stats;
+};
+
+/// Freezes `req.pid` (a no-op if the group transaction already froze it)
+/// and dumps its full state. The process stays frozen (and thus makes no
+/// progress) until restore() — that window is DynaCut's
+/// service-interruption time.
+///
+/// With a baseline whose epoch still matches the live address space, the
 /// dump is incremental: only pages dirtied since the baseline epoch are
 /// captured, everything else is shared from the baseline image. A stale or
 /// missing baseline (rebuilt address space, restarted clock) silently falls
 /// back to a full dump — the result is identical either way.
+CkptReport checkpoint(os::Os& os, const CkptRequest& req);
+
+[[deprecated("use checkpoint(os, image::CkptRequest{.pid = ...})")]]
 ProcessImage checkpoint(os::Os& os, int pid, FaultPlan* faults = nullptr,
                         obs::EventBus* bus = nullptr,
                         const Baseline* baseline = nullptr,
@@ -84,17 +118,42 @@ struct RestoreStats {
   bool in_place = false;        ///< delta path: asid and caches preserved
 };
 
-/// Replaces the frozen process's state with `img` and thaws it. Live socket
-/// objects referenced by the image's fd table are re-attached (TCP_REPAIR).
-/// FaultStage::kRestore fires after validation but before any mutation, so
-/// an injected restore failure leaves the process frozen and untouched.
-/// `bus` (optional) receives a `checkpoint.restore` event on success.
+/// One restore, described as data — the options struct consumed by
+/// restore(). Designed for designated initializers:
+///
+///   image::restore(os, {.pid = pid, .img = &img,
+///                       .mode = image::RestoreMode::kFull});
+///
+/// Replaces the positional (os, pid, img, faults, bus, mode) surface, which
+/// remains available as a deprecated shim.
+struct RestoreRequest {
+  int pid = 0;
+  const ProcessImage* img = nullptr;  ///< required: the image to install
+  RestoreMode mode = RestoreMode::kDelta;
+  /// Deterministic fault-injection hook (FaultStage::kRestore fires after
+  /// validation but before any mutation, so an injected failure leaves the
+  /// process frozen and untouched).
+  FaultPlan* faults = nullptr;
+  /// Receives a `checkpoint.restore` event on success.
+  obs::EventBus* bus = nullptr;
+  /// Obs labelling: attached to the `checkpoint.restore` event as string
+  /// attributes (label, then each tag pair).
+  std::string label;
+  std::vector<std::pair<std::string, std::string>> tags;
+};
+
+/// Replaces the frozen process's state with `*req.img` and thaws it. Live
+/// socket objects referenced by the image's fd table are re-attached
+/// (TCP_REPAIR).
 ///
 /// RestoreMode::kDelta (the default) reconciles the image against live
 /// memory in place: VMAs are mapped/unmapped/re-protected to match, and
 /// only pages whose bytes differ are written back — pages the rewrite never
 /// touched keep their page generation, so the decode cache stays warm. The
 /// observable process state is identical to RestoreMode::kFull.
+RestoreStats restore(os::Os& os, const RestoreRequest& req);
+
+[[deprecated("use restore(os, image::RestoreRequest{.pid = ..., .img = ...})")]]
 RestoreStats restore(os::Os& os, int pid, const ProcessImage& img,
                      FaultPlan* faults = nullptr, obs::EventBus* bus = nullptr,
                      RestoreMode mode = RestoreMode::kDelta);
@@ -103,6 +162,9 @@ RestoreStats restore(os::Os& os, int pid, const ProcessImage& img,
 /// post-init image instead of rerunning initialization). Listening sockets
 /// are re-created and re-registered; established connections come back with
 /// their buffered bytes but a closed peer. Returns the new pid.
+///
+/// Equivalent to os.spawn_from_image(img, {}) — kept as the historical
+/// spelling of the default-options case.
 int restore_new(os::Os& os, const ProcessImage& img);
 
 /// checkpoint() for a whole process group (Nginx master + workers): every

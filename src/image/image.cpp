@@ -300,7 +300,14 @@ ProcessImage ProcessImage::decode(std::span<const uint8_t> data) {
 // ImageStore
 // ---------------------------------------------------------------------------
 
-void ImageStore::put(const std::string& key, const ProcessImage& img) {
+std::string ImageKey::str() const {
+  if (pid < 0) return "legacy:" + feature_set_tag;
+  std::string s = "pid " + std::to_string(pid);
+  if (!feature_set_tag.empty()) s += " [" + feature_set_tag + "]";
+  return s;
+}
+
+void ImageStore::put(const ImageKey& key, const ProcessImage& img) {
   // A COW copy: page blocks are shared, not serialized. Stripping the live
   // socket handles preserves the semantics of the encode/decode round trip
   // this replaced — a stored image must not keep connections alive.
@@ -309,14 +316,35 @@ void ImageStore::put(const std::string& key, const ProcessImage& img) {
   files_[key] = std::move(stored);
 }
 
-ProcessImage ImageStore::get(const std::string& key) const {
+ProcessImage ImageStore::get(const ImageKey& key) const {
   auto it = files_.find(key);
-  if (it == files_.end()) throw StateError("no image named " + key);
+  if (it == files_.end()) throw StateError("no image for " + key.str());
   return it->second;  // COW copy: O(metadata), pages shared
 }
 
-bool ImageStore::contains(const std::string& key) const {
+bool ImageStore::contains(const ImageKey& key) const {
   return files_.find(key) != files_.end();
+}
+
+size_t ImageStore::erase(const ImageKey& key) { return files_.erase(key); }
+
+std::vector<ImageKey> ImageStore::list() const {
+  std::vector<ImageKey> keys;
+  keys.reserve(files_.size());
+  for (const auto& [k, img] : files_) keys.push_back(k);
+  return keys;
+}
+
+void ImageStore::put(const std::string& key, const ProcessImage& img) {
+  put(legacy_key(key), img);
+}
+
+ProcessImage ImageStore::get(const std::string& key) const {
+  return get(legacy_key(key));
+}
+
+bool ImageStore::contains(const std::string& key) const {
+  return contains(legacy_key(key));
 }
 
 size_t ImageStore::bytes_used() const {
@@ -325,10 +353,11 @@ size_t ImageStore::bytes_used() const {
   return total;
 }
 
-size_t ImageStore::resident_bytes() const {
-  std::set<const void*> seen;
+size_t ImageStore::resident_bytes(std::set<const void*>* seen) const {
+  std::set<const void*> local;
+  std::set<const void*>& s = seen != nullptr ? *seen : local;
   size_t total = 0;
-  for (const auto& [k, img] : files_) total += img.resident_pages_bytes(&seen);
+  for (const auto& [k, img] : files_) total += img.resident_pages_bytes(&s);
   return total;
 }
 

@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <span>
 #include <string>
 #include <vector>
@@ -116,6 +117,27 @@ class ProcessImage {
   static ProcessImage decode(std::span<const uint8_t> data);
 };
 
+/// Typed key an ImageStore entry is filed under: whose image it is and
+/// which customized feature set it carries. `feature_set_tag` is the sorted
+/// '+'-joined set of disabled features ("" = pristine/uncustomized); the
+/// transactional layer files pre-rewrite images under the reserved tag
+/// ImageKey::kPreTag. Replaces the historical ad-hoc string keys
+/// ("<name>.<pid>", "<name>.<pid>.pre").
+struct ImageKey {
+  int pid = 0;
+  std::string feature_set_tag;
+
+  /// Reserved feature_set_tag for pre-rewrite (pristine) images.
+  static constexpr const char* kPreTag = "pre";
+
+  bool operator==(const ImageKey&) const = default;
+  bool operator<(const ImageKey& o) const {
+    if (pid != o.pid) return pid < o.pid;
+    return feature_set_tag < o.feature_set_tag;
+  }
+  std::string str() const;
+};
+
 /// tmpfs-like in-memory image store (the paper checkpoints into tmpfs to
 /// keep rewriting off the disk).
 ///
@@ -126,20 +148,37 @@ class ProcessImage {
 /// used to do), so a stored image never keeps a connection object alive.
 class ImageStore {
  public:
+  void put(const ImageKey& key, const ProcessImage& img);
+  ProcessImage get(const ImageKey& key) const;
+  bool contains(const ImageKey& key) const;
+  size_t erase(const ImageKey& key);
+  /// Every key in the store, ascending (pid, then tag).
+  std::vector<ImageKey> list() const;
+
+  // Deprecated ad-hoc string keys; a string key maps to the reserved
+  // legacy ImageKey{-1, key}, disjoint from every typed key.
+  [[deprecated("use put(const ImageKey&, ...)")]]
   void put(const std::string& key, const ProcessImage& img);
+  [[deprecated("use get(const ImageKey&)")]]
   ProcessImage get(const std::string& key) const;
+  [[deprecated("use contains(const ImageKey&)")]]
   bool contains(const std::string& key) const;
 
   /// Logical page payload across all entries — every page counted once per
   /// image that holds it, shared or not.
   size_t bytes_used() const;
 
-  /// Actually-resident page payload: shared blocks counted once across the
-  /// whole store. The gap to bytes_used() is what COW sharing saves.
-  size_t resident_bytes() const;
+  /// Actually-resident page payload: shared blocks counted once. Pass one
+  /// `seen` set across stores *and* live address spaces
+  /// (os::Os::resident_pages_bytes) to get true machine-wide resident
+  /// bytes — a block is counted by whichever holder sees it first, never
+  /// twice. nullptr dedups within this store only.
+  size_t resident_bytes(std::set<const void*>* seen = nullptr) const;
 
  private:
-  std::map<std::string, ProcessImage> files_;
+  static ImageKey legacy_key(const std::string& key) { return {-1, key}; }
+
+  std::map<ImageKey, ProcessImage> files_;
 };
 
 }  // namespace dynacut::image

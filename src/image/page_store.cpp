@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "common/hex.hpp"
+#include "image/block_store.hpp"
 
 namespace dynacut::image {
 
@@ -21,13 +22,15 @@ PageRef PageStore::block(uint64_t page_addr) const {
 void PageStore::put(uint64_t page_addr, PageRef block) {
   DYNACUT_ASSERT(page_addr == page_floor(page_addr));
   DYNACUT_ASSERT(block != nullptr && block->size() == kPageSize);
-  blocks_[page_addr] = std::move(block);
+  // Intern by content: if any live image or address space already holds an
+  // identical block, share that one instead — this is what makes a fleet of
+  // identical workers cost one resident copy of .text.
+  blocks_[page_addr] = BlockStore::global().intern(std::move(block));
 }
 
 void PageStore::put_bytes(uint64_t page_addr, std::span<const uint8_t> bytes) {
   DYNACUT_ASSERT(bytes.size() == kPageSize);
-  blocks_[page_addr] =
-      std::make_shared<std::vector<uint8_t>>(bytes.begin(), bytes.end());
+  blocks_[page_addr] = BlockStore::global().intern_bytes(bytes);
 }
 
 std::vector<uint8_t>& PageStore::writable(uint64_t page_addr) {

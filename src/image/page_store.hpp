@@ -6,6 +6,12 @@
 // rewriter's working copies — shares them again in O(1). Mutation goes
 // through writable(), which clones a shared block first, so no holder can
 // observe another holder's edits (COW aliasing safety).
+//
+// put()/put_bytes() additionally intern every block through the fleet-wide
+// content-addressed BlockStore (image/block_store.hpp): identical page
+// bytes entering any image — even from a different pid or a different Os
+// instance — resolve to one shared block, so resident_bytes() across a
+// fleet is O(1 image + per-pid deltas).
 #pragma once
 
 #include <cstdint>

@@ -284,6 +284,14 @@ int Os::adopt(std::unique_ptr<Process> p) {
   return pid;
 }
 
+uint64_t Os::resident_pages_bytes(std::set<const void*>* seen) const {
+  std::set<const void*> local;
+  std::set<const void*>& s = seen != nullptr ? *seen : local;
+  uint64_t total = 0;
+  for (const auto& [pid, p] : procs_) total += p->mem.resident_bytes(&s);
+  return total;
+}
+
 // ---------------------------------------------------------------------------
 // Scheduler
 //

@@ -21,6 +21,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -31,6 +32,10 @@
 
 namespace dynacut::obs {
 class EventBus;
+}
+
+namespace dynacut::image {
+class ProcessImage;
 }
 
 namespace dynacut::os {
@@ -49,6 +54,18 @@ struct SyscallCosts {
   uint64_t per_io_byte_div = 4;  ///< io adds len/div ticks
   uint64_t fork_extra = 20000;
   uint64_t accept_extra = 500;
+};
+
+/// Options for Os::spawn_from_image().
+struct SpawnOpts {
+  /// Process name; empty keeps the image's proc_name.
+  std::string name;
+  /// Rebind every listening socket of the image to this port (scale-out:
+  /// each worker forked from one template image serves its own port).
+  std::optional<uint16_t> listen_port;
+  /// Pre-decode the image's executable VMAs into the fresh decode cache so
+  /// the worker starts warm instead of paying cold fetch misses.
+  bool warm_code = false;
 };
 
 class Os {
@@ -161,6 +178,25 @@ class Os {
   /// Adopts an externally constructed process (image restore into a new
   /// process). Assigns and returns a fresh pid.
   int adopt(std::unique_ptr<Process> p);
+
+  /// CRIU restore-as-template: forks a brand-new serving process directly
+  /// from a (possibly customized) stored image. The worker gets a fresh
+  /// pid/asid/fd table; its pages *share* the image's content-addressed
+  /// blocks in O(pages) pointer installs, so 100 workers cost one resident
+  /// image plus their private write sets. Listening sockets are re-created
+  /// (rebound to `opts.listen_port` when set) and registered; established
+  /// connections come back detached with their buffered bytes. Returns the
+  /// new pid. Defined in the image layer (dynacut_image), which sits above
+  /// the OS in the link order.
+  int spawn_from_image(const image::ProcessImage& img,
+                       const SpawnOpts& opts = {});
+
+  /// Payload bytes of page blocks held by live address spaces, deduped by
+  /// block identity. Thread one `seen` set through this and
+  /// image::ImageStore::resident_bytes to get true machine-wide resident
+  /// bytes under content-addressed sharing — each shared block counts once,
+  /// at whichever holder sees it first.
+  uint64_t resident_pages_bytes(std::set<const void*>* seen = nullptr) const;
 
   // --- instrumentation ----------------------------------------------------
   void set_block_sink(BlockSink* sink) { sink_ = sink; }

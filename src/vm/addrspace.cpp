@@ -335,6 +335,16 @@ std::vector<uint64_t> AddressSpace::populated_pages() const {
   return out;
 }
 
+uint64_t AddressSpace::resident_bytes(std::set<const void*>* seen) const {
+  std::set<const void*> local;
+  std::set<const void*>& s = seen != nullptr ? *seen : local;
+  uint64_t total = 0;
+  for (const auto& [addr, block] : pages_) {
+    if (s.insert(block.get()).second) total += block->size();
+  }
+  return total;
+}
+
 std::span<const uint8_t> AddressSpace::page_bytes(uint64_t page_addr) const {
   const Page* p = find_page(page_addr);
   if (p == nullptr) {

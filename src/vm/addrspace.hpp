@@ -17,6 +17,7 @@
 #include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <span>
 #include <string>
 #include <vector>
@@ -146,6 +147,13 @@ class AddressSpace {
 
   /// Raw content of one populated page; throws if not populated.
   std::span<const uint8_t> page_bytes(uint64_t page_addr) const;
+
+  /// Payload bytes of blocks this space holds that are not yet counted in
+  /// `seen` (dedup by block identity). Thread one `seen` set across every
+  /// address space and image store on the machine to measure true resident
+  /// bytes under COW/content-addressed sharing; nullptr dedups within this
+  /// space only.
+  uint64_t resident_bytes(std::set<const void*>* seen = nullptr) const;
 
   /// Whether one page is populated AND still inside a VMA — the per-page
   /// form of the populated_pages() filter, used when re-checking a dirty

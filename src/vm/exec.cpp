@@ -296,6 +296,21 @@ StepResult DecodeCache::fetch(AddressSpace& mem, uint64_t ip,
   return {StepKind::kOk, FaultType::kNone, 0, false};
 }
 
+size_t DecodeCache::warm(AddressSpace& mem, uint64_t start, uint64_t end) {
+  size_t decoded = 0;
+  uint64_t ip = start;
+  while (ip < end) {
+    isa::Instr ins;
+    if (fetch(mem, ip, ins).kind == StepKind::kFault) {
+      ++ip;  // undecodable/pad byte: resync one byte forward
+      continue;
+    }
+    ip += ins.length;
+    ++decoded;
+  }
+  return decoded;
+}
+
 // ---------------------------------------------------------------------------
 // Stepping
 // ---------------------------------------------------------------------------

@@ -87,6 +87,14 @@ class DecodeCache {
   /// also self-triggers on an asid change.
   void clear();
 
+  /// Pre-decodes [start, end) of `mem` into the cache — the warm-start path
+  /// of Os::spawn_from_image, so a worker forked from an image starts with
+  /// its code already decoded instead of paying cold misses. Fills follow
+  /// the demand-miss contract (page-straddlers stay uncached, undecodable
+  /// bytes resync one byte forward) and count as misses. Returns the number
+  /// of instructions decoded.
+  size_t warm(AddressSpace& mem, uint64_t start, uint64_t end);
+
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
   uint64_t invalidations() const { return invalidations_; }

@@ -14,7 +14,7 @@ namespace {
 ProcessImage live_image(os::Os& vos, int& pid) {
   pid = vos.spawn(testing::build_toysrv(), {apps::build_libc()});
   vos.run();
-  return checkpoint(vos, pid);
+  return checkpoint(vos, {.pid = pid}).img;
 }
 
 TEST(Crit, TextRoundtripIsLossless) {
@@ -26,7 +26,7 @@ TEST(Crit, TextRoundtripIsLossless) {
 
   // Binary serialization is the canonical equality check.
   EXPECT_EQ(back.encode(), img.encode());
-  restore(vos, pid, img);
+  restore(vos, {.pid = pid, .img = &img});
 }
 
 TEST(Crit, RestoredFromTextImageStillServes) {
@@ -38,7 +38,7 @@ TEST(Crit, RestoredFromTextImageStillServes) {
   for (size_t i = 0; i < back.fds.size(); ++i) {
     back.fds[i].live = img.fds[i].live;
   }
-  restore(vos, pid, back);
+  restore(vos, {.pid = pid, .img = &back});
   auto conn = vos.connect(80);
   conn.send("A\nQ\n");
   vos.run();
@@ -60,14 +60,15 @@ TEST(Crit, HandEditedRegisterTakesEffect) {
   os::Os vos;
   int pid = vos.spawn(std::make_shared<melf::Binary>(b.link()));
   vos.run(5000);
-  ProcessImage img = checkpoint(vos, pid);
+  ProcessImage img = checkpoint(vos, {.pid = pid}).img;
   std::string text = decode_text(img);
 
   size_t at = text.find("reg 12 0x1\n");
   ASSERT_NE(at, std::string::npos);
   text.replace(at, 11, "reg 12 0x2a\n");
 
-  restore(vos, pid, encode_text(text));
+  ProcessImage edited = encode_text(text);
+  restore(vos, {.pid = pid, .img = &edited});
   vos.run();
   ASSERT_TRUE(vos.all_exited());
   EXPECT_EQ(vos.process(pid)->exit_code, 42);
@@ -83,7 +84,7 @@ TEST(Crit, ShowMemsListsEveryVma) {
   }
   EXPECT_NE(mems.find("[stack]"), std::string::npos);
   EXPECT_NE(mems.find("toysrv:.text"), std::string::npos);
-  restore(vos, pid, img);
+  restore(vos, {.pid = pid, .img = &img});
 }
 
 TEST(Crit, ShowCoreIncludesRegistersAndSigactions) {
@@ -109,7 +110,7 @@ TEST(Crit, SummaryViewOmitsPagePayloads) {
   std::string summary = decode_text(img, /*include_pages=*/false);
   EXPECT_LT(summary.size(), full.size() / 4);
   EXPECT_NE(summary.find("<4096 bytes>"), std::string::npos);
-  restore(vos, pid, img);
+  restore(vos, {.pid = pid, .img = &img});
 }
 
 TEST(Crit, RejectsMalformedInput) {

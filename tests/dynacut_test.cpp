@@ -245,8 +245,13 @@ TEST(DynaCut, ImageStoreHoldsRewrittenImage) {
   DynaCut dc(px.vos, px.pid);
   dc.disable_feature({px.feature_b, RemovalPolicy::kBlockFirstByte,
                      TrapPolicy::kRedirect});
-  std::string key = "toysrv." + std::to_string(px.pid);
+  // Committed images file under the typed key {pid, feature_set_tag}; the
+  // pristine pre-image sits beside it under the reserved "pre" tag.
+  const image::ImageKey key = dc.image_key(px.pid);
+  EXPECT_EQ(key.feature_set_tag, px.feature_b.name);
   ASSERT_TRUE(dc.store().contains(key));
+  ASSERT_TRUE(dc.store().contains(
+      image::ImageKey{px.pid, image::ImageKey::kPreTag}));
   image::ProcessImage img = dc.store().get(key);
   // The stored image is the rewritten one: the handler library is present.
   EXPECT_NE(img.module_named(kSigLibName), nullptr);

@@ -105,7 +105,7 @@ TEST(Checkpoint, FreezesAndCapturesState) {
   int pid = vos.spawn(std::make_shared<Binary>(b.link()));
   vos.run(5000);
 
-  ProcessImage img = checkpoint(vos, pid);
+  ProcessImage img = checkpoint(vos, {.pid = pid}).img;
   EXPECT_EQ(vos.process(pid)->state, os::Process::State::kFrozen);
   EXPECT_EQ(img.core.proc_name, "counter");
   EXPECT_EQ(img.core.pid, pid);
@@ -117,7 +117,7 @@ TEST(Checkpoint, FreezesAndCapturesState) {
   const melf::Symbol* n = img.modules.back().binary->find_symbol("n");
   uint64_t base = img.modules.back().base;
   uint64_t count_at_dump = img.read_u64(base + n->value);
-  restore(vos, pid, img);
+  restore(vos, {.pid = pid, .img = &img});
   vos.run(5000);
   uint64_t count_later = 0;
   vos.process(pid)->mem.peek(base + n->value, &count_later, 8);
@@ -130,9 +130,9 @@ TEST(Checkpoint, RestoreRequiresFrozenProcess) {
   b.set_entry("main");
   os::Os vos;
   int pid = vos.spawn(std::make_shared<Binary>(b.link()));
-  ProcessImage img = checkpoint(vos, pid);
-  restore(vos, pid, img);
-  EXPECT_THROW(restore(vos, pid, img), StateError);  // no longer frozen
+  ProcessImage img = checkpoint(vos, {.pid = pid}).img;
+  restore(vos, {.pid = pid, .img = &img});
+  EXPECT_THROW(restore(vos, {.pid = pid, .img = &img}), StateError);  // no longer frozen
 }
 
 TEST(Checkpoint, ImageEditVisibleAfterRestore) {
@@ -156,10 +156,10 @@ TEST(Checkpoint, ImageEditVisibleAfterRestore) {
   os::Os vos;
   int pid = vos.spawn(std::make_shared<Binary>(b.link()));
   vos.run(2000);
-  ProcessImage img = checkpoint(vos, pid);
+  ProcessImage img = checkpoint(vos, {.pid = pid}).img;
   const melf::Symbol* flag = img.modules.back().binary->find_symbol("flag");
   img.write_u64(img.modules.back().base + flag->value, 0);
-  restore(vos, pid, img);
+  restore(vos, {.pid = pid, .img = &img});
   vos.run();
   ASSERT_TRUE(vos.all_exited());
   EXPECT_EQ(vos.process(pid)->exit_code, 42);
@@ -176,10 +176,10 @@ TEST(Checkpoint, SocketsSurviveCheckpointRestore) {
   vos.run();
   EXPECT_EQ(conn.recv_all(), "alpha\n");
 
-  ProcessImage img = checkpoint(vos, pid);
+  ProcessImage img = checkpoint(vos, {.pid = pid}).img;
   // In-flight bytes arriving while frozen must not be lost.
   conn.send("B\n");
-  restore(vos, pid, img);
+  restore(vos, {.pid = pid, .img = &img});
   vos.run();
   EXPECT_EQ(conn.recv_all(), "beta\n");
   conn.send("Q\n");
@@ -200,7 +200,9 @@ TEST(Checkpoint, GroupCapturesWholeTree) {
   ASSERT_EQ(images.size(), 2u);
   EXPECT_EQ(images[0].core.pid, pid);
   EXPECT_EQ(images[1].core.ppid, pid);
-  for (const auto& img : images) restore(vos, img.core.pid, img);
+  for (const auto& img : images) {
+    restore(vos, {.pid = img.core.pid, .img = &img});
+  }
 }
 
 TEST(Checkpoint, FdTableCapturesSocketState) {
@@ -211,7 +213,7 @@ TEST(Checkpoint, FdTableCapturesSocketState) {
   vos.run();
   // Queue a request that stays buffered while we dump.
   conn.send("A\n");
-  ProcessImage img = checkpoint(vos, pid);
+  ProcessImage img = checkpoint(vos, {.pid = pid}).img;
   bool saw_listen = false, saw_stream_with_bytes = false;
   for (const auto& fd : img.fds) {
     if (fd.sock_kind == 1) saw_listen = true;
@@ -222,7 +224,24 @@ TEST(Checkpoint, FdTableCapturesSocketState) {
   }
   EXPECT_TRUE(saw_listen);
   EXPECT_TRUE(saw_stream_with_bytes);
-  restore(vos, pid, img);
+  restore(vos, {.pid = pid, .img = &img});
+}
+
+TEST(Checkpoint, DeprecatedPositionalShimsStillWork) {
+  // The pre-CkptRequest positional signatures survive as [[deprecated]]
+  // shims forwarding to the struct API; old callers behave identically.
+  os::Os vos;
+  int pid = vos.spawn(testing::build_toysrv(), {apps::build_libc()});
+  vos.run();
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  CkptStats st;
+  ProcessImage img = checkpoint(vos, pid, nullptr, nullptr, nullptr, &st);
+  EXPECT_EQ(st.pages_dumped, st.pages_total);
+  RestoreStats rst = restore(vos, pid, img);
+#pragma GCC diagnostic pop
+  EXPECT_TRUE(rst.in_place);
+  EXPECT_EQ(img.encode(), checkpoint(vos, {.pid = pid}).img.encode());
 }
 
 TEST(Checkpoint, RestoreNewBootsFromStoredImage) {
@@ -230,7 +249,7 @@ TEST(Checkpoint, RestoreNewBootsFromStoredImage) {
   os::Os vos;
   int pid = vos.spawn(testing::build_toysrv(), {apps::build_libc()});
   vos.run();  // init complete, listening
-  ProcessImage img = checkpoint(vos, pid);
+  ProcessImage img = checkpoint(vos, {.pid = pid}).img;
   vos.kill(pid);
 
   int pid2 = restore_new(vos, img);
@@ -253,7 +272,7 @@ TEST(ImageFormat, EncodeDecodeRoundtrip) {
   os::Os vos;
   int pid = vos.spawn(testing::build_toysrv(), {apps::build_libc()});
   vos.run();
-  ProcessImage img = checkpoint(vos, pid);
+  ProcessImage img = checkpoint(vos, {.pid = pid}).img;
   ProcessImage back = ProcessImage::decode(img.encode());
 
   EXPECT_EQ(back.core.proc_name, img.core.proc_name);
@@ -279,7 +298,7 @@ TEST(ImageFormat, EncodeDecodeRoundtrip) {
     EXPECT_EQ(back.modules[i].binary->encode(),
               img.modules[i].binary->encode());
   }
-  restore(vos, pid, img);
+  restore(vos, {.pid = pid, .img = &img});
 }
 
 TEST(ImageFormat, DecodeRejectsGarbage) {
@@ -292,14 +311,54 @@ TEST(ImageStore, PutGetRoundtrip) {
   img.core.proc_name = "stored";
   img.write_u64(0x1000, 0xfeed);
   ImageStore store;
-  EXPECT_FALSE(store.contains("k"));
-  store.put("k", img);
-  EXPECT_TRUE(store.contains("k"));
-  ProcessImage back = store.get("k");
+  const ImageKey key{7, "SET+TTL"};
+  EXPECT_FALSE(store.contains(key));
+  store.put(key, img);
+  EXPECT_TRUE(store.contains(key));
+  ProcessImage back = store.get(key);
   EXPECT_EQ(back.core.proc_name, "stored");
   EXPECT_EQ(back.read_u64(0x1000), 0xfeedu);
   EXPECT_GT(store.bytes_used(), 0u);
+  EXPECT_THROW(store.get(ImageKey{7, "missing"}), StateError);
+  EXPECT_THROW(store.get(ImageKey{8, "SET+TTL"}), StateError);
+}
+
+TEST(ImageStore, ListAndEraseTypedKeys) {
+  ProcessImage img = blank_image();
+  ImageStore store;
+  store.put(ImageKey{1, ImageKey::kPreTag}, img);
+  store.put(ImageKey{1, "SET"}, img);
+  store.put(ImageKey{2, ImageKey::kPreTag}, img);
+  std::vector<ImageKey> keys = store.list();
+  ASSERT_EQ(keys.size(), 3u);
+  // list() is ordered: by pid, then by feature-set tag.
+  EXPECT_EQ(keys[0], (ImageKey{1, "SET"}));
+  EXPECT_EQ(keys[1], (ImageKey{1, ImageKey::kPreTag}));
+  EXPECT_EQ(keys[2], (ImageKey{2, ImageKey::kPreTag}));
+  EXPECT_EQ(store.erase(ImageKey{1, "SET"}), 1u);
+  EXPECT_EQ(store.erase(ImageKey{1, "SET"}), 0u);
+  EXPECT_FALSE(store.contains(ImageKey{1, "SET"}));
+  EXPECT_EQ(store.list().size(), 2u);
+}
+
+TEST(ImageStore, DeprecatedStringApiStillWorks) {
+  // The pre-ImageKey string API survives as [[deprecated]] shims filed
+  // under a reserved legacy namespace; old callers keep working unchanged.
+  ProcessImage img = blank_image();
+  img.core.proc_name = "legacy";
+  ImageStore store;
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wdeprecated-declarations"
+  EXPECT_FALSE(store.contains("k"));
+  store.put("k", img);
+  EXPECT_TRUE(store.contains("k"));
+  EXPECT_EQ(store.get("k").core.proc_name, "legacy");
   EXPECT_THROW(store.get("missing"), StateError);
+#pragma GCC diagnostic pop
+  // Legacy keys never collide with typed keys (reserved pid -1).
+  EXPECT_FALSE(store.contains(ImageKey{0, "k"}));
+  ASSERT_EQ(store.list().size(), 1u);
+  EXPECT_EQ(store.list()[0].str(), "legacy:k");
 }
 
 TEST(ImageStore, DeserializedImageRestoresProcess) {
@@ -308,16 +367,17 @@ TEST(ImageStore, DeserializedImageRestoresProcess) {
   os::Os vos;
   int pid = vos.spawn(testing::build_toysrv(), {apps::build_libc()});
   vos.run();
-  ProcessImage img = checkpoint(vos, pid);
+  ProcessImage img = checkpoint(vos, {.pid = pid}).img;
   ImageStore store;
-  store.put("toysrv", img);
-  ProcessImage loaded = store.get("toysrv");
+  const ImageKey key{pid, ImageKey::kPreTag};
+  store.put(key, img);
+  ProcessImage loaded = store.get(key);
   // Live socket handles don't survive serialization; splice them back the
   // way CRIU's TCP repair re-attaches connections.
   for (size_t i = 0; i < loaded.fds.size(); ++i) {
     loaded.fds[i].live = img.fds[i].live;
   }
-  restore(vos, pid, loaded);
+  restore(vos, {.pid = pid, .img = &loaded});
   auto conn = vos.connect(80);
   conn.send("A\nQ\n");
   vos.run();

@@ -28,7 +28,7 @@ struct Fixture {
     bin = testing::build_toysrv();
     pid = vos.spawn(bin, {apps::build_libc()});
     vos.run();
-    img = image::checkpoint(vos, pid);
+    img = image::checkpoint(vos, {.pid = pid}).img;
   }
 
   uint64_t app_base() const { return img.module_named("toysrv")->base; }
@@ -235,7 +235,7 @@ TEST(Rewriter, PatchedImageExecutesTrapAfterRestore) {
   Fixture fx;
   ImageRewriter rw(fx.img);
   rw.block_first_byte(fx.sym("handle_b"));
-  image::restore(fx.vos, fx.pid, fx.img);
+  image::restore(fx.vos, {.pid = fx.pid, .img = &fx.img});
 
   auto conn = fx.vos.connect(80);
   conn.send("A\n");
@@ -270,7 +270,7 @@ TEST(Rewriter, InjectedRedirectLibWorksInGuest) {
   rw.set_sigaction(os::sig::kSigTrap,
                    rw.symbol_addr(core::kSigLibName, "dynacut_handler"),
                    rw.symbol_addr(core::kSigLibName, "dynacut_restorer"));
-  image::restore(fx.vos, fx.pid, fx.img);
+  image::restore(fx.vos, {.pid = fx.pid, .img = &fx.img});
 
   auto conn = fx.vos.connect(80);
   conn.send("B\n");

@@ -243,7 +243,8 @@ TEST(Txn, RestorePhaseFailureRestagesAlreadyPatchedProcesses) {
 
   // The pristine images went through the tmpfs store during staging.
   for (int p : group) {
-    EXPECT_TRUE(dc.store().contains("grp." + std::to_string(p) + ".pre"));
+    EXPECT_TRUE(
+        dc.store().contains(image::ImageKey{p, image::ImageKey::kPreTag}));
   }
   for (int p : group) {
     EXPECT_TRUE(Snap::of(*rig.vos.process(p)) == before[p]) << "pid " << p;
