@@ -27,7 +27,7 @@ struct Row {
   double store_logical_mb = 0;
   double store_resident_mb = 0;
   /// Fleet scale-out footprint: 8 workers forked from the customized image
-  /// (Os::spawn_from_image). fleet_store_MB counts every worker's pages in
+  /// (image::spawn_from_image). fleet_store_MB counts every worker's pages in
   /// full (what a fleet without sharing would pay); fleet_resid_MB threads
   /// one `seen` set through the workers' live address spaces and the image
   /// store, so content-addressed blocks count once machine-wide.
@@ -48,8 +48,8 @@ void add_fleet_columns(core::DynaCut& dc, int pid, Row& row) {
   os::Os fleet;
   uint64_t logical = dc.store().bytes_used();
   for (int i = 0; i < kFleetWorkers; ++i) {
-    int wp = fleet.spawn_from_image(
-        img, {.listen_port = static_cast<uint16_t>(9400 + i)});
+    int wp = image::spawn_from_image(
+        fleet, img, {.listen_port = static_cast<uint16_t>(9400 + i)});
     logical += fleet.process(wp)->mem.populated_pages().size() * kPageSize;
   }
   std::set<const void*> seen;
@@ -184,7 +184,7 @@ int main() {
       "what they actually occupy with COW page sharing — roughly one image\n"
       "plus the edited pages. fleet_store_MB/fleet_resid_MB do the same for\n"
       "an 8-worker fleet forked from the customized image\n"
-      "(Os::spawn_from_image): resident stays ~one shared image because the\n"
-      "content-addressed BlockStore dedups every identical page.\n");
+      "(image::spawn_from_image): resident stays ~one shared image because\n"
+      "the content-addressed BlockStore dedups every identical page.\n");
   return 0;
 }

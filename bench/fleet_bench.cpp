@@ -21,7 +21,7 @@
 //   4. spawn storm — one template minikv is booted, customized (SET
 //                    disabled) and its image filed in the store; 100
 //                    workers (24 in --light) are then forked from that
-//                    image via Os::spawn_from_image and each answers a
+//                    image via image::spawn_from_image and each answers a
 //                    PING. Gates: machine-wide resident bytes stay at
 //                    ~one shared image plus a small per-pid delta (the
 //                    content-addressed BlockStore dedups identical
@@ -415,7 +415,7 @@ struct StormResult {
   uint64_t fleet_logical_bytes = 0;   ///< every worker's pages counted full
   uint64_t fleet_resident_bytes = 0;  ///< seen-threaded: store + live fleet
   double dedup_ratio = 0.0;
-  double mean_spawn_ns = 0.0;    ///< host ns per Os::spawn_from_image
+  double mean_spawn_ns = 0.0;    ///< host ns per image::spawn_from_image
   double mean_replay_ns = 0.0;   ///< host ns per spawn + boot + customize
   size_t pings_answered = 0;
   uint64_t total_retired = 0;
@@ -464,8 +464,9 @@ StormResult run_storm(const core::FeatureSpec& spec, int workers) {
   std::vector<int> wpids;
   const auto t0 = std::chrono::steady_clock::now();
   for (int i = 0; i < workers; ++i) {
-    wpids.push_back(vos.spawn_from_image(
-        img, {.listen_port = static_cast<uint16_t>(kStormBasePort + 1 + i)}));
+    wpids.push_back(image::spawn_from_image(
+        vos, img,
+        {.listen_port = static_cast<uint16_t>(kStormBasePort + 1 + i)}));
   }
   const auto t1 = std::chrono::steady_clock::now();
   out.mean_spawn_ns = host_ns(t0, t1) / workers;

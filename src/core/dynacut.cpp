@@ -275,6 +275,23 @@ void DynaCut::finalize_obs(
 }
 
 CustomizeReport DynaCut::apply(const CutRequest& request) {
+  // Feature names feed ImageKey feature-set tags (tag_with joins the
+  // applied set with '+'): the reserved pre-rewrite tag would overwrite
+  // the pristine rollback image's key, and a '+' inside a name makes tags
+  // ambiguous ("a+b" vs the set {a, b}). Reject both up front.
+  const std::string& requested_name = request.feature.name;
+  if (requested_name.empty()) {
+    throw StateError("invalid feature name: empty");
+  }
+  if (requested_name == image::ImageKey::kPreTag) {
+    throw StateError("invalid feature name '" + requested_name +
+                     "': reserved for pre-rewrite images");
+  }
+  if (requested_name.find('+') != std::string::npos) {
+    throw StateError("invalid feature name '" + requested_name +
+                     "': '+' is the feature-set tag separator");
+  }
+
   rw::SliceExpansion slice;
   const CutRequest req = expanded_request(request, &slice);
   preflight_or_throw(req);

@@ -236,7 +236,7 @@ class DynaCut {
   /// set ("" = pristine). Every commit files its images in store() under
   /// image::ImageKey{pid, the tag as of that commit}, so a fleet
   /// orchestrator can fetch "the image of pid with exactly these cuts" and
-  /// Os::spawn_from_image it.
+  /// image::spawn_from_image it.
   std::string feature_set_tag() const;
 
   /// The store key of `pid`'s most recently committed image under the

@@ -36,6 +36,12 @@ PageRef BlockStore::intern(PageRef block) {
     // in-place mutation of a uniquely-owned block (see header).
     if (*candidate == *block) {
       ++stats_.dedup_hits;
+      // The candidate gains a holder behind its owner's back: a live
+      // address space that still owns it uniquely may have its write
+      // fast-path raw pointer armed, and we cannot reach that cache from
+      // here. Bumping the share epoch disarms every armed cache, so the
+      // owner's next write re-checks use_count and COW-clones.
+      vm::bump_share_epoch();
       return candidate;
     }
     collided = true;
@@ -60,6 +66,9 @@ PageRef BlockStore::intern_bytes(std::span<const uint8_t> bytes) {
     if (std::equal(candidate->begin(), candidate->end(), bytes.begin(),
                    bytes.end())) {
       ++stats_.dedup_hits;
+      // Same as intern(): sharing behind the owner's back must disarm any
+      // armed write fast-path cache (see there).
+      vm::bump_share_epoch();
       return candidate;
     }
     collided = true;

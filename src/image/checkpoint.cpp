@@ -294,8 +294,64 @@ RestoreStats restore(os::Os& os, int pid, const ProcessImage& img,
                                     .bus = bus});
 }
 
+int spawn_from_image(os::Os& os, const ProcessImage& img,
+                     const SpawnOpts& opts) {
+  auto p = std::make_unique<os::Process>();
+  p->name = opts.name.empty() ? img.core.proc_name : opts.name;
+  p->ppid = 0;
+  p->mem = build_address_space(img);
+  p->cpu = img.core.cpu;
+  p->sigactions = img.core.sigactions;
+  p->signal_frames = img.core.signal_frames;
+  p->at_block_start = true;
+
+  int max_fd = 2;
+  for (const auto& f : img.fds) {
+    os::FileDesc desc;
+    desc.kind = f.kind;
+    if (f.kind == os::FileDesc::Kind::kSocket) {
+      auto sock = std::make_shared<os::Socket>();
+      sock->kind = static_cast<os::Socket::Kind>(f.sock_kind);
+      sock->port = f.port;
+      if (sock->kind == os::Socket::Kind::kListen && opts.listen_port) {
+        // Scale-out rebind: the guest's bind already ran before the image
+        // was dumped, so the new port takes effect at socket re-creation.
+        sock->port = *opts.listen_port;
+      }
+      if (sock->kind == os::Socket::Kind::kStream) {
+        // Recreate the connection with its buffered inbound bytes; the old
+        // peer is gone, so mark the remote side closed.
+        auto conn = std::make_shared<os::Conn>();
+        conn->to_b.assign(f.rx_bytes.begin(), f.rx_bytes.end());
+        conn->a_open = false;
+        sock->end = os::SockEnd{conn, /*side_a=*/false};
+      }
+      desc.sock = sock;
+      if (sock->kind == os::Socket::Kind::kListen) {
+        os.register_listener(sock);
+      }
+    }
+    p->fds[f.fd] = desc;
+    max_fd = std::max(max_fd, f.fd);
+  }
+  p->next_fd = max_fd + 1;
+
+  for (const auto& m : img.modules) {
+    p->modules.push_back(os::LoadedModule{m.name, m.base, m.size, m.binary});
+  }
+
+  if (opts.warm_code) {
+    for (const auto& [start, vma] : p->mem.vmas()) {
+      if ((vma.prot & kProtExec) != 0) {
+        p->dcache.warm(p->mem, vma.start, vma.end);
+      }
+    }
+  }
+  return os.adopt(std::move(p));
+}
+
 int restore_new(os::Os& os, const ProcessImage& img) {
-  return os.spawn_from_image(img);
+  return spawn_from_image(os, img);
 }
 
 std::vector<ProcessImage> checkpoint_group(os::Os& os, int root_pid,
@@ -316,66 +372,3 @@ std::vector<ProcessImage> checkpoint_group(os::Os& os, int root_pid,
 }
 
 }  // namespace dynacut::image
-
-namespace dynacut::os {
-
-// Defined here rather than in os.cpp: the image layer links above the OS
-// (dynacut_image depends on dynacut_os), so the member that consumes
-// image::ProcessImage lives in the image library.
-int Os::spawn_from_image(const image::ProcessImage& img,
-                         const SpawnOpts& opts) {
-  auto p = std::make_unique<Process>();
-  p->name = opts.name.empty() ? img.core.proc_name : opts.name;
-  p->ppid = 0;
-  p->mem = image::build_address_space(img);
-  p->cpu = img.core.cpu;
-  p->sigactions = img.core.sigactions;
-  p->signal_frames = img.core.signal_frames;
-  p->at_block_start = true;
-
-  int max_fd = 2;
-  for (const auto& f : img.fds) {
-    FileDesc desc;
-    desc.kind = f.kind;
-    if (f.kind == FileDesc::Kind::kSocket) {
-      auto sock = std::make_shared<Socket>();
-      sock->kind = static_cast<Socket::Kind>(f.sock_kind);
-      sock->port = f.port;
-      if (sock->kind == Socket::Kind::kListen && opts.listen_port) {
-        // Scale-out rebind: the guest's bind already ran before the image
-        // was dumped, so the new port takes effect at socket re-creation.
-        sock->port = *opts.listen_port;
-      }
-      if (sock->kind == Socket::Kind::kStream) {
-        // Recreate the connection with its buffered inbound bytes; the old
-        // peer is gone, so mark the remote side closed.
-        auto conn = std::make_shared<Conn>();
-        conn->to_b.assign(f.rx_bytes.begin(), f.rx_bytes.end());
-        conn->a_open = false;
-        sock->end = SockEnd{conn, /*side_a=*/false};
-      }
-      desc.sock = sock;
-      if (sock->kind == Socket::Kind::kListen) {
-        register_listener(sock);
-      }
-    }
-    p->fds[f.fd] = desc;
-    max_fd = std::max(max_fd, f.fd);
-  }
-  p->next_fd = max_fd + 1;
-
-  for (const auto& m : img.modules) {
-    p->modules.push_back(LoadedModule{m.name, m.base, m.size, m.binary});
-  }
-
-  if (opts.warm_code) {
-    for (const auto& [start, vma] : p->mem.vmas()) {
-      if ((vma.prot & kProtExec) != 0) {
-        p->dcache.warm(p->mem, vma.start, vma.end);
-      }
-    }
-  }
-  return adopt(std::move(p));
-}
-
-}  // namespace dynacut::os

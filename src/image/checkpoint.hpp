@@ -20,6 +20,8 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "common/fault.hpp"
@@ -158,12 +160,38 @@ RestoreStats restore(os::Os& os, int pid, const ProcessImage& img,
                      FaultPlan* faults = nullptr, obs::EventBus* bus = nullptr,
                      RestoreMode mode = RestoreMode::kDelta);
 
+/// Options for spawn_from_image().
+struct SpawnOpts {
+  /// Process name; empty keeps the image's proc_name.
+  std::string name;
+  /// Rebind every listening socket of the image to this port (scale-out:
+  /// each worker forked from one template image serves its own port).
+  std::optional<uint16_t> listen_port;
+  /// Pre-decode the image's executable VMAs into the fresh decode cache so
+  /// the worker starts warm instead of paying cold fetch misses.
+  bool warm_code = false;
+};
+
+/// CRIU restore-as-template: forks a brand-new serving process on `os`
+/// directly from a (possibly customized) stored image. The worker gets a
+/// fresh pid/asid/fd table; its pages *share* the image's
+/// content-addressed blocks in O(pages) pointer installs, so 100 workers
+/// cost one resident image plus their private write sets. Listening
+/// sockets are re-created (rebound to `opts.listen_port` when set) and
+/// registered; established connections come back detached with their
+/// buffered bytes. Returns the new pid.
+///
+/// A free function of the image layer (not an Os member): it consumes
+/// image::ProcessImage, which sits above the OS in the link order.
+int spawn_from_image(os::Os& os, const ProcessImage& img,
+                     const SpawnOpts& opts = {});
+
 /// Restores an image as a brand-new process (e.g. booting from a stored
 /// post-init image instead of rerunning initialization). Listening sockets
 /// are re-created and re-registered; established connections come back with
 /// their buffered bytes but a closed peer. Returns the new pid.
 ///
-/// Equivalent to os.spawn_from_image(img, {}) — kept as the historical
+/// Equivalent to spawn_from_image(os, img, {}) — kept as the historical
 /// spelling of the default-options case.
 int restore_new(os::Os& os, const ProcessImage& img);
 

@@ -34,10 +34,6 @@ namespace dynacut::obs {
 class EventBus;
 }
 
-namespace dynacut::image {
-class ProcessImage;
-}
-
 namespace dynacut::os {
 
 /// Receives basic-block entry events (the drcov tracer implements this).
@@ -54,18 +50,6 @@ struct SyscallCosts {
   uint64_t per_io_byte_div = 4;  ///< io adds len/div ticks
   uint64_t fork_extra = 20000;
   uint64_t accept_extra = 500;
-};
-
-/// Options for Os::spawn_from_image().
-struct SpawnOpts {
-  /// Process name; empty keeps the image's proc_name.
-  std::string name;
-  /// Rebind every listening socket of the image to this port (scale-out:
-  /// each worker forked from one template image serves its own port).
-  std::optional<uint16_t> listen_port;
-  /// Pre-decode the image's executable VMAs into the fresh decode cache so
-  /// the worker starts warm instead of paying cold fetch misses.
-  bool warm_code = false;
 };
 
 class Os {
@@ -176,20 +160,10 @@ class Os {
   void register_listener(const std::shared_ptr<Socket>& sock);
 
   /// Adopts an externally constructed process (image restore into a new
-  /// process). Assigns and returns a fresh pid.
+  /// process). Assigns and returns a fresh pid. This is the OS-level hook
+  /// image::spawn_from_image (CRIU restore-as-template, defined in the
+  /// image layer above this one) builds on.
   int adopt(std::unique_ptr<Process> p);
-
-  /// CRIU restore-as-template: forks a brand-new serving process directly
-  /// from a (possibly customized) stored image. The worker gets a fresh
-  /// pid/asid/fd table; its pages *share* the image's content-addressed
-  /// blocks in O(pages) pointer installs, so 100 workers cost one resident
-  /// image plus their private write sets. Listening sockets are re-created
-  /// (rebound to `opts.listen_port` when set) and registered; established
-  /// connections come back detached with their buffered bytes. Returns the
-  /// new pid. Defined in the image layer (dynacut_image), which sits above
-  /// the OS in the link order.
-  int spawn_from_image(const image::ProcessImage& img,
-                       const SpawnOpts& opts = {});
 
   /// Payload bytes of page blocks held by live address spaces, deduped by
   /// block identity. Thread one `seen` set through this and

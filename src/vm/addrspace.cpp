@@ -13,6 +13,18 @@ uint64_t AddressSpace::next_asid() {
   return counter.fetch_add(1, std::memory_order_relaxed);
 }
 
+namespace {
+std::atomic<uint64_t> g_share_epoch{1};
+}  // namespace
+
+uint64_t share_epoch() {
+  return g_share_epoch.load(std::memory_order_relaxed);
+}
+
+void bump_share_epoch() {
+  g_share_epoch.fetch_add(1, std::memory_order_relaxed);
+}
+
 uint64_t AddressSpace::page_generation(uint64_t page_addr) const {
   auto it = page_gens_.find(page_floor(page_addr));
   return it == page_gens_.end() ? 0 : it->second;
@@ -263,14 +275,18 @@ Access AddressSpace::write(uint64_t addr, const void* src, uint64_t n,
       (cached_vma_->prot & need_prot) == need_prot) {
     uint64_t page = page_floor(addr);
     if (page == page_floor(addr + n - 1)) {
-      // The raw pointer is only usable if the block is uniquely owned and
-      // already stamped this epoch; otherwise take the COW/stamp slow step
-      // once and cache the result.
-      if (page != cached_page_addr_ || !cached_page_writable_) {
+      // The raw pointer is only usable if the block is uniquely owned,
+      // already stamped this epoch, and no one shared a block behind our
+      // back since arming (share_epoch moved: BlockStore::intern may have
+      // handed this very block to a new holder); otherwise take the
+      // COW/stamp slow step once and re-arm.
+      if (page != cached_page_addr_ || !cached_page_writable_ ||
+          cached_share_epoch_ != share_epoch()) {
         Page& p = writable_page(page);
         cached_page_addr_ = page;
         cached_page_ = &p;
         cached_page_writable_ = true;
+        cached_share_epoch_ = share_epoch();
       }
       std::memcpy(cached_page_->data() + (addr - page), src, n);
       if ((cached_vma_->prot & kProtExec) != 0) ++page_gens_[page];

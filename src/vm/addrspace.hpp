@@ -31,6 +31,18 @@ namespace dynacut::vm {
 /// checkpoint images. Shared blocks (use_count > 1) are never mutated.
 using PageRef = std::shared_ptr<std::vector<uint8_t>>;
 
+/// Machine-wide share epoch. Every path that hands a block to a new holder
+/// *with the owner's involvement* (page_block, a whole-space copy) disarms
+/// that owner's write fast-path cache directly. Content-addressed dedup
+/// (image::BlockStore::intern) is the one path that shares a live block
+/// *behind its owner's back* — it cannot reach the owning space, so it
+/// bumps this epoch instead, and AddressSpace::write() re-validates its
+/// armed raw-pointer cache against it before every fast-path store. A
+/// mismatch forces one writable_page() walk, which sees the new use_count
+/// and clones (COW) before mutating.
+uint64_t share_epoch();
+void bump_share_epoch();
+
 /// A virtual memory area (page-aligned [start, end) range).
 struct Vma {
   uint64_t start = 0;
@@ -274,11 +286,14 @@ class AddressSpace {
   // cached_page_writable_ marks that the cached block is uniquely owned
   // AND already dirty-stamped at the current epoch — only then may the
   // write fast path scribble through the raw pointer. Sharing a block out
-  // (page_block, whole-space copy) or advancing the epoch clears it.
+  // (page_block, whole-space copy) or advancing the epoch clears it;
+  // sharing behind this space's back (BlockStore dedup) bumps the global
+  // share_epoch(), which the fast path checks against cached_share_epoch_.
   mutable const Vma* cached_vma_ = nullptr;
   mutable uint64_t cached_page_addr_ = ~0ull;
   mutable Page* cached_page_ = nullptr;
   mutable bool cached_page_writable_ = false;
+  mutable uint64_t cached_share_epoch_ = 0;
 };
 
 }  // namespace dynacut::vm

@@ -88,7 +88,7 @@ class DecodeCache {
   void clear();
 
   /// Pre-decodes [start, end) of `mem` into the cache — the warm-start path
-  /// of Os::spawn_from_image, so a worker forked from an image starts with
+  /// of image::spawn_from_image, so a worker forked from an image starts
   /// its code already decoded instead of paying cold misses. Fills follow
   /// the demand-miss contract (page-straddlers stay uncached, undecodable
   /// bytes resync one byte forward) and count as misses. Returns the number

@@ -1,7 +1,7 @@
 // The fleet-wide content-addressed BlockStore: dedup across pids and Os
 // instances, refcount-aware accounting (weak entries die with their last
 // holder), the full-byte compare that guards hash collisions, and the two
-// consumers built on top of it — Os::spawn_from_image (instant scale-out
+// consumers built on top of it — image::spawn_from_image (instant scale-out
 // bit-identical to a replayed boot) and the seen-threaded resident-bytes
 // accounting that counts a shared block once machine-wide.
 #include <gtest/gtest.h>
@@ -83,6 +83,61 @@ TEST(BlockStore, FullByteCompareGuardsHashCollisions) {
   bs.set_hash_for_test(nullptr);
 }
 
+// Dedup can hand a live, sole-owned page block to a second holder behind
+// its owning AddressSpace's back — while the owner's write fast-path raw
+// pointer is still armed from an earlier legal in-place write. The
+// share-epoch bump on every dedup hit must disarm that cache so the
+// owner's next write COW-clones instead of corrupting the new holder.
+TEST(BlockStore, DedupDisarmsOwnersWriteFastPath) {
+  BlockStore& bs = BlockStore::global();
+  vm::AddressSpace owner;
+  owner.map(0x1000, kPageSize, kProtRead | kProtWrite, "data");
+  std::vector<uint8_t> fill(kPageSize, 0x77);
+  owner.poke_bytes(0x1000, fill);
+
+  // Register the live block (an image shared it once), then drop that
+  // holder: the owner is the sole holder again and may write in place.
+  bs.intern(owner.page_block(0x1000));
+
+  // A legal in-place write arms the owner's write fast-path raw pointer
+  // (the block is uniquely owned, so no clone happens). Write the byte the
+  // page already holds so the table entry stays byte-accurate.
+  uint8_t same = 0x77;
+  owner.poke(0x1000, &same, 1);
+
+  // Another pid's checkpoint interns byte-identical content: dedup hands
+  // the owner's live block to a second holder behind the owner's back.
+  bs.reset_stats();
+  vm::PageRef other = bs.intern_bytes(std::span<const uint8_t>(fill));
+  ASSERT_EQ(bs.stats().dedup_hits, 1u);  // the hazardous path was taken
+
+  // The owner's next write must not scribble into the now-shared block.
+  uint8_t diff = 0x99;
+  owner.poke(0x1000, &diff, 1);
+  EXPECT_EQ((*other)[0], 0x77);                     // new holder unharmed
+  EXPECT_EQ(owner.peek_bytes(0x1000, 1)[0], 0x99);  // owner's write landed
+  EXPECT_NE(owner.page_block(0x1000).get(), other.get());  // COW split
+}
+
+// Same hazard through intern(PageRef): a second space's checkpoint dedups
+// onto the armed owner's block.
+TEST(BlockStore, InternPageRefAlsoDisarms) {
+  BlockStore& bs = BlockStore::global();
+  vm::AddressSpace owner;
+  owner.map(0x2000, kPageSize, kProtRead | kProtWrite, "data");
+  std::vector<uint8_t> fill(kPageSize, 0x3c);
+  owner.poke_bytes(0x2000, fill);
+  bs.intern(owner.page_block(0x2000));
+  uint8_t same = 0x3c;
+  owner.poke(0x2000, &same, 1);  // arm the fast path
+
+  vm::PageRef other = bs.intern(page_of(0x3c));
+  uint8_t diff = 0x11;
+  owner.poke(0x2000, &diff, 1);
+  EXPECT_EQ((*other)[0], 0x3c);
+  EXPECT_EQ(owner.peek_bytes(0x2000, 1)[0], 0x11);
+}
+
 // ---------------------------------------------------------------------------
 // Fleet dedup: images of different pids share resident blocks
 // ---------------------------------------------------------------------------
@@ -127,7 +182,7 @@ TEST(SpawnFromImage, BitIdenticalToReplayedBoot) {
   // Clone: fork a fresh Os's first process from the image — no guest
   // instruction runs. Replay: the same boot re-executed from the binary.
   os::Os cloned;
-  int cp = cloned.spawn_from_image(img);
+  int cp = spawn_from_image(cloned, img);
   os::Os replayed;
   int rp = replayed.spawn(bin, {libc});
   replayed.run();
@@ -159,8 +214,8 @@ TEST(SpawnFromImage, MixedFleetSameSeedIsDeterministic) {
     ProcessImage img = checkpoint(vos, {.pid = tp}).img;
     // Mixed fleet: two workers forked from the image onto fresh ports,
     // one booted from the binary the ordinary way.
-    int w1 = vos.spawn_from_image(img, {.listen_port = 81});
-    int w2 = vos.spawn_from_image(img, {.listen_port = 82});
+    int w1 = spawn_from_image(vos, img, {.listen_port = 81});
+    int w2 = spawn_from_image(vos, img, {.listen_port = 82});
     int w3 = vos.spawn(testing::build_toysrv(83), {libc});
     vos.run();
     std::string out;
@@ -194,8 +249,8 @@ TEST(ResidentBytes, SeenSetCountsSharedBlocksOnce) {
   ImageStore store;
   store.put(ImageKey{tp, ImageKey::kPreTag}, img);
   for (int i = 0; i < 3; ++i) {
-    vos.spawn_from_image(img,
-                         {.listen_port = static_cast<uint16_t>(81 + i)});
+    spawn_from_image(vos, img,
+                     {.listen_port = static_cast<uint16_t>(81 + i)});
   }
 
   const uint64_t solo = vos.process(tp)->mem.resident_bytes();

@@ -198,6 +198,24 @@ TEST(DynaCut, RestoreUnknownFeatureThrows) {
   EXPECT_THROW(dc.restore_feature("never_disabled"), StateError);
 }
 
+// Feature names become ImageKey feature-set tags: the reserved pre-rewrite
+// tag would overwrite the pristine rollback image's key, '+' is the tag
+// separator, and an empty name yields ambiguous tags — all rejected before
+// any process is touched.
+TEST(DynaCut, ReservedOrSeparatorFeatureNamesThrow) {
+  Pipeline px;
+  DynaCut dc(px.vos, px.pid);
+  for (const char* bad : {"pre", "a+b", ""}) {
+    FeatureSpec spec = px.feature_b;
+    spec.name = bad;
+    EXPECT_THROW(dc.disable_feature({spec, RemovalPolicy::kBlockFirstByte,
+                                    TrapPolicy::kRedirect}),
+                 StateError)
+        << "feature name '" << bad << "' must be rejected";
+  }
+  EXPECT_TRUE(dc.disabled_features().empty());
+}
+
 TEST(DynaCut, RedirectOutsideAnyFunctionThrows) {
   Pipeline px;
   FeatureSpec spec = px.feature_b;
