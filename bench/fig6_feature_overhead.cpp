@@ -5,14 +5,32 @@
 // Workload (as in the paper): disable the WebDAV PUT+DELETE methods of the
 // two web servers and the SET command of the key-value store, with the
 // fault handler redirecting blocked requests to the app's own error path.
+//
+// A second phase measures the steady-state price of a denied request under
+// both entry-denial mechanisms: trap (int3 + signal round-trip per probe)
+// vs stub (callsite redirected into the error path, one branch). Gates —
+// written to BENCH_cut.json (--out=PATH) — require the stub's per-request
+// overhead to sit within noise of the enabled baseline and at least 5x
+// below the trap's, with zero SIGTRAPs delivered on the stub path.
 #include <cstdio>
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <fstream>
+#include <set>
+#include <span>
+#include <sstream>
+#include <string>
 
 #include "analysis/coverage.hpp"
 #include "apps/minihttpd.hpp"
 #include "apps/minikv.hpp"
 #include "apps/miniweb.hpp"
 #include "bench_common.hpp"
+#include "apps/libc.hpp"
 #include "core/dynacut.hpp"
+#include "isa/isa.hpp"
+#include "melf/builder.hpp"
 
 namespace {
 
@@ -79,9 +97,267 @@ Row customize(const std::string& label,
   return row;
 }
 
+// --- steady-state mechanism comparison -----------------------------------
+
+struct SteadyRow {
+  std::string label;
+  double enabled = 0;  ///< virtual ns per natively-denied request
+  double trap = 0;     ///< per denied request, trap mechanism
+  double stub = 0;     ///< per denied request, stub mechanism
+  uint64_t trap_signals = 0;
+  uint64_t stub_signals = 0;
+  size_t callsites_stubbed = 0;
+};
+
+int g_failures = 0;
+
+void gate(bool ok, const std::string& what) {
+  if (!ok) {
+    std::printf("!! GATE FAILED: %s\n", what.c_str());
+    ++g_failures;
+  }
+}
+
+/// Lets the server group drain back to its accept/recv loop so the cut
+/// never freezes a process mid-feature (where the int3 net would fire
+/// once on resume regardless of mechanism).
+void park(os::Os& vos) { vos.run(400'000); }
+
+/// The strict-gate microprobe: a spin loop calling a two-instruction
+/// feature with a same-function deny path, one probe per iteration. The
+/// enabled baseline and the denied paths differ only by mechanism, so the
+/// columns isolate the signal round-trip vs the one-branch stub detour.
+SteadyRow micro_steady() {
+  namespace sys = os::sys;
+  melf::ProgramBuilder b("probe");
+  b.func("feat").mov_ri(0, 7).ret();
+  auto& m = b.func("main");
+  // The deny arm rejoins at "after", and a never-taken compare keeps it
+  // statically reachable so CC003 accepts it as a redirect target.
+  m.label("spin")
+      .mark("arm")
+      .call("feat")
+      .label("after")
+      .mov_sym(3, "iters")
+      .load(4, 3, 0)
+      .add_ri(4, 1)
+      .store(3, 0, 4)
+      .cmp_ri(4, -1)
+      .je("deny")
+      .mov_ri(1, 50)
+      .sys(sys::kNanosleep)
+      .jmp("spin")
+      .label("deny")
+      .mark("err_path")
+      .jmp("after");
+  b.bss("iters", 8);
+  b.set_entry("main");
+  auto bin = std::make_shared<melf::Binary>(b.link());
+
+  os::Os vos;
+  int pid = vos.spawn(bin, {apps::build_libc()});
+  uint64_t iters_addr = kAppBase + bin->find_symbol("iters")->value;
+  auto iters = [&] {
+    auto bytes = vos.process(pid)->mem.peek_bytes(iters_addr, 8);
+    uint64_t v = 0;
+    for (int i = 7; i >= 0; --i) v = (v << 8) | bytes[i];
+    return v;
+  };
+
+  const melf::Symbol* feat = bin->find_symbol("feat");
+  core::FeatureSpec spec;
+  spec.name = "unwanted";
+  spec.blocks = {
+      analysis::CovBlock{"probe", feat->value,
+                         static_cast<uint32_t>(feat->size)},
+      analysis::CovBlock{"probe", bin->find_symbol("arm")->value, 5}};
+  spec.redirect_module = "probe";
+  spec.redirect_offset = bin->find_symbol("err_path")->value;
+
+  constexpr uint64_t kIters = 256;
+  auto measure = [&](double* per_iter, uint64_t* signals) {
+    uint64_t c0 = iters();
+    uint64_t t0 = vos.now();
+    uint64_t s0 = vos.total_sigtraps();
+    while (iters() < c0 + kIters) vos.run(2000);
+    *per_iter = static_cast<double>(vos.now() - t0) /
+                static_cast<double>(iters() - c0);
+    *signals = vos.total_sigtraps() - s0;
+  };
+
+  SteadyRow row;
+  row.label = "microprobe";
+  vos.run(20'000);  // warm
+  uint64_t ignore_sig = 0;
+  measure(&row.enabled, &ignore_sig);
+
+  core::DynaCut dc(vos, pid);
+  park(vos);
+  dc.disable_feature({.feature = spec,
+                      .removal = core::RemovalPolicy::kBlockFirstByte,
+                      .trap = core::TrapPolicy::kRedirect,
+                      .mechanism = core::CutMechanism::kTrap});
+  measure(&row.trap, &row.trap_signals);
+  dc.restore_feature("unwanted");
+
+  park(vos);
+  core::CustomizeReport rep =
+      dc.disable_feature({.feature = spec,
+                          .removal = core::RemovalPolicy::kBlockFirstByte,
+                          .trap = core::TrapPolicy::kRedirect,
+                          .mechanism = core::CutMechanism::kStub});
+  row.callsites_stubbed = rep.edits.callsites_stubbed;
+  measure(&row.stub, &row.stub_signals);
+
+  gate(row.callsites_stubbed >= 1, "microprobe: no callsite was stubbed");
+  gate(row.trap_signals >= kIters,
+       "microprobe: trap mechanism delivered fewer SIGTRAPs than probes");
+  gate(row.stub_signals == 0,
+       "microprobe: stub mechanism still delivered SIGTRAPs");
+  double trap_over = row.trap - row.enabled;
+  double stub_over = row.stub - row.enabled;
+  gate(stub_over <= 0.10 * row.enabled,
+       "microprobe: stub-denied probe not within 10% of the enabled "
+       "baseline");
+  gate(trap_over >= 5.0 * std::max(stub_over, 2.0),
+       "microprobe: trap round-trip not >=5x the stub overhead");
+  return row;
+}
+
+SteadyRow steady_state(const std::string& label,
+                       std::shared_ptr<const melf::Binary> bin, uint16_t port,
+                       const std::string& module,
+                       const std::vector<std::string>& undesired_reqs,
+                       const std::vector<std::string>& wanted_reqs,
+                       const std::string& redirect_symbol,
+                       const std::vector<std::string>& handler_funcs,
+                       const std::string& probe_req,
+                       const std::string& baseline_req,
+                       const std::string& expect_blocked_reply) {
+  bench::ServerPhases undesired = bench::profile_server(bin, port,
+                                                        undesired_reqs);
+  bench::ServerPhases wanted = bench::profile_server(bin, port, wanted_reqs);
+  std::vector<analysis::CovBlock> diff =
+      analysis::feature_diff({undesired.serving_log}, {wanted.serving_log},
+                             module)
+          .blocks();
+
+  // One cut plan, two mechanisms. The plan cuts the handler functions
+  // plus the dispatcher's `call handler` arm blocks; the method-compare
+  // blocks stay live, so a denied probe walks the same dispatcher path as
+  // the natively-denied baseline before hitting the mechanism. Under trap
+  // the arm callsite's int3 costs a signal round-trip per probe; under
+  // stub the callsite is retargeted at the error path (skip_trap — the
+  // redirect IS the denial) and costs one branch.
+  std::set<uint64_t> handler_entries;
+  auto in_handler = [&](const analysis::CovBlock& b) {
+    for (const std::string& fn : handler_funcs) {
+      const melf::Symbol* s = bin->find_symbol(fn);
+      if (b.offset >= s->value && b.offset + b.size <= s->value + s->size) {
+        return true;
+      }
+    }
+    return false;
+  };
+  for (const std::string& fn : handler_funcs) {
+    handler_entries.insert(bin->find_symbol(fn)->value);
+  }
+  auto is_arm_call = [&](const analysis::CovBlock& b) {
+    const melf::Section* text = bin->section(melf::SectionKind::kText);
+    if (b.offset < text->offset ||
+        b.offset + isa::kMaxInstrLength > text->offset + text->size) {
+      return false;
+    }
+    auto ins = isa::try_decode(std::span<const uint8_t>(
+        text->bytes.data() + (b.offset - text->offset), isa::kMaxInstrLength));
+    return ins && ins->op == isa::Op::kCall &&
+           handler_entries.count(ins->target(b.offset)) != 0;
+  };
+  core::FeatureSpec spec;
+  spec.name = "unwanted";
+  spec.redirect_module = module;
+  spec.redirect_offset = bin->find_symbol(redirect_symbol)->value;
+  for (const analysis::CovBlock& b : diff) {
+    if (in_handler(b) || is_arm_call(b)) spec.blocks.push_back(b);
+  }
+
+  os::Os vos;
+  int pid = vos.spawn(bin, {apps::build_libc()});
+  run_until(vos, [&] { return vos.has_listener(port); });
+  auto conn = vos.connect(port);
+  bench::request(vos, conn, wanted_reqs[0]);
+  bench::request(vos, conn, probe_req);     // warm the feature path
+  bench::request(vos, conn, baseline_req);  // warm the native error path
+
+  constexpr int kReqs = 32;
+  auto measure = [&](const std::string& send, const std::string& expect_reply,
+                     double* per_req, uint64_t* signals) {
+    uint64_t t0 = vos.now();
+    uint64_t s0 = vos.total_sigtraps();
+    for (int i = 0; i < kReqs; ++i) {
+      // Fine-grained driving: a coarse run() budget would quantize the
+      // per-request delta (the multi-process server keeps a poller
+      // runnable, so run() burns its whole budget before returning).
+      conn.send(send);
+      run_until(vos, [&] { return conn.pending() > 0; }, 20000, 250);
+      std::string got = conn.recv_all();
+      if (got != expect_reply) {
+        gate(false, label + ": probe answered '" + got + "' (expected '" +
+                        expect_reply + "')");
+        break;
+      }
+    }
+    *per_req = static_cast<double>(vos.now() - t0) / kReqs;
+    *signals = vos.total_sigtraps() - s0;
+  };
+
+  SteadyRow row;
+  row.label = label;
+  // Baseline: a request the app denies natively — the same error-path
+  // reply a cut probe produces, with no mechanism in the way.
+  uint64_t ignore_sig = 0;
+  measure(baseline_req, expect_blocked_reply, &row.enabled, &ignore_sig);
+
+  core::DynaCut dc(vos, pid);
+  park(vos);
+  dc.disable_feature({.feature = spec,
+                      .removal = core::RemovalPolicy::kBlockFirstByte,
+                      .trap = core::TrapPolicy::kRedirect,
+                      .expand_to_slice = true,
+                      .mechanism = core::CutMechanism::kTrap});
+  measure(probe_req, expect_blocked_reply, &row.trap, &row.trap_signals);
+  dc.restore_feature("unwanted");
+
+  park(vos);
+  core::CustomizeReport rep =
+      dc.disable_feature({.feature = spec,
+                          .removal = core::RemovalPolicy::kBlockFirstByte,
+                          .trap = core::TrapPolicy::kRedirect,
+                          .expand_to_slice = true,
+                          .mechanism = core::CutMechanism::kStub});
+  row.callsites_stubbed = rep.edits.callsites_stubbed;
+  measure(probe_req, expect_blocked_reply, &row.stub, &row.stub_signals);
+
+  gate(row.callsites_stubbed >= 1, label + ": no callsite was stubbed");
+  gate(row.trap_signals >= kReqs,
+       label + ": trap mechanism delivered fewer SIGTRAPs than probes");
+  gate(row.stub_signals == 0,
+       label + ": stub mechanism still delivered SIGTRAPs");
+  // The server columns are informational: the native-deny baseline walks
+  // a slightly different strcmp path than the probe and the multi-process
+  // server's sleep-pollers ride the clock, so the strict 5x gate lives on
+  // the microprobe row where the three paths are identical up to the
+  // mechanism.
+  return row;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string out_path = "BENCH_cut.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--out=", 6) == 0) out_path = argv[i] + 6;
+  }
   bench::banner(
       "Figure 6: overhead of dynamic feature customization\n"
       "(disable web PUT+DELETE / kv SET; redirect to app error path)");
@@ -154,5 +430,65 @@ int main() {
       "\nShape check: the warm toggle's freeze window (dump+restore) is a\n"
       "small multiple of the dirty working set, not of the image — the\n"
       "incremental checkpoint path.\n");
-  return 0;
+
+  // Steady-state per-request cost of a denied feature probe, by mechanism.
+  bench::banner(
+      "Steady state: denied-probe cost, trap vs stub mechanism\n"
+      "(virtual ns per request; 1 tick ~ 1ns)");
+  std::vector<SteadyRow> steady;
+  steady.push_back(micro_steady());
+  steady.push_back(steady_state(
+      "Lighttpd (minihttpd)", apps::build_minihttpd(), apps::kMinihttpdPort,
+      "minihttpd", {"GET /index\n", "PUT /a x\n", "DELETE /a\n"},
+      {"GET /index\n", "HEAD /index\n"}, "http_403",
+      {"serve_put", "serve_delete"}, "PUT /b y\n", "PATCH /b y\n",
+      "403 Forbidden\n"));
+  steady.push_back(steady_state(
+      "Nginx (miniweb)", apps::build_miniweb(), apps::kMiniwebPort,
+      "miniweb", {"GET /index\n", "PUT /a x\n", "DELETE /a\n"},
+      {"GET /index\n", "HEAD /index\n"}, "dav_403", {"do_put", "do_delete"},
+      "PUT /b y\n", "PATCH /b y\n", "403 Forbidden\n"));
+  steady.push_back(steady_state(
+      "Redis (minikv)", apps::build_minikv(), apps::kMinikvPort, "minikv",
+      {"SET k v\n", "GET k\n", "PING\n"}, {"GET k\n", "PING\n", "DEL k\n"},
+      "dispatch_err", {"cmd_set"}, "SET k v2\n", "BLAH k v\n",
+      "-ERR unknown or disabled command\n"));
+
+  std::printf("\n%-22s %10s %10s %10s %10s %10s %7s %7s %6s\n",
+              "application", "baseline", "trap", "stub", "trap_over",
+              "stub_over", "trapsig", "stubsig", "stubs");
+  for (const auto& s : steady) {
+    std::printf(
+        "%-22s %10.1f %10.1f %10.1f %10.1f %10.1f %7llu %7llu %6zu\n",
+        s.label.c_str(), s.enabled, s.trap, s.stub, s.trap - s.enabled,
+        s.stub - s.enabled, static_cast<unsigned long long>(s.trap_signals),
+        static_cast<unsigned long long>(s.stub_signals),
+        s.callsites_stubbed);
+  }
+  std::printf(
+      "\nShape checks: the stub column sits at the enabled baseline (the\n"
+      "denied probe branches straight to the app's error path), the trap\n"
+      "column pays a signal round-trip per probe (>=5x the stub overhead),\n"
+      "and the stub rows deliver zero SIGTRAPs.\n");
+
+  std::ostringstream json;
+  json << "{\n  \"steady_state\": [\n";
+  for (size_t i = 0; i < steady.size(); ++i) {
+    const auto& s = steady[i];
+    json << "    {\"app\": \"" << s.label << "\", \"baseline_ns\": "
+         << s.enabled << ", \"trap_ns\": " << s.trap
+         << ", \"stub_ns\": " << s.stub
+         << ", \"trap_overhead\": " << s.trap - s.enabled
+         << ", \"stub_overhead\": " << s.stub - s.enabled
+         << ", \"trap_signals\": " << s.trap_signals
+         << ", \"stub_signals\": " << s.stub_signals
+         << ", \"callsites_stubbed\": " << s.callsites_stubbed << "}"
+         << (i + 1 < steady.size() ? "," : "") << "\n";
+  }
+  json << "  ],\n  \"gate_failures\": " << g_failures << "\n}\n";
+  std::ofstream out(out_path);
+  out << json.str();
+  std::printf("\nWrote %s (gate_failures=%d)\n", out_path.c_str(),
+              g_failures);
+  return g_failures == 0 ? 0 : 1;
 }

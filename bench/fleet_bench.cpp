@@ -28,6 +28,15 @@
 //                    pages; dedup ratio >= 3x), host-side spawn latency
 //                    beats a full spawn+boot+customize replay, and the
 //                    whole storm run twice same-seed is bit-identical.
+//   5. probe storm — half the fleet has SET disabled and every client
+//                    probes the disabled command once per request slice,
+//                    once under the trap mechanism and once under stub
+//                    callsite redirection. Gates: the trap run pays one
+//                    SIGTRAP per denied probe while the stub run pays
+//                    zero, every probe is denied with the app's own
+//                    error reply, the enabled half keeps serving, and
+//                    the stub run's denied-probe tail (p99) does not
+//                    exceed the trap run's.
 //
 // Latency is measured in virtual ticks and quantized at the poll slice:
 // the host observes replies only between run_ticks() calls, so a healthy
@@ -48,8 +57,13 @@
 #include <string>
 #include <vector>
 
+#include <memory>
+#include <span>
+
+#include "analysis/cfg.hpp"
 #include "analysis/coverage.hpp"
 #include "apps/minikv.hpp"
+#include "isa/isa.hpp"
 #include "bench_common.hpp"
 #include "core/dynacut.hpp"
 #include "obs/bus.hpp"
@@ -535,6 +549,159 @@ StormResult run_storm(const core::FeatureSpec& spec, int workers) {
   return out;
 }
 
+// --------------------------------------------------------------------------
+// Phase 5: probe storm — disabled-feature probes, trap vs stub mechanism
+// --------------------------------------------------------------------------
+
+constexpr uint16_t kProbeBasePort = 7700;
+
+struct ProbeResult {
+  LatencyStats denied_lat;   ///< latency of denied probes (disabled half)
+  size_t denied = 0;         ///< probes answered with the error reply
+  size_t served = 0;         ///< probes served by the enabled half
+  uint64_t sigtraps = 0;     ///< SIGTRAPs delivered during the probe window
+  bool ok = true;
+  std::string why;
+};
+
+/// Boots `fleet` minikv servers, disables SET on the first half with the
+/// given mechanism, then has every connection probe "SET k v" once per
+/// slice. The cut spec is narrowed to cmd_set plus the dispatcher's arm
+/// call so the probe path is identical under both mechanisms up to the
+/// denial itself.
+ProbeResult run_probe(int fleet, core::CutMechanism mech, int slices) {
+  ProbeResult out;
+  os::Os vos;
+  vos.set_seed(42);
+  vos.set_cores(4);
+  auto libc = apps::build_libc();
+
+  std::vector<int> pids;
+  for (int i = 0; i < fleet; ++i) {
+    uint16_t port = static_cast<uint16_t>(kProbeBasePort + i);
+    pids.push_back(vos.spawn(apps::build_minikv(port, kFleetHeapKb), {libc}));
+  }
+  if (!run_until(vos, [&] {
+        for (int i = 0; i < fleet; ++i) {
+          if (!vos.has_listener(static_cast<uint16_t>(kProbeBasePort + i))) {
+            return false;
+          }
+        }
+        return true;
+      })) {
+    out.ok = false;
+    out.why = "probe fleet failed to boot";
+    return out;
+  }
+
+  // Narrowed spec from the shared binary layout: the cmd_set blocks plus
+  // the dispatch_command block whose call targets it (stubbable callsite).
+  auto proto = apps::build_minikv(kProbeBasePort, kFleetHeapKb);
+  const melf::Symbol* handler = proto->find_symbol("cmd_set");
+  core::FeatureSpec spec;
+  spec.name = "SET";
+  analysis::StaticCfg cfg = analysis::recover_cfg(*proto);
+  for (const auto& [boff, blk] : cfg.blocks) {
+    if (boff >= handler->value && boff < handler->value + handler->size) {
+      spec.blocks.push_back(analysis::CovBlock{
+          "minikv", boff, static_cast<uint32_t>(blk.size)});
+    }
+  }
+  const melf::Symbol* disp = proto->find_symbol("dispatch_command");
+  const melf::Section* text = proto->section(melf::SectionKind::kText);
+  for (uint64_t off = disp->value; off < disp->value + disp->size;) {
+    size_t avail = std::min<size_t>(isa::kMaxInstrLength,
+                                    text->offset + text->size - off);
+    auto ins = isa::try_decode(std::span<const uint8_t>(
+        text->bytes.data() + (off - text->offset), avail));
+    if (!ins) break;
+    if (ins->op == isa::Op::kCall && ins->target(off) == handler->value) {
+      spec.blocks.push_back(analysis::CovBlock{"minikv", off, ins->length});
+    }
+    off += ins->length;
+  }
+  spec.redirect_module = "minikv";
+  spec.redirect_offset = proto->find_symbol("dispatch_err")->value;
+
+  // Park the fleet (no ip stranded mid-call at a cut entry), then disable
+  // SET on the first half. The DynaCut objects stay alive for the window.
+  for (bool all = false; !all;) {
+    all = true;
+    for (int pid : pids) {
+      if (vos.process(pid)->state == os::Process::State::kRunnable) {
+        all = false;
+      }
+    }
+    if (!all) vos.run(500);
+  }
+  const int half = fleet / 2;
+  std::vector<std::unique_ptr<core::DynaCut>> cuts;
+  for (int i = 0; i < half; ++i) {
+    cuts.push_back(std::make_unique<core::DynaCut>(vos, pids[i],
+                                                   fleet_cost_model()));
+    cuts.back()->disable_feature(
+        {.feature = spec,
+         .removal = core::RemovalPolicy::kBlockFirstByte,
+         .trap = core::TrapPolicy::kRedirect,
+         .mechanism = mech});
+  }
+
+  std::vector<FleetConn> conns(static_cast<size_t>(fleet));
+  for (int i = 0; i < fleet; ++i) {
+    conns[static_cast<size_t>(i)].conn =
+        vos.connect(static_cast<uint16_t>(kProbeBasePort + i));
+  }
+
+  // Warm-up: let the charged rewrite windows expire and land one probe on
+  // every connection so the measured slices see only steady-state denials.
+  vos.run_ticks(8 * kSlice);
+  for (auto& fc : conns) {
+    fc.conn.send("SET k v\n");
+    fc.sent_at = vos.now();
+    fc.in_flight = true;
+  }
+  for (int s = 0; s < 16; ++s) {
+    vos.run_ticks(kSlice);
+    bool pending = false;
+    for (auto& fc : conns) {
+      if (fc.in_flight && !fc.conn.recv_line().empty()) fc.in_flight = false;
+      pending |= fc.in_flight;
+    }
+    if (!pending) break;
+  }
+
+  std::vector<uint64_t> denied_lat;
+  const uint64_t traps0 = vos.total_sigtraps();
+  for (int s = 0; s < slices; ++s) {
+    for (auto& fc : conns) {
+      if (!fc.in_flight) {
+        fc.conn.send("SET k v\n");
+        fc.sent_at = vos.now();
+        fc.in_flight = true;
+      }
+    }
+    vos.run_ticks(kSlice);
+    for (size_t i = 0; i < conns.size(); ++i) {
+      auto& fc = conns[i];
+      if (!fc.in_flight) continue;
+      std::string line = fc.conn.recv_line();
+      if (line.empty()) continue;
+      fc.in_flight = false;
+      if (i < static_cast<size_t>(half)) {
+        if (line.rfind("-ERR", 0) == 0) {
+          ++out.denied;
+          denied_lat.push_back(vos.now() - fc.sent_at);
+        }
+      } else if (line.rfind("+OK", 0) == 0) {
+        ++out.served;
+      }
+    }
+  }
+  out.sigtraps = vos.total_sigtraps() - traps0;
+  out.denied_lat = percentiles(std::move(denied_lat));
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -717,6 +884,59 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Phase 5: probe storm ---------------------------------------------------
+  const int probe_fleet = light ? 24 : kFleetSize;
+  const int probe_slices = 8;
+  ProbeResult pt = run_probe(probe_fleet, core::CutMechanism::kTrap,
+                             probe_slices);
+  ProbeResult ps = run_probe(probe_fleet, core::CutMechanism::kStub,
+                             probe_slices);
+  if (!pt.ok || !ps.ok) {
+    std::printf("FAIL: %s%s\n", pt.why.c_str(), ps.why.c_str());
+    ++failures;
+  } else {
+    std::printf(
+        "\nprobe storm: %d servers, SET disabled on %d, one disabled-feature "
+        "probe per request\n",
+        probe_fleet, probe_fleet / 2);
+    std::printf("  trap: %zu denied (p50 %" PRIu64 " p99 %" PRIu64
+                " ticks), %zu served, %" PRIu64 " SIGTRAPs\n",
+                pt.denied, pt.denied_lat.p50, pt.denied_lat.p99, pt.served,
+                pt.sigtraps);
+    std::printf("  stub: %zu denied (p50 %" PRIu64 " p99 %" PRIu64
+                " ticks), %zu served, %" PRIu64 " SIGTRAPs\n",
+                ps.denied, ps.denied_lat.p50, ps.denied_lat.p99, ps.served,
+                ps.sigtraps);
+    const size_t floor = static_cast<size_t>(probe_fleet / 2) *
+                         (static_cast<size_t>(probe_slices) - 1);
+    if (pt.denied < floor || ps.denied < floor) {
+      std::printf("FAIL: denied-probe count below the serving floor %zu\n",
+                  floor);
+      ++failures;
+    }
+    if (pt.served < floor || ps.served < floor) {
+      std::printf("FAIL: enabled half stopped serving during the probes\n");
+      ++failures;
+    }
+    if (pt.sigtraps < pt.denied) {
+      std::printf("FAIL: trap run delivered %" PRIu64
+                  " SIGTRAPs for %zu denied probes\n",
+                  pt.sigtraps, pt.denied);
+      ++failures;
+    }
+    if (ps.sigtraps != 0) {
+      std::printf("FAIL: stub run still delivered %" PRIu64 " SIGTRAPs\n",
+                  ps.sigtraps);
+      ++failures;
+    }
+    if (ps.denied_lat.p99 > pt.denied_lat.p99) {
+      std::printf("FAIL: stub denied-probe p99 %" PRIu64
+                  " exceeds the trap run's %" PRIu64 "\n",
+                  ps.denied_lat.p99, pt.denied_lat.p99);
+      ++failures;
+    }
+  }
+
   // --- JSON -------------------------------------------------------------------
   std::ostringstream json;
   json << "{\n  \"light\": " << (light ? "true" : "false")
@@ -761,6 +981,16 @@ int main(int argc, char** argv) {
        << ",\n    \"retired_b\": " << st2.total_retired
        << ",\n    \"digest_a\": \"" << std::hex << st.digest
        << "\",\n    \"digest_b\": \"" << st2.digest << "\"" << std::dec
+       << "\n  },\n  \"probe_storm\": {\n    \"fleet\": " << probe_fleet
+       << ",\n    \"disabled\": " << probe_fleet / 2
+       << ",\n    \"trap_denied\": " << pt.denied
+       << ",\n    \"trap_denied_p50_ticks\": " << pt.denied_lat.p50
+       << ",\n    \"trap_denied_p99_ticks\": " << pt.denied_lat.p99
+       << ",\n    \"trap_sigtraps\": " << pt.sigtraps
+       << ",\n    \"stub_denied\": " << ps.denied
+       << ",\n    \"stub_denied_p50_ticks\": " << ps.denied_lat.p50
+       << ",\n    \"stub_denied_p99_ticks\": " << ps.denied_lat.p99
+       << ",\n    \"stub_sigtraps\": " << ps.sigtraps
        << "\n  },\n  \"gate_failures\": " << failures << "\n}\n";
   std::ofstream out(out_path);
   out << json.str();

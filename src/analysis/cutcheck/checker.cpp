@@ -781,6 +781,188 @@ void check_stub_reach(Ctx& c) {
   }
 }
 
+// --- CC013: stub-mechanism entry reachability ---------------------------
+
+void check_stub_reachability(Ctx& c, const slicer::SliceModel& m,
+                             const slicer::StubPlan& sp) {
+  if (c.plan.mechanism == Mechanism::kTrap) return;
+
+  if (c.plan.removal == Removal::kUnmapPages) {
+    c.add(kRuleStubReachability, Severity::kError, 0,
+          "the stub mechanism needs mapped code for its int3 safety net; "
+          "unmap-pages turns residual reachability into SIGSEGV instead of "
+          "a recoverable SIGTRAP",
+          "use first-byte or wipe-blocks removal with mechanism=stub/auto");
+  }
+
+  // Entries reachable through pointers the callsite pass cannot retarget —
+  // recomputed exactly as plan_stubs demotes them under kAuto.
+  std::set<uint64_t> pointer_reachable(m.deps.address_taken);
+  for (const slicer::IndirectSite& site : m.indirect) {
+    if (site.kind == slicer::IndirectSite::Kind::kTable ||
+        site.kind == slicer::IndirectSite::Kind::kDirect) {
+      pointer_reachable.insert(site.targets.begin(), site.targets.end());
+    }
+  }
+  std::set<uint64_t> explicit_set(c.plan.stub_entries.begin(),
+                                  c.plan.stub_entries.end());
+
+  for (uint64_t e : c.plan.stub_entries) {
+    const melf::Symbol* sym = c.bin.symbol_containing(e);
+    if (sym == nullptr || sym->value != e || !sym->is_function) {
+      c.add(kRuleStubReachability, Severity::kError, e,
+            "stub entry " + hex_addr(e) +
+                " is not a function-entry symbol; a callsite redirect can "
+                "only stand in for a whole function call",
+            "stub function entries only; interior blocks keep the int3 net");
+      continue;
+    }
+    if (c.range_starts.count(e) == 0) {
+      c.add(kRuleStubReachability, Severity::kError, e,
+            "stub entry '" + sym->name +
+                "' is not in the cut: the stub would deny a feature the "
+                "plan keeps live",
+            "add the function's blocks to the plan or drop the entry");
+      continue;
+    }
+    auto fit = m.funcs.find(e);
+    if (fit != m.funcs.end()) {
+      bool whole = true;
+      for (uint64_t b : fit->second.blocks) {
+        if (c.range_starts.count(b) == 0) {
+          whole = false;
+          break;
+        }
+      }
+      if (!whole) {
+        c.add(kRuleStubReachability, Severity::kWarning, e,
+              "stub entry '" + sym->name +
+                  "' is only partially cut; live interior blocks stay "
+                  "reachable through non-callsite edges while every direct "
+                  "call is denied",
+              "cut the whole function or use mechanism=trap for it");
+      }
+    }
+  }
+
+  for (uint64_t e : sp.trap_only) {
+    const melf::Symbol* sym = c.bin.symbol_containing(e);
+    std::string name = sym != nullptr ? "'" + sym->name + "'" : hex_addr(e);
+    if (explicit_set.count(e) != 0) {
+      c.add(kRuleStubReachability, Severity::kError, e,
+            "explicitly pinned stub entry " + name +
+                " is address-taken or an indirect-transfer target; "
+                "mechanism=auto demotes it to trap, contradicting the pin",
+            "drop the pin or use mechanism=stub to accept the int3 net");
+    } else {
+      c.add(kRuleStubReachability, Severity::kNote, e,
+            "entry " + name +
+                " is pointer-reachable; mechanism=auto keeps the trap "
+                "mechanism for it",
+            "");
+    }
+  }
+  if (c.plan.mechanism == Mechanism::kStub) {
+    for (uint64_t e : sp.entries) {
+      if (pointer_reachable.count(e) == 0) continue;
+      const melf::Symbol* sym = c.bin.symbol_containing(e);
+      std::string name = sym != nullptr ? "'" + sym->name + "'" : hex_addr(e);
+      c.add(kRuleStubReachability, Severity::kNote, e,
+            "stubbed entry " + name +
+                " is also pointer-reachable; those paths bypass the stub "
+                "and fall onto the int3 safety net",
+            "mechanism=auto would keep it on the trap mechanism");
+    }
+  }
+
+  // Redirect-mode stubs jump into the app's error path: the stack depth at
+  // the (post-pop) callsite must match the depth at the redirect target,
+  // exactly as CC010 demands of trap redirects.
+  if (c.plan.trap == Trap::kRedirect && c.plan.has_redirect) {
+    uint64_t tgt = c.plan.redirect_offset;
+    const melf::Symbol* tfn = c.bin.symbol_containing(tgt);
+    auto tdf = tfn != nullptr ? m.fdf.find(tfn->value) : m.fdf.end();
+    if (tfn != nullptr && tdf != m.fdf.end()) {
+      int64_t want = sp_depth_at(c, tdf->second, tgt);
+      for (const slicer::StubSite& s : sp.sites) {
+        if (c.bin.symbol_containing(s.instr) != tfn) continue;  // deny-ret
+        int64_t have = sp_depth_at(c, tdf->second, s.instr);
+        if (want == slicer::kUnknownDepth || have == slicer::kUnknownDepth) {
+          c.add(kRuleStubReachability, Severity::kWarning, s.instr,
+                "cannot prove the stack depth at stubbed callsite " +
+                    hex_addr(s.instr) + " matches the redirect target " +
+                    hex_addr(tgt),
+                "keep pushes and pops balanced on every path to the "
+                "callsite");
+        } else if (have != want) {
+          c.add(kRuleStubReachability, Severity::kError, s.instr,
+                "stub redirect from callsite " + hex_addr(s.instr) +
+                    " (stack depth " + std::to_string(have) + ") to " +
+                    hex_addr(tgt) + " (depth " + std::to_string(want) +
+                    ") unbalances the stack by " +
+                    std::to_string(have - want) + " byte(s)",
+                "cut at a matching depth or let the stub deny by return "
+                "value");
+        }
+      }
+    }
+  }
+
+  for (const slicer::StubSite& s : sp.int3_covered) {
+    c.add(kRuleStubReachability, Severity::kNote, s.instr,
+          "callsite " + hex_addr(s.instr) + " at stubbed entry " +
+              hex_addr(s.entry) +
+              " sits mid-block inside the cut; it stays on the int3 net "
+              "(the block's first byte denies it before the call decodes)",
+          "");
+  }
+}
+
+// --- CC014: stub patch reversibility ------------------------------------
+
+void check_stub_reversibility(Ctx& c, const slicer::StubPlan& sp) {
+  if (c.plan.mechanism == Mechanism::kTrap) return;
+
+  // The bytes the removal pass will actually rewrite: the plan's dead bytes
+  // minus the skip_trap blocks plan_stubs carves out (there, the redirect
+  // IS the denial and removal stands down).
+  ByteSet rewritten;
+  for (const auto& [off, size] : c.ranges) {
+    if (sp.skip_trap_blocks.count(off) != 0) continue;
+    switch (c.plan.removal) {
+      case Removal::kBlockFirstByte:
+        rewritten.add(off, off + 1);
+        break;
+      case Removal::kWipeBlocks:
+      case Removal::kUnmapPages:
+        rewritten.add(off, off + size);
+        break;
+    }
+  }
+
+  for (const slicer::StubSite& s : sp.sites) {
+    // A branch redirect rewrites [instr, instr+5): the opcode byte must
+    // survive and the rel32 must not land inside removal-rewritten bytes.
+    bool overlaps = false;
+    for (uint64_t b = s.instr; b < s.instr + 5; ++b) {
+      if (rewritten.contains(b)) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (overlaps) {
+      c.add(kRuleStubReversibility, Severity::kError, s.instr,
+            "stub patch at " + hex_addr(s.instr) +
+                " overlaps bytes the removal policy rewrites; overlapping "
+                "edits have order-dependent pre-images, so undoing the stub "
+                "alone (a mechanism flip) cannot restore bit-identical "
+                "pages",
+            "let the int3 net cover this callsite or exclude its block "
+            "from the removal");
+    }
+  }
+}
+
 }  // namespace
 
 CheckReport check_plan(const CutPlan& plan, const CheckOptions& opts) {
@@ -842,6 +1024,9 @@ CheckReport check_plan(const CutPlan& plan, const CheckOptions& opts) {
   check_stack_imbalance(c, model);
   check_dead_store(c, model);
   check_stub_reach(c);
+  slicer::StubPlan stubs = slicer::plan_stubs(model, plan);
+  check_stub_reachability(c, model, stubs);
+  check_stub_reversibility(c, stubs);
   return std::move(c.report);
 }
 

@@ -28,6 +28,14 @@
 //   CC011-dead-store       live writes whose every reader is cut
 //   CC012-stub-reach       redirect error stubs must stay live, reachable
 //                          and recoverable (no redirect over unmap)
+//   CC013-stub-reachability  (Mechanism::kStub/kAuto) every stubbed entry is
+//                          a wholly-cut function entry, pointer-reachable
+//                          entries keep the int3 net, redirect-mode stubs
+//                          land at a matching stack depth
+//   CC014-stub-reversibility (Mechanism::kStub/kAuto) stub patches must not
+//                          overlap removal-rewritten bytes — overlapping
+//                          edits have order-dependent pre-images, so a
+//                          mechanism flip could not undo bit-identically
 //
 // CC007–CC012 lean on the interprocedural slicer (src/analysis/slicer) for
 // indirect-target resolution, dominators, stack-depth and def-use facts.
@@ -55,6 +63,8 @@ inline constexpr char kRuleDataReach[] = "CC009-data-reach";
 inline constexpr char kRuleStackImbalance[] = "CC010-stack-imbalance";
 inline constexpr char kRuleDeadStore[] = "CC011-dead-store";
 inline constexpr char kRuleStubReach[] = "CC012-stub-reach";
+inline constexpr char kRuleStubReachability[] = "CC013-stub-reachability";
+inline constexpr char kRuleStubReversibility[] = "CC014-stub-reversibility";
 
 struct CheckOptions {
   /// Simulate the rewrite and diff gadget-start counts (CC006). The

@@ -30,6 +30,18 @@ const char* trap_name(Trap t) {
   return "?";
 }
 
+const char* mechanism_name(Mechanism m) {
+  switch (m) {
+    case Mechanism::kTrap:
+      return "trap";
+    case Mechanism::kStub:
+      return "stub";
+    case Mechanism::kAuto:
+      return "auto";
+  }
+  return "?";
+}
+
 std::vector<std::pair<uint64_t, uint64_t>> CutPlan::ranges() const {
   std::vector<std::pair<uint64_t, uint64_t>> out;
   out.reserve(blocks.size());

@@ -35,8 +35,23 @@ enum class Trap {
   kVerify,     ///< injected verifier heals the byte and logs the address
 };
 
+/// How disabled code is *reached-and-denied* (ROADMAP item 3). kTrap is the
+/// paper's mechanism: every entry into cut code raises SIGTRAP and pays a
+/// signal round-trip. kStub retargets PLT slots and direct call/jmp callsites
+/// at wholly-cut functions to a tiny injected error stub (one branch, no
+/// signal), keeping int3 as the safety net for non-callsite reachability.
+/// kAuto picks per entry point: stub where the slicer proves every inbound
+/// edge is a direct callsite, trap where the entry is address-taken or an
+/// indirect-transfer target.
+enum class Mechanism {
+  kTrap,  ///< int3 + signal round-trip on every entry (paper §3.2)
+  kStub,  ///< callsite/PLT redirection to an injected deny stub
+  kAuto,  ///< stub where provably callsite-only, trap elsewhere
+};
+
 const char* removal_name(Removal r);
 const char* trap_name(Trap t);
+const char* mechanism_name(Mechanism m);
 
 /// A proposed cut of one module: the feature's basic blocks that fall inside
 /// it plus the policies they will be applied with.
@@ -53,6 +68,15 @@ struct CutPlan {
   /// True when this module hosts the redirect target (Trap::kRedirect).
   bool has_redirect = false;
   uint64_t redirect_offset = 0;
+  /// Entry-denial mechanism (kStub/kAuto add callsite redirection; the
+  /// removal policy above still applies to non-callsite reachability).
+  Mechanism mechanism = Mechanism::kTrap;
+  /// Module-relative offsets of the function entries to stub. Empty means
+  /// "derive from the plan": slicer::plan_stubs picks the wholly-cut
+  /// function-entry symbols. Non-empty pins the set explicitly (checker and
+  /// test surface — lets CC013/CC014 examine entries the deriver would have
+  /// excluded).
+  std::vector<uint64_t> stub_entries;
 
   /// (offset, size) ranges sorted by offset; a zero block size counts as one
   /// byte, mirroring DynaCut::remove_blocks.

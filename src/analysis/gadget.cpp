@@ -1,6 +1,8 @@
 #include "analysis/gadget.hpp"
 
 #include "isa/isa.hpp"
+#include <algorithm>
+#include <cstdint>
 
 namespace dynacut::analysis {
 
@@ -30,11 +32,19 @@ bool gadget_at(const vm::AddressSpace& mem, uint64_t addr, int max_instrs) {
 }  // namespace
 
 GadgetStats scan_gadgets(const vm::AddressSpace& mem, int max_instrs) {
+  return scan_gadgets(mem, 0, UINT64_MAX, max_instrs);
+}
+
+GadgetStats scan_gadgets(const vm::AddressSpace& mem, uint64_t lo,
+                         uint64_t hi, int max_instrs) {
   GadgetStats stats;
   for (const auto& [start, vma] : mem.vmas()) {
     if ((vma.prot & kProtExec) == 0) continue;
-    stats.executable_bytes += vma.size();
-    for (uint64_t addr = vma.start; addr < vma.end; ++addr) {
+    uint64_t from = std::max(vma.start, lo);
+    uint64_t to = std::min(vma.end, hi);
+    if (from >= to) continue;
+    stats.executable_bytes += to - from;
+    for (uint64_t addr = from; addr < to; ++addr) {
       if (gadget_at(mem, addr, max_instrs)) ++stats.gadget_starts;
     }
   }

@@ -21,4 +21,9 @@ struct GadgetStats {
 /// invalid byte, a TRAP, or a non-executable boundary.
 GadgetStats scan_gadgets(const vm::AddressSpace& mem, int max_instrs = 5);
 
+/// Same scan restricted to the address window [lo, hi) — used to measure a
+/// specific module's surface while ignoring injected helper libraries.
+GadgetStats scan_gadgets(const vm::AddressSpace& mem, uint64_t lo,
+                         uint64_t hi, int max_instrs = 5);
+
 }  // namespace dynacut::analysis

@@ -301,6 +301,116 @@ PlanExpansion expand_plan(cutcheck::CutPlan& plan, const SliceOptions& opts) {
   return stats;
 }
 
+namespace {
+
+/// Module-relative offset of `block`'s terminator instruction (the last
+/// decodable instruction inside it), or nullopt on decode failure.
+std::optional<uint64_t> terminator_offset(const melf::Binary& bin,
+                                          const CfgBlock& block) {
+  uint64_t off = block.offset;
+  uint64_t end = block.offset + block.size;
+  while (off < end) {
+    isa::Instr in;
+    if (!decode_at(bin, off, in)) return std::nullopt;
+    if (off + in.length >= end) return off;
+    off += in.length;
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+StubPlan plan_stubs(const SliceModel& m, const cutcheck::CutPlan& plan) {
+  StubPlan out;
+  if (plan.mechanism == cutcheck::Mechanism::kTrap || m.bin == nullptr) {
+    return out;
+  }
+  std::set<uint64_t> cut_starts;
+  for (const auto& b : plan.blocks) cut_starts.insert(b.offset);
+
+  // Candidate entries: explicit, or every function symbol whose entry block
+  // is cut and whose whole intra-procedural CFG lies inside the cut.
+  const bool explicit_entries = !plan.stub_entries.empty();
+  std::set<uint64_t> candidates;
+  if (explicit_entries) {
+    candidates.insert(plan.stub_entries.begin(), plan.stub_entries.end());
+  } else {
+    for (const auto& [entry, f] : m.funcs) {
+      if (cut_starts.count(entry) == 0) continue;
+      bool whole = !f.blocks.empty();
+      for (uint64_t b : f.blocks) {
+        if (cut_starts.count(b) == 0) {
+          whole = false;
+          break;
+        }
+      }
+      if (whole) candidates.insert(entry);
+    }
+  }
+
+  // Entries reachable through pointers the callsite pass cannot retarget.
+  std::set<uint64_t> pointer_reachable(m.deps.address_taken);
+  for (const IndirectSite& site : m.indirect) {
+    if (site.kind != IndirectSite::Kind::kTable &&
+        site.kind != IndirectSite::Kind::kDirect) {
+      continue;
+    }
+    pointer_reachable.insert(site.targets.begin(), site.targets.end());
+  }
+
+  std::set<uint64_t> entries;
+  for (uint64_t entry : candidates) {
+    if (plan.mechanism == cutcheck::Mechanism::kAuto &&
+        pointer_reachable.count(entry) != 0) {
+      out.trap_only.push_back(entry);  // int3 must keep covering it
+    } else {
+      entries.insert(entry);
+    }
+  }
+  out.entries.assign(entries.begin(), entries.end());
+
+  for (uint64_t entry : entries) {
+    const melf::Symbol* sym = m.bin->symbol_containing(entry);
+    if (sym != nullptr && sym->value == entry && sym->global) {
+      out.exports.emplace_back(sym->name, entry);
+    }
+  }
+
+  // Direct callsites: every block terminated by kCall/kJmp whose static
+  // target is a stubbed entry.
+  for (const auto& [boff, block] : m.cfg.blocks) {
+    if (block.term != isa::Op::kCall && block.term != isa::Op::kJmp) continue;
+    auto toff = terminator_offset(*m.bin, block);
+    if (!toff) continue;
+    isa::Instr in;
+    if (!decode_at(*m.bin, *toff, in)) continue;
+    if (entries.count(in.target(*toff)) == 0) continue;
+    StubSite site;
+    site.instr = *toff;
+    site.block = boff;
+    site.entry = in.target(*toff);
+    site.is_call = block.term == isa::Op::kCall;
+    if (cut_starts.count(boff) != 0) {
+      if (*toff == boff) {
+        // A cut block *starting* with the callsite: the redirect is the
+        // denial; removal must not overwrite the branch opcode.
+        site.skip_trap = true;
+        out.skip_trap_blocks.insert(boff);
+      } else if (!explicit_entries) {
+        // Mid-block inside the cut: the int3 net denies it first.
+        out.int3_covered.push_back(site);
+        continue;
+      }
+    }
+    out.sites.push_back(site);
+  }
+  std::sort(out.sites.begin(), out.sites.end(),
+            [](const StubSite& a, const StubSite& b) {
+              return a.instr < b.instr;
+            });
+  return out;
+}
+
 cutcheck::CutPlan synthesize_plan(std::shared_ptr<const melf::Binary> bin,
                                   const std::string& module,
                                   const std::string& feature,

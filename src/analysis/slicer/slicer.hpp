@@ -142,6 +142,52 @@ struct PlanExpansion {
 PlanExpansion expand_plan(cutcheck::CutPlan& plan,
                           const SliceOptions& opts = {});
 
+/// One direct kCall/kJmp whose static target is a stubbed function entry —
+/// a rewriter patch point for Mechanism::kStub/kAuto.
+struct StubSite {
+  uint64_t instr = 0;   ///< module-relative offset of the kCall/kJmp
+  uint64_t block = 0;   ///< block whose terminator it is
+  uint64_t entry = 0;   ///< stubbed function entry it targets
+  bool is_call = false; ///< kCall (vs tail kJmp)
+  /// The callsite's own block is inside the cut and *starts* at the callsite
+  /// (kCall/kJmp are terminators, so such blocks are single-instruction).
+  /// The block is left out of the removal pass — the redirect is the denial;
+  /// an int3 on its first byte would overwrite the branch opcode.
+  bool skip_trap = false;
+};
+
+/// Everything the stub mechanism will do to one module, derived from the
+/// slice model so cutcheck (CC013/CC014) and the rewriter agree byte for
+/// byte on what gets patched.
+struct StubPlan {
+  /// Function entries redirected to the deny stub, sorted.
+  std::vector<uint64_t> entries;
+  /// Entries kAuto demoted to the trap mechanism (address-taken or targeted
+  /// by a resolved indirect transfer — a callsite patch cannot cover them).
+  std::vector<uint64_t> trap_only;
+  /// Direct callsite patches, sorted by instr offset.
+  std::vector<StubSite> sites;
+  /// Callsites at stubbed entries that are NOT patched: they sit mid-block
+  /// inside the cut, so the block's int3 denies them first (derived plans
+  /// only — explicit entry lists move these into `sites` for CC014).
+  std::vector<StubSite> int3_covered;
+  /// Cut blocks the removal pass must skip (see StubSite::skip_trap).
+  std::set<uint64_t> skip_trap_blocks;
+  /// (symbol name, entry) of stubbed entries that are exported globals —
+  /// other modules' GOT slots importing them get redirected too.
+  std::vector<std::pair<std::string, uint64_t>> exports;
+};
+
+/// Plans the callsite/PLT redirection for `plan` (Mechanism::kStub/kAuto).
+/// Entries come from plan.stub_entries when non-empty, otherwise they are
+/// derived: function-entry symbols whose every CFG block is in the cut.
+/// Under kAuto, address-taken entries and resolved-indirect targets are
+/// demoted to trap_only. Callsites inside the cut that do not start their
+/// block are excluded when deriving (the int3 net keeps them) but kept for
+/// explicit entry lists so CC014 can examine them. Returns an empty plan for
+/// Mechanism::kTrap.
+StubPlan plan_stubs(const SliceModel& m, const cutcheck::CutPlan& plan);
+
 /// Builds a slice-closed CutPlan from observed coverage: blocks of
 /// `observed` belonging to `module` seed the closure over `bin`'s CFG.
 cutcheck::CutPlan synthesize_plan(std::shared_ptr<const melf::Binary> bin,

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <set>
+#include <tuple>
 
 #include "common/error.hpp"
 #include "common/hex.hpp"
@@ -36,13 +37,24 @@ void DynaCut::set_observer(obs::EventBus* bus, obs::Registry* metrics) {
 }
 
 void DynaCut::annotate(obs::Event& e) {
-  if (e.type != obs::ev::kTrapHit) return;
-  if (metrics_ != nullptr) metrics_->add("trap.hits");
-  auto it = trap_sites_.find({e.pid, e.attr_u64("addr")});
-  if (it == trap_sites_.end()) return;
+  // trap.hit and stub.hit get identical feature/policy enrichment, so
+  // timeline consumers (fig8/fig10) stay mechanism-agnostic. A stub.hit
+  // aggregates a polled delta; a trap.hit is always one delivery.
+  const bool is_trap = e.type == obs::ev::kTrapHit;
+  const bool is_stub = e.type == obs::ev::kStubHit;
+  if (!is_trap && !is_stub) return;
+  const uint64_t count = is_stub ? e.attr_u64("hits") : 1;
+  if (metrics_ != nullptr) {
+    metrics_->add(is_trap ? "trap.hits" : "cut.stub_hits", count);
+  }
+  const auto& sites = is_trap ? trap_sites_ : stub_sites_;
+  auto it = sites.find({e.pid, e.attr_u64("addr")});
+  if (it == sites.end()) return;
   e.with("feature", it->second.feature).with("policy", it->second.policy);
   if (metrics_ != nullptr) {
-    metrics_->add("trap.hits." + it->second.feature);
+    metrics_->add(std::string(is_trap ? "trap.hits." : "cut.stub_hits.") +
+                      it->second.feature,
+                  count);
   }
 }
 
@@ -57,7 +69,7 @@ analysis::cutcheck::CheckReport DynaCut::run_check(
   auto plans = rw::extract_plans(mods, req.feature.name, req.feature.blocks,
                                  req.removal, req.trap,
                                  req.feature.redirect_module,
-                                 req.feature.redirect_offset);
+                                 req.feature.redirect_offset, req.mechanism);
   return analysis::cutcheck::check_plans(plans, req.check_options);
 }
 
@@ -74,7 +86,7 @@ CutRequest DynaCut::expanded_request(const CutRequest& req,
   auto plans = rw::extract_plans(mods, req.feature.name, req.feature.blocks,
                                  req.removal, req.trap,
                                  req.feature.redirect_module,
-                                 req.feature.redirect_offset);
+                                 req.feature.redirect_offset, req.mechanism);
 
   // A module's functions imported by any other loaded module are entered
   // from outside its CFG; pin them against call closure.
@@ -95,6 +107,28 @@ CutRequest DynaCut::expanded_request(const CutRequest& req,
   for (const auto& plan : plans) {
     out.feature.blocks.insert(out.feature.blocks.end(), plan.blocks.begin(),
                               plan.blocks.end());
+  }
+  return out;
+}
+
+DynaCut::StubPlans DynaCut::plan_stub_redirection(const CutRequest& req) const {
+  StubPlans out;
+  if (req.mechanism == CutMechanism::kTrap) return out;
+  const os::Process* proc = os_.process(root_pid_);
+  if (proc == nullptr) return out;
+  std::vector<rw::ModuleRef> mods;
+  mods.reserve(proc->modules.size());
+  for (const auto& m : proc->modules) mods.push_back({m.name, m.binary});
+  auto plans = rw::extract_plans(mods, req.feature.name, req.feature.blocks,
+                                 req.removal, req.trap,
+                                 req.feature.redirect_module,
+                                 req.feature.redirect_offset, req.mechanism);
+  for (const auto& plan : plans) {
+    if (plan.binary == nullptr || plan.blocks.empty()) continue;
+    analysis::slicer::SliceModel model =
+        analysis::slicer::analyze(*plan.binary);
+    analysis::slicer::StubPlan sp = analysis::slicer::plan_stubs(model, plan);
+    if (!sp.entries.empty()) out.emplace(plan.module, std::move(sp));
   }
   return out;
 }
@@ -152,6 +186,13 @@ CustomizeReport DynaCut::disable_feature(const CutRequest& req) {
   if (req.trap == TrapPolicy::kVerify &&
       req.removal != RemovalPolicy::kBlockFirstByte) {
     throw StateError("verify mode requires the first-byte removal policy");
+  }
+  if (req.mechanism != CutMechanism::kTrap &&
+      req.removal == RemovalPolicy::kUnmapPages) {
+    throw StateError(
+        "stub mechanism requires mapped code for its int3 safety net; "
+        "unmapped residual reachability would SIGSEGV (use first-byte or "
+        "wipe removal)");
   }
   return apply(req);
 }
@@ -256,6 +297,8 @@ void DynaCut::finalize_obs(
         obs::Attr::u("pages_shared", report.edits.pages_shared),
         obs::Attr::u("pages_restored", report.edits.pages_restored),
         obs::Attr::u("pages_touched", report.edits.pages_touched),
+        obs::Attr::u("callsites_stubbed", report.edits.callsites_stubbed),
+        obs::Attr::u("got_slots_stubbed", report.edits.got_slots_stubbed),
         obs::Attr::u("interruption_ns", report.timing.total_ns())};
     for (const auto& [k, v] : tags) attrs.push_back(obs::Attr::s(k, v));
     report.obs.events = bus_->commit_txn(std::move(attrs));
@@ -266,6 +309,12 @@ void DynaCut::finalize_obs(
     metrics_->add("cut.blocks_patched", report.edits.blocks_patched);
     metrics_->add("cut.pages_unmapped", report.edits.pages_unmapped);
     metrics_->add("cut.bytes_patched", report.edits.bytes_patched);
+    if (report.edits.callsites_stubbed != 0) {
+      metrics_->add("cut.callsites_stubbed", report.edits.callsites_stubbed);
+    }
+    if (report.edits.got_slots_stubbed != 0) {
+      metrics_->add("cut.got_slots_stubbed", report.edits.got_slots_stubbed);
+    }
     metrics_->histogram("cut.stage_ns")
         .observe(report.timing.checkpoint_ns + report.timing.code_update_ns +
                  report.timing.inject_ns);
@@ -301,6 +350,17 @@ CustomizeReport DynaCut::apply(const CutRequest& request) {
   CustomizeReport report;
   PerPidEdits per_pid;
   std::vector<int> pids = live_pids();
+
+  // Stub planning is offline analysis over the static binaries — done once
+  // before the group freezes, not per pid. skip_trap blocks start with a
+  // redirected call/jmp: the redirect is the denial, so remove_blocks must
+  // leave their bytes alone.
+  const StubPlans stub_plans = plan_stub_redirection(req);
+  std::map<std::string, std::set<uint64_t>> skip_blocks;
+  for (const auto& [mod, sp] : stub_plans) {
+    if (!sp.skip_trap_blocks.empty()) skip_blocks[mod] = sp.skip_trap_blocks;
+  }
+  std::map<int, std::vector<std::pair<uint64_t, uint64_t>>> per_pid_slots;
 
   if (request.expand_to_slice) {
     // Offline work before the group freezes: charged outside total_ns().
@@ -343,8 +403,14 @@ CustomizeReport DynaCut::apply(const CutRequest& request) {
     size_t patched_before = report.edits.blocks_patched;
     size_t unmapped_before = report.edits.pages_unmapped;
     remove_blocks(rewriter, img, req.feature.blocks, req.removal, edits,
-                  originals, report);
+                  originals, report,
+                  skip_blocks.empty() ? nullptr : &skip_blocks);
 
+    if (!stub_plans.empty()) {
+      stage = FaultStage::kInject;
+      install_stubs(rewriter, img, stub_plans, req, edits,
+                    per_pid_slots[pid], report);
+    }
     if (!edits.empty()) {
       stage = FaultStage::kInject;
       if (req.trap == TrapPolicy::kRedirect) {
@@ -387,16 +453,24 @@ CustomizeReport DynaCut::apply(const CutRequest& request) {
   // record wholesale would leak the earlier rounds' stashed original bytes
   // and leave the feature only partially restorable.
   PerPidEdits& dst = applied_[feature_name];
+  const char* policy = analysis::cutcheck::trap_name(req.trap);
   for (auto& [pid, edits] : per_pid) {
     for (const AppliedEdit& e : edits) {
-      if (!e.unmapped) {
-        trap_sites_[{pid, e.patch.vaddr}] =
-            TrapSite{feature_name, analysis::cutcheck::trap_name(req.trap)};
+      // Stub edits (rel32/GOT redirects) never trap — registering them
+      // would misattribute an unrelated int3 landing on those bytes.
+      if (!e.unmapped && !e.stub) {
+        trap_sites_[{pid, e.patch.vaddr}] = TrapSite{feature_name, policy};
       }
     }
     auto& vec = dst[pid];
     vec.insert(vec.end(), std::make_move_iterator(edits.begin()),
                std::make_move_iterator(edits.end()));
+  }
+  for (const auto& [pid, slots] : per_pid_slots) {
+    for (const auto& [slot, entry_addr] : slots) {
+      stub_slots_[{pid, slot}] = StubSlotMeta{feature_name, entry_addr, 0};
+      stub_sites_[{pid, entry_addr}] = TrapSite{feature_name, policy};
+    }
   }
 
   // The rewrite window is billed to the freeze set: on a multi-core osim
@@ -419,12 +493,19 @@ void DynaCut::remove_blocks(
     const std::vector<analysis::CovBlock>& blocks, RemovalPolicy removal,
     std::vector<AppliedEdit>& edits,
     std::vector<std::pair<uint64_t, uint8_t>>& originals,
-    CustomizeReport& report) {
+    CustomizeReport& report,
+    const std::map<std::string, std::set<uint64_t>>* skip) {
   // Resolve blocks to absolute ranges; skip modules absent from this image.
   std::vector<std::pair<uint64_t, uint64_t>> ranges;  // (addr, size)
   for (const auto& b : blocks) {
     const image::ModuleImage* m = img.module_named(b.module);
     if (m == nullptr) continue;
+    if (skip != nullptr) {
+      auto sit = skip->find(b.module);
+      if (sit != skip->end() && sit->second.count(b.offset) != 0) {
+        continue;  // the callsite redirect denies this block (skip_trap)
+      }
+    }
     uint64_t size = b.size == 0 ? 1 : b.size;
     ranges.emplace_back(m->base + b.offset, size);
   }
@@ -615,6 +696,109 @@ void DynaCut::install_verifier(
       rewriter.symbol_addr(kVerifyLibName, "dynacut_restorer"));
 }
 
+void DynaCut::install_stubs(
+    rw::ImageRewriter& rewriter, image::ProcessImage& img,
+    const StubPlans& plans, const CutRequest& req,
+    std::vector<AppliedEdit>& edits,
+    std::vector<std::pair<uint64_t, uint64_t>>& slots,
+    CustomizeReport& report) {
+  // The stub lib must sit within rel32 range of every redirected callsite;
+  // the default inject hint deliberately is not (it mimics high mmap
+  // randomization), so place it in the low gap above libc instead.
+  if (img.module_named(kStubLibName) == nullptr) {
+    auto lib = build_stub_lib(/*capacity=*/256);
+    size_t relocs_before = rewriter.relocs_applied();
+    rewriter.inject_library(
+        lib, img.find_free(lib->image_size(), /*hint=*/0x70000000));
+    report.timing.inject_ns +=
+        model_.inject_cost(rewriter.relocs_applied() - relocs_before);
+  }
+  const image::ModuleImage* stub_mod = img.module_named(kStubLibName);
+  uint64_t count_addr = rewriter.symbol_addr(kStubLibName, "stub_count");
+  uint64_t slots_addr = rewriter.symbol_addr(kStubLibName, "stub_slots");
+  const melf::Symbol* slots_sym = stub_mod->binary->find_symbol("stub_slots");
+  const uint64_t capacity = slots_sym->size / kStubSlotBytes;
+
+  uint64_t n = img.read_u64(count_addr);
+  // One slot per distinct (entry, mode, value): every callsite of the same
+  // cut entry shares a slot, so its hit counter aggregates per feature entry.
+  std::map<std::tuple<uint64_t, uint64_t, uint64_t>, uint64_t> slot_for;
+  auto get_slot = [&](uint64_t entry_addr, uint64_t mode,
+                      uint64_t value) -> uint64_t {
+    auto key = std::make_tuple(entry_addr, mode, value);
+    auto it = slot_for.find(key);
+    if (it != slot_for.end()) return it->second;
+    if (n >= capacity) throw StateError("stub slot table overflow");
+    uint64_t slot = n++;
+    img.write_u64(slots_addr + slot * kStubSlotBytes + 8, mode);
+    img.write_u64(slots_addr + slot * kStubSlotBytes + 16, value);
+    slot_for.emplace(key, slot);
+    slots.emplace_back(slot, entry_addr);
+    return slot;
+  };
+  auto stub_fn = [&](uint64_t slot) {
+    return rewriter.symbol_addr(kStubLibName,
+                                "dynacut_stub_" + std::to_string(slot));
+  };
+
+  // kRedirect's same-function restriction carries over: only callsites in
+  // the error handler's own function may branch to it (pop the call return
+  // address first for a call, plain tail jump otherwise); everything else
+  // deny-returns the configured result.
+  const image::ModuleImage* rmod = nullptr;
+  const melf::Symbol* redirect_fn = nullptr;
+  if (req.trap == TrapPolicy::kRedirect) {
+    rmod = img.module_named(req.feature.redirect_module);
+    if (rmod != nullptr) {
+      redirect_fn =
+          rmod->binary->symbol_containing(req.feature.redirect_offset);
+    }
+  }
+
+  for (const auto& [mod_name, sp] : plans) {
+    const image::ModuleImage* m = img.module_named(mod_name);
+    if (m == nullptr) continue;
+    for (const auto& site : sp.sites) {
+      uint64_t mode = kStubModeDenyRet;
+      uint64_t value = req.stub_result;
+      if (redirect_fn != nullptr && rmod == m &&
+          m->binary->symbol_containing(site.instr) == redirect_fn) {
+        mode = site.is_call ? kStubModePopJmp : kStubModeTailJmp;
+        value = rmod->base + req.feature.redirect_offset;
+      }
+      uint64_t slot = get_slot(m->base + site.entry, mode, value);
+      AppliedEdit e;
+      e.stub = true;
+      e.patch = rewriter.redirect_branch(m->base + site.instr, stub_fn(slot));
+      report.edits.bytes_patched += e.patch.original.size();
+      edits.push_back(std::move(e));
+      ++report.edits.callsites_stubbed;
+    }
+    // PLT half: cross-module imports of a stubbed export go through the
+    // importer's GOT slot — repoint the slot and the importer's existing
+    // PLT stub becomes the branch into the deny stub.
+    for (const auto& [name, entry] : sp.exports) {
+      for (const auto& other : img.modules) {
+        if (other.name == mod_name || other.name == kStubLibName) continue;
+        if (other.binary == nullptr) continue;
+        for (size_t i = 0; i < other.binary->imports.size(); ++i) {
+          if (other.binary->imports[i] != name) continue;
+          uint64_t slot =
+              get_slot(m->base + entry, kStubModeDenyRet, req.stub_result);
+          AppliedEdit e;
+          e.stub = true;
+          e.patch = rewriter.redirect_got(
+              other.base + other.binary->got_slot_offset(i), stub_fn(slot));
+          report.edits.bytes_patched += e.patch.original.size();
+          edits.push_back(std::move(e));
+          ++report.edits.got_slots_stubbed;
+        }
+      }
+    }
+  }
+  img.write_u64(count_addr, n);
+}
+
 CustomizeReport DynaCut::restore_feature(const std::string& name) {
   auto it = applied_.find(name);
   if (it == applied_.end()) {
@@ -684,10 +868,21 @@ CustomizeReport DynaCut::restore_feature(const std::string& name) {
     throw;
   }
 
-  // The traps are gone from the code; stop attributing hits to them.
+  // The traps are gone from the code; stop attributing hits to them. Stub
+  // slots likewise: the callsite/GOT redirects were undone above, so their
+  // guest counters can never advance again (the injected lib itself stays —
+  // a later disable continues from the same slot cursor).
   for (const auto& [pid, edits] : it->second) {
     for (const AppliedEdit& e : edits) {
       if (!e.unmapped) trap_sites_.erase({pid, e.patch.vaddr});
+    }
+  }
+  for (auto sit = stub_slots_.begin(); sit != stub_slots_.end();) {
+    if (sit->second.feature == name) {
+      stub_sites_.erase({sit->first.first, sit->second.entry_addr});
+      sit = stub_slots_.erase(sit);
+    } else {
+      ++sit;
     }
   }
 
@@ -719,6 +914,50 @@ std::vector<uint64_t> DynaCut::verifier_log(int pid) const {
   }
   seen = std::max<uint64_t>(seen, read.addrs.size());
   return read.addrs;
+}
+
+uint64_t DynaCut::poll_stub_hits() {
+  uint64_t total_new = 0;
+  int cur_pid = -1;
+  StubHitsRead read;
+  bool have_read = false;
+  // stub_slots_ is keyed (pid, slot) so one guest read serves all of a
+  // pid's slots; the guest counter is untrusted, so read_stub_hits clamps.
+  for (auto& [key, meta] : stub_slots_) {
+    const auto& [pid, slot] = key;
+    if (pid != cur_pid) {
+      cur_pid = pid;
+      have_read = false;
+      const os::Process* p = os_.process(pid);
+      if (p != nullptr && p->state != os::Process::State::kExited) {
+        read = read_stub_hits(*p);
+        have_read = true;
+        if (read.clamped && bus_ != nullptr) {
+          bus_->emit(obs::Event(obs::ev::kWarning, pid)
+                         .with("what", "stub_count exceeds slot capacity")
+                         .with("raw_count", read.raw_count)
+                         .with("capacity", read.capacity));
+        }
+      }
+    }
+    if (!have_read || slot >= read.hits.size()) continue;
+    const uint64_t hits = read.hits[slot];
+    if (hits <= meta.seen_hits) continue;
+    const uint64_t delta = hits - meta.seen_hits;
+    meta.seen_hits = hits;
+    total_new += delta;
+    if (bus_ != nullptr) {
+      // The annotator enriches the event with feature/policy and charges
+      // the cut.stub_hits counters, exactly like a trap.hit delivery.
+      bus_->emit(obs::Event(obs::ev::kStubHit, pid)
+                     .with("addr", meta.entry_addr)
+                     .with("hits", delta)
+                     .with("total", hits));
+    } else if (metrics_ != nullptr) {
+      metrics_->add("cut.stub_hits", delta);
+    }
+  }
+  return total_new;
 }
 
 }  // namespace dynacut::core

@@ -56,6 +56,13 @@ using RemovalPolicy = analysis::cutcheck::Removal;
 /// What happens when blocked code is reached (paper §3.2.2).
 using TrapPolicy = analysis::cutcheck::Trap;
 
+/// How disabled code is reached-and-denied (ROADMAP item 3): kTrap pays a
+/// SIGTRAP round-trip per entry, kStub retargets direct callsites and GOT
+/// slots to an injected deny stub (one branch, no signal; int3 stays as the
+/// safety net for non-callsite paths), kAuto stubs only entries the slicer
+/// proves callsite-only.
+using CutMechanism = analysis::cutcheck::Mechanism;
+
 /// What DynaCut does with cutcheck findings before rewriting an image.
 enum class CheckMode {
   kEnforce,  ///< reject plans with kError findings (StateError); default
@@ -105,6 +112,16 @@ struct CutRequest {
   /// growth. Expansion is skipped for modules with unresolved indirect
   /// transfers — the plan then applies as observed.
   bool expand_to_slice = false;
+  /// Entry-denial mechanism. kStub/kAuto redirect direct callsites at
+  /// wholly-cut functions (and GOT slots importing them) into a tiny
+  /// injected error stub, so a disabled-feature probe costs one branch
+  /// instead of a signal round-trip; residual reachability keeps the int3
+  /// net with the trap policy above. Incompatible with kUnmapPages (the
+  /// net needs mapped code).
+  CutMechanism mechanism = CutMechanism::kTrap;
+  /// Deny return value baked into mode-0 stub slots (the HTTP-403 analogue
+  /// for callers that check the callee's result).
+  uint64_t stub_result = 403;
   /// Label carried by this customization's obs transaction events; empty
   /// defaults to feature.name.
   std::string label;
@@ -128,6 +145,8 @@ struct EditStats {
   uint64_t pages_shared = 0;  ///< pages shared from baselines in O(1)
   uint64_t pages_restored = 0;  ///< pages actually written back at restore
   uint64_t pages_touched = 0;   ///< distinct pages the rewriter edited
+  size_t callsites_stubbed = 0;  ///< direct call/jmp rel32 redirects
+  size_t got_slots_stubbed = 0;  ///< GOT slots pointed at the deny stub
 };
 
 /// Checkpoint strategy for customizations (see image/checkpoint.hpp).
@@ -252,6 +271,15 @@ class DynaCut {
   /// over-read of guest memory.
   std::vector<uint64_t> verifier_log(int pid) const;
 
+  /// Polls every stub-customized process's injected deny-stub library and
+  /// emits one `stub.hit` event per slot with new hits since the last poll
+  /// (attrs: addr = stubbed entry, hits = delta, total). The stub path
+  /// never enters the host — hits are harvested from guest memory like the
+  /// verifier log. The annotator enriches the events with feature/policy
+  /// exactly as it does trap.hit, and charges the `cut.stub_hits` counter.
+  /// Returns the total new hits observed.
+  uint64_t poll_stub_hits();
+
   /// The tmpfs-like store holding the most recent image of each process.
   image::ImageStore& store() { return store_; }
   const CostModel& cost_model() const { return model_; }
@@ -260,6 +288,7 @@ class DynaCut {
   struct AppliedEdit {
     rw::PatchRecord patch;          // byte-level undo
     bool unmapped = false;          // range was unmapped instead of patched
+    bool stub = false;              // callsite/GOT redirect, not a trap site
     uint32_t vma_prot = 0;          // original VMA protection (unmap undo)
     std::string vma_name;
   };
@@ -306,12 +335,39 @@ class DynaCut {
   CutRequest expanded_request(const CutRequest& req,
                               rw::SliceExpansion* stats = nullptr) const;
 
+  /// Module name -> the stub redirection planned for it (slicer::plan_stubs
+  /// over the root process's modules) — computed once per apply(), before
+  /// the group freezes.
+  using StubPlans = std::map<std::string, analysis::slicer::StubPlan>;
+  StubPlans plan_stub_redirection(const CutRequest& req) const;
+
   /// Removal-policy application; fills `edits` and the redirect/original
-  /// tables' raw entries.
+  /// tables' raw entries. Blocks whose (module, offset) appears in `skip`
+  /// are left untouched — their callsite redirect IS the denial
+  /// (StubSite::skip_trap).
   void remove_blocks(rw::ImageRewriter& rw, const image::ProcessImage& img,
                      const std::vector<analysis::CovBlock>& blocks,
                      RemovalPolicy removal, std::vector<AppliedEdit>& edits,
                      std::vector<std::pair<uint64_t, uint8_t>>& originals,
+                     CustomizeReport& report,
+                     const std::map<std::string, std::set<uint64_t>>* skip =
+                         nullptr);
+
+  /// One allocated deny-stub slot in one process's injected stub library.
+  struct StubSlotMeta {
+    std::string feature;
+    uint64_t entry_addr = 0;  ///< absolute address of the stubbed entry
+    uint64_t seen_hits = 0;   ///< hits already surfaced as stub.hit events
+  };
+
+  /// Injects the deny-stub library (once per image, near the app so rel32
+  /// reaches it), allocates slots, patches callsites and GOT slots.
+  /// `slots` receives the (slot index, absolute entry) pairs allocated for
+  /// this pid.
+  void install_stubs(rw::ImageRewriter& rw, image::ProcessImage& img,
+                     const StubPlans& plans, const CutRequest& req,
+                     std::vector<AppliedEdit>& edits,
+                     std::vector<std::pair<uint64_t, uint64_t>>& slots,
                      CustomizeReport& report);
 
   void install_redirects(
@@ -332,8 +388,9 @@ class DynaCut {
                     const std::vector<std::pair<std::string, std::string>>&
                         tags = {});
 
-  /// Bus annotator: enriches `trap.hit` events with the feature/policy that
-  /// planted the trap and charges trap counters.
+  /// Bus annotator: enriches `trap.hit` and `stub.hit` events with the
+  /// feature/policy that planted the site and charges the hit counters —
+  /// fig8/fig10 timelines stay mechanism-agnostic.
   void annotate(obs::Event& e);
 
   os::Os& os_;
@@ -351,6 +408,10 @@ class DynaCut {
   std::map<std::string, PerPidEdits> applied_;
   /// (pid, trap addr) -> planted-by info, for trap.hit annotation.
   std::map<std::pair<int, uint64_t>, TrapSite> trap_sites_;
+  /// (pid, stubbed entry addr) -> planted-by info, for stub.hit annotation.
+  std::map<std::pair<int, uint64_t>, TrapSite> stub_sites_;
+  /// (pid, slot index) -> slot bookkeeping for poll_stub_hits.
+  std::map<std::pair<int, uint64_t>, StubSlotMeta> stub_slots_;
   /// Per-pid count of verifier-log entries already surfaced as events.
   mutable std::map<int, uint64_t> heals_seen_;
 };

@@ -115,6 +115,54 @@ std::shared_ptr<const melf::Binary> build_verifier_lib(size_t capacity,
   return std::make_shared<melf::Binary>(b.link());
 }
 
+std::shared_ptr<const melf::Binary> build_stub_lib(size_t capacity) {
+  ProgramBuilder b(kStubLibName);
+  b.data("stub_count", std::vector<uint8_t>(8, 0));
+  b.data("stub_slots", std::vector<uint8_t>(capacity * kStubSlotBytes, 0));
+
+  for (size_t i = 0; i < capacity; ++i) {
+    const int32_t off = static_cast<int32_t>(i * kStubSlotBytes);
+    auto& f = b.func("dynacut_stub_" + std::to_string(i));
+    f.lea_sym(11, "stub_slots")
+        .load(10, 11, off)  // hits++
+        .add_ri(10, 1)
+        .store(11, off, 10)
+        .load(10, 11, off + 8)   // mode
+        .load(11, 11, off + 16)  // value
+        .cmp_ri(10, static_cast<int32_t>(kStubModePopJmp))
+        .je("pop_jmp")
+        .cmp_ri(10, static_cast<int32_t>(kStubModeTailJmp))
+        .je("tail")
+        .mov_rr(0, 11)  // deny-return: r0 = value
+        .ret()
+        .label("pop_jmp")
+        .pop(10)  // drop the call-pushed return address
+        .label("tail")
+        .jmpr(11);  // into the app's own error path
+  }
+  return std::make_shared<melf::Binary>(b.link());
+}
+
+StubHitsRead read_stub_hits(const os::Process& p) {
+  StubHitsRead out;
+  const os::LoadedModule* lib = p.module_named(kStubLibName);
+  if (lib == nullptr) return out;
+  const melf::Symbol* count_sym = lib->binary->find_symbol("stub_count");
+  const melf::Symbol* slots_sym = lib->binary->find_symbol("stub_slots");
+  DYNACUT_ASSERT(count_sym != nullptr && slots_sym != nullptr);
+  out.capacity = slots_sym->size / kStubSlotBytes;
+  p.mem.peek(lib->base + count_sym->value, &out.raw_count, 8);
+  // stub_count lives in guest memory: clamp before it drives the peek loop.
+  uint64_t count = std::min<uint64_t>(out.raw_count, out.capacity);
+  out.clamped = count != out.raw_count;
+  out.hits.resize(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    p.mem.peek(lib->base + slots_sym->value + i * kStubSlotBytes,
+               &out.hits[i], 8);
+  }
+  return out;
+}
+
 VerifierLogRead read_verifier_log(const os::Process& p) {
   VerifierLogRead out;
   const os::LoadedModule* lib = p.module_named(kVerifyLibName);

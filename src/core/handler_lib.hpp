@@ -21,6 +21,15 @@ namespace dynacut::core {
 inline constexpr const char* kSigLibName = "libdynacut_sig.so";
 /// Name of the verifier library.
 inline constexpr const char* kVerifyLibName = "libdynacut_verify.so";
+/// Name of the callsite/PLT deny-stub library (Mechanism::kStub).
+inline constexpr const char* kStubLibName = "libdynacut_stub.so";
+
+/// Bytes per stub slot record: {hits, mode, value, reserved}, all u64.
+inline constexpr size_t kStubSlotBytes = 32;
+/// Slot modes (the `mode` field, written by the host after injection).
+inline constexpr uint64_t kStubModeDenyRet = 0;  ///< return `value` (errno)
+inline constexpr uint64_t kStubModePopJmp = 1;   ///< drop call RA, jmp value
+inline constexpr uint64_t kStubModeTailJmp = 2;  ///< jmp value (tail entry)
 
 /// Redirect fault handler: on SIGTRAP it looks the faulting address up in
 /// `redirect_table` ((trap_addr, target_addr) pairs, `redirect_count`
@@ -40,6 +49,32 @@ std::shared_ptr<const melf::Binary> build_redirect_lib(size_t capacity);
 /// orig_table, log_count, log_buf (log_capacity u64 slots).
 std::shared_ptr<const melf::Binary> build_verifier_lib(size_t capacity,
                                                        size_t log_capacity);
+
+/// Deny-stub library (ROADMAP item 3, trap-free cuts): `capacity` slot
+/// records plus one tiny entry function per slot. A redirected callsite or
+/// GOT slot branches straight into its `dynacut_stub_<i>`, which bumps the
+/// slot's hit counter and then denies according to the host-written mode:
+/// return `value` (kStubModeDenyRet), pop the call-pushed return address and
+/// jump to `value` — the app's own error path (kStubModePopJmp), or tail-jump
+/// there (kStubModeTailJmp). Fully PIC; clobbers only caller-saved r10/r11.
+/// Exports: stub_count (host-managed allocation cursor), stub_slots,
+/// dynacut_stub_<i>.
+std::shared_ptr<const melf::Binary> build_stub_lib(size_t capacity);
+
+/// Per-slot hit counters of the injected stub library, read back from live
+/// guest memory (the stub.hit poll — the stub path never enters the host,
+/// so hits are harvested like the verifier log, not trapped).
+struct StubHitsRead {
+  std::vector<uint64_t> hits;  ///< one per allocated slot, slot order
+  uint64_t raw_count = 0;      ///< in-guest stub_count field, unclamped
+  uint64_t capacity = 0;       ///< stub_slots capacity in records
+  bool clamped = false;        ///< raw_count exceeded capacity
+};
+
+/// Reads `p`'s injected stub library hit counters. The in-guest count is
+/// untrusted and clamped to the table's real capacity (see
+/// read_verifier_log). Returns an empty read when the library is absent.
+StubHitsRead read_stub_hits(const os::Process& p);
 
 /// The verifier library's heal log, read back from live guest memory.
 struct VerifierLogRead {

@@ -27,7 +27,9 @@ inline constexpr const char* kRewritePatch = "rewrite.patch";
 inline constexpr const char* kRewriteWipe = "rewrite.wipe";
 inline constexpr const char* kRewriteUnmap = "rewrite.unmap";
 inline constexpr const char* kRewriteInject = "rewrite.inject";
+inline constexpr const char* kRewriteStub = "rewrite.stub";
 inline constexpr const char* kTrapHit = "trap.hit";
+inline constexpr const char* kStubHit = "stub.hit";
 inline constexpr const char* kSchedSteal = "sched.steal";
 inline constexpr const char* kSbBuild = "sb.build";
 inline constexpr const char* kSbRetire = "sb.retire";

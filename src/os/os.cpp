@@ -213,6 +213,12 @@ uint64_t Os::total_retired() const {
   return sum;
 }
 
+uint64_t Os::total_sigtraps() const {
+  uint64_t sum = 0;
+  for (const auto& [pid, p] : procs_) sum += p->sigtraps;
+  return sum;
+}
+
 uint64_t Os::now() const {
   if (running_core_ >= 0) return cores_[static_cast<size_t>(running_core_)].clock;
   uint64_t mx = 0;
@@ -589,6 +595,7 @@ void Os::drain_sb_events(Process& p) {
 
 void Os::deliver_signal(Process& p, int signo, uint64_t fault_addr) {
   const SigAction& act = p.sigactions[signo];
+  if (signo == sig::kSigTrap) ++p.sigtraps;
   if (signo == sig::kSigTrap && bus_ != nullptr) {
     // The DynaCut annotator (if installed) enriches this raw event with the
     // owning feature and its trap policy; here the kernel-side view only

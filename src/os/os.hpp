@@ -99,6 +99,9 @@ class Os {
   void pin(int pid, size_t core);
   /// Instructions retired machine-wide since construction.
   uint64_t total_retired() const;
+  /// SIGTRAP deliveries machine-wide (sum of Process::sigtraps over live
+  /// and exited processes).
+  uint64_t total_sigtraps() const;
 
   // --- scheduling & time -------------------------------------------------
   /// Runs until every process is exited/blocked/frozen or `max_instr`

@@ -109,6 +109,11 @@ struct Process {
 
   uint64_t instructions_retired = 0;
 
+  /// SIGTRAP deliveries since start. Benches diff this across a request to
+  /// show a stub cut denies without any signal round-trip while a trap cut
+  /// pays one per entry.
+  uint64_t sigtraps = 0;
+
   const LoadedModule* module_at(uint64_t addr) const {
     for (const auto& m : modules) {
       if (m.contains(addr)) return &m;

@@ -1,6 +1,7 @@
 #include "rewriter/rewriter.hpp"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/error.hpp"
 #include "common/hex.hpp"
@@ -58,6 +59,43 @@ PatchRecord ImageRewriter::wipe(uint64_t vaddr, uint64_t size) {
   emit(obs::Event(obs::ev::kRewriteWipe, img_.core.pid)
            .with("addr", vaddr)
            .with("bytes", size));
+  return rec;
+}
+
+PatchRecord ImageRewriter::redirect_branch(uint64_t vaddr, uint64_t target) {
+  const uint8_t op = img_.read_u8(vaddr);
+  if (op != static_cast<uint8_t>(isa::Op::kCall) &&
+      op != static_cast<uint8_t>(isa::Op::kJmp)) {
+    throw StateError("redirect_branch: not a direct call/jmp at " +
+                     hex_addr(vaddr));
+  }
+  const uint8_t len = isa::instr_length(op);
+  const int64_t rel = static_cast<int64_t>(target) -
+                      static_cast<int64_t>(vaddr + len);
+  if (rel < INT32_MIN || rel > INT32_MAX) {
+    throw StateError("redirect_branch: target " + hex_addr(target) +
+                     " out of rel32 range from " + hex_addr(vaddr));
+  }
+  const auto rel32 = static_cast<int32_t>(rel);
+  uint8_t bytes[4];
+  std::memcpy(bytes, &rel32, 4);
+  PatchRecord rec = apply_bytes(vaddr + 1, std::span<const uint8_t>(bytes, 4));
+  emit(obs::Event(obs::ev::kRewriteStub, img_.core.pid)
+           .with("addr", vaddr)
+           .with("target", target)
+           .with("kind", std::string("branch")));
+  return rec;
+}
+
+PatchRecord ImageRewriter::redirect_got(uint64_t slot_vaddr, uint64_t target) {
+  uint8_t bytes[8];
+  std::memcpy(bytes, &target, 8);
+  PatchRecord rec = apply_bytes(slot_vaddr,
+                                std::span<const uint8_t>(bytes, 8));
+  emit(obs::Event(obs::ev::kRewriteStub, img_.core.pid)
+           .with("addr", slot_vaddr)
+           .with("target", target)
+           .with("kind", std::string("got")));
   return rec;
 }
 
@@ -220,7 +258,8 @@ std::vector<analysis::cutcheck::CutPlan> extract_plans(
     const std::vector<ModuleRef>& modules, const std::string& feature,
     const std::vector<analysis::CovBlock>& blocks,
     analysis::cutcheck::Removal removal, analysis::cutcheck::Trap trap,
-    const std::string& redirect_module, uint64_t redirect_offset) {
+    const std::string& redirect_module, uint64_t redirect_offset,
+    analysis::cutcheck::Mechanism mechanism) {
   auto module_binary =
       [&](const std::string& name) -> std::shared_ptr<const melf::Binary> {
     for (const auto& m : modules) {
@@ -241,6 +280,7 @@ std::vector<analysis::cutcheck::CutPlan> extract_plans(
     p.binary = module_binary(module);
     p.removal = removal;
     p.trap = trap;
+    p.mechanism = mechanism;
     plans.push_back(std::move(p));
     return plans.back();
   };

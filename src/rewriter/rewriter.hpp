@@ -50,7 +50,9 @@ std::vector<analysis::cutcheck::CutPlan> extract_plans(
     const std::vector<ModuleRef>& modules, const std::string& feature,
     const std::vector<analysis::CovBlock>& blocks,
     analysis::cutcheck::Removal removal, analysis::cutcheck::Trap trap,
-    const std::string& redirect_module = {}, uint64_t redirect_offset = 0);
+    const std::string& redirect_module = {}, uint64_t redirect_offset = 0,
+    analysis::cutcheck::Mechanism mechanism =
+        analysis::cutcheck::Mechanism::kTrap);
 
 /// Aggregate of slicer::expand_plan over a feature's per-module plans.
 struct SliceExpansion {
@@ -108,6 +110,17 @@ class ImageRewriter {
 
   /// Marks code pages writable+executable (verifier self-healing support).
   void make_code_writable(const std::string& module_name);
+
+  // --- stub redirection (Mechanism::kStub/kAuto) --------------------------
+  /// Retargets the direct kCall/kJmp at `vaddr` to `target` by patching its
+  /// rel32 — the trap-free deny: one branch into the stub instead of a
+  /// SIGTRAP round-trip. Validates the opcode and that `target` is in rel32
+  /// range (throws StateError otherwise). Returns the undo record.
+  PatchRecord redirect_branch(uint64_t vaddr, uint64_t target);
+
+  /// Points the 8-byte GOT slot at `slot_vaddr` to `target` — the PLT-slot
+  /// half of the stub mechanism. Returns the undo record.
+  PatchRecord redirect_got(uint64_t slot_vaddr, uint64_t target);
 
   // --- signal plumbing -----------------------------------------------------
   void set_sigaction(int signo, uint64_t handler, uint64_t restorer);

@@ -647,6 +647,195 @@ TEST(RuleGadgetTest, DisabledByOptions) {
   EXPECT_EQ(r.gadget_delta, 0);
 }
 
+// --- CC013 stub reachability / CC014 stub reversibility ------------------
+
+/// `feat` is a single-block leaf called once from main — the cleanest
+/// possible stub cut: one wholly-cut function, one block-terminating
+/// callsite.
+std::shared_ptr<const Binary> build_stub_rule_guest() {
+  ProgramBuilder b("stubg");
+  b.func("feat").mov_ri(0, 7).ret();
+  b.func("other").mov_ri(0, 8).ret();
+  auto& m = b.func("main");
+  m.mark("site").call("feat");
+  m.mov_ri(0, 0).ret();
+  return std::make_shared<Binary>(b.link());
+}
+
+CutPlan stub_plan(std::shared_ptr<const Binary> bin, const char* func,
+                  Mechanism mech, Removal removal = Removal::kBlockFirstByte) {
+  const melf::Symbol* f = bin->find_symbol(func);
+  CutPlan p = make_plan(
+      bin, {{bin->name, f->value, static_cast<uint32_t>(f->size)}}, removal,
+      Trap::kTerminate);
+  p.mechanism = mech;
+  return p;
+}
+
+TEST(RuleStubReachabilityTest, CleanWholeFunctionStubPlanPasses) {
+  auto bin = build_stub_rule_guest();
+  auto r = check_plan(stub_plan(bin, "feat", Mechanism::kStub));
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(rule_count(r, kRuleStubReachability, Severity::kError), 0u);
+  EXPECT_TRUE(r.by_rule(kRuleStubReversibility).empty());
+}
+
+TEST(RuleStubReachabilityTest, UnmapRemovalWithStubMechanismIsError) {
+  auto bin = build_stub_rule_guest();
+  auto r =
+      check_plan(stub_plan(bin, "feat", Mechanism::kStub, Removal::kUnmapPages));
+  EXPECT_GE(rule_count(r, kRuleStubReachability, Severity::kError), 1u);
+  EXPECT_TRUE(rule_mentions(r, kRuleStubReachability, "SIGSEGV"));
+}
+
+TEST(RuleStubReachabilityTest, ExplicitNonFunctionEntryIsError) {
+  auto bin = build_stub_rule_guest();
+  CutPlan p = stub_plan(bin, "feat", Mechanism::kStub);
+  p.stub_entries = {bin->find_symbol("feat")->value + 1};
+  auto r = check_plan(p);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(rule_mentions(r, kRuleStubReachability, "not a function-entry"));
+}
+
+TEST(RuleStubReachabilityTest, ExplicitEntryOutsideTheCutIsError) {
+  auto bin = build_stub_rule_guest();
+  // Cut `other`, pin `feat`: the stub would deny a feature the plan keeps.
+  CutPlan p = stub_plan(bin, "other", Mechanism::kStub);
+  p.stub_entries = {bin->find_symbol("feat")->value};
+  auto r = check_plan(p);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(rule_mentions(r, kRuleStubReachability, "keeps live"));
+}
+
+TEST(RuleStubReachabilityTest, PartiallyCutEntryWarnsButPasses) {
+  ProgramBuilder b("partial");
+  auto& f = b.func("feat2");
+  f.cmp_ri(1, 0).je("tail");
+  f.mov_ri(2, 1);
+  f.label("tail").mov_ri(0, 0).ret();
+  auto& m = b.func("main");
+  m.call("feat2").ret();
+  auto bin = std::make_shared<Binary>(b.link());
+  const melf::Symbol* f2 = bin->find_symbol("feat2");
+  // Cut only the entry block and pin it: live interior blocks remain.
+  analysis::StaticCfg cfg = recover_cfg(*bin);
+  auto bit = cfg.blocks.find(f2->value);
+  ASSERT_NE(bit, cfg.blocks.end());
+  uint64_t first_block_end = bit->first + bit->second.size;
+  ASSERT_GT(first_block_end, f2->value);
+  CutPlan p = make_plan(
+      bin,
+      {{"partial", f2->value,
+        static_cast<uint32_t>(first_block_end - f2->value)}},
+      Removal::kBlockFirstByte, Trap::kTerminate);
+  p.mechanism = Mechanism::kStub;
+  p.stub_entries = {f2->value};
+  auto r = check_plan(p);
+  EXPECT_TRUE(r.ok());
+  EXPECT_GE(rule_count(r, kRuleStubReachability, Severity::kWarning), 1u);
+  EXPECT_TRUE(rule_mentions(r, kRuleStubReachability, "partially cut"));
+}
+
+std::shared_ptr<const Binary> build_taken_guest() {
+  ProgramBuilder b("takeng");
+  b.func("feat").mov_ri(0, 7).ret();
+  auto& m = b.func("main");
+  m.mov_sym(5, "feat");  // address-taken: kAbs64 reloc into feat
+  m.call("feat").ret();
+  return std::make_shared<Binary>(b.link());
+}
+
+TEST(RuleStubReachabilityTest, AutoDemotesAddressTakenToTrapWithNote) {
+  auto bin = build_taken_guest();
+  auto r = check_plan(stub_plan(bin, "feat", Mechanism::kAuto));
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(rule_count(r, kRuleStubReachability, Severity::kError), 0u);
+  EXPECT_TRUE(rule_mentions(r, kRuleStubReachability, "pointer-reachable"));
+}
+
+TEST(RuleStubReachabilityTest, PinningAddressTakenEntryUnderAutoIsError) {
+  auto bin = build_taken_guest();
+  CutPlan p = stub_plan(bin, "feat", Mechanism::kAuto);
+  p.stub_entries = {bin->find_symbol("feat")->value};
+  auto r = check_plan(p);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(rule_mentions(r, kRuleStubReachability, "contradicting the pin"));
+}
+
+TEST(RuleStubReachabilityTest, ForcedStubOnAddressTakenEntryOnlyNotes) {
+  auto bin = build_taken_guest();
+  auto r = check_plan(stub_plan(bin, "feat", Mechanism::kStub));
+  EXPECT_TRUE(r.ok());
+  EXPECT_EQ(rule_count(r, kRuleStubReachability, Severity::kError), 0u);
+  EXPECT_TRUE(rule_mentions(r, kRuleStubReachability, "bypass the stub"));
+}
+
+/// main's entry block ends at the call terminator, so `site` sits mid-block
+/// when the block's own bytes are in the cut.
+std::shared_ptr<const Binary> build_midblock_site_guest(uint64_t* site,
+                                                        uint64_t* site_end) {
+  ProgramBuilder b("rev");
+  b.func("feat").mov_ri(0, 7).ret();
+  auto& m = b.func("main");
+  m.mov_ri(1, 1);
+  m.mark("site").call("feat");
+  m.mov_ri(0, 0).ret();
+  auto bin = std::make_shared<Binary>(b.link());
+  *site = bin->find_symbol("site")->value;
+  *site_end = *site + 5;  // kCall is 5 bytes
+  return bin;
+}
+
+TEST(RuleStubReversibilityTest, WipeOverlappingAnExplicitSiteIsError) {
+  uint64_t site = 0, site_end = 0;
+  auto bin = build_midblock_site_guest(&site, &site_end);
+  const melf::Symbol* feat = bin->find_symbol("feat");
+  const melf::Symbol* mn = bin->find_symbol("main");
+  // Wipe both feat and main's first block; pin feat so the mid-block
+  // callsite is planned as a redirect. The 5 patched bytes then overlap
+  // bytes the wipe rewrites — order-dependent pre-images.
+  CutPlan p = make_plan(
+      bin,
+      {{"rev", feat->value, static_cast<uint32_t>(feat->size)},
+       {"rev", mn->value, static_cast<uint32_t>(site_end - mn->value)}},
+      Removal::kWipeBlocks, Trap::kTerminate);
+  p.mechanism = Mechanism::kStub;
+  p.stub_entries = {feat->value};
+  auto r = check_plan(p);
+  EXPECT_FALSE(r.ok());
+  EXPECT_GE(rule_count(r, kRuleStubReversibility, Severity::kError), 1u);
+  EXPECT_TRUE(rule_mentions(r, kRuleStubReversibility, "order-dependent"));
+}
+
+TEST(RuleStubReversibilityTest, DerivedPlanLeavesMidBlockSiteOnTheNet) {
+  uint64_t site = 0, site_end = 0;
+  auto bin = build_midblock_site_guest(&site, &site_end);
+  const melf::Symbol* feat = bin->find_symbol("feat");
+  const melf::Symbol* mn = bin->find_symbol("main");
+  // Same cut without the pin: plan_stubs leaves the mid-block callsite on
+  // the int3 net (CC013 note), so no overlapping patch exists.
+  CutPlan p = make_plan(
+      bin,
+      {{"rev", feat->value, static_cast<uint32_t>(feat->size)},
+       {"rev", mn->value, static_cast<uint32_t>(site_end - mn->value)}},
+      Removal::kWipeBlocks, Trap::kTerminate);
+  p.mechanism = Mechanism::kStub;
+  auto r = check_plan(p);
+  EXPECT_TRUE(r.by_rule(kRuleStubReversibility).empty());
+  EXPECT_TRUE(rule_mentions(r, kRuleStubReachability, "int3 net"));
+}
+
+TEST(RuleStubReversibilityTest, TrapMechanismSkipsBothStubRules) {
+  uint64_t site = 0, site_end = 0;
+  auto bin = build_midblock_site_guest(&site, &site_end);
+  const melf::Symbol* feat = bin->find_symbol("feat");
+  auto r = check_plan(make_plan(
+      bin, {{"rev", feat->value, static_cast<uint32_t>(feat->size)}},
+      Removal::kWipeBlocks, Trap::kTerminate));
+  EXPECT_TRUE(r.by_rule(kRuleStubReachability).empty());
+  EXPECT_TRUE(r.by_rule(kRuleStubReversibility).empty());
+}
+
 // --- plan extraction and merged checking ---------------------------------
 
 TEST(ExtractPlansTest, GroupsBlocksPerModuleAndBindsBinaries) {
